@@ -1,0 +1,92 @@
+(* The DrDebug command-line debugger.
+
+   Usage:
+     drdebug_cli --workload pbzip2 [--seed N]
+     drdebug_cli --source prog.c [--input 1,2,3]
+     drdebug_cli --workload Aget --script 'record until-fail;replay;continue;slice-failure;slice-lines'
+
+   Without --script, reads commands from stdin (one per line; `quit`
+   exits).  See `help` inside the session for the command set. *)
+
+let load_program workload source =
+  match (workload, source) with
+  | Some name, None -> (
+    match Dr_workloads.Registry.find name with
+    | Some e -> Ok (e.Dr_workloads.Registry.compile ~threads:4 ~iters:500)
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %s (available: %s)" name
+           (String.concat ", " (Dr_workloads.Registry.names ()))))
+  | None, Some path -> (
+    match
+      In_channel.with_open_text path In_channel.input_all |> fun src ->
+      Dr_lang.Codegen.compile_result ~name:(Filename.basename path) ~file:path src
+    with
+    | Ok p -> Ok p
+    | Error e -> Error e)
+  | _ -> Error "specify exactly one of --workload or --source"
+
+let run workload source seed input script =
+  match load_program workload source with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok prog ->
+    let input =
+      match input with
+      | None -> [||]
+      | Some s ->
+        Array.of_list
+          (List.filter_map int_of_string_opt (String.split_on_char ',' s))
+    in
+    let session = Drdebug.Session.create ~input ~seed prog in
+    let dbg = Drdebug.Debugger.create session in
+    let exec_one line =
+      let line = String.trim line in
+      if line = "" then true
+      else if line = "quit" || line = "exit" then false
+      else begin
+        (match Drdebug.Debugger.exec dbg line with
+        | Ok out -> print_string out
+        | Error e -> Printf.printf "error: %s\n" e);
+        true
+      end
+    in
+    (match script with
+    | Some s -> List.iter (fun l -> ignore (exec_one l)) (String.split_on_char ';' s)
+    | None ->
+      Printf.printf "DrDebug on %s — type help for commands, quit to exit\n"
+        prog.Dr_isa.Program.name;
+      let rec loop () =
+        print_string "(drdebug) ";
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line -> if exec_one line then loop ()
+      in
+      loop ());
+    0
+
+open Cmdliner
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~doc:"Named workload to debug.")
+
+let source =
+  Arg.(value & opt (some string) None & info [ "source"; "s" ] ~doc:"Mini-C source file to debug.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed for native runs/recording.")
+
+let input =
+  Arg.(value & opt (some string) None & info [ "input" ] ~doc:"Comma-separated input words for read().")
+
+let script =
+  Arg.(value & opt (some string) None & info [ "script" ] ~doc:"Semicolon-separated commands to run non-interactively.")
+
+let cmd =
+  let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
+  Cmd.v
+    (Cmd.info "drdebug" ~doc)
+    Term.(const run $ workload $ source $ seed $ input $ script)
+
+let () = exit (Cmd.eval' cmd)

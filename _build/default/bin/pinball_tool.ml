@@ -1,0 +1,133 @@
+(* Pinball inspection tool: examine, verify, and dump pinball files
+   (the paper notes pinballs are portable artifacts that can be shipped
+   between developers — this is the tool you run on one you received).
+
+   Usage:
+     pinball_tool info <file.pinball>
+     pinball_tool dump <file.pinball>            # schedule + syscalls + events
+     pinball_tool verify <file.pinball> --workload <name> [--threads N --iters N]
+     pinball_tool record --workload <name> [--seed N] -o <file.pinball>
+*)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let load path =
+  try Dr_pinplay.Pinball.load_file path with
+  | Sys_error e -> die "cannot read %s: %s" path e
+  | Dr_util.Codec.Corrupt e -> die "%s is not a valid pinball: %s" path e
+
+let info path =
+  let pb = load path in
+  let open Dr_pinplay.Pinball in
+  Printf.printf "pinball: %s\n" path;
+  Printf.printf "  program:       %s\n" pb.program_name;
+  Printf.printf "  kind:          %s\n"
+    (match pb.kind with Region -> "region" | Slice -> "slice");
+  Printf.printf "  region:        skip=%d length=%d (main-thread instructions)\n"
+    pb.region.skip pb.region.length;
+  Printf.printf "  instructions:  %d (all threads)\n" (schedule_instructions pb);
+  Printf.printf "  schedule:      %d slices\n" (Array.length pb.schedule);
+  Printf.printf "  syscalls:      %d logged results\n" (Array.length pb.syscalls);
+  Printf.printf "  threads:       %d in snapshot\n"
+    (List.length pb.snapshot.Dr_machine.Snapshot.threads);
+  Printf.printf "  locks held:    %d\n" (List.length pb.snapshot.Dr_machine.Snapshot.locks);
+  (match pb.kind with
+  | Slice ->
+    Printf.printf "  slice events:  %d (%d executed instructions, %d injections)\n"
+      (Array.length pb.slice_events) (step_count pb)
+      (Array.length pb.injections)
+  | Region -> ());
+  Printf.printf "  size on disk:  %d bytes\n" (size_bytes pb)
+
+let dump path =
+  let pb = load path in
+  let open Dr_pinplay.Pinball in
+  Printf.printf "schedule (tid x count):\n ";
+  Array.iter (fun (tid, n) -> Printf.printf " %d x%d" tid n) pb.schedule;
+  Printf.printf "\nsyscall results:\n ";
+  Array.iter (fun v -> Printf.printf " %d" v) pb.syscalls;
+  print_newline ();
+  if pb.kind = Slice then begin
+    Printf.printf "slice events:\n";
+    Array.iter
+      (fun ev ->
+        match ev with
+        | Step { tid; pc } -> Printf.printf "  step tid=%d pc=%d\n" tid pc
+        | Inject i ->
+          let inj = pb.injections.(i) in
+          Printf.printf "  inject tid=%d (%d cells, %d regs)\n" inj.inj_tid
+            (List.length inj.inj_mem) (List.length inj.inj_regs))
+      pb.slice_events
+  end
+
+let compile_workload name threads iters =
+  match Dr_workloads.Registry.find name with
+  | Some e -> e.Dr_workloads.Registry.compile ~threads ~iters
+  | None ->
+    die "unknown workload %s (available: %s)" name
+      (String.concat ", " (Dr_workloads.Registry.names ()))
+
+let verify path name threads iters =
+  let pb = load path in
+  if pb.Dr_pinplay.Pinball.kind <> Dr_pinplay.Pinball.Region then
+    die "verify supports region pinballs";
+  let prog = compile_workload name threads iters in
+  (try
+     let m, reason = Dr_pinplay.Replayer.replay prog pb in
+     Printf.printf "replay 1: %s (%d instructions)\n"
+       (Format.asprintf "%a" Dr_machine.Driver.pp_stop_reason reason)
+       (Dr_machine.Machine.total_icount m
+       - pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.total_icount);
+     let m2, _ = Dr_pinplay.Replayer.replay prog pb in
+     if
+       Dr_machine.Machine.output_list m = Dr_machine.Machine.output_list m2
+       && m.Dr_machine.Machine.mem = m2.Dr_machine.Machine.mem
+     then print_endline "verify: OK — two replays are bit-identical"
+     else die "verify: FAILED — replays diverged (pinball/program mismatch?)"
+   with Dr_pinplay.Replayer.Divergence e ->
+     die "verify: FAILED — replay divergence: %s (wrong program build?)" e)
+
+let record name seed out threads iters =
+  let prog = compile_workload name threads iters in
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 6 })
+      prog Dr_pinplay.Logger.Whole
+  with
+  | Error e -> die "recording failed: %s" (Format.asprintf "%a" Dr_pinplay.Logger.pp_error e)
+  | Ok (pb, stats) ->
+    Dr_pinplay.Pinball.save_file out pb;
+    Printf.printf "recorded %s: %d instructions -> %s (%d bytes)\n" name
+      stats.Dr_pinplay.Logger.region_instructions out
+      stats.Dr_pinplay.Logger.pinball_bytes
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let opt name =
+    let rec go = function
+      | a :: b :: _ when a = name -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let opt_or name default = Option.value ~default (opt name) in
+  let req name what =
+    match opt name with Some v -> v | None -> die "%s needs %s" what name
+  in
+  let threads = int_of_string (opt_or "--threads" "4") in
+  let iters = int_of_string (opt_or "--iters" "500") in
+  match args with
+  | _ :: "info" :: path :: _ -> info path
+  | _ :: "dump" :: path :: _ -> dump path
+  | _ :: "verify" :: path :: _ ->
+    verify path (req "--workload" "verify") threads iters
+  | _ :: "record" :: _ ->
+    record
+      (req "--workload" "record")
+      (int_of_string (opt_or "--seed" "1"))
+      (opt_or "-o" "out.pinball") threads iters
+  | _ ->
+    prerr_endline
+      "usage: pinball_tool info|dump|verify|record <file> [--workload N] [--seed N] [-o F]";
+    exit 2

@@ -1,0 +1,1 @@
+examples/bug_hunt_pbzip2.ml: Dr_machine Dr_workloads Drdebug Option Printf

@@ -1,0 +1,1 @@
+examples/maple_expose.ml: Dr_lang Dr_machine Dr_maple Drdebug Format List Printf

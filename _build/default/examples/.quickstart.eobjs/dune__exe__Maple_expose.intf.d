@@ -1,0 +1,1 @@
+examples/maple_expose.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dr_lang Dr_machine Drdebug Printf

@@ -1,0 +1,1 @@
+examples/region_logging.ml: Dr_pinplay Dr_workloads Format List Option Printf Unix

@@ -1,0 +1,1 @@
+examples/slice_stepping.ml: Dr_lang Drdebug List Printf String

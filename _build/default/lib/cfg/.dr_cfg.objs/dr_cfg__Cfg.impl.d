@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Debug_info Dom Dr_isa Format Hashtbl Instr List Option Program Reg String

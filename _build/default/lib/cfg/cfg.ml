@@ -1,0 +1,259 @@
+(** Static code discovery and control-flow graphs.
+
+    Plays the role of Pin's static code-discovery library (paper §5.1): it
+    works on any program image, without compiler cooperation.  Indirect
+    jumps ([jmp *r], from switch jump tables) have statically unknown
+    targets, so the initial CFG is {e approximate}: the indirect-jump
+    block gets no successors and its immediate post-dominator is unknown,
+    which makes the control-dependence detector miss exactly the
+    dependences the paper's Figure 7 shows.  {!build} accepts dynamically
+    observed targets (collected during replay) to {e refine} the CFG and
+    recompute post-dominators. *)
+
+open Dr_isa
+
+type block = {
+  id : int;
+  start_pc : int;
+  end_pc : int;  (** exclusive *)
+  succs : int list;  (** block ids *)
+  preds : int list;
+  exits : bool;  (** ends in ret/halt/exit (edge to virtual exit) *)
+  unknown_succs : bool;  (** ends in an unresolved indirect jump *)
+}
+
+type func = {
+  fentry : int;
+  fend : int;  (** exclusive *)
+  blocks : block array;
+  block_of_pc : int array;  (** pc - fentry -> block id *)
+  ipdom : int array;  (** block id -> ipdom block id, -1 = virtual exit/unknown *)
+}
+
+type t = {
+  prog : Program.t;
+  funcs : func list;  (** sorted by entry *)
+  func_of_pc : (int, func) Hashtbl.t;  (** lazily filled cache *)
+}
+
+(* ---- function boundary discovery ---- *)
+
+(** Function entry points: debug info when present, else heuristic static
+    discovery (program entry, direct call targets, and code addresses
+    materialised into registers — the spawn-target idiom). *)
+let discover_entries (prog : Program.t) : int list =
+  let dbg = prog.Program.debug.Debug_info.funcs in
+  if dbg <> [] then List.map (fun f -> f.Debug_info.entry) dbg
+  else begin
+    let n = Array.length prog.Program.code in
+    let entries = Hashtbl.create 16 in
+    Hashtbl.replace entries prog.Program.entry ();
+    Array.iter
+      (fun i ->
+        match i with
+        | Instr.Call t when t >= 0 && t < n -> Hashtbl.replace entries t ()
+        | Instr.Mov (_, Instr.Imm v) when v >= 0 && v < n -> (
+          (* looks like a code address if it targets a prologue *)
+          match prog.Program.code.(v) with
+          | Instr.Push r when r = Reg.fp -> Hashtbl.replace entries v ()
+          | _ -> ())
+        | _ -> ())
+      prog.Program.code;
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) entries [])
+  end
+
+let func_ranges (prog : Program.t) : (int * int) list =
+  let dbg = prog.Program.debug.Debug_info.funcs in
+  if dbg <> [] then
+    List.map (fun f -> (f.Debug_info.entry, f.Debug_info.code_end)) dbg
+  else begin
+    let entries = discover_entries prog in
+    let n = Array.length prog.Program.code in
+    let rec ranges = function
+      | [] -> []
+      | [ e ] -> [ (e, n) ]
+      | e :: (e' :: _ as rest) -> (e, e') :: ranges rest
+    in
+    ranges entries
+  end
+
+(* ---- per-function CFG construction ---- *)
+
+let build_func (prog : Program.t)
+    ~(indirect_targets : (int, int list) Hashtbl.t) ~fentry ~fend : func =
+  let code = prog.Program.code in
+  let in_range pc = pc >= fentry && pc < fend in
+  (* leaders: function entry, targets of jumps, fallthroughs of branches *)
+  let leader = Array.make (fend - fentry) false in
+  leader.(0) <- true;
+  let mark pc = if in_range pc then leader.(pc - fentry) <- true in
+  for pc = fentry to fend - 1 do
+    match code.(pc) with
+    | Instr.Jmp t ->
+      mark t;
+      mark (pc + 1)
+    | Instr.Jcc (_, t) ->
+      mark t;
+      mark (pc + 1)
+    | Instr.Jind _ | Instr.Callind _ ->
+      List.iter mark (Option.value ~default:[] (Hashtbl.find_opt indirect_targets pc));
+      mark (pc + 1)
+    | Instr.Ret | Instr.Halt | Instr.Sys Instr.Exit -> mark (pc + 1)
+    | _ -> ()
+  done;
+  (* block boundaries *)
+  let starts = ref [] in
+  for i = fend - fentry - 1 downto 0 do
+    if leader.(i) then starts := (fentry + i) :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let block_end i = if i + 1 < nb then starts.(i + 1) else fend in
+  let block_of_pc = Array.make (fend - fentry) 0 in
+  Array.iteri
+    (fun i s ->
+      for pc = s to block_end i - 1 do
+        block_of_pc.(pc - fentry) <- i
+      done)
+    starts;
+  let bid pc = block_of_pc.(pc - fentry) in
+  let succs = Array.make nb [] in
+  let exits = Array.make nb false in
+  let unknown = Array.make nb false in
+  for i = 0 to nb - 1 do
+    let last = block_end i - 1 in
+    let fall () = if in_range (last + 1) then [ bid (last + 1) ] else [] in
+    let s =
+      match code.(last) with
+      | Instr.Jmp t -> if in_range t then [ bid t ] else []
+      | Instr.Jcc (_, t) -> (if in_range t then [ bid t ] else []) @ fall ()
+      | Instr.Jind _ | Instr.Callind _ -> (
+        match Hashtbl.find_opt indirect_targets last with
+        | Some ts ->
+          let ts = List.filter in_range ts in
+          let blocks = List.sort_uniq compare (List.map bid ts) in
+          (* an indirect call still falls through on return *)
+          (match code.(last) with
+          | Instr.Callind _ -> List.sort_uniq compare (blocks @ fall ())
+          | _ -> blocks)
+        | None ->
+          unknown.(i) <- true;
+          (match code.(last) with Instr.Callind _ -> fall () | _ -> []))
+      | Instr.Ret | Instr.Halt | Instr.Sys Instr.Exit ->
+        exits.(i) <- true;
+        []
+      | _ -> fall ()
+    in
+    succs.(i) <- s
+  done;
+  let preds = Array.make nb [] in
+  Array.iteri (fun i s -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) s) succs;
+  (* post-dominators: dominators on the reverse CFG rooted at a virtual
+     exit node (id nb).  Exit blocks and unknown-successor blocks connect
+     to the virtual exit (the latter conservatively). *)
+  let vexit = nb in
+  let rsuccs v =
+    if v = vexit then
+      List.concat
+        (List.init nb (fun i ->
+             if exits.(i) || (unknown.(i) && succs.(i) = []) then [ i ] else []))
+    else preds.(v)
+  in
+  let rpreds v =
+    if v = vexit then []
+    else if exits.(v) || (unknown.(v) && succs.(v) = []) then vexit :: succs.(v)
+    else succs.(v)
+  in
+  let doms =
+    Dom.idom ~num_nodes:(nb + 1)
+      ~succs:(fun v -> rsuccs v)
+      ~preds:(fun v -> rpreds v)
+      ~root:vexit
+  in
+  let ipdom =
+    Array.init nb (fun i ->
+        let d = doms.(i) in
+        if d = vexit || d = -1 then -1 else d)
+  in
+  let blocks =
+    Array.init nb (fun i ->
+        { id = i; start_pc = starts.(i); end_pc = block_end i;
+          succs = succs.(i); preds = preds.(i); exits = exits.(i);
+          unknown_succs = unknown.(i) })
+  in
+  { fentry; fend; blocks; block_of_pc; ipdom }
+
+(** Build CFGs for every function.  [indirect_targets] maps the pc of an
+    indirect jump/call to its dynamically observed targets; omit it for
+    the purely static (approximate) CFG. *)
+let build ?(indirect_targets : (int * int list) list = []) (prog : Program.t) : t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (pc, ts) -> Hashtbl.replace tbl pc ts) indirect_targets;
+  let funcs =
+    List.map
+      (fun (fentry, fend) -> build_func prog ~indirect_targets:tbl ~fentry ~fend)
+      (func_ranges prog)
+  in
+  { prog; funcs; func_of_pc = Hashtbl.create 64 }
+
+let func_at (t : t) pc : func option =
+  match Hashtbl.find_opt t.func_of_pc pc with
+  | Some f -> Some f
+  | None -> (
+    match List.find_opt (fun f -> pc >= f.fentry && pc < f.fend) t.funcs with
+    | Some f ->
+      Hashtbl.replace t.func_of_pc pc f;
+      Some f
+    | None -> None)
+
+let block_at (t : t) pc : (func * block) option =
+  match func_at t pc with
+  | None -> None
+  | Some f -> Some (f, f.blocks.(f.block_of_pc.(pc - f.fentry)))
+
+(** Entry pc of the immediate post-dominator block of the branch at [pc]:
+    the point where the branch's control-dependence region ends.  [None]
+    when unknown (unresolved indirect jump) or when the region extends to
+    function exit. *)
+let ipdom_pc_of_branch (t : t) ~pc : int option =
+  match block_at t pc with
+  | None -> None
+  | Some (f, b) ->
+    if b.unknown_succs then None
+    else
+      let d = f.ipdom.(b.id) in
+      if d = -1 then None else Some f.blocks.(d).start_pc
+
+(** Where the control-dependence region of the branch at [pc] ends. *)
+type region_end =
+  | Unknown  (** unresolved indirect jump: no region can be tracked —
+                 the §5.1 imprecision *)
+  | To_exit  (** region extends to the function's return *)
+  | At of int  (** region ends at this pc (ipdom block entry) *)
+
+let branch_region_end (t : t) ~pc : region_end =
+  match block_at t pc with
+  | None -> Unknown
+  | Some (f, b) ->
+    if b.unknown_succs then Unknown
+    else
+      let d = f.ipdom.(b.id) in
+      if d = -1 then To_exit else At f.blocks.(d).start_pc
+
+(** All functions as (entry, end) ranges — used by the save/restore-pair
+    static candidate scan. *)
+let functions (t : t) = List.map (fun f -> (f.fentry, f.fend)) t.funcs
+
+let pp fmt (t : t) =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "function @%d..%d@." f.fentry f.fend;
+      Array.iter
+        (fun b ->
+          Format.fprintf fmt "  B%d [%d,%d) -> %s%s ipdom=%d@." b.id b.start_pc
+            b.end_pc
+            (String.concat "," (List.map string_of_int b.succs))
+            (if b.unknown_succs then " (unknown)" else if b.exits then " (exit)" else "")
+            f.ipdom.(b.id))
+        f.blocks)
+    t.funcs

@@ -1,0 +1,69 @@
+(** Generic immediate-dominator computation (Cooper–Harvey–Kennedy
+    iterative algorithm).  Used on the {e reverse} CFG to obtain immediate
+    post-dominators for dynamic control-dependence detection. *)
+
+(** [idom ~num_nodes ~succs ~preds ~root] returns an array [d] with
+    [d.(v)] the immediate dominator of [v], [d.(root) = root], and
+    [d.(v) = -1] for nodes unreachable from [root]. *)
+let idom ~num_nodes ~(succs : int -> int list) ~(preds : int -> int list)
+    ~root : int array =
+  (* reverse postorder from root *)
+  let order = Array.make num_nodes (-1) in
+  (* postorder index of each node *)
+  let visited = Array.make num_nodes false in
+  let postorder = ref [] in
+  (* iterative DFS *)
+  let stack = Stack.create () in
+  Stack.push (root, ref (succs root)) stack;
+  visited.(root) <- true;
+  while not (Stack.is_empty stack) do
+    let node, rest = Stack.top stack in
+    match !rest with
+    | [] ->
+      ignore (Stack.pop stack);
+      postorder := node :: !postorder
+    | next :: tl ->
+      rest := tl;
+      if not visited.(next) then begin
+        visited.(next) <- true;
+        Stack.push (next, ref (succs next)) stack
+      end
+  done;
+  let rpo = Array.of_list !postorder in
+  Array.iteri (fun i v -> order.(v) <- i) rpo;
+  (* order.(v) = position in reverse postorder; smaller = earlier *)
+  let doms = Array.make num_nodes (-1) in
+  doms.(root) <- root;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := doms.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := doms.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> root then begin
+          let new_idom = ref (-1) in
+          List.iter
+            (fun p ->
+              if doms.(p) <> -1 then
+                if !new_idom = -1 then new_idom := p
+                else new_idom := intersect p !new_idom)
+            (preds v);
+          if !new_idom <> -1 && doms.(v) <> !new_idom then begin
+            doms.(v) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  doms

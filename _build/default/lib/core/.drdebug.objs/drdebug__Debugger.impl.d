@@ -1,0 +1,1 @@
+lib/core/debugger.ml: Array Buffer Dr_exeslice Dr_isa Dr_machine Dr_maple Dr_pinplay Dr_slicing Dr_util Format Hashtbl List Option Printf Session String

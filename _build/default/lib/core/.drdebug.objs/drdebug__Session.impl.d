@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Dr_exeslice Dr_isa Dr_machine Dr_pinplay Dr_slicing Driver Format List Machine Option Printf

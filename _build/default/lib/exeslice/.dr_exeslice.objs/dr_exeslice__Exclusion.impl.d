@@ -1,0 +1,1 @@
+lib/exeslice/exclusion.ml: Array Dr_isa Dr_pinplay Dr_slicing Dr_util List

@@ -1,0 +1,1 @@
+lib/exeslice/exclusion.mli: Dr_isa Dr_pinplay Dr_slicing

@@ -1,0 +1,1 @@
+lib/exeslice/slice_replay.ml: Array Dr_isa Dr_machine Dr_pinplay Event List Machine Option Printf Snapshot

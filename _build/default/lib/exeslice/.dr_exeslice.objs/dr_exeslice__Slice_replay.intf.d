@@ -1,0 +1,1 @@
+lib/exeslice/slice_replay.mli: Dr_isa Dr_machine Dr_pinplay

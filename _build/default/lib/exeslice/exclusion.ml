@@ -1,0 +1,90 @@
+(** Code-exclusion region construction from a dynamic slice (paper §4,
+    Fig. 6a: the "special slice file").
+
+    For each thread, the maximal runs of trace records {e not} in the
+    slice become exclusion regions
+    [[startPc:sinstance, endPc:einstance)]: the start is the first
+    excluded record, the (exclusive) end is the thread's next included
+    record.  A trailing run extends to the region end ([x_end = None]).
+
+    Synchronization instructions (spawn/join/lock/unlock/exit/alloc) and
+    thread-final returns are always kept, whether or not the slice
+    contains them: their effects (thread creation, lock state, heap
+    growth) are not expressible as memory/register injections.  Replay of
+    the slice pinball therefore preserves the region's thread structure
+    while skipping all other non-slice computation. *)
+
+type stats = {
+  total_records : int;
+  included_records : int;  (** slice + forced sync instructions *)
+  excluded_records : int;
+  regions : int;
+}
+
+(** Should this record be kept even if it is not in the slice? *)
+let forced (r : Dr_slicing.Trace.record) =
+  Dr_slicing.Trace.is_sync r || Dr_slicing.Trace.is_final_ret r
+
+(** Build the exclusion regions for [slice] over the collector's
+    per-thread traces. *)
+let build ~(slice : Dr_slicing.Slicer.t) ~(collector : Dr_slicing.Collector.result)
+    : Dr_pinplay.Relogger.exclusion list * stats =
+  let gt = slice.Dr_slicing.Slicer.gt in
+  let n = Array.length collector.Dr_slicing.Collector.records in
+  let in_slice = Dr_util.Bitset.create n in
+  Array.iter
+    (fun pos ->
+      let r = Dr_slicing.Global_trace.record gt pos in
+      Dr_util.Bitset.add in_slice r.Dr_slicing.Trace.gseq)
+    slice.Dr_slicing.Slicer.positions;
+  let keep (r : Dr_slicing.Trace.record) =
+    Dr_util.Bitset.mem in_slice r.Dr_slicing.Trace.gseq || forced r
+  in
+  let exclusions = ref [] in
+  let included = ref 0 and excluded = ref 0 and regions = ref 0 in
+  Array.iteri
+    (fun tid gseqs ->
+      let run_start = ref None in
+      Array.iter
+        (fun g ->
+          let r = collector.Dr_slicing.Collector.records.(g) in
+          if keep r then begin
+            incr included;
+            match !run_start with
+            | Some (spc, sinst) ->
+              exclusions :=
+                { Dr_pinplay.Relogger.x_tid = tid; x_start_pc = spc;
+                  x_start_instance = sinst;
+                  x_end = Some (r.Dr_slicing.Trace.pc, r.Dr_slicing.Trace.instance) }
+                :: !exclusions;
+              incr regions;
+              run_start := None
+            | None -> ()
+          end
+          else begin
+            incr excluded;
+            if !run_start = None then
+              run_start := Some (r.Dr_slicing.Trace.pc, r.Dr_slicing.Trace.instance)
+          end)
+        gseqs;
+      match !run_start with
+      | Some (spc, sinst) ->
+        exclusions :=
+          { Dr_pinplay.Relogger.x_tid = tid; x_start_pc = spc;
+            x_start_instance = sinst; x_end = None }
+          :: !exclusions;
+        incr regions
+      | None -> ())
+    collector.Dr_slicing.Collector.per_thread;
+  ( List.rev !exclusions,
+    { total_records = n; included_records = !included;
+      excluded_records = !excluded; regions = !regions } )
+
+(** One-call pipeline: slice -> exclusion regions -> slice pinball. *)
+let slice_pinball (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t)
+    ~(slice : Dr_slicing.Slicer.t)
+    ~(collector : Dr_slicing.Collector.result) :
+    Dr_pinplay.Pinball.t * stats =
+  let exclusions, stats = build ~slice ~collector in
+  let spb = Dr_pinplay.Relogger.relog prog pinball ~exclusions in
+  (spb, stats)

@@ -1,0 +1,39 @@
+(** Replaying an execution slice from a slice pinball (paper §4,
+    Fig. 4c and 6b).
+
+    Each thread's pc is driven along its included instructions in the
+    recorded global order; skipped code regions are replaced by applying
+    their injection records.  Every [Step] event is a natural breakpoint:
+    the user steps "from the execution of one statement in the slice to
+    the next while examining values of program variables". *)
+
+(** The slice pinball does not match the program (or was corrupted). *)
+exception Divergence of string
+
+type t
+
+type step_result =
+  | Stepped of { tid : int; pc : int; line : int }
+  | Injected of { tid : int }
+  | Finished of Dr_machine.Machine.outcome
+      (** the machine terminated (e.g. the captured assert fired) *)
+  | End_of_slice  (** all slice events consumed *)
+
+(** @raise Invalid_argument on region pinballs. *)
+val create : Dr_isa.Program.t -> Dr_pinplay.Pinball.t -> t
+
+val machine : t -> Dr_machine.Machine.t
+
+(** Slice events not yet consumed. *)
+val remaining : t -> int
+
+(** Advance by one slice event (one instruction or one injection). *)
+val step : t -> step_result
+
+(** Step forward to the next {e statement} of the slice: the next
+    included instruction whose (thread, source line) differs from the
+    current one. *)
+val step_statement : t -> step_result
+
+(** Run the whole slice; [on_step] sees every executed instruction. *)
+val run : ?on_step:(tid:int -> pc:int -> unit) -> t -> step_result

@@ -1,0 +1,1 @@
+lib/isa/debug_info.ml: Array Dr_util List Reg String

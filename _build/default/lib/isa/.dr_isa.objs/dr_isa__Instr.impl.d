@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Dr_util Format Reg

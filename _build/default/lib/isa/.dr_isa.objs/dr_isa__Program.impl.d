@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Debug_info Dr_util Format Instr List Printf

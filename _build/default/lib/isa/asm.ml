@@ -1,0 +1,357 @@
+(** Textual assembler and disassembler for the DrDebug ISA.
+
+    The format round-trips: {!disassemble} emits labels at every jump
+    target and {!parse} re-assembles to identical code.  It is also
+    convenient for hand-writing test programs (e.g. the bounds-check-free
+    switch of the paper's Figure 7, which the mini-C compiler would not
+    emit).
+
+    Syntax, one item per line ([;] starts a comment):
+
+    {v
+      .entry main          ; start label (default: first instruction)
+      .data 8 42           ; initial memory cell: mem[8] = 42
+      .data 9 @case1       ; a cell holding a code address (jump table)
+      .string "boom"       ; string table entry (referenced by index)
+      main:
+        mov r1, $5         ; immediate
+        mov r2, r1         ; register
+        mov r3, @main      ; code address of a label
+        load r0, [r1+2]    ; rd = mem[rbase + off]
+        store [r1-1], r0   ; mem[rbase + off] = rs
+        add r0, r1, $3     ; rd = rs op operand
+        cmp r0, $0
+        jeq done           ; conditional jump to label
+        jmp *r3            ; indirect jump
+        call main
+        sys print
+        assert r0, #0      ; string-table index
+      done:
+        halt
+    v} *)
+
+open Instr
+
+exception Parse_error of { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* ---- lexing helpers ---- *)
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokens_of_line s =
+  strip_comment s
+  |> String.map (fun c -> if c = ',' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun t -> t <> "")
+
+let parse_reg ln s =
+  match s with
+  | "fp" -> Reg.fp
+  | "sp" -> Reg.sp
+  | _ ->
+    if String.length s >= 2 && s.[0] = 'r' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some r when Reg.valid r -> r
+      | _ -> err ln "bad register %s" s
+    else err ln "expected register, got %s" s
+
+(* operands: $imm | reg | @label *)
+type operand_tok = OImm of int | OReg of Reg.t | OLabel of string
+
+let parse_operand ln s =
+  if String.length s = 0 then err ln "empty operand"
+  else if s.[0] = '$' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> OImm n
+    | None -> err ln "bad immediate %s" s
+  else if s.[0] = '@' then OLabel (String.sub s 1 (String.length s - 1))
+  else OReg (parse_reg ln s)
+
+(* [rbase+off] / [rbase-off] *)
+let parse_memref ln s =
+  let n = String.length s in
+  if n < 3 || s.[0] <> '[' || s.[n - 1] <> ']' then err ln "expected [reg+off], got %s" s
+  else begin
+    let inner = String.sub s 1 (n - 2) in
+    let split_at i =
+      let base = String.sub inner 0 i in
+      let off = String.sub inner i (String.length inner - i) in
+      (parse_reg ln base,
+       match int_of_string_opt off with
+       | Some o -> o
+       | None -> err ln "bad offset in %s" s)
+    in
+    let rec find i =
+      if i >= String.length inner then (parse_reg ln inner, 0)
+      else if (inner.[i] = '+' || inner.[i] = '-') && i > 0 then split_at i
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let cond_of_suffix ln s =
+  match s with
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | _ -> err ln "bad condition %s" s
+
+let syscall_of_name ln s =
+  match s with
+  | "exit" -> Exit
+  | "print" -> Print
+  | "rand" -> Rand
+  | "time" -> Time
+  | "read" -> Read
+  | "spawn" -> Spawn
+  | "join" -> Join
+  | "lock" -> Lock
+  | "unlock" -> Unlock
+  | "yield" -> Yield
+  | "alloc" -> Alloc
+  | "wait" -> Wait
+  | "signal" -> Signal
+  | "broadcast" -> Broadcast
+  | _ -> err ln "unknown syscall %s" s
+
+(* ---- the assembler ---- *)
+
+type pending =
+  | P_instr of Instr.t
+  | P_jmp of string
+  | P_jcc of cond * string
+  | P_call of string
+  | P_mov_label of Reg.t * string
+
+let parse (src : string) : (Program.t, string) result =
+  try
+    let lines = String.split_on_char '\n' src in
+    let labels = Hashtbl.create 32 in
+    let code = ref [] (* pending, reversed *) in
+    let ncode = ref 0 in
+    let data = ref [] in
+    let data_labels = ref [] in (* (address, label) *)
+    let strings = ref [] in
+    let nstrings = ref 0 in
+    let entry_label = ref None in
+    let string_index s =
+      match
+        List.find_opt (fun (_, s') -> s' = s) !strings
+      with
+      | Some (i, _) -> i
+      | None ->
+        let i = !nstrings in
+        strings := (i, s) :: !strings;
+        incr nstrings;
+        i
+    in
+    let emit p =
+      code := p :: !code;
+      incr ncode
+    in
+    List.iteri
+      (fun i raw ->
+        let ln = i + 1 in
+        match tokens_of_line raw with
+        | [] -> ()
+        | [ ".entry"; l ] -> entry_label := Some l
+        | [ ".data"; addr; value ] -> (
+          match int_of_string_opt addr with
+          | None -> err ln "bad data address %s" addr
+          | Some a ->
+            if String.length value > 0 && value.[0] = '@' then
+              data_labels := (a, String.sub value 1 (String.length value - 1)) :: !data_labels
+            else (
+              match int_of_string_opt value with
+              | Some v -> data := (a, v) :: !data
+              | None -> err ln "bad data value %s" value))
+        | [ tok ] when String.length tok > 1 && tok.[String.length tok - 1] = ':' ->
+          let name = String.sub tok 0 (String.length tok - 1) in
+          if Hashtbl.mem labels name then err ln "duplicate label %s" name;
+          Hashtbl.replace labels name !ncode
+        | first :: rest when first = ".string" ->
+          let s = String.trim (String.concat " " rest) in
+          if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"'
+          then err ln "expected quoted string"
+          else ignore (string_index (String.sub s 1 (String.length s - 2)))
+        | op :: args -> (
+          match (op, args) with
+          | "nop", [] -> emit (P_instr Nop)
+          | "halt", [] -> emit (P_instr Halt)
+          | "ret", [] -> emit (P_instr Ret)
+          | "push", [ r ] -> emit (P_instr (Push (parse_reg ln r)))
+          | "pop", [ r ] -> emit (P_instr (Pop (parse_reg ln r)))
+          | "sys", [ s ] -> emit (P_instr (Sys (syscall_of_name ln s)))
+          | "mov", [ rd; src ] -> (
+            let rd = parse_reg ln rd in
+            match parse_operand ln src with
+            | OImm n -> emit (P_instr (Mov (rd, Imm n)))
+            | OReg r -> emit (P_instr (Mov (rd, Reg r)))
+            | OLabel l -> emit (P_mov_label (rd, l)))
+          | "load", [ rd; mem ] ->
+            let rd = parse_reg ln rd in
+            let rb, off = parse_memref ln mem in
+            emit (P_instr (Load (rd, rb, off)))
+          | "store", [ mem; rs ] ->
+            let rb, off = parse_memref ln mem in
+            emit (P_instr (Store (rb, off, parse_reg ln rs)))
+          | "cmp", [ r; o ] -> (
+            let r = parse_reg ln r in
+            match parse_operand ln o with
+            | OImm n -> emit (P_instr (Cmp (r, Imm n)))
+            | OReg r2 -> emit (P_instr (Cmp (r, Reg r2)))
+            | OLabel _ -> err ln "cmp cannot take a label")
+          | "jmp", [ t ] ->
+            if String.length t > 0 && t.[0] = '*' then
+              emit (P_instr (Jind (parse_reg ln (String.sub t 1 (String.length t - 1)))))
+            else emit (P_jmp t)
+          | "call", [ t ] ->
+            if String.length t > 0 && t.[0] = '*' then
+              emit (P_instr (Callind (parse_reg ln (String.sub t 1 (String.length t - 1)))))
+            else emit (P_call t)
+          | "assert", r :: (_ :: _ as rest) -> (
+            let m = String.concat " " rest in
+            let r = parse_reg ln r in
+            if String.length m > 1 && m.[0] = '#' then
+              match int_of_string_opt (String.sub m 1 (String.length m - 1)) with
+              | Some i -> emit (P_instr (Assert (r, i)))
+              | None -> err ln "bad string index %s" m
+            else if String.length m >= 2 && m.[0] = '"' then
+              emit (P_instr (Assert (r, string_index (String.sub m 1 (String.length m - 2)))))
+            else err ln "assert needs #index or a string")
+          | _, [ t ]
+            when String.length op = 3
+                 && op.[0] = 'j'
+                 && (try ignore (cond_of_suffix ln (String.sub op 1 2)); true
+                     with _ -> false) ->
+            emit (P_jcc (cond_of_suffix ln (String.sub op 1 2), t))
+          | _, [ rd; rs; o ]
+            when List.mem op
+                   [ "add"; "sub"; "mul"; "div"; "mod"; "and"; "or"; "xor";
+                     "shl"; "shr" ] -> (
+            let b =
+              match op with
+              | "add" -> Add | "sub" -> Sub | "mul" -> Mul | "div" -> Div
+              | "mod" -> Mod | "and" -> And | "or" -> Or | "xor" -> Xor
+              | "shl" -> Shl | _ -> Shr
+            in
+            let rd = parse_reg ln rd and rs = parse_reg ln rs in
+            match parse_operand ln o with
+            | OImm n -> emit (P_instr (Bin (b, rd, rs, Imm n)))
+            | OReg r -> emit (P_instr (Bin (b, rd, rs, Reg r)))
+            | OLabel _ -> err ln "binop cannot take a label")
+          | _, [ r ]
+            when String.length op > 3 && String.sub op 0 3 = "set" ->
+            emit (P_instr (Setcc (cond_of_suffix ln (String.sub op 3 (String.length op - 3)),
+                                  parse_reg ln r)))
+          | _ -> err ln "cannot parse instruction %s" (String.trim raw)))
+      lines;
+    (* resolve *)
+    let resolve ln l =
+      match Hashtbl.find_opt labels l with
+      | Some pc -> pc
+      | None -> err ln "undefined label %s" l
+    in
+    let code =
+      List.rev !code
+      |> List.map (function
+           | P_instr i -> i
+           | P_jmp l -> Jmp (resolve 0 l)
+           | P_jcc (c, l) -> Jcc (c, resolve 0 l)
+           | P_call l -> Call (resolve 0 l)
+           | P_mov_label (rd, l) -> Mov (rd, Imm (resolve 0 l)))
+    in
+    let data =
+      List.rev !data
+      @ List.map (fun (a, l) -> (a, resolve 0 l)) (List.rev !data_labels)
+    in
+    let data_end =
+      List.fold_left (fun acc (a, _) -> max acc (a + 1)) 0 data
+    in
+    let strings =
+      Array.of_list (List.map snd (List.sort compare !strings))
+    in
+    let entry =
+      match !entry_label with
+      | Some l -> resolve 0 l
+      | None -> 0
+    in
+    if code = [] then Error "no instructions"
+    else
+      Ok
+        (Program.make ~name:"<asm>" ~data ~data_end ~strings ~entry
+           code)
+  with Parse_error { line; msg } -> Error (Printf.sprintf "line %d: %s" line msg)
+
+(* ---- the disassembler ---- *)
+
+let disassemble (p : Program.t) : string =
+  let buf = Buffer.create 1024 in
+  let code = p.Program.code in
+  (* find all label targets *)
+  let targets = Hashtbl.create 32 in
+  let add_target pc = if pc >= 0 && pc <= Array.length code then Hashtbl.replace targets pc () in
+  Array.iter
+    (function
+      | Jmp t | Jcc (_, t) | Call t -> add_target t
+      | Mov (_, Imm v) when v >= 0 && v < Array.length code -> ()
+      | _ -> ())
+    code;
+  add_target p.Program.entry;
+  List.iter (fun (_, v) -> if v >= 0 && v < Array.length code then add_target v)
+    p.Program.data;
+  let label_name pc = Printf.sprintf "L%d" pc in
+  Buffer.add_string buf (Printf.sprintf ".entry %s\n" (label_name p.Program.entry));
+  List.iter
+    (fun (a, v) ->
+      if v >= 0 && v < Array.length code && Hashtbl.mem targets v then
+        Buffer.add_string buf (Printf.sprintf ".data %d @%s\n" a (label_name v))
+      else Buffer.add_string buf (Printf.sprintf ".data %d %d\n" a v))
+    p.Program.data;
+  Array.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf ".string %S\n" s))
+    p.Program.strings;
+  Array.iteri
+    (fun pc i ->
+      if Hashtbl.mem targets pc then
+        Buffer.add_string buf (Printf.sprintf "%s:\n" (label_name pc));
+      let text =
+        match i with
+        | Mov (rd, Imm n) -> Printf.sprintf "mov %s, $%d" (Reg.name rd) n
+        | Mov (rd, Reg r) -> Printf.sprintf "mov %s, %s" (Reg.name rd) (Reg.name r)
+        | Bin (b, rd, rs, Imm n) ->
+          Printf.sprintf "%s %s, %s, $%d" (binop_name b) (Reg.name rd) (Reg.name rs) n
+        | Bin (b, rd, rs, Reg r) ->
+          Printf.sprintf "%s %s, %s, %s" (binop_name b) (Reg.name rd) (Reg.name rs)
+            (Reg.name r)
+        | Load (rd, rb, off) ->
+          Printf.sprintf "load %s, [%s%+d]" (Reg.name rd) (Reg.name rb) off
+        | Store (rb, off, rs) ->
+          Printf.sprintf "store [%s%+d], %s" (Reg.name rb) off (Reg.name rs)
+        | Push r -> Printf.sprintf "push %s" (Reg.name r)
+        | Pop r -> Printf.sprintf "pop %s" (Reg.name r)
+        | Cmp (r, Imm n) -> Printf.sprintf "cmp %s, $%d" (Reg.name r) n
+        | Cmp (r, Reg r2) -> Printf.sprintf "cmp %s, %s" (Reg.name r) (Reg.name r2)
+        | Setcc (c, r) -> Printf.sprintf "set%s %s" (cond_name c) (Reg.name r)
+        | Jmp t -> Printf.sprintf "jmp %s" (label_name t)
+        | Jcc (c, t) -> Printf.sprintf "j%s %s" (cond_name c) (label_name t)
+        | Jind r -> Printf.sprintf "jmp *%s" (Reg.name r)
+        | Call t -> Printf.sprintf "call %s" (label_name t)
+        | Callind r -> Printf.sprintf "call *%s" (Reg.name r)
+        | Ret -> "ret"
+        | Sys s -> Printf.sprintf "sys %s" (syscall_name s)
+        | Assert (r, m) -> Printf.sprintf "assert %s, #%d" (Reg.name r) m
+        | Halt -> "halt"
+        | Nop -> "nop"
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s\n" text))
+    code;
+  Buffer.contents buf

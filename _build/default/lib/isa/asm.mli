@@ -1,0 +1,24 @@
+(** Textual assembler and disassembler for the DrDebug ISA.
+
+    The format round-trips: {!disassemble} emits labels at every jump
+    target and {!parse} re-assembles identical code.  See the
+    implementation header for the full syntax; the essentials:
+
+    {v
+      .entry main           .data 8 @case0          .string "boom"
+      main:
+        mov r1, $5          load r0, [r1+2]         add r0, r1, $3
+        cmp r0, $0          jeq done                jmp *r3
+        call main           sys print               assert r0, "boom"
+      done:
+        halt
+    v} *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Assemble a program; errors carry the offending line. *)
+val parse : string -> (Program.t, string) result
+
+(** Emit a textual listing that {!parse} accepts, with [Ln] labels at
+    every jump target. *)
+val disassemble : Program.t -> string

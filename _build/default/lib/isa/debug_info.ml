@@ -1,0 +1,173 @@
+(** Source-level debug information emitted by the mini-C compiler.
+
+    This plays the role of DWARF in the paper's setting: the debugger uses
+    it to set breakpoints by line, print variables by name, and render
+    slices as highlighted source lines. *)
+
+type var_loc =
+  | Global of int  (** absolute memory address *)
+  | Frame of int  (** offset from the frame pointer (negative = local) *)
+  | Register of Reg.t  (** allocated to a callee-saved register *)
+
+type var = { vname : string; vloc : var_loc; varray : int option  (** element count if an array *) }
+
+type func = {
+  fname : string;
+  entry : int;  (** pc of the first instruction *)
+  code_end : int;  (** one past the last instruction *)
+  params : string list;
+  vars : var list;  (** params and locals, in declaration order *)
+}
+
+type t = {
+  file : string;
+  source : string;  (** full source text, for the debugger's [list] *)
+  funcs : func list;
+  lines : (int * int) array;  (** (pc, line), sorted by pc; line of a pc is the last entry at or before it *)
+  globals : (string * int * int option) list;  (** name, address, array size *)
+}
+
+let empty =
+  { file = "<none>"; source = ""; funcs = []; lines = [||]; globals = [] }
+
+(** Function containing [pc], if any. *)
+let func_at t pc = List.find_opt (fun f -> pc >= f.entry && pc < f.code_end) t.funcs
+
+let func_named t name = List.find_opt (fun f -> f.fname = name) t.funcs
+
+(** Source line of [pc] via binary search over the line table. *)
+let line_of_pc t pc =
+  let a = t.lines in
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let p, _ = a.(mid) in
+      if p <= pc then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best < 0 then None else Some (snd a.(!best))
+  end
+
+(** First pc whose line is exactly [line] (for breakpoints). *)
+let pc_of_line t line =
+  let found = ref None in
+  Array.iter
+    (fun (p, l) -> if l = line && !found = None then found := Some p)
+    t.lines;
+  !found
+
+(** Resolve a variable name visible at [pc]: locals of the enclosing
+    function shadow globals. *)
+let lookup_var t ~pc name =
+  let local =
+    match func_at t pc with
+    | None -> None
+    | Some f -> List.find_opt (fun v -> v.vname = name) f.vars
+  in
+  match local with
+  | Some v -> Some v.vloc
+  | None -> (
+    match List.find_opt (fun (n, _, _) -> n = name) t.globals with
+    | Some (_, addr, _) -> Some (Global addr)
+    | None -> None)
+
+let source_line t n =
+  let lines = String.split_on_char '\n' t.source in
+  List.nth_opt lines (n - 1)
+
+(* ---- serialization ---- *)
+
+let encode_var_loc e = function
+  | Global a -> Dr_util.Codec.put_uint e 0; Dr_util.Codec.put_uint e a
+  | Frame off -> Dr_util.Codec.put_uint e 1; Dr_util.Codec.put_int e off
+  | Register r -> Dr_util.Codec.put_uint e 2; Dr_util.Codec.put_uint e r
+
+let decode_var_loc d =
+  match Dr_util.Codec.get_uint d with
+  | 0 -> Global (Dr_util.Codec.get_uint d)
+  | 1 -> Frame (Dr_util.Codec.get_int d)
+  | 2 -> Register (Dr_util.Codec.get_uint d)
+  | _ -> raise (Dr_util.Codec.Corrupt "var_loc")
+
+let encode e t =
+  let open Dr_util.Codec in
+  put_string e t.file;
+  put_string e t.source;
+  put_list e
+    (fun e f ->
+      put_string e f.fname;
+      put_uint e f.entry;
+      put_uint e f.code_end;
+      put_list e (fun e p -> put_string e p) f.params;
+      put_list e
+        (fun e v ->
+          put_string e v.vname;
+          encode_var_loc e v.vloc;
+          match v.varray with
+          | None -> put_uint e 0
+          | Some n -> put_uint e 1; put_uint e n)
+        f.vars)
+    t.funcs;
+  put_uint e (Array.length t.lines);
+  Array.iter
+    (fun (p, l) ->
+      put_uint e p;
+      put_uint e l)
+    t.lines;
+  put_list e
+    (fun e (n, a, sz) ->
+      put_string e n;
+      put_uint e a;
+      match sz with None -> put_uint e 0 | Some s -> put_uint e 1; put_uint e s)
+    t.globals
+
+let decode d =
+  let open Dr_util.Codec in
+  let file = get_string d in
+  let source = get_string d in
+  let funcs =
+    get_list d (fun d ->
+        let fname = get_string d in
+        let entry = get_uint d in
+        let code_end = get_uint d in
+        let params = get_list d (fun d -> get_string d) in
+        let vars =
+          get_list d (fun d ->
+              let vname = get_string d in
+              let vloc = decode_var_loc d in
+              let varray =
+                match get_uint d with
+                | 0 -> None
+                | 1 -> Some (get_uint d)
+                | _ -> raise (Corrupt "varray")
+              in
+              { vname; vloc; varray })
+        in
+        { fname; entry; code_end; params; vars })
+  in
+  let nlines = get_uint d in
+  let lines =
+    Array.init nlines (fun _ ->
+        let p = get_uint d in
+        let l = get_uint d in
+        (p, l))
+  in
+  let globals =
+    get_list d (fun d ->
+        let n = get_string d in
+        let a = get_uint d in
+        let sz =
+          match get_uint d with
+          | 0 -> None
+          | 1 -> Some (get_uint d)
+          | _ -> raise (Corrupt "gsize")
+        in
+        (n, a, sz))
+  in
+  { file; source; funcs; lines; globals }

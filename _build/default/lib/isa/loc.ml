@@ -1,0 +1,40 @@
+(** Dynamic dependence locations.
+
+    A location is either a global memory word or a thread-local register
+    (including the flags pseudo-register).  Locations are encoded as
+    integers so that trace records can store unboxed def/use arrays:
+
+    - memory address [a]  ->  [(a lsl 1) lor 1]
+    - register [r] of thread [t]  ->  [(t * Reg.file_size + r) lsl 1]
+
+    Registers are {e per-thread}: the same register number in two threads
+    is two distinct locations, which is what makes register dependences
+    thread-local while memory dependences are global (paper §3). *)
+
+type view = Mem of int | Reg of { tid : int; reg : Reg.t }
+
+let mem a =
+  if a < 0 then invalid_arg "Loc.mem: negative address";
+  (a lsl 1) lor 1
+
+let reg ~tid r =
+  if tid < 0 then invalid_arg "Loc.reg: negative tid";
+  if r < 0 || r >= Reg.file_size then invalid_arg "Loc.reg: bad register";
+  ((tid * Reg.file_size) + r) lsl 1
+
+let flags ~tid = reg ~tid Reg.flags
+
+let is_mem l = l land 1 = 1
+
+let view l =
+  if l land 1 = 1 then Mem (l lsr 1)
+  else
+    let v = l lsr 1 in
+    Reg { tid = v / Reg.file_size; reg = v mod Reg.file_size }
+
+let to_string l =
+  match view l with
+  | Mem a -> Printf.sprintf "mem[%d]" a
+  | Reg { tid; reg } -> Printf.sprintf "t%d:%s" tid (Reg.name reg)
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)

@@ -1,0 +1,52 @@
+(** Register file layout of the DrDebug virtual ISA.
+
+    Sixteen general-purpose registers plus a flags pseudo-register.  The
+    calling convention (implemented by {!Dr_lang.Codegen} and assumed by
+    the save/restore-pair detector) is:
+
+    - [r0]: return value / scratch
+    - [r1]..[r5]: arguments, caller-saved
+    - [r6]..[r11]: callee-saved (saved/restored in prologues/epilogues —
+      these give rise to the save/restore pairs of paper §5.2)
+    - [r12], [r13]: caller-saved temporaries
+    - [r14] = frame pointer, [r15] = stack pointer
+    - index 16 is the flags pseudo-register (written by [cmp], read by
+      conditional jumps and [setcc]); it never lives in memory. *)
+
+type t = int
+
+let count = 16
+
+(* Index of the flags pseudo-register in a thread's register array. *)
+let flags = 16
+
+(* Total slots in a thread register file, including flags. *)
+let file_size = 17
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r12 = 12
+let r13 = 13
+let fp = 14
+let sp = 15
+
+let arg_regs = [ r1; r2; r3; r4; r5 ]
+let callee_saved = [ 6; 7; 8; 9; 10; 11 ]
+let is_callee_saved r = r >= 6 && r <= 11
+
+let valid r = r >= 0 && r < count
+
+let name r =
+  match r with
+  | 14 -> "fp"
+  | 15 -> "sp"
+  | 16 -> "flags"
+  | r when r >= 0 && r < 14 -> Printf.sprintf "r%d" r
+  | r -> Printf.sprintf "?reg%d" r
+
+let pp fmt r = Format.pp_print_string fmt (name r)

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Ast Debug_info Dr_isa Dr_util Hashtbl Instr Lexer List Option Parser Printf Program Reg Sema

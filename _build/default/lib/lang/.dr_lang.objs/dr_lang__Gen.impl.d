@@ -1,0 +1,1 @@
+lib/lang/gen.ml: Buffer List Printf Random String

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Fun Hashtbl List Option Printf

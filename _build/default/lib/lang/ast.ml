@@ -1,0 +1,65 @@
+(** Abstract syntax of the mini-C language.  Every node carries the source
+    line it starts on, feeding the debug line table. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = Neg | Not
+
+type expr = { e : expr_kind; eline : int }
+
+and expr_kind =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [a[e]] — global arrays *)
+  | AddrOf of string  (** [&g] — globals only *)
+  | AddrIndex of string * expr  (** [&a[e]] — address of a global array element *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** user function or builtin *)
+
+type stmt = { s : stmt_kind; sline : int }
+
+and stmt_kind =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Index_assign of string * expr * expr  (** [a[i] = e] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list option
+      (** cases (value, body) and optional default *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr  (** expression statement (calls) *)
+  | Assert of expr * string
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  fline : int;
+}
+
+type global = {
+  gname : string;
+  gsize : int option;  (** [Some n] for arrays of n words *)
+  ginit : int;
+  gline : int;
+}
+
+type program = { globals : global list; funcs : func list }
+
+(** Builtin functions recognised by sema/codegen.  [arity = -1] means
+    variable printing of one value (not used; all are fixed arity). *)
+let builtins =
+  [ ("spawn", 2); ("join", 1); ("lock", 1); ("unlock", 1); ("print", 1);
+    ("rand", 0); ("time", 0); ("read", 0); ("alloc", 1); ("yield", 0);
+    ("exit", 1); ("peek", 1); ("poke", 2); ("wait", 2); ("signal", 1);
+    ("broadcast", 1) ]
+
+let is_builtin name = List.mem_assoc name builtins

@@ -1,0 +1,602 @@
+(** Code generation from mini-C to the DrDebug ISA.
+
+    Deliberately gcc-shaped where it matters to the paper:
+
+    - Function prologues push the frame pointer and the callee-saved
+      registers that host locals, and epilogues pop them in reverse —
+      producing the save/restore pairs whose spurious dependences §5.2
+      prunes.
+    - [switch] compiles to a bounds check plus a load from a jump table
+      and an {e indirect jump} — the CFG-imprecision source of §5.1.
+    - The first few scalar variables of each function live in
+      callee-saved registers (a toy register allocator), the rest in
+      frame slots.
+
+    Expression evaluation uses r0 as accumulator with partial results
+    pushed on the stack, so push/pop also occur mid-function — exercising
+    the paper's observation that push/pop are "not exclusively used to
+    save/restore registers". *)
+
+open Dr_isa
+
+exception Error of { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+type home = HReg of int | HFrame of int | HGlobal of int
+
+type emitter = {
+  code : Instr.t Dr_util.Vec.t;
+  mutable fixups : (int * int) list;  (** code index -> label *)
+  labels : (int, int) Hashtbl.t;  (** label -> pc *)
+  mutable next_label : int;
+  lines : (int * int) Dr_util.Vec.t;
+  strings : string Dr_util.Vec.t;
+  string_ids : (string, int) Hashtbl.t;
+  data : (int * int) Dr_util.Vec.t;  (** (address, value) initial cells *)
+  mutable data_fixups : (int * int) list;  (** data vec index -> label *)
+  mutable data_ptr : int;
+}
+
+let new_emitter ~data_base =
+  { code = Dr_util.Vec.create ~dummy:Instr.Nop;
+    fixups = [];
+    labels = Hashtbl.create 64;
+    next_label = 0;
+    lines = Dr_util.Vec.create ~dummy:(0, 0);
+    strings = Dr_util.Vec.create ~dummy:"";
+    string_ids = Hashtbl.create 16;
+    data = Dr_util.Vec.create ~dummy:(0, 0);
+    data_fixups = [];
+    data_ptr = data_base }
+
+let pc_here em = Dr_util.Vec.length em.code
+
+let emit em i = Dr_util.Vec.push em.code i
+
+let new_label em =
+  let l = em.next_label in
+  em.next_label <- l + 1;
+  l
+
+let place_label em l =
+  if Hashtbl.mem em.labels l then invalid_arg "label placed twice";
+  Hashtbl.replace em.labels l (pc_here em)
+
+(* Emit an instruction whose integer target is the given label; patched at
+   the end of codegen. *)
+let emit_fix em l i =
+  em.fixups <- (pc_here em, l) :: em.fixups;
+  emit em i
+
+let string_id em s =
+  match Hashtbl.find_opt em.string_ids s with
+  | Some i -> i
+  | None ->
+    let i = Dr_util.Vec.length em.strings in
+    Dr_util.Vec.push em.strings s;
+    Hashtbl.replace em.string_ids s i;
+    i
+
+let note_line em line =
+  let n = Dr_util.Vec.length em.lines in
+  if n > 0 && snd (Dr_util.Vec.get em.lines (n - 1)) = line then ()
+  else Dr_util.Vec.push em.lines (pc_here em, line)
+
+(* ---- per-function context ---- *)
+
+type fctx = {
+  homes : (string, home) Hashtbl.t;
+  ret_label : int;
+  mutable break_labels : int list;
+  mutable continue_labels : int list;
+  globals : (string, int * int option) Hashtbl.t;  (** name -> addr, array size *)
+  func_labels : (string, int) Hashtbl.t;
+  func_arities : (string, int) Hashtbl.t;
+}
+
+let var_home fctx line name =
+  match Hashtbl.find_opt fctx.homes name with
+  | Some h -> h
+  | None -> (
+    match Hashtbl.find_opt fctx.globals name with
+    | Some (addr, None) -> HGlobal addr
+    | Some (_, Some _) -> err line "array %s used as scalar" name
+    | None -> err line "unbound variable %s" name)
+
+(* Collect local declarations in source order (accumulator is reversed). *)
+let rec decls_of_stmt acc (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Decl (n, _) -> n :: acc
+  | Ast.If (_, a, b) ->
+    let acc = List.fold_left decls_of_stmt acc a in
+    List.fold_left decls_of_stmt acc b
+  | Ast.While (_, body) -> List.fold_left decls_of_stmt acc body
+  | Ast.For (init, _, step, body) ->
+    let acc = Option.fold ~none:acc ~some:(decls_of_stmt acc) init in
+    let acc = List.fold_left decls_of_stmt acc body in
+    Option.fold ~none:acc ~some:(decls_of_stmt acc) step
+  | Ast.Switch (_, cases, default) ->
+    let acc =
+      List.fold_left (fun acc (_, body) -> List.fold_left decls_of_stmt acc body) acc cases
+    in
+    (match default with
+    | Some body -> List.fold_left decls_of_stmt acc body
+    | None -> acc)
+  | _ -> acc
+
+let decls_of_body body = List.rev (List.fold_left decls_of_stmt [] body)
+
+(* ---- expression compilation: result in r0 ---- *)
+
+let isa_binop = function
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Div
+  | Ast.Mod -> Instr.Mod
+  | Ast.BAnd -> Instr.And
+  | Ast.BOr -> Instr.Or
+  | Ast.BXor -> Instr.Xor
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> Instr.Shr
+  | _ -> invalid_arg "isa_binop"
+
+let isa_cond = function
+  | Ast.Eq -> Instr.Eq
+  | Ast.Ne -> Instr.Ne
+  | Ast.Lt -> Instr.Lt
+  | Ast.Le -> Instr.Le
+  | Ast.Gt -> Instr.Gt
+  | Ast.Ge -> Instr.Ge
+  | _ -> invalid_arg "isa_cond"
+
+let load_home em h =
+  match h with
+  | HReg r -> emit em (Instr.Mov (Reg.r0, Instr.Reg r))
+  | HFrame off -> emit em (Instr.Load (Reg.r0, Reg.fp, off))
+  | HGlobal a ->
+    emit em (Instr.Mov (Reg.r12, Instr.Imm a));
+    emit em (Instr.Load (Reg.r0, Reg.r12, 0))
+
+(* store r0 to home (may clobber r12) *)
+let store_home em h =
+  match h with
+  | HReg r -> emit em (Instr.Mov (r, Instr.Reg Reg.r0))
+  | HFrame off -> emit em (Instr.Store (Reg.fp, off, Reg.r0))
+  | HGlobal a ->
+    emit em (Instr.Mov (Reg.r12, Instr.Imm a));
+    emit em (Instr.Store (Reg.r12, 0, Reg.r0))
+
+let rec gen_expr em fctx (e : Ast.expr) =
+  let line = e.Ast.eline in
+  match e.Ast.e with
+  | Ast.Int n -> emit em (Instr.Mov (Reg.r0, Instr.Imm n))
+  | Ast.Var name -> load_home em (var_home fctx line name)
+  | Ast.AddrOf name -> (
+    match Hashtbl.find_opt fctx.globals name with
+    | Some (addr, _) -> emit em (Instr.Mov (Reg.r0, Instr.Imm addr))
+    | None -> err line "&%s: unknown global" name)
+  | Ast.AddrIndex (name, idx) -> (
+    match Hashtbl.find_opt fctx.globals name with
+    | Some (base, Some _) ->
+      gen_expr em fctx idx;
+      emit em (Instr.Mov (Reg.r12, Instr.Imm base));
+      emit em (Instr.Bin (Instr.Add, Reg.r0, Reg.r12, Instr.Reg Reg.r0))
+    | _ -> err line "&%s[...]: not a global array" name)
+  | Ast.Index (name, idx) -> (
+    match Hashtbl.find_opt fctx.globals name with
+    | Some (base, Some _) ->
+      gen_expr em fctx idx;
+      emit em (Instr.Mov (Reg.r12, Instr.Imm base));
+      emit em (Instr.Bin (Instr.Add, Reg.r12, Reg.r12, Instr.Reg Reg.r0));
+      emit em (Instr.Load (Reg.r0, Reg.r12, 0))
+    | _ -> err line "%s is not a global array" name)
+  | Ast.Unop (Ast.Neg, e1) ->
+    gen_expr em fctx e1;
+    emit em (Instr.Mov (Reg.r12, Instr.Imm 0));
+    emit em (Instr.Bin (Instr.Sub, Reg.r0, Reg.r12, Instr.Reg Reg.r0))
+  | Ast.Unop (Ast.Not, e1) ->
+    gen_expr em fctx e1;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit em (Instr.Setcc (Instr.Eq, Reg.r0))
+  | Ast.Binop (Ast.LAnd, a, b) ->
+    let l_false = new_label em and l_end = new_label em in
+    gen_expr em fctx a;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_false (Instr.Jcc (Instr.Eq, 0));
+    gen_expr em fctx b;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_false (Instr.Jcc (Instr.Eq, 0));
+    emit em (Instr.Mov (Reg.r0, Instr.Imm 1));
+    emit_fix em l_end (Instr.Jmp 0);
+    place_label em l_false;
+    emit em (Instr.Mov (Reg.r0, Instr.Imm 0));
+    place_label em l_end
+  | Ast.Binop (Ast.LOr, a, b) ->
+    let l_true = new_label em and l_end = new_label em in
+    gen_expr em fctx a;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_true (Instr.Jcc (Instr.Ne, 0));
+    gen_expr em fctx b;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_true (Instr.Jcc (Instr.Ne, 0));
+    emit em (Instr.Mov (Reg.r0, Instr.Imm 0));
+    emit_fix em l_end (Instr.Jmp 0);
+    place_label em l_true;
+    emit em (Instr.Mov (Reg.r0, Instr.Imm 1));
+    place_label em l_end
+  | Ast.Binop (((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    gen_expr em fctx a;
+    emit em (Instr.Push Reg.r0);
+    gen_expr em fctx b;
+    emit em (Instr.Mov (Reg.r12, Instr.Reg Reg.r0));
+    emit em (Instr.Pop Reg.r13);
+    emit em (Instr.Cmp (Reg.r13, Instr.Reg Reg.r12));
+    emit em (Instr.Setcc (isa_cond op, Reg.r0))
+  | Ast.Binop (op, a, b) ->
+    gen_expr em fctx a;
+    emit em (Instr.Push Reg.r0);
+    gen_expr em fctx b;
+    emit em (Instr.Mov (Reg.r12, Instr.Reg Reg.r0));
+    emit em (Instr.Pop Reg.r13);
+    emit em (Instr.Bin (isa_binop op, Reg.r0, Reg.r13, Instr.Reg Reg.r12))
+  | Ast.Call ("spawn", [ { Ast.e = Ast.Var fname; _ }; arg ]) -> (
+    gen_expr em fctx arg;
+    emit em (Instr.Mov (Reg.r2, Instr.Reg Reg.r0));
+    match Hashtbl.find_opt fctx.func_labels fname with
+    | Some l ->
+      emit_fix em l (Instr.Mov (Reg.r1, Instr.Imm 0));
+      emit em (Instr.Sys Instr.Spawn)
+    | None -> err line "spawn: unknown function %s" fname)
+  | Ast.Call ("spawn", _) -> err line "spawn expects (function, argument)"
+  | Ast.Call (("join" | "lock" | "unlock" | "print" | "exit" | "alloc") as b, [ arg ]) ->
+    gen_expr em fctx arg;
+    emit em (Instr.Mov (Reg.r1, Instr.Reg Reg.r0));
+    let sys =
+      match b with
+      | "join" -> Instr.Join
+      | "lock" -> Instr.Lock
+      | "unlock" -> Instr.Unlock
+      | "print" -> Instr.Print
+      | "exit" -> Instr.Exit
+      | _ -> Instr.Alloc
+    in
+    emit em (Instr.Sys sys)
+  | Ast.Call ("peek", [ addr ]) ->
+    (* raw memory load: r0 <- mem[addr] *)
+    gen_expr em fctx addr;
+    emit em (Instr.Mov (Reg.r12, Instr.Reg Reg.r0));
+    emit em (Instr.Load (Reg.r0, Reg.r12, 0))
+  | Ast.Call ("poke", [ addr; value ]) ->
+    (* raw memory store: mem[addr] <- value *)
+    gen_expr em fctx addr;
+    emit em (Instr.Push Reg.r0);
+    gen_expr em fctx value;
+    emit em (Instr.Pop Reg.r13);
+    emit em (Instr.Mov (Reg.r12, Instr.Reg Reg.r13));
+    emit em (Instr.Store (Reg.r12, 0, Reg.r0))
+  | Ast.Call ("wait", [ cond; mutex ]) ->
+    (* wait(cond, mutex): r1 = condvar address, r2 = mutex address *)
+    gen_expr em fctx cond;
+    emit em (Instr.Push Reg.r0);
+    gen_expr em fctx mutex;
+    emit em (Instr.Mov (Reg.r2, Instr.Reg Reg.r0));
+    emit em (Instr.Pop Reg.r1);
+    emit em (Instr.Sys Instr.Wait)
+  | Ast.Call (("signal" | "broadcast") as b, [ cond ]) ->
+    gen_expr em fctx cond;
+    emit em (Instr.Mov (Reg.r1, Instr.Reg Reg.r0));
+    emit em
+      (Instr.Sys (if b = "signal" then Instr.Signal else Instr.Broadcast))
+  | Ast.Call (("rand" | "time" | "read" | "yield") as b, []) ->
+    let sys =
+      match b with
+      | "rand" -> Instr.Rand
+      | "time" -> Instr.Time
+      | "read" -> Instr.Read
+      | _ -> Instr.Yield
+    in
+    emit em (Instr.Sys sys)
+  | Ast.Call (name, args) -> (
+    match Hashtbl.find_opt fctx.func_labels name with
+    | None -> err line "call to unknown function %s" name
+    | Some l ->
+      List.iter
+        (fun a ->
+          gen_expr em fctx a;
+          emit em (Instr.Push Reg.r0))
+        args;
+      let n = List.length args in
+      for i = n - 1 downto 0 do
+        emit em (Instr.Pop (Reg.r1 + i))
+      done;
+      emit_fix em l (Instr.Call 0))
+
+(* ---- statements ---- *)
+
+let rec gen_stmt em fctx (s : Ast.stmt) =
+  note_line em s.Ast.sline;
+  let line = s.Ast.sline in
+  match s.Ast.s with
+  | Ast.Decl (name, init) ->
+    (match init with
+    | Some e -> gen_expr em fctx e
+    | None -> emit em (Instr.Mov (Reg.r0, Instr.Imm 0)));
+    store_home em (var_home fctx line name)
+  | Ast.Assign (name, e) ->
+    gen_expr em fctx e;
+    store_home em (var_home fctx line name)
+  | Ast.Index_assign (name, idx, e) -> (
+    match Hashtbl.find_opt fctx.globals name with
+    | Some (base, Some _) ->
+      gen_expr em fctx idx;
+      emit em (Instr.Push Reg.r0);
+      gen_expr em fctx e;
+      emit em (Instr.Pop Reg.r13);
+      emit em (Instr.Mov (Reg.r12, Instr.Imm base));
+      emit em (Instr.Bin (Instr.Add, Reg.r12, Reg.r12, Instr.Reg Reg.r13));
+      emit em (Instr.Store (Reg.r12, 0, Reg.r0))
+    | _ -> err line "%s is not a global array" name)
+  | Ast.If (cond, then_b, else_b) ->
+    let l_else = new_label em and l_end = new_label em in
+    gen_expr em fctx cond;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_else (Instr.Jcc (Instr.Eq, 0));
+    List.iter (gen_stmt em fctx) then_b;
+    if else_b <> [] then emit_fix em l_end (Instr.Jmp 0);
+    place_label em l_else;
+    List.iter (gen_stmt em fctx) else_b;
+    place_label em l_end
+  | Ast.While (cond, body) ->
+    let l_head = new_label em and l_end = new_label em in
+    place_label em l_head;
+    note_line em line;
+    gen_expr em fctx cond;
+    emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+    emit_fix em l_end (Instr.Jcc (Instr.Eq, 0));
+    fctx.break_labels <- l_end :: fctx.break_labels;
+    fctx.continue_labels <- l_head :: fctx.continue_labels;
+    List.iter (gen_stmt em fctx) body;
+    fctx.break_labels <- List.tl fctx.break_labels;
+    fctx.continue_labels <- List.tl fctx.continue_labels;
+    emit_fix em l_head (Instr.Jmp 0);
+    place_label em l_end
+  | Ast.For (init, cond, step, body) ->
+    let l_head = new_label em
+    and l_step = new_label em
+    and l_end = new_label em in
+    Option.iter (gen_stmt em fctx) init;
+    place_label em l_head;
+    (match cond with
+    | Some c ->
+      note_line em line;
+      gen_expr em fctx c;
+      emit em (Instr.Cmp (Reg.r0, Instr.Imm 0));
+      emit_fix em l_end (Instr.Jcc (Instr.Eq, 0))
+    | None -> ());
+    fctx.break_labels <- l_end :: fctx.break_labels;
+    fctx.continue_labels <- l_step :: fctx.continue_labels;
+    List.iter (gen_stmt em fctx) body;
+    fctx.break_labels <- List.tl fctx.break_labels;
+    fctx.continue_labels <- List.tl fctx.continue_labels;
+    place_label em l_step;
+    Option.iter (gen_stmt em fctx) step;
+    emit_fix em l_head (Instr.Jmp 0);
+    place_label em l_end
+  | Ast.Switch (scrut, cases, default) ->
+    let l_end = new_label em in
+    let l_default = new_label em in
+    gen_expr em fctx scrut;
+    if cases = [] then emit_fix em l_default (Instr.Jmp 0)
+    else begin
+      let values = List.map fst cases in
+      let lo = List.fold_left min (List.hd values) values in
+      let hi = List.fold_left max (List.hd values) values in
+      if hi - lo > 1024 then err line "switch too sparse (range %d)" (hi - lo);
+      (* bounds check, then jump through the table: the indirect jump *)
+      emit em (Instr.Cmp (Reg.r0, Instr.Imm lo));
+      emit_fix em l_default (Instr.Jcc (Instr.Lt, 0));
+      emit em (Instr.Cmp (Reg.r0, Instr.Imm hi));
+      emit_fix em l_default (Instr.Jcc (Instr.Gt, 0));
+      let table = em.data_ptr in
+      em.data_ptr <- em.data_ptr + (hi - lo + 1);
+      let case_labels = List.map (fun (v, _) -> (v, new_label em)) cases in
+      for v = lo to hi do
+        let l =
+          match List.assoc_opt v case_labels with
+          | Some l -> l
+          | None -> l_default
+        in
+        em.data_fixups <- (Dr_util.Vec.length em.data, l) :: em.data_fixups;
+        Dr_util.Vec.push em.data (table + v - lo, 0)
+      done;
+      emit em (Instr.Mov (Reg.r12, Instr.Imm (table - lo)));
+      emit em (Instr.Bin (Instr.Add, Reg.r12, Reg.r12, Instr.Reg Reg.r0));
+      emit em (Instr.Load (Reg.r13, Reg.r12, 0));
+      emit em (Instr.Jind Reg.r13);
+      (* case bodies with C fallthrough *)
+      fctx.break_labels <- l_end :: fctx.break_labels;
+      List.iter
+        (fun (v, body) ->
+          place_label em (List.assoc v case_labels);
+          List.iter (gen_stmt em fctx) body)
+        cases;
+      fctx.break_labels <- List.tl fctx.break_labels
+    end;
+    place_label em l_default;
+    (match default with
+    | Some body ->
+      fctx.break_labels <- l_end :: fctx.break_labels;
+      List.iter (gen_stmt em fctx) body;
+      fctx.break_labels <- List.tl fctx.break_labels
+    | None -> ());
+    place_label em l_end
+  | Ast.Return e ->
+    (match e with
+    | Some e -> gen_expr em fctx e
+    | None -> emit em (Instr.Mov (Reg.r0, Instr.Imm 0)));
+    emit_fix em fctx.ret_label (Instr.Jmp 0)
+  | Ast.Break -> (
+    match fctx.break_labels with
+    | l :: _ -> emit_fix em l (Instr.Jmp 0)
+    | [] -> err line "break outside loop/switch")
+  | Ast.Continue -> (
+    match fctx.continue_labels with
+    | l :: _ -> emit_fix em l (Instr.Jmp 0)
+    | [] -> err line "continue outside loop")
+  | Ast.Expr e -> gen_expr em fctx e
+  | Ast.Assert (e, msg) ->
+    gen_expr em fctx e;
+    emit em (Instr.Assert (Reg.r0, string_id em msg))
+
+(* ---- functions and programs ---- *)
+
+let gen_func em ~globals ~func_labels ~func_arities (f : Ast.func) :
+    Debug_info.func =
+  let entry = pc_here em in
+  place_label em (Hashtbl.find func_labels f.Ast.fname);
+  note_line em f.Ast.fline;
+  let vars = f.Ast.params @ decls_of_body f.Ast.body in
+  let nregs = min (List.length vars) (List.length Reg.callee_saved) in
+  let homes = Hashtbl.create 16 in
+  let callee_used = ref [] in
+  List.iteri
+    (fun i v ->
+      if Hashtbl.mem homes v then ()
+      else if i < nregs then begin
+        let r = List.nth Reg.callee_saved i in
+        callee_used := r :: !callee_used;
+        Hashtbl.replace homes v (HReg r)
+      end
+      else Hashtbl.replace homes v (HFrame (-(nregs + 1 + (i - nregs)))))
+    vars;
+  let callee_used = List.rev !callee_used in
+  let k = List.length callee_used in
+  let nstack = List.length vars - nregs in
+  let fctx =
+    { homes;
+      ret_label = new_label em;
+      break_labels = [];
+      continue_labels = [];
+      globals;
+      func_labels;
+      func_arities }
+  in
+  (* prologue: the save side of the save/restore pairs *)
+  emit em (Instr.Push Reg.fp);
+  emit em (Instr.Mov (Reg.fp, Instr.Reg Reg.sp));
+  List.iter (fun r -> emit em (Instr.Push r)) callee_used;
+  if nstack > 0 then emit em (Instr.Bin (Instr.Sub, Reg.sp, Reg.sp, Instr.Imm nstack));
+  (* move parameters to their homes *)
+  List.iteri
+    (fun i p ->
+      let arg_reg = Reg.r1 + i in
+      match Hashtbl.find homes p with
+      | HReg r -> emit em (Instr.Mov (r, Instr.Reg arg_reg))
+      | HFrame off -> emit em (Instr.Store (Reg.fp, off, arg_reg))
+      | HGlobal _ -> assert false)
+    f.Ast.params;
+  List.iter (gen_stmt em fctx) f.Ast.body;
+  (* implicit return 0 *)
+  emit em (Instr.Mov (Reg.r0, Instr.Imm 0));
+  (* epilogue: the restore side; discard stack locals with sp = fp - k *)
+  place_label em fctx.ret_label;
+  emit em (Instr.Bin (Instr.Add, Reg.sp, Reg.fp, Instr.Imm (-k)));
+  List.iter (fun r -> emit em (Instr.Pop r)) (List.rev callee_used);
+  emit em (Instr.Pop Reg.fp);
+  emit em Instr.Ret;
+  let code_end = pc_here em in
+  let dvars =
+    List.map
+      (fun v ->
+        let vloc =
+          match Hashtbl.find homes v with
+          | HReg r -> Debug_info.Register r
+          | HFrame off -> Debug_info.Frame off
+          | HGlobal a -> Debug_info.Global a
+        in
+        { Debug_info.vname = v; vloc; varray = None })
+      vars
+  in
+  { Debug_info.fname = f.Ast.fname; entry; code_end; params = f.Ast.params;
+    vars = dvars }
+
+let globals_base = 8
+
+let compile ?(name = "<mini-c>") ?(file = "<source>") (src : string) :
+    Program.t =
+  let ast = Parser.parse src in
+  Sema.check ast;
+  (* global layout *)
+  let globals = Hashtbl.create 16 in
+  let next = ref globals_base in
+  let ginits = ref [] in
+  let dbg_globals = ref [] in
+  List.iter
+    (fun (g : Ast.global) ->
+      let addr = !next in
+      let words = match g.Ast.gsize with Some n -> n | None -> 1 in
+      next := !next + words;
+      Hashtbl.replace globals g.Ast.gname (addr, g.Ast.gsize);
+      dbg_globals := (g.Ast.gname, addr, g.Ast.gsize) :: !dbg_globals;
+      if g.Ast.ginit <> 0 && g.Ast.gsize = None then
+        ginits := (addr, g.Ast.ginit) :: !ginits)
+    ast.Ast.globals;
+  let em = new_emitter ~data_base:!next in
+  List.iter (fun (a, v) -> Dr_util.Vec.push em.data (a, v)) (List.rev !ginits);
+  let func_labels = Hashtbl.create 16 in
+  let func_arities = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      Hashtbl.replace func_labels f.Ast.fname (new_label em);
+      Hashtbl.replace func_arities f.Ast.fname (List.length f.Ast.params))
+    ast.Ast.funcs;
+  let dfuncs =
+    List.map (gen_func em ~globals ~func_labels ~func_arities) ast.Ast.funcs
+  in
+  (* resolve label fixups *)
+  let resolve l =
+    match Hashtbl.find_opt em.labels l with
+    | Some pc -> pc
+    | None -> invalid_arg "unresolved label"
+  in
+  List.iter
+    (fun (pos, l) ->
+      let pc = resolve l in
+      let patched =
+        match Dr_util.Vec.get em.code pos with
+        | Instr.Jmp _ -> Instr.Jmp pc
+        | Instr.Jcc (c, _) -> Instr.Jcc (c, pc)
+        | Instr.Call _ -> Instr.Call pc
+        | Instr.Mov (rd, Instr.Imm _) -> Instr.Mov (rd, Instr.Imm pc)
+        | i -> i
+      in
+      Dr_util.Vec.set em.code pos patched)
+    em.fixups;
+  List.iter
+    (fun (idx, l) ->
+      let addr, _ = Dr_util.Vec.get em.data idx in
+      Dr_util.Vec.set em.data idx (addr, resolve l))
+    em.data_fixups;
+  let entry =
+    match Hashtbl.find_opt em.labels (Hashtbl.find func_labels "main") with
+    | Some pc -> pc
+    | None -> invalid_arg "main not generated"
+  in
+  let debug =
+    { Debug_info.file; source = src; funcs = dfuncs;
+      lines = Dr_util.Vec.to_array em.lines;
+      globals = List.rev !dbg_globals }
+  in
+  Program.make ~name ~data:(Dr_util.Vec.to_list em.data) ~data_end:em.data_ptr
+    ~strings:(Dr_util.Vec.to_array em.strings) ~debug ~entry
+    (Dr_util.Vec.to_list em.code)
+
+(** [compile_result] is [compile] with errors as [Error msg]. *)
+let compile_result ?name ?file src =
+  try Ok (compile ?name ?file src) with
+  | Lexer.Error { line; msg } -> Error (Printf.sprintf "line %d: lexical error: %s" line msg)
+  | Parser.Error { line; msg } -> Error (Printf.sprintf "line %d: parse error: %s" line msg)
+  | Sema.Error { line; msg } -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Error { line; msg } -> Error (Printf.sprintf "line %d: codegen error: %s" line msg)

@@ -1,0 +1,260 @@
+(** Random mini-C program generation for property-based testing.
+
+    Generated programs are {e safe by construction}: loops are bounded,
+    array indexes are masked to the array size, divisors are forced
+    non-zero, and lock/unlock always appear as balanced pairs guarding a
+    block — so a generated program always terminates without faulting,
+    under any schedule.  That makes them ideal differential-testing
+    inputs: record/replay equivalence, slicer-vs-reference equivalence
+    and slice-replay value equivalence must all hold on every generated
+    program (see test/test_gen.ml). *)
+
+type cfg = {
+  max_stmts : int;  (** statements per block *)
+  max_depth : int;  (** nesting depth of if/for *)
+  max_helpers : int;
+  with_threads : bool;  (** spawn a worker + lock-guarded shared updates *)
+}
+
+let default_cfg =
+  { max_stmts = 6; max_depth = 2; max_helpers = 3; with_threads = true }
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable fresh : int;
+  cfg : cfg;
+  (* names of scalar locals in scope, per block *)
+  mutable scopes : string list list;
+  mutable loop_vars : string list;
+      (** readable but never assigned, so loops always terminate *)
+  mutable helpers : (string * int) list;
+      (** helpers callable from the current position (only
+          earlier-defined ones while generating a helper body, so call
+          chains are acyclic and generated programs always terminate) *)
+}
+
+let rnd ctx n = Random.State.int ctx.rng n
+
+let pick ctx l = List.nth l (rnd ctx (List.length l))
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+(* assignable variables *)
+let in_scope ctx = List.concat ctx.scopes
+
+(* readable variables: assignables plus live loop counters *)
+let readable ctx = ctx.loop_vars @ in_scope ctx
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+
+let pop_scope ctx = ctx.scopes <- List.tl ctx.scopes
+
+let declare ctx v =
+  match ctx.scopes with
+  | s :: rest -> ctx.scopes <- (v :: s) :: rest
+  | [] -> ctx.scopes <- [ [ v ] ]
+
+(* globals are fixed: two scalars, one 16-element array, one mutex *)
+let globals = [ "ga"; "gb" ]
+
+(* ---- expressions ---- *)
+
+let rec gen_expr ctx depth : string =
+  let atoms =
+    [ (fun () -> string_of_int (rnd ctx 10));
+      (fun () -> pick ctx globals) ]
+    @ (match readable ctx with
+      | [] -> []
+      | vars -> [ (fun () -> pick ctx vars) ])
+    @ [ (fun () -> Printf.sprintf "arr[(%s) & 15]" (gen_expr ctx 0)) ]
+  in
+  if depth <= 0 then (pick ctx atoms) ()
+  else
+    match rnd ctx 8 with
+    | 0 | 1 | 2 -> (pick ctx atoms) ()
+    | 3 ->
+      Printf.sprintf "(%s %s %s)"
+        (gen_expr ctx (depth - 1))
+        (pick ctx [ "+"; "-"; "*" ])
+        (gen_expr ctx (depth - 1))
+    | 4 ->
+      (* guarded division/modulo: divisor is always in 1..8 *)
+      Printf.sprintf "(%s %s (((%s) & 7) + 1))"
+        (gen_expr ctx (depth - 1))
+        (pick ctx [ "/"; "%" ])
+        (gen_expr ctx (depth - 1))
+    | 5 ->
+      Printf.sprintf "(%s %s %s)"
+        (gen_expr ctx (depth - 1))
+        (pick ctx [ "=="; "!="; "<"; "<="; ">"; ">=" ])
+        (gen_expr ctx (depth - 1))
+    | 6 when ctx.helpers <> [] ->
+      let name, arity = pick ctx ctx.helpers in
+      let args = List.init arity (fun _ -> gen_expr ctx (depth - 1)) in
+      Printf.sprintf "%s(%s)" name (String.concat ", " args)
+    | _ ->
+      Printf.sprintf "(%s & %s)" (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+
+(* ---- statements ---- *)
+
+let rec gen_stmt ctx depth =
+  match rnd ctx 10 with
+  | 0 | 1 ->
+    let v = fresh ctx "v" in
+    line ctx "int %s = %s;" v (gen_expr ctx depth);
+    declare ctx v
+  | 2 -> (
+    match in_scope ctx with
+    | [] -> line ctx "%s = %s;" (pick ctx globals) (gen_expr ctx depth)
+    | vars -> line ctx "%s = %s;" (pick ctx vars) (gen_expr ctx depth))
+  | 3 -> line ctx "%s = %s;" (pick ctx globals) (gen_expr ctx depth)
+  | 4 -> line ctx "arr[(%s) & 15] = %s;" (gen_expr ctx 1) (gen_expr ctx depth)
+  | 5 when depth > 0 ->
+    line ctx "if (%s) {" (gen_expr ctx 1);
+    gen_block ctx (depth - 1);
+    if rnd ctx 2 = 0 then begin
+      line ctx "} else {";
+      gen_block ctx (depth - 1)
+    end;
+    line ctx "}"
+  | 6 when depth > 0 ->
+    let i = fresh ctx "i" in
+    line ctx "for (int %s = 0; %s < %d; %s = %s + 1) {" i i (1 + rnd ctx 6) i i;
+    ctx.loop_vars <- i :: ctx.loop_vars;
+    gen_block ctx (depth - 1);
+    ctx.loop_vars <- List.tl ctx.loop_vars;
+    line ctx "}"
+  | 7 -> line ctx "print(%s);" (gen_expr ctx depth)
+  | 8 when depth > 0 ->
+    (* a lock-guarded shared update: always balanced, and no helper
+       calls under the lock (helpers may lock too — reentrancy) *)
+    let saved_helpers = ctx.helpers in
+    ctx.helpers <- [];
+    line ctx "lock(&mtx);";
+    line ctx "%s = %s + %s;" (pick ctx globals) (pick ctx globals)
+      (gen_expr ctx 1);
+    line ctx "unlock(&mtx);";
+    ctx.helpers <- saved_helpers
+  | _ -> line ctx "%s = %s;" (pick ctx globals) (gen_expr ctx depth)
+
+and gen_block_inner ctx depth =
+  let n = 1 + rnd ctx ctx.cfg.max_stmts in
+  ctx.indent <- ctx.indent + 1;
+  for _ = 1 to n do
+    gen_stmt ctx depth
+  done;
+  ctx.indent <- ctx.indent - 1
+
+and gen_block ctx depth =
+  push_scope ctx;
+  gen_block_inner ctx depth;
+  pop_scope ctx
+
+(* ---- functions ---- *)
+
+let gen_helper ctx name arity =
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  line ctx "fn %s(%s) {"
+    name
+    (String.concat ", " (List.map (fun p -> "int " ^ p) params));
+  ctx.scopes <- [ params ];
+  ctx.indent <- 1;
+  let n = 1 + rnd ctx 4 in
+  for _ = 1 to n do
+    gen_stmt ctx 1
+  done;
+  line ctx "return %s;" (gen_expr ctx 1);
+  ctx.indent <- 0;
+  ctx.scopes <- [];
+  line ctx "}";
+  line ctx ""
+
+let gen_worker ctx =
+  line ctx "fn worker(int id) {";
+  ctx.scopes <- [ [ "id" ] ];
+  ctx.indent <- 1;
+  let condvar = rnd ctx 2 = 0 in
+  if condvar then begin
+    (* the safe condvar pattern: predicate loop under the mutex; the
+       producer (main) sets go=1 and broadcasts, so no lost wakeups *)
+    line ctx "lock(&mtx);";
+    line ctx "while (go == 0) {";
+    line ctx "  wait(&cv, &mtx);";
+    line ctx "}";
+    line ctx "unlock(&mtx);"
+  end;
+  let iters = 2 + rnd ctx 6 in
+  line ctx "for (int w = 0; w < %d; w = w + 1) {" iters;
+  ctx.indent <- 2;
+  line ctx "lock(&mtx);";
+  line ctx "%s = %s + id + w;" (pick ctx globals) (pick ctx globals);
+  line ctx "unlock(&mtx);";
+  (match rnd ctx 2 with
+  | 0 -> line ctx "arr[(id + w) & 15] = arr[(id + w) & 15] + 1;"
+  | _ -> line ctx "yield();");
+  ctx.indent <- 1;
+  line ctx "}";
+  ctx.indent <- 0;
+  ctx.scopes <- [];
+  line ctx "}";
+  line ctx "";
+  condvar
+
+(** Generate a random well-behaved program from the given seed. *)
+let program ?(cfg = default_cfg) (seed : int) : string =
+  let rng = Random.State.make [| seed; 0x9e37 |] in
+  let nhelpers = Random.State.int rng (cfg.max_helpers + 1) in
+  let helpers =
+    List.init nhelpers (fun i ->
+        (Printf.sprintf "h%d" i, 1 + Random.State.int rng 2))
+  in
+  let ctx =
+    { rng; buf = Buffer.create 1024; indent = 0; fresh = 0; cfg;
+      scopes = []; loop_vars = []; helpers = [] }
+  in
+  line ctx "// generated program (seed %d)" seed;
+  List.iter (fun g -> line ctx "global int %s;" g) globals;
+  line ctx "global int arr[16];";
+  line ctx "global int mtx;";
+  line ctx "global int cv;";
+  line ctx "global int go;";
+  line ctx "";
+  List.iter
+    (fun (name, arity) ->
+      (* only earlier helpers are callable: no recursion *)
+      gen_helper ctx name arity;
+      ctx.helpers <- ctx.helpers @ [ (name, arity) ])
+    helpers;
+  let threads = cfg.with_threads && Random.State.int rng 2 = 0 in
+  let worker_waits = if threads then gen_worker ctx else false in
+  line ctx "fn main() {";
+  ctx.indent <- 1;
+  ctx.scopes <- [ [] ];
+  if threads then line ctx "int tw = spawn(worker, 1);";
+  if worker_waits then begin
+    (* release the waiting worker: set the predicate, then broadcast *)
+    line ctx "lock(&mtx);";
+    line ctx "go = 1;";
+    line ctx "broadcast(&cv);";
+    line ctx "unlock(&mtx);"
+  end;
+  gen_block_inner ctx cfg.max_depth;
+  if threads then line ctx "join(tw);";
+  (* make the program's result observable for differential testing *)
+  line ctx "print(ga + gb);";
+  line ctx "print(arr[3] + arr[7]);";
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf

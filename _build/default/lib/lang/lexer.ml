@@ -1,0 +1,148 @@
+(** Hand-written lexer for the mini-C language.
+
+    Supports [//] line comments and [/* */] block comments; tracks line
+    numbers for the debug line table. *)
+
+exception Error of { line : int; msg : string }
+
+type lexed = { tok : Token.t; line : int }
+
+let keywords =
+  [ ("global", Token.KW_GLOBAL); ("int", Token.KW_INT); ("fn", Token.KW_FN);
+    ("if", Token.KW_IF); ("else", Token.KW_ELSE); ("while", Token.KW_WHILE);
+    ("for", Token.KW_FOR); ("switch", Token.KW_SWITCH);
+    ("case", Token.KW_CASE); ("default", Token.KW_DEFAULT);
+    ("return", Token.KW_RETURN); ("break", Token.KW_BREAK);
+    ("continue", Token.KW_CONTINUE); ("assert", Token.KW_ASSERT) ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let toks = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let error msg = raise (Error { line = !line; msg }) in
+  let rec skip_ws () =
+    match cur () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance ();
+      skip_ws ()
+    | Some '/' when peek 1 = Some '/' ->
+      while cur () <> None && cur () <> Some '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | Some '/' when peek 1 = Some '*' ->
+      advance ();
+      advance ();
+      let rec close () =
+        match cur () with
+        | None -> error "unterminated block comment"
+        | Some '*' when peek 1 = Some '/' ->
+          advance ();
+          advance ()
+        | Some _ ->
+          advance ();
+          close ()
+      in
+      close ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let lex_number () =
+    let start = !pos in
+    while (match cur () with Some c -> is_digit c | None -> false) do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    emit (Token.INT (int_of_string s))
+  in
+  let lex_ident () =
+    let start = !pos in
+    while (match cur () with Some c -> is_alnum c | None -> false) do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    match List.assoc_opt s keywords with
+    | Some kw -> emit kw
+    | None -> emit (Token.IDENT s)
+  in
+  let lex_string () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match cur () with
+      | None | Some '\n' -> error "unterminated string literal"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match cur () with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+        | None -> error "unterminated escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    emit (Token.STRING (Buffer.contents buf))
+  in
+  let two tok = advance (); advance (); emit tok in
+  let one tok = advance (); emit tok in
+  let rec loop () =
+    skip_ws ();
+    match cur () with
+    | None -> emit Token.EOF
+    | Some c ->
+      (if is_digit c then lex_number ()
+       else if is_alpha c then lex_ident ()
+       else
+         match (c, peek 1) with
+         | '"', _ -> lex_string ()
+         | '&', Some '&' -> two Token.AMPAMP
+         | '|', Some '|' -> two Token.PIPEPIPE
+         | '<', Some '<' -> two Token.SHL
+         | '>', Some '>' -> two Token.SHR
+         | '=', Some '=' -> two Token.EQ
+         | '!', Some '=' -> two Token.NE
+         | '<', Some '=' -> two Token.LE
+         | '>', Some '=' -> two Token.GE
+         | '(', _ -> one Token.LPAREN
+         | ')', _ -> one Token.RPAREN
+         | '{', _ -> one Token.LBRACE
+         | '}', _ -> one Token.RBRACE
+         | '[', _ -> one Token.LBRACKET
+         | ']', _ -> one Token.RBRACKET
+         | ';', _ -> one Token.SEMI
+         | ',', _ -> one Token.COMMA
+         | ':', _ -> one Token.COLON
+         | '=', _ -> one Token.ASSIGN
+         | '+', _ -> one Token.PLUS
+         | '-', _ -> one Token.MINUS
+         | '*', _ -> one Token.STAR
+         | '/', _ -> one Token.SLASH
+         | '%', _ -> one Token.PERCENT
+         | '&', _ -> one Token.AMP
+         | '|', _ -> one Token.PIPE
+         | '^', _ -> one Token.CARET
+         | '<', _ -> one Token.LT
+         | '>', _ -> one Token.GT
+         | '!', _ -> one Token.NOT
+         | _ -> error (Printf.sprintf "unexpected character %C" c));
+      if (match !toks with { tok = Token.EOF; _ } :: _ -> false | _ -> true)
+      then loop ()
+  in
+  loop ();
+  List.rev !toks

@@ -1,0 +1,393 @@
+(** Recursive-descent parser for the mini-C language. *)
+
+exception Error of { line : int; msg : string }
+
+type state = { mutable toks : Lexer.lexed list }
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.tok = Token.EOF; line = 0 }
+  | t :: _ -> t
+
+let peek2 st =
+  match st.toks with
+  | _ :: t :: _ -> t
+  | _ -> { Lexer.tok = Token.EOF; line = 0 }
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let error st msg = raise (Error { line = (peek st).Lexer.line; msg })
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" (Token.to_string tok)
+         (Token.to_string t.Lexer.tok))
+
+let expect_ident st =
+  match (peek st).Lexer.tok with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let expect_int st =
+  match (peek st).Lexer.tok with
+  | Token.INT n ->
+    advance st;
+    n
+  | Token.MINUS -> (
+    advance st;
+    match (peek st).Lexer.tok with
+    | Token.INT n ->
+      advance st;
+      -n
+    | t -> error st (Printf.sprintf "expected integer, found %s" (Token.to_string t)))
+  | t -> error st (Printf.sprintf "expected integer, found %s" (Token.to_string t))
+
+(* ---- expressions, precedence climbing ---- *)
+
+let binop_of_token = function
+  | Token.PIPEPIPE -> Some (Ast.LOr, 1)
+  | Token.AMPAMP -> Some (Ast.LAnd, 2)
+  | Token.PIPE -> Some (Ast.BOr, 3)
+  | Token.CARET -> Some (Ast.BXor, 4)
+  | Token.AMP -> Some (Ast.BAnd, 5)
+  | Token.EQ -> Some (Ast.Eq, 6)
+  | Token.NE -> Some (Ast.Ne, 6)
+  | Token.LT -> Some (Ast.Lt, 7)
+  | Token.LE -> Some (Ast.Le, 7)
+  | Token.GT -> Some (Ast.Gt, 7)
+  | Token.GE -> Some (Ast.Ge, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek st).Lexer.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      let line = (peek st).Lexer.line in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := { Ast.e = Ast.Binop (op, !lhs, rhs); eline = line }
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Token.MINUS ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Neg, parse_unary st); eline = t.Lexer.line }
+  | Token.NOT ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Not, parse_unary st); eline = t.Lexer.line }
+  | Token.AMP ->
+    advance st;
+    let name = expect_ident st in
+    if (peek st).Lexer.tok = Token.LBRACKET then begin
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      { Ast.e = Ast.AddrIndex (name, idx); eline = t.Lexer.line }
+    end
+    else { Ast.e = Ast.AddrOf name; eline = t.Lexer.line }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Token.INT n ->
+    advance st;
+    { Ast.e = Ast.Int n; eline = t.Lexer.line }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT name -> (
+    advance st;
+    match (peek st).Lexer.tok with
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      { Ast.e = Ast.Call (name, args); eline = t.Lexer.line }
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      { Ast.e = Ast.Index (name, idx); eline = t.Lexer.line }
+    | _ -> { Ast.e = Ast.Var name; eline = t.Lexer.line })
+  | tok -> error st (Printf.sprintf "expected expression, found %s" (Token.to_string tok))
+
+and parse_args st =
+  if (peek st).Lexer.tok = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      match (peek st).Lexer.tok with
+      | Token.COMMA ->
+        advance st;
+        go (e :: acc)
+      | Token.RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | tok -> error st (Printf.sprintf "expected , or ), found %s" (Token.to_string tok))
+    in
+    go []
+  end
+
+(* ---- statements ---- *)
+
+(* A "simple" statement: decl / assign / expr, without the trailing
+   semicolon.  Used both for normal statements and for-headers. *)
+let rec parse_simple st : Ast.stmt =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Token.KW_INT ->
+    advance st;
+    let name = expect_ident st in
+    let init =
+      if (peek st).Lexer.tok = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    { Ast.s = Ast.Decl (name, init); sline = t.Lexer.line }
+  | Token.IDENT name when (peek2 st).Lexer.tok = Token.ASSIGN ->
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    { Ast.s = Ast.Assign (name, e); sline = t.Lexer.line }
+  | Token.IDENT name when (peek2 st).Lexer.tok = Token.LBRACKET ->
+    (* could be a[i] = e or an expression; try index-assign *)
+    let saved = st.toks in
+    advance st;
+    advance st;
+    let idx = parse_expr st in
+    expect st Token.RBRACKET;
+    if (peek st).Lexer.tok = Token.ASSIGN then begin
+      advance st;
+      let e = parse_expr st in
+      { Ast.s = Ast.Index_assign (name, idx, e); sline = t.Lexer.line }
+    end
+    else begin
+      st.toks <- saved;
+      let e = parse_expr st in
+      { Ast.s = Ast.Expr e; sline = t.Lexer.line }
+    end
+  | _ ->
+    let e = parse_expr st in
+    { Ast.s = Ast.Expr e; sline = t.Lexer.line }
+
+and parse_stmt st : Ast.stmt =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let then_b = parse_block st in
+    let else_b =
+      if (peek st).Lexer.tok = Token.KW_ELSE then begin
+        advance st;
+        if (peek st).Lexer.tok = Token.KW_IF then [ parse_stmt st ]
+        else parse_block st
+      end
+      else []
+    in
+    { Ast.s = Ast.If (cond, then_b, else_b); sline = t.Lexer.line }
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    { Ast.s = Ast.While (cond, body); sline = t.Lexer.line }
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if (peek st).Lexer.tok = Token.SEMI then None else Some (parse_simple st)
+    in
+    expect st Token.SEMI;
+    let cond =
+      if (peek st).Lexer.tok = Token.SEMI then None else Some (parse_expr st)
+    in
+    expect st Token.SEMI;
+    let step =
+      if (peek st).Lexer.tok = Token.RPAREN then None else Some (parse_simple st)
+    in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    { Ast.s = Ast.For (init, cond, step, body); sline = t.Lexer.line }
+  | Token.KW_SWITCH ->
+    advance st;
+    expect st Token.LPAREN;
+    let scrut = parse_expr st in
+    expect st Token.RPAREN;
+    expect st Token.LBRACE;
+    let cases = ref [] in
+    let default = ref None in
+    let rec body_stmts acc =
+      match (peek st).Lexer.tok with
+      | Token.KW_CASE | Token.KW_DEFAULT | Token.RBRACE -> List.rev acc
+      | _ -> body_stmts (parse_stmt st :: acc)
+    in
+    let rec go () =
+      match (peek st).Lexer.tok with
+      | Token.KW_CASE ->
+        advance st;
+        let v = expect_int st in
+        expect st Token.COLON;
+        let body = body_stmts [] in
+        cases := (v, body) :: !cases;
+        go ()
+      | Token.KW_DEFAULT ->
+        advance st;
+        expect st Token.COLON;
+        let body = body_stmts [] in
+        if !default <> None then error st "duplicate default";
+        default := Some body;
+        go ()
+      | Token.RBRACE -> advance st
+      | tok ->
+        error st (Printf.sprintf "expected case/default/}, found %s" (Token.to_string tok))
+    in
+    go ();
+    { Ast.s = Ast.Switch (scrut, List.rev !cases, !default); sline = t.Lexer.line }
+  | Token.KW_RETURN ->
+    advance st;
+    let e =
+      if (peek st).Lexer.tok = Token.SEMI then None else Some (parse_expr st)
+    in
+    expect st Token.SEMI;
+    { Ast.s = Ast.Return e; sline = t.Lexer.line }
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    { Ast.s = Ast.Break; sline = t.Lexer.line }
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    { Ast.s = Ast.Continue; sline = t.Lexer.line }
+  | Token.KW_ASSERT ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.COMMA;
+    let msg =
+      match (peek st).Lexer.tok with
+      | Token.STRING s ->
+        advance st;
+        s
+      | tok -> error st (Printf.sprintf "expected string, found %s" (Token.to_string tok))
+    in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    { Ast.s = Ast.Assert (e, msg); sline = t.Lexer.line }
+  | _ ->
+    let s = parse_simple st in
+    expect st Token.SEMI;
+    s
+
+and parse_block st : Ast.stmt list =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if (peek st).Lexer.tok = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---- top level ---- *)
+
+let parse_global st : Ast.global =
+  let line = (peek st).Lexer.line in
+  expect st Token.KW_GLOBAL;
+  expect st Token.KW_INT;
+  let name = expect_ident st in
+  let size =
+    if (peek st).Lexer.tok = Token.LBRACKET then begin
+      advance st;
+      let n = expect_int st in
+      expect st Token.RBRACKET;
+      Some n
+    end
+    else None
+  in
+  let init =
+    if (peek st).Lexer.tok = Token.ASSIGN then begin
+      advance st;
+      expect_int st
+    end
+    else 0
+  in
+  expect st Token.SEMI;
+  { Ast.gname = name; gsize = size; ginit = init; gline = line }
+
+let parse_func st : Ast.func =
+  let line = (peek st).Lexer.line in
+  expect st Token.KW_FN;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if (peek st).Lexer.tok = Token.RPAREN then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec go acc =
+        expect st Token.KW_INT;
+        let p = expect_ident st in
+        match (peek st).Lexer.tok with
+        | Token.COMMA ->
+          advance st;
+          go (p :: acc)
+        | Token.RPAREN ->
+          advance st;
+          List.rev (p :: acc)
+        | tok -> error st (Printf.sprintf "expected , or ), found %s" (Token.to_string tok))
+      in
+      go []
+    end
+  in
+  let body = parse_block st in
+  { Ast.fname = name; params; body; fline = line }
+
+let parse (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match (peek st).Lexer.tok with
+    | Token.EOF -> ()
+    | Token.KW_GLOBAL ->
+      globals := parse_global st :: !globals;
+      go ()
+    | Token.KW_FN ->
+      funcs := parse_func st :: !funcs;
+      go ()
+    | tok -> error st (Printf.sprintf "expected global or fn, found %s" (Token.to_string tok))
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,188 @@
+(** Semantic checks for the mini-C language: name resolution, arity
+    checks, array/scalar distinctions, and placement of break/continue.
+    All errors carry the offending source line. *)
+
+exception Error of { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+type ctx = {
+  funcs : (string * int) list;  (** name, arity *)
+  globals : (string * bool) list;  (** name, is_array *)
+  mutable scopes : string list ref list;
+      (** lexical scopes, innermost first; block-scoped: a name may be
+          reused in sibling scopes but not shadowed in nested ones
+          (codegen shares one slot per name per function) *)
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+}
+
+let in_scope ctx name = List.exists (fun s -> List.mem name !s) ctx.scopes
+
+let declare ctx name =
+  match ctx.scopes with
+  | s :: _ -> s := name :: !s
+  | [] -> invalid_arg "no scope"
+
+let with_scope ctx f =
+  ctx.scopes <- ref [] :: ctx.scopes;
+  Fun.protect
+    ~finally:(fun () -> ctx.scopes <- List.tl ctx.scopes)
+    f
+
+let is_global_array ctx name =
+  match List.assoc_opt name ctx.globals with Some b -> b | None -> false
+
+let is_global ctx name = List.mem_assoc name ctx.globals
+
+let var_visible ctx name =
+  in_scope ctx name || (is_global ctx name && not (is_global_array ctx name))
+
+let rec check_expr ctx (e : Ast.expr) =
+  let line = e.Ast.eline in
+  match e.Ast.e with
+  | Ast.Int _ -> ()
+  | Ast.Var name ->
+    if List.mem_assoc name ctx.funcs then
+      err line "function %s used as a value (only allowed as spawn target)" name
+    else if is_global_array ctx name then
+      err line "array %s used without an index" name
+    else if not (var_visible ctx name) then err line "undeclared variable %s" name
+  | Ast.Index (name, idx) ->
+    if not (is_global_array ctx name) then
+      err line "%s is not a global array" name;
+    check_expr ctx idx
+  | Ast.AddrOf name ->
+    if not (is_global ctx name) then
+      err line "&%s: address-of applies to globals only" name
+  | Ast.AddrIndex (name, idx) ->
+    if not (is_global_array ctx name) then
+      err line "&%s[...]: %s is not a global array" name name;
+    check_expr ctx idx
+  | Ast.Unop (_, e1) -> check_expr ctx e1
+  | Ast.Binop (_, a, b) ->
+    check_expr ctx a;
+    check_expr ctx b
+  | Ast.Call ("spawn", args) -> (
+    match args with
+    | [ { Ast.e = Ast.Var fname; eline }; arg ] -> (
+      check_expr ctx arg;
+      match List.assoc_opt fname ctx.funcs with
+      | None -> err eline "spawn target %s is not a function" fname
+      | Some arity when arity > 1 ->
+        err eline "spawn target %s must take at most one argument" fname
+      | Some _ -> ())
+    | _ -> err line "spawn expects (function, argument)")
+  | Ast.Call (name, args) -> (
+    List.iter (check_expr ctx) args;
+    match List.assoc_opt name Ast.builtins with
+    | Some arity ->
+      if List.length args <> arity then
+        err line "builtin %s expects %d argument(s), got %d" name arity
+          (List.length args)
+    | None -> (
+      match List.assoc_opt name ctx.funcs with
+      | Some arity ->
+        if List.length args <> arity then
+          err line "function %s expects %d argument(s), got %d" name arity
+            (List.length args)
+      | None -> err line "call to undefined function %s" name))
+
+let rec check_stmt ctx (s : Ast.stmt) =
+  let line = s.Ast.sline in
+  match s.Ast.s with
+  | Ast.Decl (name, init) ->
+    if in_scope ctx name then err line "duplicate declaration of %s" name;
+    if List.mem_assoc name ctx.funcs then
+      err line "%s shadows a function name" name;
+    Option.iter (check_expr ctx) init;
+    declare ctx name
+  | Ast.Assign (name, e) ->
+    if not (var_visible ctx name) then
+      err line "assignment to undeclared variable %s" name;
+    check_expr ctx e
+  | Ast.Index_assign (name, idx, e) ->
+    if not (is_global_array ctx name) then err line "%s is not a global array" name;
+    check_expr ctx idx;
+    check_expr ctx e
+  | Ast.If (c, t, f) ->
+    check_expr ctx c;
+    with_scope ctx (fun () -> List.iter (check_stmt ctx) t);
+    with_scope ctx (fun () -> List.iter (check_stmt ctx) f)
+  | Ast.While (c, body) ->
+    check_expr ctx c;
+    ctx.loop_depth <- ctx.loop_depth + 1;
+    with_scope ctx (fun () -> List.iter (check_stmt ctx) body);
+    ctx.loop_depth <- ctx.loop_depth - 1
+  | Ast.For (init, cond, step, body) ->
+    with_scope ctx (fun () ->
+        Option.iter (check_stmt ctx) init;
+        Option.iter (check_expr ctx) cond;
+        ctx.loop_depth <- ctx.loop_depth + 1;
+        with_scope ctx (fun () -> List.iter (check_stmt ctx) body);
+        Option.iter (check_stmt ctx) step;
+        ctx.loop_depth <- ctx.loop_depth - 1)
+  | Ast.Switch (scrut, cases, default) ->
+    check_expr ctx scrut;
+    let seen = Hashtbl.create 7 in
+    List.iter
+      (fun (v, _) ->
+        if Hashtbl.mem seen v then err line "duplicate case %d" v;
+        Hashtbl.replace seen v ())
+      cases;
+    if cases = [] && default = None then err line "empty switch";
+    ctx.switch_depth <- ctx.switch_depth + 1;
+    with_scope ctx (fun () ->
+        List.iter (fun (_, body) -> List.iter (check_stmt ctx) body) cases;
+        Option.iter (List.iter (check_stmt ctx)) default);
+    ctx.switch_depth <- ctx.switch_depth - 1
+  | Ast.Return e -> Option.iter (check_expr ctx) e
+  | Ast.Break ->
+    if ctx.loop_depth = 0 && ctx.switch_depth = 0 then
+      err line "break outside loop or switch"
+  | Ast.Continue -> if ctx.loop_depth = 0 then err line "continue outside loop"
+  | Ast.Expr e -> check_expr ctx e
+  | Ast.Assert (e, _) -> check_expr ctx e
+
+let check (p : Ast.program) : unit =
+  let funcs =
+    List.map (fun (f : Ast.func) -> (f.Ast.fname, List.length f.Ast.params)) p.Ast.funcs
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      if List.length (List.filter (fun (n, _) -> n = f.Ast.fname) funcs) > 1 then
+        err f.Ast.fline "duplicate function %s" f.Ast.fname;
+      if Ast.is_builtin f.Ast.fname then
+        err f.Ast.fline "%s is a builtin name" f.Ast.fname)
+    p.Ast.funcs;
+  let globals =
+    List.map (fun (g : Ast.global) -> (g.Ast.gname, g.Ast.gsize <> None)) p.Ast.globals
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      if List.length (List.filter (fun (n, _) -> n = g.Ast.gname) globals) > 1 then
+        err g.Ast.gline "duplicate global %s" g.Ast.gname;
+      match g.Ast.gsize with
+      | Some n when n <= 0 -> err g.Ast.gline "array %s has size %d" g.Ast.gname n
+      | _ -> ())
+    p.Ast.globals;
+  (match List.assoc_opt "main" funcs with
+  | None -> err 1 "no main function"
+  | Some 0 -> ()
+  | Some _ -> err 1 "main must take no parameters");
+  List.iter
+    (fun (f : Ast.func) ->
+      let ctx =
+        { funcs; globals; scopes = [ ref [] ]; loop_depth = 0;
+          switch_depth = 0 }
+      in
+      List.iter
+        (fun p ->
+          if in_scope ctx p then
+            err f.Ast.fline "duplicate parameter %s in %s" p f.Ast.fname;
+          declare ctx p)
+        f.Ast.params;
+      if List.length f.Ast.params > 5 then
+        err f.Ast.fline "%s: at most 5 parameters supported" f.Ast.fname;
+      List.iter (check_stmt ctx) f.Ast.body)
+    p.Ast.funcs

@@ -1,0 +1,99 @@
+(** Tokens of the mini-C surface language. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_GLOBAL
+  | KW_INT
+  | KW_FN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_ASSERT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | CARET
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | NOT
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_GLOBAL -> "global"
+  | KW_INT -> "int"
+  | KW_FN -> "fn"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_ASSERT -> "assert"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | PIPE -> "|"
+  | PIPEPIPE -> "||"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | NOT -> "!"
+  | EOF -> "<eof>"

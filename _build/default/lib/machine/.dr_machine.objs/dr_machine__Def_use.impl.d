@@ -1,0 +1,1 @@
+lib/machine/def_use.ml: Dr_isa Dr_util Event Instr Loc Reg

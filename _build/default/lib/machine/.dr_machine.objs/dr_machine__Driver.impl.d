@@ -1,0 +1,1 @@
+lib/machine/driver.ml: Array Event Format Machine Option Printf Random

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Dr_isa Dr_util Event Format Hashtbl Instr List Printf Program Random Reg

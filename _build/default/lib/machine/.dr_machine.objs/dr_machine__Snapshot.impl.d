@@ -1,0 +1,1 @@
+lib/machine/snapshot.ml: Array Dr_isa Dr_util Hashtbl List Machine Program

@@ -1,0 +1,100 @@
+(** Resolve the locations defined and used by a retired instruction.
+
+    This is the per-instruction def/use information of paper §3(i):
+    registers are thread-local locations, memory addresses (resolved
+    dynamically from the event) are global.
+
+    The stack and frame pointers are excluded from dependence tracking, as
+    in binary slicers: sp/fp updates would otherwise chain every stack
+    operation to every other.  The {e memory} traffic of push/pop remains
+    fully tracked (addresses are concrete in the trace), which is exactly
+    what creates the save/restore dependence chains that
+    {!Dr_slicing.Prune} removes (§5.2). *)
+
+open Dr_isa
+
+(** Appends the defs and uses of [ev] to the two vectors (they are not
+    cleared first).  Locations are {!Dr_isa.Loc} encodings. *)
+let collect (ev : Event.t) ~(defs : Dr_util.Vec.Int_vec.t)
+    ~(uses : Dr_util.Vec.Int_vec.t) : unit =
+  let tid = ev.Event.tid in
+  let tracked r = r <> Reg.sp && r <> Reg.fp in
+  let reg r = Loc.reg ~tid r in
+  let flags = Loc.flags ~tid in
+  let def l = Dr_util.Vec.Int_vec.push defs l in
+  let use l = Dr_util.Vec.Int_vec.push uses l in
+  let def_reg r = if tracked r then def (reg r) in
+  let use_reg r = if tracked r then use (reg r) in
+  let use_operand = function
+    | Instr.Reg r -> use_reg r
+    | Instr.Imm _ -> ()
+  in
+  let mem_read () = if ev.Event.mem_read >= 0 then use (Loc.mem ev.Event.mem_read) in
+  let mem_write () =
+    if ev.Event.mem_write >= 0 then def (Loc.mem ev.Event.mem_write)
+  in
+  match ev.Event.instr with
+  | Instr.Nop | Instr.Halt -> ()
+  | Instr.Mov (rd, op) ->
+    use_operand op;
+    def_reg rd
+  | Instr.Bin (_, rd, rs, op) ->
+    use_reg rs;
+    use_operand op;
+    def_reg rd
+  | Instr.Load (rd, rb, _) ->
+    use_reg rb;
+    mem_read ();
+    def_reg rd
+  | Instr.Store (rb, _, rs) ->
+    use_reg rb;
+    use_reg rs;
+    mem_write ()
+  | Instr.Push r ->
+    use_reg r;
+    mem_write ()
+  | Instr.Pop r ->
+    mem_read ();
+    def_reg r
+  | Instr.Cmp (r, op) ->
+    use_reg r;
+    use_operand op;
+    def flags
+  | Instr.Setcc (_, rd) ->
+    use flags;
+    def_reg rd
+  | Instr.Jmp _ -> ()
+  | Instr.Jcc _ -> use flags
+  | Instr.Jind r -> use_reg r
+  | Instr.Call _ -> mem_write ()
+  | Instr.Callind r ->
+    use_reg r;
+    mem_write ()
+  | Instr.Ret -> mem_read ()
+  | Instr.Assert (r, _) -> use_reg r
+  | Instr.Sys sys -> (
+    match sys with
+    | Instr.Exit -> use (reg Reg.r1)
+    | Instr.Print -> use (reg Reg.r1)
+    | Instr.Rand | Instr.Time | Instr.Read -> def (reg Reg.r0)
+    | Instr.Spawn ->
+      use (reg Reg.r1);
+      use (reg Reg.r2);
+      def (reg Reg.r0);
+      (* the child's argument register is written by the spawn: the
+         inter-thread dependence from parent arg to child body *)
+      (match ev.Event.sys with
+      | Event.Sys_spawn { child; _ } -> def (Loc.reg ~tid:child Reg.r1)
+      | _ -> ())
+    | Instr.Join ->
+      use (reg Reg.r1);
+      def (reg Reg.r0)
+    | Instr.Lock | Instr.Unlock -> use (reg Reg.r1)
+    | Instr.Yield -> ()
+    | Instr.Alloc ->
+      use (reg Reg.r1);
+      def (reg Reg.r0)
+    | Instr.Wait ->
+      use (reg Reg.r1);
+      use (reg Reg.r2)
+    | Instr.Signal | Instr.Broadcast -> use (reg Reg.r1))

@@ -1,0 +1,1 @@
+lib/maple/active.ml: Dr_isa Dr_machine Dr_pinplay Driver Iroot List Machine Profiler

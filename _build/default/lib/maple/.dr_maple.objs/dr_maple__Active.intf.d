@@ -1,0 +1,1 @@
+lib/maple/active.mli: Dr_isa Dr_machine Dr_pinplay Iroot

@@ -1,0 +1,1 @@
+lib/maple/iroot.mli: Format

@@ -1,0 +1,1 @@
+lib/maple/profiler.ml: Dr_isa Dr_machine Driver Event Hashtbl Iroot List Machine

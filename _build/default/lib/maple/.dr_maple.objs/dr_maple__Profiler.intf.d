@@ -1,0 +1,1 @@
+lib/maple/profiler.mli: Dr_isa Iroot

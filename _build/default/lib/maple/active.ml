@@ -1,0 +1,119 @@
+(** Maple's active scheduling phase, integrated with PinPlay logging
+    (paper §6, "Integration with Maple").
+
+    Given a candidate iRoot [pre -> post], the active scheduler controls
+    thread priorities to force the [pre] instruction to execute before a
+    thread poised at [post]: a thread whose next instruction is [post] is
+    held back (deprioritized) until some other thread has executed [pre];
+    then the waiting thread runs immediately, realizing the candidate
+    interleaving.  Runs happen {e under the PinPlay logger}, so the moment
+    an assertion fails the buggy execution is already captured in a
+    pinball ready for cyclic debugging — the integration the paper added
+    to Maple's sources.
+
+    A fairness bound keeps a candidate from starving: if only post-waiters
+    are runnable, one of them is released (that attempt then simply fails
+    to expose the ordering). *)
+
+open Dr_machine
+
+type attempt = {
+  iroot : Iroot.t;
+  realized : bool;  (** pre executed while a thread waited at post *)
+  stop : Driver.stop_reason;
+}
+
+type exposed = {
+  pinball : Dr_pinplay.Pinball.t;
+  failing_iroot : Iroot.t;
+  outcome : Machine.outcome;
+  attempts : attempt list;  (** all attempts, last one failing *)
+}
+
+(** A scheduling policy that tries to realize [iroot].  [realized] is set
+    when the forced ordering actually happened. *)
+let policy_for (iroot : Iroot.t) ~(realized : bool ref) : Driver.policy =
+  let pre_done = ref false in
+  let rr = ref 0 in
+  Driver.Custom
+    (fun m ~last ->
+      ignore last;
+      let n = Machine.num_threads m in
+      let runnable tid = (Machine.thread m tid).Machine.state = Machine.Runnable in
+      let next_pc tid = (Machine.thread m tid).Machine.pc in
+      let find p =
+        let found = ref None in
+        for k = 0 to n - 1 do
+          let tid = (!rr + k) mod n in
+          if !found = None && runnable tid && p tid then found := Some tid
+        done;
+        !found
+      in
+      let pick =
+        if not !pre_done then begin
+          match find (fun tid -> next_pc tid = iroot.Iroot.pre) with
+          | Some tid ->
+            (* someone is poised at pre: run it; if a post-waiter exists
+               the candidate ordering is realized *)
+            pre_done := true;
+            if find (fun t -> t <> tid && next_pc t = iroot.Iroot.post) <> None
+            then realized := true;
+            Some tid
+          | None -> (
+            (* hold back threads waiting at post *)
+            match find (fun tid -> next_pc tid <> iroot.Iroot.post) with
+            | Some tid -> Some tid
+            | None -> find (fun _ -> true) (* only post-waiters: release one *))
+        end
+        else begin
+          (* pre executed: give priority to post-waiters *)
+          match find (fun tid -> next_pc tid = iroot.Iroot.post) with
+          | Some tid -> Some tid
+          | None -> find (fun _ -> true)
+        end
+      in
+      (match pick with Some tid -> rr := tid | None -> ());
+      pick)
+
+(** Try to expose a bug by forcing [iroot]; the run is recorded by the
+    PinPlay logger from the start. *)
+let try_iroot ?(input = [||]) ?(max_steps = 2_000_000)
+    (prog : Dr_isa.Program.t) (iroot : Iroot.t) :
+    (Dr_pinplay.Pinball.t * Machine.outcome) option * attempt =
+  let realized = ref false in
+  let policy = policy_for iroot ~realized in
+  match Dr_pinplay.Logger.log ~policy ~input ~max_steps prog Dr_pinplay.Logger.Whole with
+  | Error _ ->
+    (None, { iroot; realized = !realized; stop = Driver.Deadlock })
+  | Ok (pinball, stats) -> (
+    let attempt = { iroot; realized = !realized; stop = stats.Dr_pinplay.Logger.stop } in
+    match stats.Dr_pinplay.Logger.stop with
+    | Driver.Terminated ((Machine.Assert_failed _ | Machine.Fault _) as o) ->
+      (Some (pinball, o), attempt)
+    | Driver.Deadlock -> (Some (pinball, Machine.Running), attempt)
+    | _ -> (None, attempt))
+
+(** Full Maple loop: profile, predict, and actively test candidates until
+    a bug is exposed (assertion failure, fault, or deadlock).  Returns the
+    recorded pinball of the first failing run. *)
+let expose ?seeds ?(input = [||]) ?(max_candidates = 64) ?max_steps
+    (prog : Dr_isa.Program.t) : exposed option =
+  let obs = Profiler.profile ?seeds ~input prog in
+  let attempts = ref [] in
+  let rec go = function
+    | [] -> None
+    | iroot :: rest -> (
+      match try_iroot ~input ?max_steps prog iroot with
+      | Some (pinball, outcome), attempt ->
+        attempts := attempt :: !attempts;
+        Some
+          { pinball; failing_iroot = iroot; outcome;
+            attempts = List.rev !attempts }
+      | None, attempt ->
+        attempts := attempt :: !attempts;
+        go rest)
+  in
+  let candidates =
+    List.filteri (fun i _ -> i < max_candidates) obs.Profiler.candidates
+  in
+  go candidates

@@ -1,0 +1,43 @@
+(** Maple's active scheduling phase, integrated with PinPlay logging
+    (paper §6, "Integration with Maple").
+
+    For a candidate iRoot [pre -> post], the scheduler holds back any
+    thread poised at [post] until another thread executes [pre], forcing
+    the untested ordering.  Runs happen under the PinPlay logger, so an
+    exposed failure is already captured in a replayable pinball. *)
+
+type attempt = {
+  iroot : Iroot.t;
+  realized : bool;  (** the forced ordering actually happened *)
+  stop : Dr_machine.Driver.stop_reason;
+}
+
+type exposed = {
+  pinball : Dr_pinplay.Pinball.t;  (** the recorded buggy execution *)
+  failing_iroot : Iroot.t;
+  outcome : Dr_machine.Machine.outcome;
+  attempts : attempt list;  (** all attempts, the failing one last *)
+}
+
+(** A scheduling policy that tries to realize [iroot]; sets [realized]
+    when the forced ordering occurs. *)
+val policy_for : Iroot.t -> realized:bool ref -> Dr_machine.Driver.policy
+
+(** One actively-scheduled, logger-recorded run forcing [iroot].  Returns
+    the pinball and outcome when the run failed (assert/fault/deadlock). *)
+val try_iroot :
+  ?input:int array ->
+  ?max_steps:int ->
+  Dr_isa.Program.t ->
+  Iroot.t ->
+  (Dr_pinplay.Pinball.t * Dr_machine.Machine.outcome) option * attempt
+
+(** The full Maple loop: profile, predict, actively test candidates until
+    a bug is exposed. *)
+val expose :
+  ?seeds:int list ->
+  ?input:int array ->
+  ?max_candidates:int ->
+  ?max_steps:int ->
+  Dr_isa.Program.t ->
+  exposed option

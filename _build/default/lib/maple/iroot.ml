@@ -1,0 +1,35 @@
+(** Inter-thread memory-dependency idioms ("iRoots"), after Maple [30].
+
+    An iRoot is an ordered pair of instructions from {e different} threads
+    that access the same shared memory location, at least one of them a
+    write.  The profiler records iRoots it observes; the predictor flips
+    them into untested candidate orderings for the active scheduler to
+    force. *)
+
+type idiom =
+  | RW  (** a read immediately before a remote write *)
+  | WR  (** a write immediately before a remote read *)
+  | WW  (** two remote writes *)
+
+type t = {
+  pre : int;  (** pc of the instruction that should execute first *)
+  post : int;  (** pc of the instruction that should follow, in another thread *)
+  idiom : idiom;
+}
+
+let idiom_name = function RW -> "RW" | WR -> "WR" | WW -> "WW"
+
+(** Flip the ordering of an iRoot: the candidate interleaving the paper's
+    Maple integration exposes ("if A-then-B was observed, try B-then-A"). *)
+let flip t =
+  let idiom = match t.idiom with RW -> WR | WR -> RW | WW -> WW in
+  { pre = t.post; post = t.pre; idiom }
+
+let compare a b = Stdlib.compare (a.pre, a.post, a.idiom) (b.pre, b.post, b.idiom)
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%d -> %d)" (idiom_name t.idiom) t.pre t.post
+
+let to_string t = Format.asprintf "%a" pp t

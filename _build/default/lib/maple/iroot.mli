@@ -1,0 +1,27 @@
+(** Inter-thread memory-dependency idioms ("iRoots"), after Maple [30]:
+    an ordered pair of instructions from different threads touching the
+    same shared location, at least one a write. *)
+
+type idiom =
+  | RW  (** a read immediately before a remote write *)
+  | WR  (** a write immediately before a remote read *)
+  | WW  (** two remote writes *)
+
+type t = {
+  pre : int;  (** pc of the instruction that should execute first *)
+  post : int;  (** pc of the following instruction, in another thread *)
+  idiom : idiom;
+}
+
+val idiom_name : idiom -> string
+
+(** The reversed ordering — the candidate interleaving to force. *)
+val flip : t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,62 @@
+(** Maple's profiling phase: observe inter-thread dependencies over a few
+    runs and predict untested candidate orderings. *)
+
+open Dr_machine
+
+type observation = {
+  observed : Iroot.t list;  (** iRoots seen in the profiled runs *)
+  candidates : Iroot.t list;  (** predicted orderings, not yet observed *)
+  runs : int;
+}
+
+(* per-address last-access state *)
+type access = { a_tid : int; a_pc : int; a_write : bool }
+
+let observe_run prog ~policy ~input (seen : (Iroot.t, unit) Hashtbl.t) :
+    unit =
+  let m = Machine.create ~input prog in
+  let last : (int, access) Hashtbl.t = Hashtbl.create 1024 in
+  let note ~tid ~pc ~write addr =
+    (match Hashtbl.find_opt last addr with
+    | Some prev when prev.a_tid <> tid && (prev.a_write || write) ->
+      let idiom =
+        match (prev.a_write, write) with
+        | false, true -> Iroot.RW
+        | true, false -> Iroot.WR
+        | true, true -> Iroot.WW
+        | false, false -> assert false
+      in
+      Hashtbl.replace seen { Iroot.pre = prev.a_pc; post = pc; idiom } ()
+    | _ -> ());
+    Hashtbl.replace last addr { a_tid = tid; a_pc = pc; a_write = write }
+  in
+  let on_event (ev : Event.t) =
+    if ev.Event.mem_read >= 0 then
+      note ~tid:ev.Event.tid ~pc:ev.Event.pc ~write:false ev.Event.mem_read;
+    if ev.Event.mem_write >= 0 then
+      note ~tid:ev.Event.tid ~pc:ev.Event.pc ~write:true ev.Event.mem_write
+  in
+  ignore
+    (Driver.run ~hooks:{ Driver.on_event } ~max_steps:2_000_000 m policy)
+
+(** Profile [prog] under several seeded schedules; candidates are the
+    flips of observed iRoots that were never themselves observed. *)
+let profile ?(seeds = [ 1; 2; 3; 4 ]) ?(input = [||]) ?(max_quantum = 6)
+    (prog : Dr_isa.Program.t) : observation =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun seed ->
+      observe_run prog
+        ~policy:(Driver.Seeded { seed; max_quantum })
+        ~input seen)
+    seeds;
+  let observed = Hashtbl.fold (fun ir () acc -> ir :: acc) seen [] in
+  let candidates =
+    observed
+    |> List.map Iroot.flip
+    |> List.filter (fun ir -> not (Hashtbl.mem seen ir))
+    |> List.sort_uniq Iroot.compare
+  in
+  { observed = List.sort_uniq Iroot.compare observed;
+    candidates;
+    runs = List.length seeds }

@@ -1,0 +1,16 @@
+(** Maple's profiling phase: observe inter-thread memory dependencies
+    over a few seeded runs and predict untested candidate orderings (the
+    flips of observed iRoots). *)
+
+type observation = {
+  observed : Iroot.t list;  (** iRoots seen in the profiled runs *)
+  candidates : Iroot.t list;  (** predicted orderings, never observed *)
+  runs : int;
+}
+
+val profile :
+  ?seeds:int list ->
+  ?input:int array ->
+  ?max_quantum:int ->
+  Dr_isa.Program.t ->
+  observation

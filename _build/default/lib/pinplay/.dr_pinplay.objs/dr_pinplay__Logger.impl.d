@@ -1,0 +1,1 @@
+lib/pinplay/logger.ml: Dr_isa Dr_machine Dr_util Driver Event Format Machine Pinball Snapshot

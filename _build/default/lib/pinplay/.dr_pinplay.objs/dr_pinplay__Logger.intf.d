@@ -1,0 +1,1 @@
+lib/pinplay/logger.mli: Dr_isa Dr_machine Format Pinball

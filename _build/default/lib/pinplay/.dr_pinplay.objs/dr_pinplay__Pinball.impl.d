@@ -1,0 +1,1 @@
+lib/pinplay/pinball.ml: Array Dr_machine Dr_util Fun String

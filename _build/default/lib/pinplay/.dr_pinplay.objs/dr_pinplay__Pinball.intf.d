@@ -1,0 +1,1 @@
+lib/pinplay/pinball.mli: Dr_machine Dr_util

@@ -1,0 +1,1 @@
+lib/pinplay/relogger.ml: Array Dr_isa Dr_machine Dr_util Driver Event Hashtbl List Machine Option Pinball Printf Replayer

@@ -1,0 +1,1 @@
+lib/pinplay/relogger.mli: Dr_isa Pinball

@@ -1,0 +1,1 @@
+lib/pinplay/replayer.ml: Array Dr_isa Dr_machine Driver List Machine Pinball Snapshot

@@ -1,0 +1,1 @@
+lib/pinplay/replayer.mli: Dr_isa Dr_machine Pinball

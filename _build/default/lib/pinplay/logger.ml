@@ -1,0 +1,116 @@
+(** The PinPlay logger: fast-forward to a region, snapshot the
+    architectural state, then record every source of non-determinism
+    (thread schedule, syscall results) until the region ends.
+
+    As in the paper, regions on the main thread are specified by [skip]
+    and [length] in retired instructions, or by a predicate ("until the
+    assertion fails").  Fast-forwarding runs without instrumentation
+    ("Pin-only speed"); the reported [log_time] covers only the region. *)
+
+open Dr_machine
+
+type spec =
+  | Skip_length of { skip : int; length : int }
+      (** capture [length] main-thread instructions after skipping [skip] *)
+  | Skip_until of { skip : int; until : Event.t -> bool }
+      (** capture from [skip] until the predicate fires (inclusive) *)
+  | Whole
+      (** capture from program start to termination *)
+
+type stats = {
+  ff_time : float;  (** fast-forward wall-clock seconds *)
+  log_time : float;  (** logging wall-clock seconds *)
+  pinball_bytes : int;
+  region_instructions : int;  (** retired instructions, all threads *)
+  main_instructions : int;  (** retired instructions, main thread *)
+  stop : Driver.stop_reason;  (** why the region ended *)
+}
+
+type error =
+  | Terminated_before_region of Machine.outcome
+  | Deadlock_before_region
+
+let pp_error fmt = function
+  | Terminated_before_region o ->
+    Format.fprintf fmt "program ended before the region: %a" Machine.pp_outcome o
+  | Deadlock_before_region -> Format.pp_print_string fmt "deadlock before the region"
+
+(** Log a region of [prog]'s execution under the given schedule [policy]
+    (default: a seeded pseudo-random schedule, the "native" run). *)
+let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
+    ?(input = [||]) ?nondet_seed ?(max_steps = max_int)
+    (prog : Dr_isa.Program.t) (spec : spec) : (Pinball.t * stats, error) result
+    =
+  let m = Machine.create ~input prog in
+  let nondet = Machine.native_nondet ?seed:nondet_seed m in
+  let session = Driver.session ~nondet m policy in
+  let skip = match spec with
+    | Skip_length { skip; _ } -> skip
+    | Skip_until { skip; _ } -> skip
+    | Whole -> 0
+  in
+  (* Phase 1: fast-forward to the region start (minimal instrumentation). *)
+  let ff_t0 = Dr_util.Timer.now () in
+  let ff_ok =
+    if skip = 0 then true
+    else begin
+      let reason =
+        Driver.resume session ~max_steps
+          ~stop_when:(fun ev ->
+            ev.Event.tid = 0 && (Machine.thread m 0).Machine.icount >= skip)
+      in
+      match reason with Driver.Stop_requested -> true | _ -> false
+    end
+  in
+  let ff_time = Dr_util.Timer.now () -. ff_t0 in
+  if not ff_ok then
+    Error
+      (match Machine.outcome m with
+      | Machine.Running -> Deadlock_before_region
+      | o -> Terminated_before_region o)
+  else begin
+    (* Phase 2: snapshot + logged execution. *)
+    let snapshot = Snapshot.capture m in
+    let main_start = (Machine.thread m 0).Machine.icount in
+    let total_start = Machine.total_icount m in
+    let schedule = Dr_util.Vec.create ~dummy:(0, 0) in
+    let syscalls = Dr_util.Vec.Int_vec.create () in
+    let on_event (ev : Event.t) =
+      let n = Dr_util.Vec.length schedule in
+      (if n > 0 && fst (Dr_util.Vec.get schedule (n - 1)) = ev.Event.tid then
+         let tid, c = Dr_util.Vec.get schedule (n - 1) in
+         Dr_util.Vec.set schedule (n - 1) (tid, c + 1)
+       else Dr_util.Vec.push schedule (ev.Event.tid, 1));
+      match ev.Event.sys with
+      | Event.Sys_nondet { result; _ } -> Dr_util.Vec.Int_vec.push syscalls result
+      | _ -> ()
+    in
+    let stop_when =
+      match spec with
+      | Skip_length { length; _ } ->
+        fun (ev : Event.t) ->
+          ev.Event.tid = 0
+          && (Machine.thread m 0).Machine.icount - main_start >= length
+      | Skip_until { until; _ } -> until
+      | Whole -> fun _ -> false
+    in
+    let log_t0 = Dr_util.Timer.now () in
+    let stop =
+      Driver.resume session ~max_steps ~hooks:{ Driver.on_event } ~stop_when
+    in
+    let log_time = Dr_util.Timer.now () -. log_t0 in
+    let main_instructions = (Machine.thread m 0).Machine.icount - main_start in
+    let region_instructions = Machine.total_icount m - total_start in
+    let pinball =
+      Pinball.make_region ~program_name:prog.Dr_isa.Program.name
+        ~region:{ Pinball.skip; length = main_instructions }
+        ~snapshot
+        ~schedule:(Dr_util.Vec.to_array schedule)
+        ~syscalls:(Dr_util.Vec.Int_vec.to_array syscalls)
+    in
+    let stats =
+      { ff_time; log_time; pinball_bytes = Pinball.size_bytes pinball;
+        region_instructions; main_instructions; stop }
+    in
+    Ok (pinball, stats)
+  end

@@ -1,0 +1,180 @@
+(** The pinball: a self-contained, portable capture of an execution
+    region (paper §1).
+
+    A {e region pinball} holds the initial architectural state (snapshot)
+    plus the two non-deterministic inputs of a run: the thread schedule
+    (RLE of retired-instruction slices) and the results of
+    rand/time/read syscalls, in consumption order.  Replaying a pinball
+    reproduces the region exactly, any number of times.
+
+    A {e slice pinball} (paper §4) additionally carries the per-event
+    stream of an execution slice: [Step] events for the instructions that
+    belong to the slice and [Inject] events that restore the side effects
+    of skipped code regions.  Its [schedule]/[syscalls] cover only the
+    included instructions. *)
+
+type kind = Region | Slice
+
+type region_spec = {
+  skip : int;  (** main-thread instructions skipped before the region *)
+  length : int;  (** main-thread instructions captured *)
+}
+
+(** Side effects of one excluded code region, to be injected when the
+    region is skipped during slice replay. *)
+type injection = {
+  inj_tid : int;
+  inj_mem : (int * int) list;  (** (address, final value) *)
+  inj_regs : (int * int) list;  (** (register index incl. flags, final value) *)
+}
+
+type slice_event =
+  | Step of { tid : int; pc : int }  (** execute one included instruction *)
+  | Inject of int  (** apply [injections.(i)] *)
+
+type t = {
+  program_name : string;
+  kind : kind;
+  region : region_spec;
+  snapshot : Dr_machine.Snapshot.t;
+  schedule : (int * int) array;  (** RLE: (tid, retired count) *)
+  syscalls : int array;  (** nondet results in consumption order *)
+  injections : injection array;
+  slice_events : slice_event array;  (** empty for region pinballs *)
+}
+
+let make_region ~program_name ~region ~snapshot ~schedule ~syscalls =
+  { program_name; kind = Region; region; snapshot; schedule; syscalls;
+    injections = [||]; slice_events = [||] }
+
+(** Total retired instructions across all threads in the captured region. *)
+let schedule_instructions t =
+  Array.fold_left (fun acc (_, n) -> acc + n) 0 t.schedule
+
+(** Number of instructions a slice pinball actually executes. *)
+let step_count t =
+  match t.kind with
+  | Region -> schedule_instructions t
+  | Slice ->
+    Array.fold_left
+      (fun acc e -> match e with Step _ -> acc + 1 | Inject _ -> acc)
+      0 t.slice_events
+
+(* ---- serialization ---- *)
+
+let magic = "DRPB1"
+
+let encode e (t : t) =
+  let open Dr_util.Codec in
+  put_string e magic;
+  put_string e t.program_name;
+  put_uint e (match t.kind with Region -> 0 | Slice -> 1);
+  put_uint e t.region.skip;
+  put_uint e t.region.length;
+  Dr_machine.Snapshot.encode e t.snapshot;
+  put_uint e (Array.length t.schedule);
+  Array.iter
+    (fun (tid, n) ->
+      put_uint e tid;
+      put_uint e n)
+    t.schedule;
+  put_int_array e t.syscalls;
+  put_uint e (Array.length t.injections);
+  Array.iter
+    (fun inj ->
+      put_uint e inj.inj_tid;
+      put_list e
+        (fun e (a, v) ->
+          put_uint e a;
+          put_int e v)
+        inj.inj_mem;
+      put_list e
+        (fun e (r, v) ->
+          put_uint e r;
+          put_int e v)
+        inj.inj_regs)
+    t.injections;
+  put_uint e (Array.length t.slice_events);
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Step { tid; pc } ->
+        put_uint e 0;
+        put_uint e tid;
+        put_uint e pc
+      | Inject i ->
+        put_uint e 1;
+        put_uint e i)
+    t.slice_events
+
+let decode d : t =
+  let open Dr_util.Codec in
+  let m = get_string d in
+  if m <> magic then raise (Corrupt "bad pinball magic");
+  let program_name = get_string d in
+  let kind = match get_uint d with 0 -> Region | 1 -> Slice | _ -> raise (Corrupt "kind") in
+  let skip = get_uint d in
+  let length = get_uint d in
+  let snapshot = Dr_machine.Snapshot.decode d in
+  let nsched = get_uint d in
+  let schedule =
+    Array.init nsched (fun _ ->
+        let tid = get_uint d in
+        let n = get_uint d in
+        (tid, n))
+  in
+  let syscalls = get_int_array d in
+  let ninj = get_uint d in
+  let injections =
+    Array.init ninj (fun _ ->
+        let inj_tid = get_uint d in
+        let inj_mem =
+          get_list d (fun d ->
+              let a = get_uint d in
+              let v = get_int d in
+              (a, v))
+        in
+        let inj_regs =
+          get_list d (fun d ->
+              let r = get_uint d in
+              let v = get_int d in
+              (r, v))
+        in
+        { inj_tid; inj_mem; inj_regs })
+  in
+  let nev = get_uint d in
+  let slice_events =
+    Array.init nev (fun _ ->
+        match get_uint d with
+        | 0 ->
+          let tid = get_uint d in
+          let pc = get_uint d in
+          Step { tid; pc }
+        | 1 -> Inject (get_uint d)
+        | _ -> raise (Corrupt "slice event"))
+  in
+  { program_name; kind; region = { skip; length }; snapshot; schedule;
+    syscalls; injections; slice_events }
+
+let to_bytes t =
+  let e = Dr_util.Codec.encoder () in
+  encode e t;
+  Dr_util.Codec.to_string e
+
+let of_bytes s = decode (Dr_util.Codec.decoder s)
+
+(** On-disk size in bytes of the serialized pinball — the paper's "Space"
+    column. *)
+let size_bytes t = String.length (to_bytes t)
+
+let save_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes t))
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))

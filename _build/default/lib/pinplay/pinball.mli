@@ -1,0 +1,70 @@
+(** The pinball: a self-contained, portable capture of an execution
+    region (paper §1, §2).
+
+    A {e region pinball} holds the initial architectural state plus the
+    two non-deterministic inputs of a run (thread schedule, syscall
+    results); a {e slice pinball} (§4) additionally carries the event
+    stream of an execution slice with side-effect injections.  Pinballs
+    serialize to a compact binary format and can be shipped between
+    machines: replaying one reproduces the region exactly. *)
+
+type kind = Region | Slice
+
+type region_spec = {
+  skip : int;  (** main-thread instructions skipped before the region *)
+  length : int;  (** main-thread instructions captured *)
+}
+
+(** Side effects of one excluded code region, injected during slice
+    replay. *)
+type injection = {
+  inj_tid : int;
+  inj_mem : (int * int) list;  (** (address, final value) *)
+  inj_regs : (int * int) list;  (** (register index incl. flags, final value) *)
+}
+
+type slice_event =
+  | Step of { tid : int; pc : int }  (** execute one included instruction *)
+  | Inject of int  (** apply [injections.(i)] *)
+
+type t = {
+  program_name : string;
+  kind : kind;
+  region : region_spec;
+  snapshot : Dr_machine.Snapshot.t;
+  schedule : (int * int) array;  (** RLE: (tid, retired count) *)
+  syscalls : int array;  (** nondet results in consumption order *)
+  injections : injection array;
+  slice_events : slice_event array;  (** empty for region pinballs *)
+}
+
+val make_region :
+  program_name:string ->
+  region:region_spec ->
+  snapshot:Dr_machine.Snapshot.t ->
+  schedule:(int * int) array ->
+  syscalls:int array ->
+  t
+
+(** Total retired instructions across all threads in the captured region. *)
+val schedule_instructions : t -> int
+
+(** Number of instructions a slice pinball actually executes (for region
+    pinballs, same as {!schedule_instructions}). *)
+val step_count : t -> int
+
+val encode : Dr_util.Codec.encoder -> t -> unit
+
+(** @raise Dr_util.Codec.Corrupt on malformed input. *)
+val decode : Dr_util.Codec.decoder -> t
+
+val to_bytes : t -> string
+
+val of_bytes : string -> t
+
+(** Serialized size in bytes — the paper's "Space" columns. *)
+val size_bytes : t -> int
+
+val save_file : string -> t -> unit
+
+val load_file : string -> t

@@ -1,0 +1,35 @@
+(** The PinPlay relogger: replay a region pinball while {e excluding} code
+    regions, producing a slice pinball (paper §4, Fig. 4b).
+
+    While a thread's exclusion flag is on, side-effect detection records
+    the memory cells and registers the excluded code modifies; when it
+    turns off, an injection record restoring those values is emitted —
+    the same mechanism PinPlay uses for system-call side effects. *)
+
+(** The exclusion set is not replayable as-is: it covers a
+    synchronization instruction (spawn/join/lock/unlock/exit/alloc) or a
+    thread-final return, whose effects cannot be expressed as
+    memory/register injections. *)
+exception Relog_error of string
+
+(** One per-thread exclusion region
+    [[startPc:sinstance, endPc:einstance)]: the start instruction is the
+    first excluded, the end instruction the first included again.
+    Instances are 1-based per (thread, pc), counted from the region
+    start. *)
+type exclusion = {
+  x_tid : int;
+  x_start_pc : int;
+  x_start_instance : int;
+  x_end : (int * int) option;  (** [None] = excluded through region end *)
+}
+
+(** Replay [pinball] (a region pinball) and produce the slice pinball
+    that skips the given exclusion regions.  Each thread's exclusions
+    must be given in region order, non-overlapping.
+    @raise Relog_error per the exception's documentation. *)
+val relog :
+  Dr_isa.Program.t ->
+  Pinball.t ->
+  exclusions:exclusion list ->
+  Pinball.t

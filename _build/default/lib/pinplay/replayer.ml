@@ -1,0 +1,109 @@
+(** The PinPlay replayer: deterministically re-execute a region pinball.
+
+    The replayer restores the snapshot, drives threads with the recorded
+    schedule, and feeds syscall results from the log.  Any analysis
+    (slicing, relogging) and any debugger interaction attaches to the
+    replay via hooks and breakpoints — replaying the same pinball always
+    reproduces the same events. *)
+
+open Dr_machine
+
+exception Divergence of string
+
+type t = {
+  machine : Machine.t;
+  pinball : Pinball.t;
+  session : Driver.session;
+  syscall_pos : int ref;
+  mutable steps : int;  (** retired instructions since the region start *)
+}
+
+(** A mid-replay checkpoint: enough state to resume the {e same} replay
+    from this point without re-executing the prefix.  This is the
+    "user-level check-pointing" the paper's related-work section proposes
+    for reverse debugging (§8). *)
+type checkpoint = {
+  c_snapshot : Snapshot.t;
+  c_steps : int;
+  c_syscall_pos : int;
+}
+
+(** A nondet source that feeds results from a recorded syscall log. *)
+let log_nondet (syscalls : int array) (pos : int ref) : Machine.nondet =
+  fun _kind ->
+    if !pos >= Array.length syscalls then
+      raise (Divergence "syscall log exhausted")
+    else begin
+      let v = syscalls.(!pos) in
+      incr pos;
+      v
+    end
+
+(* the RLE schedule with its first [n] retired instructions consumed *)
+let schedule_suffix (schedule : (int * int) array) n =
+  let remaining = ref n in
+  let out = ref [] in
+  Array.iter
+    (fun (tid, cnt) ->
+      if !remaining >= cnt then remaining := !remaining - cnt
+      else if !remaining > 0 then begin
+        out := (tid, cnt - !remaining) :: !out;
+        remaining := 0
+      end
+      else out := (tid, cnt) :: !out)
+    schedule;
+  Array.of_list (List.rev !out)
+
+(** Create a replayer for a region pinball, optionally resuming [from] a
+    checkpoint taken on an earlier replay of the {e same} pinball. *)
+let create ?(from : checkpoint option) (prog : Dr_isa.Program.t)
+    (pinball : Pinball.t) : t =
+  if pinball.Pinball.kind <> Pinball.Region then
+    invalid_arg "Replayer.create: slice pinballs replay via Dr_exeslice";
+  let snapshot, steps, sys0 =
+    match from with
+    | None -> (pinball.Pinball.snapshot, 0, 0)
+    | Some c -> (c.c_snapshot, c.c_steps, c.c_syscall_pos)
+  in
+  let machine = Snapshot.restore prog snapshot in
+  let syscall_pos = ref sys0 in
+  let nondet = log_nondet pinball.Pinball.syscalls syscall_pos in
+  let schedule = schedule_suffix pinball.Pinball.schedule steps in
+  let session = Driver.session ~nondet machine (Driver.Scripted schedule) in
+  { machine; pinball; session; syscall_pos; steps }
+
+let machine t = t.machine
+
+let steps t = t.steps
+
+(** Capture a checkpoint at the current replay position (must be between
+    instructions, i.e. not from inside a hook that mutates state). *)
+let checkpoint (t : t) : checkpoint =
+  { c_snapshot = Snapshot.capture t.machine; c_steps = t.steps;
+    c_syscall_pos = !(t.syscall_pos) }
+
+(** Resume replay until a stop condition (breakpoint, predicate,
+    [max_steps]) or the end of the recorded region ([Schedule_end]). *)
+let resume ?hooks ?max_steps ?break_at ?stop_when (t : t) : Driver.stop_reason
+    =
+  let user_on_event =
+    match hooks with Some h -> h.Driver.on_event | None -> fun _ -> ()
+  in
+  let hooks =
+    { Driver.on_event =
+        (fun ev ->
+          t.steps <- t.steps + 1;
+          user_on_event ev) }
+  in
+  try Driver.resume ~hooks ?max_steps ?break_at ?stop_when t.session
+  with Driver.Replay_divergence msg -> raise (Divergence msg)
+
+(** Replay the whole region in one go. *)
+let run ?hooks (t : t) : Driver.stop_reason = resume ?hooks t
+
+(** Convenience: replay a pinball against [prog] and return the machine's
+    final state together with the stop reason. *)
+let replay ?hooks prog pinball =
+  let t = create prog pinball in
+  let reason = run ?hooks t in
+  (t.machine, reason)

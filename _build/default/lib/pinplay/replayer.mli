@@ -1,0 +1,66 @@
+(** The PinPlay replayer: deterministically re-execute a region pinball
+    (paper Fig. 2, phase 2).
+
+    Replays restore the snapshot, drive threads with the recorded
+    schedule, and feed syscall results from the log; hooks, breakpoints
+    and step budgets attach any analysis or debugger interaction.
+    Replaying the same pinball always reproduces the same events — the
+    repeatability guarantee every other component builds on. *)
+
+(** The pinball does not match the execution (wrong program build, or a
+    corrupted log). *)
+exception Divergence of string
+
+type t
+
+(** A mid-replay checkpoint: enough state to resume the {e same} replay
+    from this point without re-executing the prefix — the substrate for
+    reverse debugging (paper §8). *)
+type checkpoint = {
+  c_snapshot : Dr_machine.Snapshot.t;
+  c_steps : int;
+  c_syscall_pos : int;
+}
+
+(** A nondet source feeding results from a recorded syscall log; exposed
+    for slice replay. *)
+val log_nondet : int array -> int ref -> Dr_machine.Machine.nondet
+
+(** The RLE schedule with its first [n] retired instructions consumed. *)
+val schedule_suffix : (int * int) array -> int -> (int * int) array
+
+(** Create a replayer for a region pinball, optionally resuming [from] a
+    checkpoint taken on an earlier replay of the {e same} pinball.
+    @raise Invalid_argument on slice pinballs (those replay via
+    [Dr_exeslice.Slice_replay]). *)
+val create : ?from:checkpoint -> Dr_isa.Program.t -> Pinball.t -> t
+
+val machine : t -> Dr_machine.Machine.t
+
+(** Retired instructions since the region start. *)
+val steps : t -> int
+
+(** Capture a checkpoint at the current (between-instructions) position. *)
+val checkpoint : t -> checkpoint
+
+(** Resume replay until a stop condition (breakpoint, predicate,
+    [max_steps]) or the end of the recorded region ([Schedule_end]).
+    @raise Divergence if the pinball does not match the program. *)
+val resume :
+  ?hooks:Dr_machine.Driver.hooks ->
+  ?max_steps:int ->
+  ?break_at:(tid:int -> pc:int -> bool) ->
+  ?stop_when:(Dr_machine.Event.t -> bool) ->
+  t ->
+  Dr_machine.Driver.stop_reason
+
+(** Replay the whole region in one go. *)
+val run : ?hooks:Dr_machine.Driver.hooks -> t -> Dr_machine.Driver.stop_reason
+
+(** Convenience: replay a pinball against [prog], returning the final
+    machine and the stop reason. *)
+val replay :
+  ?hooks:Dr_machine.Driver.hooks ->
+  Dr_isa.Program.t ->
+  Pinball.t ->
+  Dr_machine.Machine.t * Dr_machine.Driver.stop_reason

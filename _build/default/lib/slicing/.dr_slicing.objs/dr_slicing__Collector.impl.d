@@ -1,0 +1,1 @@
+lib/slicing/collector.ml: Array Def_use Dr_cfg Dr_isa Dr_machine Dr_pinplay Dr_util Driver Event Hashtbl List Machine Option Prune Trace

@@ -1,0 +1,1 @@
+lib/slicing/collector.mli: Dr_cfg Dr_isa Dr_pinplay Hashtbl Prune Trace

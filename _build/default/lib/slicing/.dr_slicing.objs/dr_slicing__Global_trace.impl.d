@@ -1,0 +1,1 @@
+lib/slicing/global_trace.ml: Array Collector Option Printf Trace

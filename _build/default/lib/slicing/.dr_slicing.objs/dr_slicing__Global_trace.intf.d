@@ -1,0 +1,1 @@
+lib/slicing/global_trace.mli: Collector Trace

@@ -1,0 +1,1 @@
+lib/slicing/lp.ml: Array Dr_util Global_trace Hashtbl Trace

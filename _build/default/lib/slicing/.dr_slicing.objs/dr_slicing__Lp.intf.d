@@ -1,0 +1,1 @@
+lib/slicing/lp.mli: Global_trace Hashtbl

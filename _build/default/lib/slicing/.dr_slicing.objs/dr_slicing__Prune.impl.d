@@ -1,0 +1,1 @@
+lib/slicing/prune.ml: Array Dr_isa Hashtbl Instr List Program Reg

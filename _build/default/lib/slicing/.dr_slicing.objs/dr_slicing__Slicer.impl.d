@@ -1,0 +1,1 @@
+lib/slicing/slicer.ml: Array Dr_isa Dr_util Format Fun Global_trace Hashtbl List Lp Printf Prune String Trace

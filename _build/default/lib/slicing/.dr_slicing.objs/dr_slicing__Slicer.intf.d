@@ -1,0 +1,1 @@
+lib/slicing/slicer.mli: Format Global_trace Lp Prune

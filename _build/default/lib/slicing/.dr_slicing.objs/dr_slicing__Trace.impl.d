@@ -1,0 +1,1 @@
+lib/slicing/trace.ml: Array Dr_isa Format String

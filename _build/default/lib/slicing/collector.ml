@@ -1,0 +1,241 @@
+(** Trace collection during deterministic replay (paper §3(i), §5).
+
+    The collector attaches to a {!Dr_pinplay.Replayer} run of a region
+    pinball and records, per retired instruction:
+
+    - the locations defined and used (registers thread-local, memory
+      global),
+    - the dynamic control dependence, via the online Xin–Zhang algorithm
+      driven by immediate post-dominators from {!Dr_cfg.Cfg},
+    - shared-memory access-order edges between threads (RAW/WAW/WAR),
+      needed to construct the combined global trace,
+    - dynamically observed indirect-jump targets (for CFG refinement),
+    - dynamically confirmed save/restore pairs (for spurious-dependence
+      pruning).
+
+    Because replay is deterministic, collection can run in two passes:
+    pass 1 gathers indirect-jump targets, the CFG is refined, and pass 2
+    collects the trace with precise control dependences (the [refine]
+    flag; §5.1). *)
+
+open Dr_machine
+
+type result = {
+  records : Trace.record array;  (** indexed by gseq = execution order *)
+  per_thread : int array array;  (** tid -> gseqs in program order *)
+  order_edges : (int * int) array;  (** (earlier gseq, later gseq) cross-thread *)
+  indirect_targets : (int * int list) list;
+  pairs : Prune.pairs;
+  cfg : Dr_cfg.Cfg.t;  (** the CFG used in the final pass *)
+  collect_time : float;  (** wall-clock seconds for trace collection *)
+}
+
+(* per-thread control-dependence stack entry *)
+type cd_entry = { branch_gseq : int; ipdom_pc : int; cd_depth : int }
+(* ipdom_pc = -1 means "pops at function return" *)
+
+type thread_cd = {
+  mutable stack : cd_entry list;
+  mutable depth : int;
+}
+
+(* per-address access-order state *)
+type addr_state = {
+  mutable last_writer : int;  (** gseq, -1 if none *)
+  mutable last_writer_tid : int;
+  mutable readers : (int * int) list;  (** (gseq, tid) since last write *)
+}
+
+let collect_indirect_targets prog pinball : (int, int list) Hashtbl.t =
+  let targets = Hashtbl.create 32 in
+  let on_event (ev : Event.t) =
+    match ev.Event.instr with
+    | Dr_isa.Instr.Jind _ | Dr_isa.Instr.Callind _ ->
+      let pc = ev.Event.pc in
+      let old = Option.value ~default:[] (Hashtbl.find_opt targets pc) in
+      if not (List.mem ev.Event.next_pc old) then
+        Hashtbl.replace targets pc (ev.Event.next_pc :: old)
+    | _ -> ()
+  in
+  let replayer = Dr_pinplay.Replayer.create prog pinball in
+  ignore (Dr_pinplay.Replayer.resume ~hooks:{ Driver.on_event } replayer);
+  targets
+
+(** Collect the full region trace.  [refine] (default true) enables the
+    two-pass CFG refinement of §5.1; [max_save] is the save/restore
+    candidate window of §5.2. *)
+let collect ?(refine = true) ?(max_save = Prune.default_max_save)
+    (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t) : result =
+  let indirect_tbl =
+    if refine then collect_indirect_targets prog pinball else Hashtbl.create 1
+  in
+  let indirect_targets =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) indirect_tbl []
+  in
+  let cfg = Dr_cfg.Cfg.build ~indirect_targets prog in
+  let cands = Prune.static_candidates ~max_save prog ~functions:(Dr_cfg.Cfg.functions cfg) in
+  let prune_state = Prune.create_state cands in
+  (* line table cache *)
+  let nline = Array.length prog.Dr_isa.Program.code in
+  let line_of_pc =
+    Array.init nline (fun pc ->
+        Option.value ~default:(-1)
+          (Dr_isa.Debug_info.line_of_pc prog.Dr_isa.Program.debug pc))
+  in
+  let records = Dr_util.Vec.create ~dummy:Trace.dummy in
+  let per_thread = Hashtbl.create 8 in
+  let order_edges = Dr_util.Vec.create ~dummy:(0, 0) in
+  let cd_threads = Hashtbl.create 8 in
+  let addr_states : (int, addr_state) Hashtbl.t = Hashtbl.create 4096 in
+  let instance_counts = Hashtbl.create 4096 in
+  let scratch_defs = Dr_util.Vec.Int_vec.create () in
+  let scratch_uses = Dr_util.Vec.Int_vec.create () in
+  let thread_cd tid =
+    match Hashtbl.find_opt cd_threads tid with
+    | Some t -> t
+    | None ->
+      let t = { stack = []; depth = 0 } in
+      Hashtbl.replace cd_threads tid t;
+      t
+  in
+  let thread_gseqs tid =
+    match Hashtbl.find_opt per_thread tid with
+    | Some v -> v
+    | None ->
+      let v = Dr_util.Vec.Int_vec.create () in
+      Hashtbl.replace per_thread tid v;
+      v
+  in
+  let on_event (ev : Event.t) =
+    let tid = ev.Event.tid and pc = ev.Event.pc in
+    let gseq = Dr_util.Vec.length records in
+    let cd_st = thread_cd tid in
+    (* 1. close control-dependence regions ending at this pc *)
+    let rec pop_ipdoms () =
+      match cd_st.stack with
+      | e :: rest when e.cd_depth = cd_st.depth && e.ipdom_pc = pc ->
+        cd_st.stack <- rest;
+        pop_ipdoms ()
+      | _ -> ()
+    in
+    pop_ipdoms ();
+    (* 2. current control dependence *)
+    let cd = match cd_st.stack with e :: _ -> e.branch_gseq | [] -> -1 in
+    (* 3. def/use *)
+    Dr_util.Vec.Int_vec.clear scratch_defs;
+    Dr_util.Vec.Int_vec.clear scratch_uses;
+    Def_use.collect ev ~defs:scratch_defs ~uses:scratch_uses;
+    let defs = Dr_util.Vec.Int_vec.to_array scratch_defs in
+    let uses = Dr_util.Vec.Int_vec.to_array scratch_uses in
+    (* 4. flags and instance *)
+    let instr = ev.Event.instr in
+    let is_final_ret =
+      instr = Dr_isa.Instr.Ret && ev.Event.mem_read_value = Machine.ret_sentinel
+    in
+    let flags =
+      (match ev.Event.sys with
+      | Event.Sys_spawn _ | Event.Sys_join _ | Event.Sys_lock _
+      | Event.Sys_unlock _ | Event.Sys_exit _ | Event.Sys_alloc _
+      | Event.Sys_wait _ | Event.Sys_signal _ ->
+        Trace.flag_sync
+      | Event.Sys_nondet _ -> Trace.flag_nondet
+      | _ -> 0)
+      lor (if is_final_ret then Trace.flag_final_ret lor Trace.flag_sync else 0)
+      lor (if Dr_isa.Instr.is_branch instr then Trace.flag_branch else 0)
+      lor (if ev.Event.mem_read >= 0 then Trace.flag_load else 0)
+      lor if ev.Event.mem_write >= 0 then Trace.flag_store else 0
+    in
+    let key = (tid lsl 32) lor pc in
+    let instance =
+      let i = 1 + Option.value ~default:0 (Hashtbl.find_opt instance_counts key) in
+      Hashtbl.replace instance_counts key i;
+      i
+    in
+    let record =
+      { Trace.gseq; tid; pc; instance;
+        lidx = Dr_util.Vec.Int_vec.length (thread_gseqs tid);
+        defs; uses; cd; flags;
+        line = (if pc < nline then line_of_pc.(pc) else -1) }
+    in
+    Dr_util.Vec.push records record;
+    Dr_util.Vec.Int_vec.push (thread_gseqs tid) gseq;
+    (* 5. shared-memory access order edges *)
+    let addr_state a =
+      match Hashtbl.find_opt addr_states a with
+      | Some s -> s
+      | None ->
+        let s = { last_writer = -1; last_writer_tid = -1; readers = [] } in
+        Hashtbl.replace addr_states a s;
+        s
+    in
+    if ev.Event.mem_read >= 0 then begin
+      let s = addr_state ev.Event.mem_read in
+      if s.last_writer >= 0 && s.last_writer_tid <> tid then
+        Dr_util.Vec.push order_edges (s.last_writer, gseq);
+      s.readers <- (gseq, tid) :: s.readers
+    end;
+    if ev.Event.mem_write >= 0 then begin
+      let s = addr_state ev.Event.mem_write in
+      if s.last_writer >= 0 && s.last_writer_tid <> tid then
+        Dr_util.Vec.push order_edges (s.last_writer, gseq);
+      List.iter
+        (fun (rg, rt) -> if rt <> tid then Dr_util.Vec.push order_edges (rg, gseq))
+        s.readers;
+      s.last_writer <- gseq;
+      s.last_writer_tid <- tid;
+      s.readers <- []
+    end;
+    (* 6. maintain CD frame depth and save/restore confirmation *)
+    (match instr with
+    | Dr_isa.Instr.Call _ | Dr_isa.Instr.Callind _ ->
+      cd_st.depth <- cd_st.depth + 1;
+      Prune.on_call prune_state tid
+    | Dr_isa.Instr.Ret ->
+      (* close regions belonging to the returning frame *)
+      let d = cd_st.depth in
+      cd_st.stack <- List.filter (fun e -> e.cd_depth <> d) cd_st.stack;
+      cd_st.depth <- max 0 (d - 1);
+      Prune.on_ret prune_state tid
+    | Dr_isa.Instr.Push reg when Hashtbl.mem cands.Prune.saves pc ->
+      if Hashtbl.find cands.Prune.saves pc = reg then
+        Prune.on_save prune_state ~tid ~pc ~reg ~addr:ev.Event.mem_write
+          ~value:ev.Event.mem_write_value ~gseq
+    | Dr_isa.Instr.Pop reg when Hashtbl.mem cands.Prune.restores pc ->
+      if Hashtbl.find cands.Prune.restores pc = reg then
+        Prune.on_restore prune_state ~tid ~pc ~reg ~addr:ev.Event.mem_read
+          ~value:ev.Event.mem_read_value ~gseq
+    | _ -> ());
+    (* 7. push a CD region for branches *)
+    if Dr_isa.Instr.is_branch instr then begin
+      match Dr_cfg.Cfg.branch_region_end cfg ~pc with
+      | Dr_cfg.Cfg.Unknown ->
+        (* unresolved indirect jump: control dependence is lost (§5.1) *)
+        ()
+      | Dr_cfg.Cfg.To_exit ->
+        cd_st.stack <-
+          { branch_gseq = gseq; ipdom_pc = -1; cd_depth = cd_st.depth }
+          :: cd_st.stack
+      | Dr_cfg.Cfg.At p ->
+        cd_st.stack <-
+          { branch_gseq = gseq; ipdom_pc = p; cd_depth = cd_st.depth }
+          :: cd_st.stack
+    end
+  in
+  let replayer = Dr_pinplay.Replayer.create prog pinball in
+  let t0 = Dr_util.Timer.now () in
+  ignore (Dr_pinplay.Replayer.resume ~hooks:{ Driver.on_event } replayer);
+  let collect_time = Dr_util.Timer.now () -. t0 in
+  let max_tid = Hashtbl.fold (fun k _ acc -> max k acc) per_thread 0 in
+  let per_thread_arr =
+    Array.init (max_tid + 1) (fun tid ->
+        match Hashtbl.find_opt per_thread tid with
+        | Some v -> Dr_util.Vec.Int_vec.to_array v
+        | None -> [||])
+  in
+  { records = Dr_util.Vec.to_array records;
+    per_thread = per_thread_arr;
+    order_edges = Dr_util.Vec.to_array order_edges;
+    indirect_targets;
+    pairs = prune_state.Prune.pairs;
+    cfg;
+    collect_time }

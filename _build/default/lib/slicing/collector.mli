@@ -1,0 +1,36 @@
+(** Trace collection during deterministic replay (paper §3(i), §5).
+
+    Attaches to a replay of a region pinball and records per-instruction
+    def/use sets, online dynamic control dependences (Xin–Zhang, driven
+    by {!Dr_cfg.Cfg} post-dominators), shared-memory access-order edges,
+    dynamically observed indirect-jump targets, and confirmed
+    save/restore pairs.  With [refine] (§5.1) collection runs twice:
+    pass 1 gathers indirect-jump targets, the CFG is refined, pass 2
+    collects the precise trace — sound because replay is deterministic. *)
+
+type result = {
+  records : Trace.record array;  (** indexed by gseq = execution order *)
+  per_thread : int array array;  (** tid -> gseqs in program order *)
+  order_edges : (int * int) array;
+      (** (earlier gseq, later gseq) cross-thread RAW/WAW/WAR edges *)
+  indirect_targets : (int * int list) list;
+      (** observed targets per indirect jump/call pc *)
+  pairs : Prune.pairs;  (** confirmed save/restore pairs *)
+  cfg : Dr_cfg.Cfg.t;  (** the CFG used in the final pass *)
+  collect_time : float;  (** wall-clock seconds for trace collection *)
+}
+
+(** Pass-1 helper: the dynamically observed targets of every indirect
+    jump/call in the region. *)
+val collect_indirect_targets :
+  Dr_isa.Program.t -> Dr_pinplay.Pinball.t -> (int, int list) Hashtbl.t
+
+(** Collect the full region trace.  [refine] (default true) enables the
+    two-pass CFG refinement of §5.1; [max_save] is the save/restore
+    candidate window of §5.2. *)
+val collect :
+  ?refine:bool ->
+  ?max_save:int ->
+  Dr_isa.Program.t ->
+  Dr_pinplay.Pinball.t ->
+  result

@@ -1,0 +1,38 @@
+(** Combined global trace construction (paper §3(ii)): a topological
+    merge of the per-thread traces under program order and the
+    shared-memory access order, greedily clustering runs from the same
+    thread for LP locality. *)
+
+type t = {
+  records : Trace.record array;  (** shared with the collector result *)
+  order : int array;  (** position -> gseq *)
+  pos_of_gseq : int array;  (** gseq -> position *)
+}
+
+(** The access-order edges are cyclic — cannot happen for edges collected
+    from a real execution. *)
+exception Cycle of string
+
+(** Merge per-thread traces under the collector's cross-thread edges.
+    [cluster] (default true) applies the paper's locality heuristic;
+    disabling it rotates threads every record (ablation only — any
+    topological order yields the same slices). *)
+val construct : ?cluster:bool -> Collector.result -> t
+
+val length : t -> int
+
+(** Record at merge position [pos]. *)
+val record : t -> int -> Trace.record
+
+(** Merge position of the record with the given gseq. *)
+val position : t -> gseq:int -> int
+
+(** Check the order against program order and the collector's
+    cross-thread edges (used by tests). *)
+val is_topological : t -> Collector.result -> bool
+
+(** Position of the [instance]-th execution of [pc] by [tid], if any. *)
+val find : tid:int -> pc:int -> instance:int -> t -> int option
+
+(** Position of the last record satisfying [p], if any. *)
+val find_last : t -> p:(Trace.record -> bool) -> int option

@@ -1,0 +1,78 @@
+(** Limited Preprocessing (LP) for fast backwards traversal (Zhang et
+    al. [33], used in paper §3(iii)).
+
+    The global trace is divided into fixed-size blocks; for each block a
+    summary of the locations it defines is precomputed.  The backwards
+    slice traversal can then skip a whole block when the summary proves
+    the block can satisfy none of the currently wanted locations and no
+    pending control-dependence target lies inside it. *)
+
+let default_block_size = 4096
+
+type t = {
+  block_size : int;
+  num_blocks : int;
+  (* per block: sorted array of distinct defined locations *)
+  summaries : int array array;
+}
+
+let prepare ?(block_size = default_block_size) (gt : Global_trace.t) : t =
+  let n = Global_trace.length gt in
+  let num_blocks = (n + block_size - 1) / block_size in
+  let summaries =
+    Array.init num_blocks (fun b ->
+        let lo = b * block_size in
+        let hi = min ((b + 1) * block_size) n - 1 in
+        let acc = Dr_util.Vec.Int_vec.create () in
+        for pos = lo to hi do
+          let r = Global_trace.record gt pos in
+          Array.iter (fun d -> Dr_util.Vec.Int_vec.push acc d) r.Trace.defs
+        done;
+        let a = Dr_util.Vec.Int_vec.to_array acc in
+        Array.sort compare a;
+        (* dedup in place *)
+        let m = Array.length a in
+        if m = 0 then a
+        else begin
+          let w = ref 1 in
+          for i = 1 to m - 1 do
+            if a.(i) <> a.(!w - 1) then begin
+              a.(!w) <- a.(i);
+              incr w
+            end
+          done;
+          Array.sub a 0 !w
+        end)
+  in
+  { block_size; num_blocks; summaries }
+
+let block_of t pos = pos / t.block_size
+
+let block_range t b =
+  (b * t.block_size, ((b + 1) * t.block_size) - 1)
+
+(** Does block [b] define location [loc]?  Binary search in the summary. *)
+let defines t ~block ~loc =
+  let a = t.summaries.(block) in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = a.(mid) in
+    if v = loc then found := true
+    else if v < loc then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+(** Can block [b] satisfy any of [wanted]?  Iterates over the smaller of
+    the wanted set and the block summary. *)
+let may_satisfy t ~block ~(wanted : (int, 'a) Hashtbl.t) : bool =
+  let summary = t.summaries.(block) in
+  let nw = Hashtbl.length wanted in
+  if nw = 0 then false
+  else if nw <= Array.length summary then
+    Hashtbl.fold
+      (fun loc _ acc -> acc || defines t ~block ~loc)
+      wanted false
+  else Array.exists (fun loc -> Hashtbl.mem wanted loc) summary

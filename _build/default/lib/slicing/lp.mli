@@ -1,0 +1,32 @@
+(** Limited Preprocessing (LP) block summaries for fast backwards
+    traversal (Zhang et al. [33], paper §3(iii)).
+
+    The global trace is divided into fixed-size blocks, each summarised
+    by the set of locations it defines; the slicer skips whole blocks
+    whose summary can satisfy no wanted location.  Summaries are
+    criterion-independent: prepare once per global trace and reuse for
+    every slice. *)
+
+val default_block_size : int
+
+type t = {
+  block_size : int;
+  num_blocks : int;
+  summaries : int array array;
+      (** per block: sorted distinct defined locations *)
+}
+
+val prepare : ?block_size:int -> Global_trace.t -> t
+
+(** Block containing the given trace position. *)
+val block_of : t -> int -> int
+
+(** Inclusive (lo, hi) position range of a block. *)
+val block_range : t -> int -> int * int
+
+(** Does the block define [loc]? *)
+val defines : t -> block:int -> loc:int -> bool
+
+(** Can the block satisfy any currently wanted location?  Iterates the
+    smaller of the two sets. *)
+val may_satisfy : t -> block:int -> wanted:(int, 'a) Hashtbl.t -> bool

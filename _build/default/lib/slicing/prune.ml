@@ -1,0 +1,140 @@
+(** Save/restore pair detection (paper §5.2).
+
+    A {e save/restore pair} is a push at function entry and the matching
+    pop at function exit that exist only to preserve a callee-saved
+    register.  Binary-level slicing would otherwise thread data
+    dependences through the pair ([use -> restore -> save -> older def])
+    and, because the restore is control dependent on whatever guarded the
+    call, drag large spurious subgraphs into the slice.
+
+    Detection is two-stage, exactly as in the paper:
+
+    - {e static candidates}: the first [max_save] push instructions at a
+      function entry and the last [max_save] pops before each return
+      (compiler idioms such as the [mov fp, sp] and stack adjustments in
+      between are skipped, but any other instruction ends the scan — so
+      mid-function pushes of expression temporaries are never candidates);
+    - {e dynamic confirmation}: a candidate pair is confirmed for one
+      invocation only if the pop reads the same value from the same stack
+      slot that the push wrote from the same register. *)
+
+open Dr_isa
+
+type candidates = {
+  saves : (int, Reg.t) Hashtbl.t;  (** pc of candidate save push -> register *)
+  restores : (int, Reg.t) Hashtbl.t;  (** pc of candidate restore pop -> register *)
+}
+
+let default_max_save = 10
+
+(* Instructions that may appear interleaved with prologue pushes /
+   epilogue pops without ending the candidate scan. *)
+let is_frame_glue = function
+  | Instr.Mov (rd, Instr.Reg rs) -> rd = Reg.fp && rs = Reg.sp
+  | Instr.Bin ((Instr.Sub | Instr.Add), rd, rs, Instr.Imm _) ->
+    rd = Reg.sp && (rs = Reg.sp || rs = Reg.fp)
+  | _ -> false
+
+(** Scan every function of [prog] for candidate saves and restores. *)
+let static_candidates ?(max_save = default_max_save) (prog : Program.t)
+    ~(functions : (int * int) list) : candidates =
+  let saves = Hashtbl.create 64 and restores = Hashtbl.create 64 in
+  let code = prog.Program.code in
+  List.iter
+    (fun (entry, fend) ->
+      (* forward scan from entry *)
+      let count = ref 0 in
+      let pc = ref entry in
+      let continue = ref true in
+      while !continue && !pc < fend && !count < max_save do
+        (match code.(!pc) with
+        | Instr.Push r ->
+          Hashtbl.replace saves !pc r;
+          incr count
+        | i when is_frame_glue i -> ()
+        | _ -> continue := false);
+        incr pc
+      done;
+      (* backward scan from each ret *)
+      for ret_pc = entry to fend - 1 do
+        if code.(ret_pc) = Instr.Ret then begin
+          let count = ref 0 in
+          let pc = ref (ret_pc - 1) in
+          let continue = ref true in
+          while !continue && !pc >= entry && !count < max_save do
+            (match code.(!pc) with
+            | Instr.Pop r ->
+              Hashtbl.replace restores !pc r;
+              incr count
+            | i when is_frame_glue i -> ()
+            | _ -> continue := false);
+            decr pc
+          done
+        end
+      done)
+    functions;
+  { saves; restores }
+
+(** Confirmed pairs: maps the gseq of a confirmed {e restore} record to
+    the gseq of its {e save} record and the register involved. *)
+type pairs = (int, int * Reg.t) Hashtbl.t
+
+(** Dynamic confirmation state, driven by the trace collector. *)
+type frame = { mutable fsaves : (Reg.t * int * int * int) list }
+(* (register, stack address, value, save gseq) *)
+
+type thread_state = { mutable frames : frame list }
+
+type state = {
+  cands : candidates;
+  threads : (int, thread_state) Hashtbl.t;
+  pairs : pairs;
+}
+
+let create_state cands =
+  { cands; threads = Hashtbl.create 8; pairs = Hashtbl.create 256 }
+
+let thread_state st tid =
+  match Hashtbl.find_opt st.threads tid with
+  | Some t -> t
+  | None ->
+    let t = { frames = [ { fsaves = [] } ] } in
+    Hashtbl.replace st.threads tid t;
+    t
+
+let on_call st tid =
+  let t = thread_state st tid in
+  t.frames <- { fsaves = [] } :: t.frames
+
+let on_ret st tid =
+  let t = thread_state st tid in
+  match t.frames with _ :: (_ :: _ as rest) -> t.frames <- rest | _ -> ()
+
+(** Record a candidate save execution: [push reg] wrote [value] to stack
+    slot [addr] at trace position [gseq]. *)
+let on_save st ~tid ~pc ~reg ~addr ~value ~gseq =
+  ignore pc;
+  let t = thread_state st tid in
+  match t.frames with
+  | f :: _ -> f.fsaves <- (reg, addr, value, gseq) :: f.fsaves
+  | [] -> ()
+
+(** Check a candidate restore execution; on match, confirm the pair. *)
+let on_restore st ~tid ~pc ~reg ~addr ~value ~gseq =
+  ignore pc;
+  let t = thread_state st tid in
+  match t.frames with
+  | f :: _ -> (
+    match
+      List.find_opt (fun (r, a, v, _) -> r = reg && a = addr && v = value) f.fsaves
+    with
+    | Some (_, _, _, save_gseq) -> Hashtbl.replace st.pairs gseq (save_gseq, reg)
+    | None -> ())
+  | [] -> ()
+
+(** Is the record at [gseq] a confirmed restore of register [reg]?  If so,
+    return the gseq of the matching save. *)
+let bypass (pairs : pairs) ~gseq ~reg : int option =
+  match Hashtbl.find_opt pairs gseq with
+  | Some (save_gseq, r) when r = reg -> Some save_gseq
+  | _ -> None

@@ -1,0 +1,312 @@
+(** Backwards dynamic slicing over the combined global trace (paper
+    §3(iii), §5.2).
+
+    Starting from a criterion (a record in the global trace and,
+    optionally, the specific locations of interest at it), the slicer
+    walks the trace backwards recovering:
+
+    - {e data dependences}: the most recent earlier definition of each
+      wanted location (registers per thread, memory global — the
+      topological order of the global trace guarantees the match is the
+      true dynamic reaching definition);
+    - {e control dependences}: the [cd] pointer of every included record,
+      transitively.
+
+    Blocks that can satisfy no wanted location and contain no pending
+    control-dependence target are skipped wholesale using the {!Lp}
+    summaries.
+
+    When save/restore [pairs] are supplied, a wanted register satisfied by
+    a confirmed restore is {e bypassed} (§5.2): the restore and its save
+    stay out of the slice and the search for the register's definition
+    resumes below the save, adding the paper's direct edge from the use to
+    the real definition. *)
+
+type dep_kind =
+  | Data of int  (** data dependence on this location *)
+  | Data_bypassed of int
+      (** data dependence that skipped one or more save/restore pairs *)
+  | Control
+
+type edge = {
+  from_pos : int;  (** the dependent (later) record's position *)
+  to_pos : int;  (** the record it depends on *)
+  kind : dep_kind;
+}
+
+type criterion = {
+  crit_pos : int;  (** position in the global trace *)
+  crit_locs : int list option;
+      (** specific locations to chase; [None] = the record's uses *)
+}
+
+type stats = {
+  visited : int;  (** records examined *)
+  skipped_blocks : int;
+  total_blocks : int;
+  slice_time : float;
+}
+
+type t = {
+  gt : Global_trace.t;
+  criterion : criterion;
+  positions : int array;  (** included positions, ascending *)
+  edges : edge array;
+  stats : stats;
+}
+
+let size t = Array.length t.positions
+
+let mem t pos =
+  (* positions is sorted ascending *)
+  let a = t.positions in
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) = pos then found := true
+    else if a.(mid) < pos then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+(* deferred want created by a save/restore bypass *)
+type deferred = {
+  d_loc : int;
+  d_save_pos : int;  (** re-activate strictly below this position *)
+  d_requesters : (int * bool) list;  (** (requester, was already bypassed) *)
+}
+
+(** Compute the backwards dynamic slice for [criterion].
+
+    [lp]: reuse precomputed block summaries (they are valid for any slice
+    over the same global trace).  [pairs]: enable save/restore bypassing
+    (§5.2).  [block_skipping]: disable to measure the LP optimisation's
+    effect (ablation); the result is identical either way. *)
+let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
+    ?(block_skipping = true) (gt : Global_trace.t) (criterion : criterion) : t =
+  let t0 = Dr_util.Timer.now () in
+  let n = Global_trace.length gt in
+  if criterion.crit_pos < 0 || criterion.crit_pos >= n then
+    invalid_arg "Slicer.compute: criterion out of range";
+  let lp = match lp with Some l -> l | None -> Lp.prepare gt in
+  (* wanted location -> (requester position, reached via a bypass) *)
+  let wanted : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let deferred : deferred list ref = ref [] in
+  let to_include = Dr_util.Bitset.create n in
+  let to_include_in_block = Array.make lp.Lp.num_blocks 0 in
+  let in_slice = Dr_util.Bitset.create n in
+  let slice_positions = Dr_util.Vec.Int_vec.create () in
+  let edges = Dr_util.Vec.create ~dummy:{ from_pos = 0; to_pos = 0; kind = Control } in
+  let visited = ref 0 and skipped = ref 0 in
+  let add_want ?(bypassed = false) loc requester =
+    match Hashtbl.find_opt wanted loc with
+    | Some reqs -> reqs := (requester, bypassed) :: !reqs
+    | None -> Hashtbl.replace wanted loc (ref [ (requester, bypassed) ])
+  in
+  let mark_cd ~branch_gseq ~requester =
+    let bpos = Global_trace.position gt ~gseq:branch_gseq in
+    Dr_util.Vec.push edges { from_pos = requester; to_pos = bpos; kind = Control };
+    if (not (Dr_util.Bitset.mem in_slice bpos))
+       && not (Dr_util.Bitset.mem to_include bpos)
+    then begin
+      Dr_util.Bitset.add to_include bpos;
+      to_include_in_block.(Lp.block_of lp bpos)
+      <- to_include_in_block.(Lp.block_of lp bpos) + 1
+    end
+  in
+  (* include a record: follow its uses and its control dependence *)
+  let include_record pos =
+    if not (Dr_util.Bitset.mem in_slice pos) then begin
+      Dr_util.Bitset.add in_slice pos;
+      Dr_util.Vec.Int_vec.push slice_positions pos;
+      let r = Global_trace.record gt pos in
+      Array.iter (fun u -> add_want u pos) r.Trace.uses;
+      if r.Trace.cd >= 0 then mark_cd ~branch_gseq:r.Trace.cd ~requester:pos
+    end
+  in
+  (* seed from the criterion *)
+  let crit_rec = Global_trace.record gt criterion.crit_pos in
+  Dr_util.Bitset.add in_slice criterion.crit_pos;
+  Dr_util.Vec.Int_vec.push slice_positions criterion.crit_pos;
+  (match criterion.crit_locs with
+  | Some locs -> List.iter (fun l -> add_want l criterion.crit_pos) locs
+  | None -> Array.iter (fun u -> add_want u criterion.crit_pos) crit_rec.Trace.uses);
+  if crit_rec.Trace.cd >= 0 then
+    mark_cd ~branch_gseq:crit_rec.Trace.cd ~requester:criterion.crit_pos;
+  (* process one record *)
+  let process pos =
+    incr visited;
+    (* activate deferred wants that apply strictly below their save *)
+    if !deferred <> [] then begin
+      let active, still = List.partition (fun d -> pos < d.d_save_pos) !deferred in
+      deferred := still;
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (req, _) -> add_want ~bypassed:true d.d_loc req)
+            d.d_requesters)
+        active
+    end;
+    let r = Global_trace.record gt pos in
+    let included = ref (Dr_util.Bitset.mem to_include pos) in
+    if !included then begin
+      Dr_util.Bitset.remove to_include pos;
+      let b = Lp.block_of lp pos in
+      to_include_in_block.(b) <- to_include_in_block.(b) - 1
+    end;
+    Array.iter
+      (fun d ->
+        match Hashtbl.find_opt wanted d with
+        | None -> ()
+        | Some reqs ->
+          let bypassed =
+            match pairs with
+            | None -> None
+            | Some pairs -> (
+              match Dr_isa.Loc.view d with
+              | Dr_isa.Loc.Reg { reg; _ } -> (
+                match Prune.bypass pairs ~gseq:r.Trace.gseq ~reg with
+                | Some save_gseq ->
+                  Some (Global_trace.position gt ~gseq:save_gseq)
+                | None -> None)
+              | Dr_isa.Loc.Mem _ -> None)
+          in
+          (match bypassed with
+          | Some save_pos ->
+            (* skip the restore and its save; resume below the save *)
+            deferred :=
+              { d_loc = d; d_save_pos = save_pos; d_requesters = !reqs }
+              :: !deferred
+          | None ->
+            List.iter
+              (fun (req, via_bypass) ->
+                Dr_util.Vec.push edges
+                  { from_pos = req; to_pos = pos;
+                    kind = (if via_bypass then Data_bypassed d else Data d) })
+              !reqs;
+            included := true);
+          Hashtbl.remove wanted d)
+      r.Trace.defs;
+    if !included then include_record pos
+  in
+  (* main backwards walk with LP block skipping *)
+  let pos = ref (criterion.crit_pos - 1) in
+  while !pos >= 0 do
+    let b = Lp.block_of lp !pos in
+    let lo, _ = Lp.block_range lp b in
+    let at_block_top = !pos = min (criterion.crit_pos - 1) (snd (Lp.block_range lp b)) in
+    let can_skip =
+      block_skipping
+      && at_block_top
+      && to_include_in_block.(b) = 0
+      && (not (Lp.may_satisfy lp ~block:b ~wanted))
+      && List.for_all
+           (fun d -> d.d_save_pos <= lo || not (Lp.defines lp ~block:b ~loc:d.d_loc))
+           !deferred
+    in
+    if can_skip then begin
+      incr skipped;
+      pos := lo - 1
+    end
+    else begin
+      process !pos;
+      decr pos
+    end
+  done;
+  let positions = Dr_util.Vec.Int_vec.to_array slice_positions in
+  Array.sort compare positions;
+  { gt; criterion; positions;
+    edges = Dr_util.Vec.to_array edges;
+    stats =
+      { visited = !visited; skipped_blocks = !skipped;
+        total_blocks = lp.Lp.num_blocks;
+        slice_time = Dr_util.Timer.now () -. t0 } }
+
+(* ---- derived views ---- *)
+
+(** The slice as (tid, pc, instance) statements, in trace order. *)
+let statements t =
+  Array.map
+    (fun pos ->
+      let r = Global_trace.record t.gt pos in
+      (r.Trace.tid, r.Trace.pc, r.Trace.instance))
+    t.positions
+
+(** Distinct source lines touched by the slice (for GUI highlighting). *)
+let source_lines t =
+  let lines = Hashtbl.create 32 in
+  Array.iter
+    (fun pos ->
+      let r = Global_trace.record t.gt pos in
+      if r.Trace.line >= 0 then Hashtbl.replace lines r.Trace.line ())
+    t.positions;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
+
+(** Dependence edges out of the record at [pos] (what it depends on), for
+    backwards navigation in the slice browser. *)
+let deps_of t pos =
+  Array.to_list t.edges
+  |> List.filter (fun e -> e.from_pos = pos)
+  |> List.map (fun e -> (e.kind, e.to_pos))
+
+(** Records that depend on [pos] (forward navigation). *)
+let uses_of t pos =
+  Array.to_list t.edges
+  |> List.filter (fun e -> e.to_pos = pos)
+  |> List.map (fun e -> (e.kind, e.from_pos))
+
+let pp_kind fmt = function
+  | Data l -> Format.fprintf fmt "data(%s)" (Dr_isa.Loc.to_string l)
+  | Data_bypassed l -> Format.fprintf fmt "data*(%s)" (Dr_isa.Loc.to_string l)
+  | Control -> Format.pp_print_string fmt "control"
+
+(* ---- slice files ---- *)
+
+(** Save in the paper's "normal slice file" form: statements plus
+    dependence edges, usable across debug sessions. *)
+let save_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# drdebug slice v1\n";
+      let r = Global_trace.record t.gt t.criterion.crit_pos in
+      Printf.fprintf oc "criterion %d %d %d\n" r.Trace.tid r.Trace.pc
+        r.Trace.instance;
+      Array.iter
+        (fun pos ->
+          let r = Global_trace.record t.gt pos in
+          Printf.fprintf oc "stmt %d %d %d %d\n" r.Trace.tid r.Trace.pc
+            r.Trace.instance r.Trace.line)
+        t.positions;
+      Array.iter
+        (fun e ->
+          let kind, loc =
+            match e.kind with
+            | Data l -> ("data", l)
+            | Data_bypassed l -> ("data*", l)
+            | Control -> ("control", -1)
+          in
+          Printf.fprintf oc "edge %d %d %s %d\n" e.from_pos e.to_pos kind loc)
+        t.edges)
+
+(** Statements read back from a slice file: (tid, pc, instance, line). *)
+let load_file_statements path : (int * int * int * int) list =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let stmts = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ "stmt"; tid; pc; inst; ln ] ->
+             stmts :=
+               (int_of_string tid, int_of_string pc, int_of_string inst,
+                int_of_string ln)
+               :: !stmts
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      List.rev !stmts)

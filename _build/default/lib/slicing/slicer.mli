@@ -1,0 +1,84 @@
+(** Backwards dynamic slicing over the combined global trace (paper
+    §3(iii), §5.2).
+
+    Starting from a criterion, the slicer walks the global trace
+    backwards recovering data dependences (most recent earlier definition
+    of each wanted location) and control dependences (the [cd] pointers,
+    transitively), skipping blocks via the {!Lp} summaries.  With
+    save/restore [pairs], wanted registers satisfied by a confirmed
+    restore are bypassed: the search resumes below the matching save and
+    a direct edge to the true definition is recorded. *)
+
+type dep_kind =
+  | Data of int  (** data dependence on this location *)
+  | Data_bypassed of int
+      (** data dependence that skipped one or more save/restore pairs *)
+  | Control
+
+type edge = {
+  from_pos : int;  (** the dependent (later) record's position *)
+  to_pos : int;  (** the record it depends on *)
+  kind : dep_kind;
+}
+
+type criterion = {
+  crit_pos : int;  (** position in the global trace *)
+  crit_locs : int list option;
+      (** specific {!Dr_isa.Loc} encodings to chase; [None] = the
+          record's own uses *)
+}
+
+type stats = {
+  visited : int;  (** records examined *)
+  skipped_blocks : int;
+  total_blocks : int;
+  slice_time : float;  (** wall-clock seconds *)
+}
+
+type t = {
+  gt : Global_trace.t;
+  criterion : criterion;
+  positions : int array;  (** included positions, ascending *)
+  edges : edge array;
+  stats : stats;
+}
+
+(** Number of trace records in the slice. *)
+val size : t -> int
+
+(** Is the record at this global-trace position in the slice? *)
+val mem : t -> int -> bool
+
+(** Compute the slice.  [lp]: reuse precomputed block summaries.
+    [pairs]: enable save/restore bypassing (§5.2).  [block_skipping]:
+    disable to measure the LP optimisation (the result is identical). *)
+val compute :
+  ?lp:Lp.t ->
+  ?pairs:Prune.pairs ->
+  ?block_skipping:bool ->
+  Global_trace.t ->
+  criterion ->
+  t
+
+(** The slice as (tid, pc, instance) statements, in trace order. *)
+val statements : t -> (int * int * int) array
+
+(** Distinct source lines touched by the slice, sorted (for
+    highlighting). *)
+val source_lines : t -> int list
+
+(** Dependence edges out of the record at [pos] — what it depends on
+    (backwards navigation). *)
+val deps_of : t -> int -> (dep_kind * int) list
+
+(** Records that depend on [pos] (forward navigation). *)
+val uses_of : t -> int -> (dep_kind * int) list
+
+val pp_kind : Format.formatter -> dep_kind -> unit
+
+(** Save in the paper's "normal slice file" form (statements plus
+    dependence edges), reusable across debug sessions. *)
+val save_file : string -> t -> unit
+
+(** Statements read back from a slice file: (tid, pc, instance, line). *)
+val load_file_statements : string -> (int * int * int * int) list

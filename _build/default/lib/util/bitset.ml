@@ -1,0 +1,49 @@
+(** Dense bitsets over [0, n). Used by the LP traversal ([to_include]
+    marks) and by dominator computations. *)
+
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let cardinal t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if mem t i then incr c
+  done;
+  !c
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,29 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    let logsum = List.fold_left (fun acc x -> acc +. log (max x 1e-12)) 0.0 l in
+    exp (logsum /. float_of_int (List.length l))
+
+let min_max = function
+  | [] -> (0.0, 0.0)
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean l in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+      /. float_of_int (List.length l - 1)
+    in
+    sqrt var
+
+let percent ~part ~total = if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total

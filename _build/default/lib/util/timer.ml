@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers (monotonic where available). *)
+
+let now () = Unix.gettimeofday ()
+
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  let t1 = now () in
+  (r, t1 -. t0)
+
+let time_only f = snd (time f)

@@ -1,0 +1,1 @@
+lib/workloads/bugs.ml: Dr_isa Dr_lang Dr_machine List Printf String

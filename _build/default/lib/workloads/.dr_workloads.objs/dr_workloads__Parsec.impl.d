@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Dr_isa Dr_lang List Printf

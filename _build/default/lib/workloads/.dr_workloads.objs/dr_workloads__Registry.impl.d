@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bugs Dr_isa Dr_machine List Parsec Specomp

@@ -1,0 +1,1 @@
+lib/workloads/specomp.ml: Dr_isa Dr_lang List Printf

@@ -1,0 +1,252 @@
+(** The three real concurrency bugs of the paper's case studies (Table 1),
+    modelled in the mini language.
+
+    Each model preserves the bug's {e class} and structural position:
+
+    - {b pbzip2}: a data race on [fifo->mut] — the main thread tears down
+      the FIFO (here: marks it freed) while compressor threads still use
+      its mutex.  Modelled as a use-after-free flag checked by the
+      compressors.
+    - {b Aget}: a data race on [bwritten] between downloader threads and
+      the signal-handler thread — unsynchronized read-modify-write updates
+      lose counts.  Modelled as unlocked [bwritten = bwritten + n].
+    - {b mozilla}: one thread destroys [rt->scriptFilenameTable] while
+      another sweeps it ([js_SweepScriptFilenames]) and crashes on the
+      dangling pointer.  Modelled with [peek] through a pointer that the
+      destroyer nulls to an invalid address.
+
+    Each bug comes with the metadata the benches need: where the root
+    cause and the failure are (source lines), and how large the buggy
+    region is. *)
+
+type t = {
+  name : string;
+  description : string;  (** Table 1's "Bug Description" *)
+  program_description : string;  (** Table 1's "Program Description" *)
+  source : string;
+  root_cause_line : int;
+  failure_line : int;
+}
+
+(** 1-based line of the first source line containing [sub]. *)
+let line_of_substring source sub =
+  let lines = String.split_on_char '\n' source in
+  let rec go n = function
+    | [] -> invalid_arg (Printf.sprintf "marker %S not found" sub)
+    | l :: rest ->
+      let contains =
+        let ls = String.length l and ss = String.length sub in
+        let rec at i = i + ss <= ls && (String.sub l i ss = sub || at (i + 1)) in
+        ss > 0 && at 0
+      in
+      if contains then n else go (n + 1) rest
+  in
+  go 1 lines
+
+(* ---- pbzip2: data race on fifo->mut ---- *)
+
+let pbzip2_source =
+  {|// pbzip2 (ver. 0.9.4) model: data race on fifo->mut between the main
+// thread and the compressor threads.
+global int fifo_mut;
+global int fifo_freed;
+global int queue[32];
+global int qhead;
+global int qtail;
+global int produced;
+global int consumed;
+
+fn compressor(int id) {
+  int done_work = 0;
+  while (done_work < 24) {
+    // the bug: main may have freed the fifo while we still use its mutex
+    assert(fifo_freed == 0, "pbzip2: fifo->mut used after free");
+    lock(&fifo_mut);
+    int have = 0;
+    int block = 0;
+    if (qhead < qtail) {
+      block = queue[qhead % 32];
+      qhead = qhead + 1;
+      have = 1;
+    }
+    unlock(&fifo_mut);
+    if (have == 1) {
+      // "compress" the block
+      int h = block;
+      for (int i = 0; i < 12; i = i + 1) {
+        h = (h * 31 + i) % 65536;
+      }
+      lock(&fifo_mut);
+      consumed = consumed + 1;
+      unlock(&fifo_mut);
+      done_work = done_work + 1;
+    } else {
+      yield();
+    }
+  }
+}
+
+fn main() {
+  int t1 = spawn(compressor, 1);
+  int t2 = spawn(compressor, 2);
+  for (int b = 0; b < 48; b = b + 1) {
+    lock(&fifo_mut);
+    queue[qtail % 32] = b * 7;
+    qtail = qtail + 1;
+    produced = produced + 1;
+    unlock(&fifo_mut);
+  }
+  // BUG: tear down the fifo without waiting for the compressors
+  fifo_freed = 1;
+  join(t1);
+  join(t2);
+  print(consumed);
+}|}
+
+let pbzip2 =
+  { name = "pbzip2";
+    program_description = "Parallel file compressor (ver. 0.9.4)";
+    description =
+      "A data race on variable fifo->mut between main thread and the \
+       compressor threads.";
+    source = pbzip2_source;
+    root_cause_line = line_of_substring pbzip2_source "fifo_freed = 1;";
+    failure_line = line_of_substring pbzip2_source "assert(fifo_freed == 0" }
+
+(* ---- Aget: data race on bwritten ---- *)
+
+let aget_source =
+  {|// Aget (ver. 0.57) model: data race on bwritten between downloader
+// threads and the signal handler thread.
+global int bwritten;
+global int sig_seen;
+global int total;
+
+fn downloader(int chunks) {
+  for (int i = 0; i < chunks; i = i + 1) {
+    // "download" a block
+    int n = 8;
+    for (int j = 0; j < 6; j = j + 1) {
+      n = n + j % 3;
+    }
+    // BUG: read-modify-write without holding a lock
+    int cur = bwritten;
+    cur = cur + n;
+    yield();
+    bwritten = cur;
+  }
+}
+
+fn sighandler(int n) {
+  // the signal handler samples bwritten for the progress display
+  sig_seen = bwritten;
+}
+
+fn main() {
+  total = 2 * 10 * (8 + 0 + 1 + 2 + 0 + 1 + 2);
+  int t1 = spawn(downloader, 10);
+  int t2 = spawn(downloader, 10);
+  int s = spawn(sighandler, 0);
+  join(t1);
+  join(t2);
+  join(s);
+  print(bwritten);
+  assert(bwritten == total, "aget: bwritten lost an update");
+}|}
+
+let aget =
+  { name = "Aget";
+    program_description = "Parallel downloader (ver. 0.57)";
+    description =
+      "A data race on variable bwritten between downloader threads and \
+       the signal handler thread.";
+    source = aget_source;
+    root_cause_line = line_of_substring aget_source "int cur = bwritten;";
+    failure_line = line_of_substring aget_source "assert(bwritten == total" }
+
+(* ---- mozilla: destroyed hash table dereferenced ---- *)
+
+let mozilla_source =
+  {|// mozilla (ver. 1.9.1) model: one thread destroys
+// rt->scriptFilenameTable while another sweeps it and crashes.
+global int script_table;
+global int table_size;
+global int swept;
+
+fn js_destroy_context(int n) {
+  // simulate a little teardown work before the destroy
+  int w = 0;
+  for (int i = 0; i < 3; i = i + 1) {
+    w = w + i;
+  }
+  // BUG: destroy the table while the GC may still sweep it
+  script_table = 0 - 1000000;
+  for (int d = 0; d < 60; d = d + 1) {
+    w = w + d;
+  }
+  table_size = 0;
+}
+
+fn js_sweep_script_filenames(int n) {
+  for (int i = 0; i < table_size; i = i + 1) {
+    // crashes (memory fault) when the table was destroyed under us:
+    // script_table is dangling after js_destroy_context
+    int entry = peek(script_table + i);
+    swept = swept + entry;
+    yield();
+  }
+}
+
+fn main() {
+  // build the filename table on the heap
+  script_table = alloc(64);
+  table_size = 64;
+  for (int i = 0; i < 64; i = i + 1) {
+    poke(script_table + i, 100 + i);
+  }
+  int gc = spawn(js_sweep_script_filenames, 0);
+  int destroyer = spawn(js_destroy_context, 0);
+  join(gc);
+  join(destroyer);
+  print(swept);
+}|}
+
+let mozilla =
+  { name = "mozilla";
+    program_description = "Web browser (ver. 1.9.1)";
+    description =
+      "A data race on variable rt->scriptFilenameTable. One thread \
+       destroys a hash table, and another thread crashes in \
+       js_SweepScriptFilenames when accessing this hash table.";
+    source = mozilla_source;
+    root_cause_line = line_of_substring mozilla_source "script_table = 0 - 1000000;";
+    failure_line = line_of_substring mozilla_source "int entry = peek(script_table + i);" }
+
+let all = [ pbzip2; aget; mozilla ]
+
+let find name = List.find_opt (fun b -> b.name = name) all
+
+let compile (b : t) : Dr_isa.Program.t =
+  match Dr_lang.Codegen.compile_result ~name:b.name ~file:(b.name ^ ".c") b.source with
+  | Ok p -> p
+  | Error msg -> invalid_arg (Printf.sprintf "bug workload %s: %s" b.name msg)
+
+(** Search seeded schedules until the bug manifests; returns the seed and
+    the stop reason.  All three bugs manifest within a few hundred seeds. *)
+let find_failing_seed ?(max_seed = 5000) ?(max_quantum = 3) (b : t) :
+    (int * Dr_machine.Driver.stop_reason) option =
+  let prog = compile b in
+  let rec go seed =
+    if seed > max_seed then None
+    else begin
+      let m = Dr_machine.Machine.create prog in
+      match
+        Dr_machine.Driver.run ~max_steps:1_000_000 m
+          (Dr_machine.Driver.Seeded { seed; max_quantum })
+      with
+      | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed _ | Dr_machine.Machine.Fault _) as r ->
+        Some (seed, r)
+      | _ -> go (seed + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,450 @@
+(** PARSEC-analogue multithreaded workloads (paper §7, "Logging and
+    Replay": five "apps" and three "kernels", 4-threaded runs).
+
+    Each program spawns [threads - 1] workers and does its own share of
+    work on the main thread, so regions specified by main-thread
+    skip/length counts behave as in the paper (total instructions across
+    threads are a small multiple of the main-thread length).  The
+    programs mimic the {e concurrency structure} of their namesakes —
+    data-parallel loops, striped locks, pipelines, sliding windows —
+    which is what drives logging and replay cost (shared-memory
+    interleavings, lock traffic). *)
+
+type kind = App | Kernel
+
+type t = {
+  name : string;
+  kind : kind;
+  (* generate the program source for a worker/main iteration count *)
+  source : threads:int -> iters:int -> string;
+}
+
+let spawn_join_boilerplate threads =
+  let w = threads - 1 in
+  ( Printf.sprintf
+      {|  for (int t = 0; t < %d; t = t + 1) {
+    tids[t] = spawn(worker, t + 1);
+  }|}
+      w,
+    Printf.sprintf
+      {|  for (int t = 0; t < %d; t = t + 1) {
+    join(tids[t]);
+  }|}
+      w )
+
+(* ---- apps ---- *)
+
+let blackscholes ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// blackscholes analogue: data-parallel option pricing, no locks
+global int tids[8];
+global int prices[128];
+global int results[8];
+
+fn bs_price(int s) {
+  // fixed-point polynomial approximation of the pricing kernel
+  int x = s %% 97 + 1;
+  int v = 1587 + x * 37;
+  v = v + (x * x) / 13;
+  v = v - (x * x * x) / 711;
+  return v;
+}
+
+fn worker(int id) {
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    int opt = (id * 31 + i) %% 128;
+    prices[opt] = bs_price(opt + i);
+    acc = acc + prices[opt];
+  }
+  results[id] = acc;
+}
+
+fn main() {
+%s
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    int opt = i %% 128;
+    prices[opt] = bs_price(opt);
+    acc = acc + prices[opt];
+  }
+  results[0] = acc;
+%s
+  print(results[0] + results[1]);
+}|}
+    iters spawns iters joins
+
+let swaptions ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// swaptions analogue: per-thread Monte Carlo simulation (HJM flavour)
+global int tids[8];
+global int results[8];
+
+fn hjm_path(int seed) {
+  int r = seed;
+  int v = 0;
+  for (int s = 0; s < 4; s = s + 1) {
+    r = (r * 1103515245 + 12345) & 1073741823;
+    v = v + r %% 1000;
+  }
+  return v / 4;
+}
+
+fn worker(int id) {
+  int sum = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    sum = sum + hjm_path(id * 7919 + i);
+  }
+  results[id] = sum;
+}
+
+fn main() {
+%s
+  int sum = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    sum = sum + hjm_path(rand() %% 1000 + i);
+  }
+  results[0] = sum;
+%s
+  print(results[0] %% 100000);
+}|}
+    iters spawns iters joins
+
+let fluidanimate ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// fluidanimate analogue: grid updates guarded by striped cell locks
+global int tids[8];
+global int grid[256];
+global int locks[8];
+global int steps;
+
+fn cell_update(int c) {
+  int v = grid[c];
+  v = v + (grid[(c + 1) %% 256] - v) / 4;
+  v = v + (grid[(c + 255) %% 256] - v) / 4;
+  grid[c] = v + 1;
+  return v;
+}
+
+fn worker(int id) {
+  for (int i = 0; i < %d; i = i + 1) {
+    int c = (id * 67 + i * 13) %% 256;
+    lock(&locks[c %% 8]);
+    cell_update(c);
+    unlock(&locks[c %% 8]);
+  }
+}
+
+fn main() {
+%s
+  for (int i = 0; i < %d; i = i + 1) {
+    int c = (i * 29) %% 256;
+    lock(&locks[c %% 8]);
+    cell_update(c);
+    steps = steps + 1;
+    unlock(&locks[c %% 8]);
+  }
+%s
+  print(grid[0] + steps);
+}|}
+    iters spawns iters joins
+
+let ferret ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// ferret analogue: similarity-search pipeline (produce -> rank)
+global int tids[8];
+global int queue[64];
+global int qhead;
+global int qtail;
+global int qlock;
+global int ranked;
+global int done_producing;
+
+fn rank(int item) {
+  int h = item;
+  for (int k = 0; k < 3; k = k + 1) {
+    h = (h * 131 + k) %% 65536;
+  }
+  return h;
+}
+
+fn worker(int id) {
+  int running = 1;
+  while (running == 1) {
+    int item = 0 - 1;
+    lock(&qlock);
+    if (qhead < qtail) {
+      item = queue[qhead %% 64];
+      qhead = qhead + 1;
+    } else {
+      if (done_producing == 1) {
+        running = 0;
+      }
+    }
+    unlock(&qlock);
+    if (item >= 0) {
+      int r = rank(item);
+      lock(&qlock);
+      ranked = ranked + (r %% 7);
+      unlock(&qlock);
+    } else {
+      yield();
+    }
+  }
+}
+
+fn main() {
+%s
+  for (int i = 0; i < %d; i = i + 1) {
+    lock(&qlock);
+    if (qtail - qhead < 64) {
+      queue[qtail %% 64] = i * 3;
+      qtail = qtail + 1;
+    }
+    unlock(&qlock);
+  }
+  lock(&qlock);
+  done_producing = 1;
+  unlock(&qlock);
+%s
+  print(ranked);
+}|}
+    spawns iters joins
+
+let x264 ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// x264 analogue: sliding-window frame encoding; each thread waits on
+// the previous thread's progress (pipeline parallelism with yields)
+global int tids[8];
+global int progress[8];
+global int frames[128];
+
+fn encode_mb(int f, int row) {
+  int v = frames[f %% 128];
+  v = (v * 17 + row * 3 + f) %% 32768;
+  frames[f %% 128] = v;
+  return v;
+}
+
+fn worker(int id) {
+  for (int row = 0; row < %d; row = row + 1) {
+    // wait until the previous stage is at least two rows ahead
+    while (progress[id - 1] < row + 2) {
+      yield();
+    }
+    encode_mb(id * 41 + row, row);
+    progress[id] = row + 1;
+  }
+  // release any stage waiting on us near the window edge
+  progress[id] = %d + 8;
+}
+
+fn main() {
+%s
+  for (int row = 0; row < %d; row = row + 1) {
+    encode_mb(row, row);
+    progress[0] = row + 1;
+  }
+  progress[0] = %d + 8;
+%s
+  print(frames[0] + progress[1]);
+}|}
+    iters iters spawns iters iters joins
+
+(* ---- kernels ---- *)
+
+let canneal ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// canneal analogue: random element swaps under ordered striped locks
+global int tids[8];
+global int layout[256];
+global int locks[8];
+global int accepted;
+
+fn swap_cost(int a, int b) {
+  return (layout[a] - layout[b]) * (a - b);
+}
+
+fn worker(int id) {
+  int r = id * 7368787;
+  for (int i = 0; i < %d; i = i + 1) {
+    r = (r * 1103515245 + 12345) & 1073741823;
+    int a = r %% 256;
+    int b = (r / 256) %% 256;
+    int la = a %% 8;
+    int lb = b %% 8;
+    // take stripes in sorted order to avoid deadlock
+    int lo = la;
+    int hi = lb;
+    if (lo > hi) { lo = lb; hi = la; }
+    lock(&locks[lo]);
+    if (hi != lo) { lock(&locks[hi]); }
+    if (swap_cost(a, b) > 0) {
+      int tmp = layout[a];
+      layout[a] = layout[b];
+      layout[b] = tmp;
+      accepted = accepted + 1;
+    }
+    if (hi != lo) { unlock(&locks[hi]); }
+    unlock(&locks[lo]);
+  }
+}
+
+fn main() {
+  for (int i = 0; i < 256; i = i + 1) {
+    layout[i] = (i * 37) %% 101;
+  }
+%s
+  int r = 99991;
+  for (int i = 0; i < %d; i = i + 1) {
+    r = (r * 1103515245 + 12345) & 1073741823;
+    int a = r %% 256;
+    lock(&locks[a %% 8]);
+    layout[a] = layout[a] + 1;
+    unlock(&locks[a %% 8]);
+  }
+%s
+  print(accepted + layout[7]);
+}|}
+    iters spawns iters joins
+
+let dedup ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// dedup analogue: chunk, fingerprint, and deduplicate into buckets
+global int tids[8];
+global int data[256];
+global int buckets[64];
+global int block_lock;
+global int dupes;
+
+fn fingerprint(int start) {
+  int h = 5381;
+  for (int k = 0; k < 4; k = k + 1) {
+    h = (h * 33 + data[(start + k) %% 256]) %% 1000003;
+  }
+  return h;
+}
+
+fn worker(int id) {
+  for (int i = 0; i < %d; i = i + 1) {
+    int start = (id * 101 + i * 7) %% 256;
+    int h = fingerprint(start);
+    int slot = h %% 64;
+    lock(&block_lock);
+    if (buckets[slot] == h) {
+      dupes = dupes + 1;
+    } else {
+      buckets[slot] = h;
+    }
+    unlock(&block_lock);
+  }
+}
+
+fn main() {
+  for (int i = 0; i < 256; i = i + 1) {
+    data[i] = (i * i) %% 251;
+  }
+%s
+  for (int i = 0; i < %d; i = i + 1) {
+    int h = fingerprint(i %% 256);
+    int slot = h %% 64;
+    lock(&block_lock);
+    if (buckets[slot] == h) {
+      dupes = dupes + 1;
+    } else {
+      buckets[slot] = h;
+    }
+    unlock(&block_lock);
+  }
+%s
+  print(dupes);
+}|}
+    iters spawns iters joins
+
+let streamcluster ~threads ~iters =
+  let spawns, joins = spawn_join_boilerplate threads in
+  Printf.sprintf
+    {|// streamcluster analogue: distance sums into a shared cost accumulator
+global int tids[8];
+global int points[128];
+global int centers[8];
+global int cost_lock;
+global int total_cost;
+
+fn dist(int p, int c) {
+  int d = points[p] - centers[c];
+  if (d < 0) { d = 0 - d; }
+  return d;
+}
+
+fn nearest(int p) {
+  int best = dist(p, 0);
+  for (int c = 1; c < 8; c = c + 1) {
+    int d = dist(p, c);
+    if (d < best) { best = d; }
+  }
+  return best;
+}
+
+fn worker(int id) {
+  int local = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    local = local + nearest((id * 43 + i) %% 128);
+    if (i %% 16 == 15) {
+      lock(&cost_lock);
+      total_cost = total_cost + local;
+      unlock(&cost_lock);
+      local = 0;
+    }
+  }
+  lock(&cost_lock);
+  total_cost = total_cost + local;
+  unlock(&cost_lock);
+}
+
+fn main() {
+  for (int i = 0; i < 128; i = i + 1) {
+    points[i] = (i * 53) %% 211;
+  }
+  for (int c = 0; c < 8; c = c + 1) {
+    centers[c] = c * 31;
+  }
+%s
+  int local = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    local = local + nearest(i %% 128);
+  }
+  lock(&cost_lock);
+  total_cost = total_cost + local;
+  unlock(&cost_lock);
+%s
+  print(total_cost %% 100000);
+}|}
+    iters spawns iters joins
+
+let all : t list =
+  [ { name = "blackscholes"; kind = App; source = blackscholes };
+    { name = "swaptions"; kind = App; source = swaptions };
+    { name = "fluidanimate"; kind = App; source = fluidanimate };
+    { name = "ferret"; kind = App; source = ferret };
+    { name = "x264"; kind = App; source = x264 };
+    { name = "canneal"; kind = Kernel; source = canneal };
+    { name = "dedup"; kind = Kernel; source = dedup };
+    { name = "streamcluster"; kind = Kernel; source = streamcluster } ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let compile ?(threads = 4) ~iters (w : t) : Dr_isa.Program.t =
+  match
+    Dr_lang.Codegen.compile_result ~name:w.name ~file:(w.name ^ ".c")
+      (w.source ~threads ~iters)
+  with
+  | Ok p -> p
+  | Error msg -> invalid_arg (Printf.sprintf "parsec workload %s: %s" w.name msg)

@@ -1,0 +1,314 @@
+(** SPEC OMP 2001 analogue workloads (paper Fig. 13: ammp, apsi, galgel,
+    mgrid, wupwise).
+
+    These are the programs the paper uses to evaluate save/restore-pair
+    pruning, so what matters here is their {e call structure}: hot inner
+    loops calling small helper functions whose locals live in callee-saved
+    registers.  Every call then saves/restores registers in its
+    prologue/epilogue, creating exactly the spurious dependence chains
+    §5.2 prunes.  mgrid additionally recurses (multigrid V-cycles),
+    stressing the control-dependence frame stack. *)
+
+type t = {
+  name : string;
+  source : threads:int -> iters:int -> string;
+}
+
+let spawn_join threads =
+  let w = threads - 1 in
+  ( Printf.sprintf
+      {|  for (int t = 0; t < %d; t = t + 1) {
+    tids[t] = spawn(worker, t + 1);
+  }|}
+      w,
+    Printf.sprintf
+      {|  for (int t = 0; t < %d; t = t + 1) {
+    join(tids[t]);
+  }|}
+      w )
+
+let ammp ~threads ~iters =
+  let spawns, joins = spawn_join threads in
+  Printf.sprintf
+    {|// ammp analogue: molecular mechanics force evaluation, deep call chains
+global int tids[8];
+global int pos[128];
+global int vel[128];
+global int forces[8];
+
+fn sq(int x) {
+  int y = x * x;
+  return y;
+}
+
+fn dist2(int a, int b) {
+  int dx = pos[a] - pos[b];
+  int d = sq(dx);
+  return d + 1;
+}
+
+fn lj_force(int a, int b) {
+  int d = dist2(a, b);
+  int inv = 100000 / d;
+  int f = inv / d - inv / (d * 2);
+  return f;
+}
+
+fn atom_step(int a) {
+  int f = lj_force(a, (a + 1) %% 128);
+  f = f + lj_force(a, (a + 7) %% 128);
+  int v = vel[a] + f / 16;
+  vel[a] = v;
+  pos[a] = pos[a] + v / 8;
+  return f;
+}
+
+fn worker(int id) {
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    acc = acc + atom_step((id * 37 + i) %% 128);
+  }
+  forces[id] = acc;
+}
+
+fn main() {
+  for (int i = 0; i < 128; i = i + 1) { pos[i] = i * 3 + 11; }
+%s
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    acc = acc + atom_step(i %% 128);
+  }
+  forces[0] = acc;
+%s
+  print(forces[0] %% 10000);
+}|}
+    iters spawns iters joins
+
+let apsi ~threads ~iters =
+  let spawns, joins = spawn_join threads in
+  Printf.sprintf
+    {|// apsi analogue: pollutant transport (advect/diffuse/deposit helpers)
+global int tids[8];
+global int conc[128];
+global int wind[128];
+global int sums[8];
+
+fn advect(int c, int w) {
+  int moved = (c * w) / 64;
+  return c - moved;
+}
+
+fn diffuse(int c, int left, int right) {
+  int lap = left + right - 2 * c;
+  return c + lap / 8;
+}
+
+fn deposit(int c) {
+  int lost = c / 50;
+  return c - lost;
+}
+
+fn cell_step(int i) {
+  int c = conc[i];
+  c = advect(c, wind[i]);
+  c = diffuse(c, conc[(i + 127) %% 128], conc[(i + 1) %% 128]);
+  c = deposit(c);
+  conc[i] = c;
+  return c;
+}
+
+fn worker(int id) {
+  int s = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    s = s + cell_step((id * 53 + i) %% 128);
+  }
+  sums[id] = s;
+}
+
+fn main() {
+  for (int i = 0; i < 128; i = i + 1) {
+    conc[i] = 1000 + i;
+    wind[i] = i %% 17;
+  }
+%s
+  int s = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    s = s + cell_step(i %% 128);
+  }
+  sums[0] = s;
+%s
+  print(sums[0] %% 100000);
+}|}
+    iters spawns iters joins
+
+let galgel ~threads ~iters =
+  let spawns, joins = spawn_join threads in
+  Printf.sprintf
+    {|// galgel analogue: Galerkin fluid oscillation (dot/axpy helpers)
+global int tids[8];
+global int va[64];
+global int vb[64];
+global int vc[64];
+global int norms[8];
+
+fn dot8(int off) {
+  int s = 0;
+  for (int k = 0; k < 8; k = k + 1) {
+    s = s + va[(off + k) %% 64] * vb[(off + k) %% 64];
+  }
+  return s;
+}
+
+fn axpy8(int alpha, int off) {
+  for (int k = 0; k < 8; k = k + 1) {
+    vc[(off + k) %% 64] = alpha * va[(off + k) %% 64] + vc[(off + k) %% 64];
+  }
+  return vc[off %% 64];
+}
+
+fn galerkin_step(int i) {
+  int alpha = dot8(i) %% 7 - 3;
+  int r = axpy8(alpha, i);
+  return r;
+}
+
+fn worker(int id) {
+  int n = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    n = n + galerkin_step((id * 29 + i) %% 64);
+  }
+  norms[id] = n;
+}
+
+fn main() {
+  for (int i = 0; i < 64; i = i + 1) {
+    va[i] = i %% 9 + 1;
+    vb[i] = (i * 5) %% 11;
+  }
+%s
+  int n = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    n = n + galerkin_step(i %% 64);
+  }
+  norms[0] = n;
+%s
+  print(norms[0] %% 100000);
+}|}
+    iters spawns iters joins
+
+let mgrid ~threads ~iters =
+  let spawns, joins = spawn_join threads in
+  Printf.sprintf
+    {|// mgrid analogue: recursive multigrid V-cycles (recursion exercises
+// the interprocedural control-dependence stack)
+global int tids[8];
+global int grid[256];
+global int residuals[8];
+
+fn smooth(int base, int len) {
+  int r = 0;
+  for (int k = 1; k < len - 1; k = k + 1) {
+    int v = (grid[base + k - 1] + grid[base + k + 1]) / 2;
+    grid[base + k] = (grid[base + k] + v) / 2;
+    r = r + v;
+  }
+  return r;
+}
+
+fn vcycle(int base, int len) {
+  if (len <= 4) {
+    return smooth(base, len);
+  }
+  int r = smooth(base, len);
+  r = r + vcycle(base, len / 2);
+  r = r + smooth(base, len);
+  return r;
+}
+
+fn worker(int id) {
+  int r = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    r = r + vcycle((id %% 4) * 64, 16);
+  }
+  residuals[id] = r;
+}
+
+fn main() {
+  for (int i = 0; i < 256; i = i + 1) { grid[i] = (i * 7) %% 93; }
+%s
+  int r = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    r = r + vcycle(0, 32);
+  }
+  residuals[0] = r;
+%s
+  print(residuals[0] %% 100000);
+}|}
+    iters spawns iters joins
+
+let wupwise ~threads ~iters =
+  let spawns, joins = spawn_join threads in
+  Printf.sprintf
+    {|// wupwise analogue: lattice QCD complex matrix-vector helpers
+global int tids[8];
+global int re[64];
+global int im[64];
+global int acc[8];
+
+fn cmul_re(int ar, int ai, int br, int bi) {
+  return ar * br - ai * bi;
+}
+
+fn cmul_im(int ar, int ai, int br, int bi) {
+  return ar * bi + ai * br;
+}
+
+fn su3_apply(int i) {
+  int j = (i + 1) %% 64;
+  int r = cmul_re(re[i], im[i], re[j], im[j]);
+  int m = cmul_im(re[i], im[i], re[j], im[j]);
+  re[i] = (r + re[i]) %% 10007;
+  im[i] = (m + im[i]) %% 10007;
+  return r + m;
+}
+
+fn worker(int id) {
+  int a = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    a = a + su3_apply((id * 17 + i) %% 64);
+  }
+  acc[id] = a;
+}
+
+fn main() {
+  for (int i = 0; i < 64; i = i + 1) {
+    re[i] = i + 1;
+    im[i] = 2 * i + 1;
+  }
+%s
+  int a = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    a = a + su3_apply(i %% 64);
+  }
+  acc[0] = a;
+%s
+  print(acc[0] %% 100000);
+}|}
+    iters spawns iters joins
+
+let all : t list =
+  [ { name = "ammp"; source = ammp };
+    { name = "apsi"; source = apsi };
+    { name = "galgel"; source = galgel };
+    { name = "mgrid"; source = mgrid };
+    { name = "wupwise"; source = wupwise } ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let compile ?(threads = 4) ~iters (w : t) : Dr_isa.Program.t =
+  match
+    Dr_lang.Codegen.compile_result ~name:w.name ~file:(w.name ^ ".c")
+      (w.source ~threads ~iters)
+  with
+  | Ok p -> p
+  | Error msg -> invalid_arg (Printf.sprintf "specomp workload %s: %s" w.name msg)

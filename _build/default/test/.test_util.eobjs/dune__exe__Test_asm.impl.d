@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Dr_isa Dr_lang Dr_machine List QCheck QCheck_alcotest

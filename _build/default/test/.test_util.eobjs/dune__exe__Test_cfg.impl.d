@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Dr_cfg Dr_isa Dr_lang Dr_machine Hashtbl List Option QCheck QCheck_alcotest

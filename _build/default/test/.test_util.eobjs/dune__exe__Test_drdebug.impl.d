@@ -1,0 +1,1 @@
+test/test_drdebug.ml: Alcotest Buffer Dr_lang Dr_machine Dr_slicing Dr_workloads Drdebug Filename Fun List Option Printf String Sys

@@ -1,0 +1,1 @@
+test/test_exeslice.ml: Alcotest Array Dr_exeslice Dr_isa Dr_lang Dr_machine Dr_pinplay Dr_slicing Hashtbl List Option QCheck QCheck_alcotest

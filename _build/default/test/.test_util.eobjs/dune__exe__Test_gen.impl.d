@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Dr_exeslice Dr_lang Dr_machine Dr_pinplay Dr_slicing Drdebug Format Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Dr_isa Dr_lang Dr_util List QCheck QCheck_alcotest

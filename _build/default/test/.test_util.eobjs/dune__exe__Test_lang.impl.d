@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Dr_isa Dr_lang Dr_machine List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Dr_isa Dr_lang Dr_machine Dr_pinplay Dr_util Hashtbl List Printf QCheck QCheck_alcotest String

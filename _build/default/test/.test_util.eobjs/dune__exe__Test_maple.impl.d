@@ -1,0 +1,1 @@
+test/test_maple.ml: Alcotest Array Dr_isa Dr_lang Dr_machine Dr_maple Dr_pinplay Dr_slicing Format List

@@ -1,0 +1,1 @@
+test/test_pinplay.ml: Alcotest Array Dr_isa Dr_lang Dr_machine Dr_pinplay Dr_util Filename Fun Hashtbl List Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Array Dr_isa Dr_lang Dr_machine Dr_pinplay Dr_slicing Filename Fun Hashtbl List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dr_machine Dr_maple Dr_pinplay Dr_slicing Dr_workloads List Option Printf

@@ -1,0 +1,201 @@
+(* Tests for the textual assembler/disassembler (Dr_isa.Asm). *)
+
+let parse_ok src =
+  match Dr_isa.Asm.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "asm parse failed: %s" e
+
+let run prog =
+  let m = Dr_machine.Machine.create prog in
+  let r =
+    Dr_machine.Driver.run ~max_steps:100_000 m
+      (Dr_machine.Driver.Round_robin { quantum = 2 })
+  in
+  (m, r)
+
+let test_basic_program () =
+  let prog = parse_ok {|
+; compute 6*7 and print it
+main:
+  mov r1, $6
+  mov r2, $7
+  mul r0, r1, r2
+  mov r1, r0
+  sys print
+  halt
+|} in
+  let m, r = run prog in
+  (match r with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited _) -> ()
+  | _ -> Alcotest.fail "did not exit");
+  Alcotest.(check (list int)) "42" [ 42 ] (Dr_machine.Machine.output_list m)
+
+let test_labels_and_branches () =
+  let prog = parse_ok {|
+.entry start
+start:
+  mov r1, $0
+  mov r2, $0
+loop:
+  cmp r1, $10
+  jge done
+  add r2, r2, r1
+  add r1, r1, $1
+  jmp loop
+done:
+  mov r1, r2
+  sys print
+  halt
+|} in
+  let m, _ = run prog in
+  Alcotest.(check (list int)) "sum 0..9" [ 45 ] (Dr_machine.Machine.output_list m)
+
+let test_jump_table () =
+  (* the fig-7 shape: data cells holding code addresses + indirect jump *)
+  let prog = parse_ok {|
+.entry main
+.data 8 @case0
+.data 9 @case1
+main:
+  sys read
+  mov r1, $8
+  add r1, r1, r0
+  load r2, [r1+0]
+  jmp *r2
+case0:
+  mov r1, $100
+  jmp out
+case1:
+  mov r1, $200
+out:
+  sys print
+  halt
+|} in
+  let m = Dr_machine.Machine.create ~input:[| 1 |] prog in
+  let _ =
+    Dr_machine.Driver.run ~max_steps:1_000 m
+      (Dr_machine.Driver.Round_robin { quantum = 1 })
+  in
+  Alcotest.(check (list int)) "case 1 taken" [ 200 ]
+    (Dr_machine.Machine.output_list m)
+
+let test_memref_offsets () =
+  let prog = parse_ok {|
+main:
+  mov r1, $10
+  mov r2, $77
+  store [r1+2], r2
+  load r3, [r1+2]
+  mov r1, r3
+  sys print
+  halt
+|} in
+  let m, _ = run prog in
+  Alcotest.(check (list int)) "store/load" [ 77 ] (Dr_machine.Machine.output_list m)
+
+let test_assert_with_string () =
+  let prog = parse_ok {|
+main:
+  mov r1, $0
+  assert r1, "it broke"
+  halt
+|} in
+  let _, r = run prog in
+  match r with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed { msg; _ }) ->
+    Alcotest.(check string) "message interned" "it broke" msg
+  | _ -> Alcotest.fail "expected assert failure"
+
+let test_parse_errors () =
+  let cases =
+    [ "bogus r1, r2";
+      "mov r99, $1";
+      "jmp nowhere\nmain:\n  halt";
+      "main:\nmain:\n  halt";
+      "load r1, r2";
+      ".data x 1\nmain:\n halt";
+      "" ]
+  in
+  List.iter
+    (fun src ->
+      match Dr_isa.Asm.parse src with
+      | Ok _ -> Alcotest.failf "should not parse: %S" src
+      | Error _ -> ())
+    cases
+
+let test_disassemble_roundtrip_compiled () =
+  (* disassembling a compiled program and re-assembling preserves code *)
+  let src = {|global int g;
+fn f(int x) {
+  if (x > 2) { return x * 2; }
+  return x;
+}
+fn main() {
+  g = f(5);
+  switch (g) {
+    case 10: print(1); break;
+    default: print(0); break;
+  }
+}|} in
+  let prog =
+    match Dr_lang.Codegen.compile_result ~name:"rt" src with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let text = Dr_isa.Asm.disassemble prog in
+  let prog' = parse_ok text in
+  Alcotest.(check bool) "code preserved" true
+    (prog.Dr_isa.Program.code = prog'.Dr_isa.Program.code);
+  Alcotest.(check int) "entry preserved" prog.Dr_isa.Program.entry
+    prog'.Dr_isa.Program.entry;
+  Alcotest.(check bool) "data preserved" true
+    (List.sort compare prog.Dr_isa.Program.data
+    = List.sort compare prog'.Dr_isa.Program.data)
+
+let prop_roundtrip_generated =
+  QCheck.Test.make ~name:"disassemble/parse round-trip on generated programs"
+    ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let src = Dr_lang.Gen.program seed in
+      match Dr_lang.Codegen.compile_result src with
+      | Error _ -> false
+      | Ok prog -> (
+        match Dr_isa.Asm.parse (Dr_isa.Asm.disassemble prog) with
+        | Error _ -> false
+        | Ok prog' ->
+          prog.Dr_isa.Program.code = prog'.Dr_isa.Program.code
+          && prog.Dr_isa.Program.entry = prog'.Dr_isa.Program.entry))
+
+let test_roundtrip_executes_identically () =
+  let src = {|fn main() {
+  int acc = 0;
+  for (int i = 0; i < 10; i = i + 1) { acc = acc + i * i; }
+  print(acc);
+}|} in
+  let prog =
+    match Dr_lang.Codegen.compile_result src with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let prog' = parse_ok (Dr_isa.Asm.disassemble prog) in
+  let m1, _ = run prog and m2, _ = run prog' in
+  Alcotest.(check (list int)) "same output"
+    (Dr_machine.Machine.output_list m1)
+    (Dr_machine.Machine.output_list m2)
+
+let () =
+  Alcotest.run "asm"
+    [ ( "assembler",
+        [ Alcotest.test_case "basic" `Quick test_basic_program;
+          Alcotest.test_case "labels/branches" `Quick test_labels_and_branches;
+          Alcotest.test_case "jump table" `Quick test_jump_table;
+          Alcotest.test_case "memrefs" `Quick test_memref_offsets;
+          Alcotest.test_case "assert string" `Quick test_assert_with_string;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors ] );
+      ( "round-trip",
+        [ Alcotest.test_case "compiled program" `Quick
+            test_disassemble_roundtrip_compiled;
+          QCheck_alcotest.to_alcotest prop_roundtrip_generated;
+          Alcotest.test_case "executes identically" `Quick
+            test_roundtrip_executes_identically ] ) ]

@@ -1,0 +1,342 @@
+(* Tests for dr_cfg: block construction, post-dominators, indirect-jump
+   refinement (the paper's §5.1 imprecision source), and the generic
+   dominator computation. *)
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+(* ---- generic dominators ---- *)
+
+let test_dom_diamond () =
+  (* 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 *)
+  let succs = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
+  let preds = function 1 -> [ 0 ] | 2 -> [ 0 ] | 3 -> [ 1; 2 ] | _ -> [] in
+  let d = Dr_cfg.Dom.idom ~num_nodes:4 ~succs ~preds ~root:0 in
+  Alcotest.(check (array int)) "idoms" [| 0; 0; 0; 0 |] d
+
+let test_dom_chain_and_loop () =
+  (* 0 -> 1 -> 2 -> 1 (loop), 2 -> 3 *)
+  let succs = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 1; 3 ] | _ -> [] in
+  let preds = function 1 -> [ 0; 2 ] | 2 -> [ 1 ] | 3 -> [ 2 ] | _ -> [] in
+  let d = Dr_cfg.Dom.idom ~num_nodes:4 ~succs ~preds ~root:0 in
+  Alcotest.(check (array int)) "idoms" [| 0; 0; 1; 2 |] d
+
+let test_dom_unreachable () =
+  let succs = function 0 -> [ 1 ] | _ -> [] in
+  let preds = function 1 -> [ 0 ] | _ -> [] in
+  let d = Dr_cfg.Dom.idom ~num_nodes:3 ~succs ~preds ~root:0 in
+  Alcotest.(check int) "unreachable" (-1) d.(2)
+
+(* ---- CFG construction on compiled programs ---- *)
+
+let test_blocks_if () =
+  let prog = compile {|
+fn main() {
+  int x = read();
+  if (x > 0) { print(1); } else { print(2); }
+  print(3);
+}
+|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let f =
+    List.find
+      (fun (f : Dr_cfg.Cfg.func) ->
+        f.Dr_cfg.Cfg.fentry = prog.Dr_isa.Program.entry)
+      cfg.Dr_cfg.Cfg.funcs
+  in
+  (* an if/else has at least 4 blocks: head, then, else, join *)
+  Alcotest.(check bool) "at least 4 blocks" true
+    (Array.length f.Dr_cfg.Cfg.blocks >= 4);
+  (* every non-exit block's successors are valid block ids *)
+  Array.iter
+    (fun (b : Dr_cfg.Cfg.block) ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "succ valid" true
+            (s >= 0 && s < Array.length f.Dr_cfg.Cfg.blocks))
+        b.Dr_cfg.Cfg.succs)
+    f.Dr_cfg.Cfg.blocks
+
+let find_branch_pcs prog =
+  let acc = ref [] in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | Dr_isa.Instr.Jcc _ | Dr_isa.Instr.Jind _ -> acc := (pc, i) :: !acc
+      | _ -> ())
+    prog.Dr_isa.Program.code;
+  List.rev !acc
+
+let test_ipdom_if_join () =
+  (* for `if (c) A else B; join`, the branch's ipdom is the join block *)
+  let prog = compile {|
+fn main() {
+  int x = read();
+  int r = 0;
+  if (x > 0) { r = 1; } else { r = 2; }
+  print(r);
+}
+|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let branches = find_branch_pcs prog in
+  Alcotest.(check bool) "has a conditional branch" true (branches <> []);
+  List.iter
+    (fun (pc, i) ->
+      match i with
+      | Dr_isa.Instr.Jcc _ -> (
+        match Dr_cfg.Cfg.ipdom_pc_of_branch cfg ~pc with
+        | Some ip -> Alcotest.(check bool) "ipdom after branch" true (ip > pc)
+        | None -> Alcotest.fail "conditional branch must have known ipdom")
+      | _ -> ())
+    branches
+
+let test_ipdom_loop () =
+  (* while-loop backedge: the loop condition's ipdom is the loop exit *)
+  let prog = compile {|
+fn main() {
+  int i = 0;
+  while (i < 10) { i = i + 1; }
+  print(i);
+}
+|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  List.iter
+    (fun (pc, i) ->
+      match i with
+      | Dr_isa.Instr.Jcc _ -> (
+        match Dr_cfg.Cfg.ipdom_pc_of_branch cfg ~pc with
+        | Some _ -> ()
+        | None -> Alcotest.fail "loop branch must have known ipdom")
+      | _ -> ())
+    (find_branch_pcs prog)
+
+let switch_src = {|
+fn main() {
+  int x = read();
+  int w = 0;
+  switch (x) {
+    case 0: w = 1; break;
+    case 1: w = 2; break;
+    default: w = 9; break;
+  }
+  print(w);
+}
+|}
+
+let test_indirect_jump_unknown_statically () =
+  let prog = compile switch_src in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let jind_pc =
+    fst
+      (List.find
+         (fun (_, i) -> match i with Dr_isa.Instr.Jind _ -> true | _ -> false)
+         (find_branch_pcs prog))
+  in
+  (* static CFG: indirect jump has unknown targets, so no ipdom *)
+  Alcotest.(check (option int)) "no ipdom statically" None
+    (Dr_cfg.Cfg.ipdom_pc_of_branch cfg ~pc:jind_pc)
+
+let test_indirect_jump_refined () =
+  let prog = compile switch_src in
+  (* collect the dynamic jump targets by running with both inputs *)
+  let targets = Hashtbl.create 4 in
+  List.iter
+    (fun input ->
+      let m = Dr_machine.Machine.create ~input:[| input |] prog in
+      let hooks =
+        { Dr_machine.Driver.on_event =
+            (fun ev ->
+              match ev.Dr_machine.Event.instr with
+              | Dr_isa.Instr.Jind _ ->
+                let pc = ev.Dr_machine.Event.pc in
+                let old = Option.value ~default:[] (Hashtbl.find_opt targets pc) in
+                if not (List.mem ev.Dr_machine.Event.next_pc old) then
+                  Hashtbl.replace targets pc (ev.Dr_machine.Event.next_pc :: old)
+              | _ -> ()) }
+      in
+      ignore
+        (Dr_machine.Driver.run ~hooks ~max_steps:10_000 m
+           (Dr_machine.Driver.Round_robin { quantum = 1 })))
+    [ 0; 1; 5 ];
+  let indirect_targets = Hashtbl.fold (fun k v acc -> (k, v) :: acc) targets [] in
+  Alcotest.(check bool) "observed targets" true (indirect_targets <> []);
+  let cfg = Dr_cfg.Cfg.build ~indirect_targets prog in
+  let jind_pc = fst (List.hd indirect_targets) in
+  (* refined CFG: the switch jump now has a known ipdom (the join after
+     the switch), restoring the control dependence of Figure 7 *)
+  match Dr_cfg.Cfg.ipdom_pc_of_branch cfg ~pc:jind_pc with
+  | Some ip -> Alcotest.(check bool) "ipdom known after refinement" true (ip > jind_pc)
+  | None -> Alcotest.fail "refinement should give the switch an ipdom"
+
+let test_functions_listing () =
+  let prog = compile {|
+fn a() { return 1; }
+fn b() { return 2; }
+fn main() { print(a() + b()); }
+|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  Alcotest.(check int) "three functions" 3 (List.length (Dr_cfg.Cfg.functions cfg));
+  (* ranges must tile the code without overlap *)
+  let ranges = List.sort compare (Dr_cfg.Cfg.functions cfg) in
+  let rec no_overlap = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+      Alcotest.(check bool) "no overlap" true (e1 <= s2);
+      no_overlap rest
+    | _ -> ()
+  in
+  no_overlap ranges
+
+let test_block_at () =
+  let prog = compile "fn main() { print(1); }" in
+  let cfg = Dr_cfg.Cfg.build prog in
+  (match Dr_cfg.Cfg.block_at cfg prog.Dr_isa.Program.entry with
+  | Some (_, b) ->
+    Alcotest.(check bool) "entry in block" true
+      (b.Dr_cfg.Cfg.start_pc <= prog.Dr_isa.Program.entry)
+  | None -> Alcotest.fail "entry block not found");
+  Alcotest.(check bool) "out of range" true
+    (Dr_cfg.Cfg.block_at cfg 100_000 = None)
+
+let test_discovery_without_debug_info () =
+  (* raw program, no debug info: heuristic function discovery *)
+  let open Dr_isa.Instr in
+  let prog =
+    Dr_isa.Program.make ~name:"raw" ~entry:0
+      [ (* main *) Mov (1, Imm 1); Call 4; Halt; Nop;
+        (* callee at 4 *) Push Dr_isa.Reg.fp; Mov (Dr_isa.Reg.fp, Reg Dr_isa.Reg.sp);
+        Pop Dr_isa.Reg.fp; Ret ]
+  in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let funcs = Dr_cfg.Cfg.functions cfg in
+  Alcotest.(check bool) "found callee" true (List.exists (fun (e, _) -> e = 4) funcs)
+
+let prop_every_pc_in_some_block =
+  QCheck.Test.make ~name:"every function pc maps to a block containing it"
+    ~count:20
+    QCheck.(int_bound 3)
+    (fun _ ->
+      let prog = compile switch_src in
+      let cfg = Dr_cfg.Cfg.build prog in
+      let ok = ref true in
+      List.iter
+        (fun (f : Dr_cfg.Cfg.func) ->
+          for pc = f.Dr_cfg.Cfg.fentry to f.Dr_cfg.Cfg.fend - 1 do
+            match Dr_cfg.Cfg.block_at cfg pc with
+            | Some (_, b) ->
+              if not (b.Dr_cfg.Cfg.start_pc <= pc && pc < b.Dr_cfg.Cfg.end_pc) then
+                ok := false
+            | None -> ok := false
+          done)
+        cfg.Dr_cfg.Cfg.funcs;
+      !ok)
+
+(* ---- additional cfg coverage ---- *)
+
+let test_branch_region_end_variants () =
+  let prog = compile switch_src in
+  let cfg = Dr_cfg.Cfg.build prog in
+  (* every Jcc in a compiled function yields At or To_exit, never a crash *)
+  List.iter
+    (fun (pc, i) ->
+      match i with
+      | Dr_isa.Instr.Jcc _ -> (
+        match Dr_cfg.Cfg.branch_region_end cfg ~pc with
+        | Dr_cfg.Cfg.At p -> Alcotest.(check bool) "forward" true (p > 0)
+        | Dr_cfg.Cfg.To_exit -> ()
+        | Dr_cfg.Cfg.Unknown -> Alcotest.fail "Jcc cannot be Unknown")
+      | Dr_isa.Instr.Jind _ ->
+        Alcotest.(check bool) "jind unknown statically" true
+          (Dr_cfg.Cfg.branch_region_end cfg ~pc = Dr_cfg.Cfg.Unknown)
+      | _ -> ())
+    (find_branch_pcs prog)
+
+let test_spawn_target_discovered () =
+  (* without debug info, spawn targets (mov rX, @entry idiom) are found *)
+  let src = {|global int x;
+fn worker(int n) { x = n; }
+fn main() {
+  int t = spawn(worker, 3);
+  join(t);
+}|} in
+  let prog = compile src in
+  (* strip the debug info to force heuristic discovery *)
+  let stripped = { prog with Dr_isa.Program.debug = Dr_isa.Debug_info.empty } in
+  let cfg = Dr_cfg.Cfg.build stripped in
+  let dbg_worker =
+    Option.get (Dr_isa.Debug_info.func_named prog.Dr_isa.Program.debug "worker")
+  in
+  Alcotest.(check bool) "worker entry discovered" true
+    (List.exists
+       (fun (e, _) -> e = dbg_worker.Dr_isa.Debug_info.entry)
+       (Dr_cfg.Cfg.functions cfg))
+
+let test_recursive_function_cfg () =
+  let prog = compile {|fn fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() { print(fib(8)); }|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  (* each function's blocks tile its range exactly *)
+  List.iter
+    (fun (f : Dr_cfg.Cfg.func) ->
+      let covered = ref 0 in
+      Array.iter
+        (fun (b : Dr_cfg.Cfg.block) ->
+          covered := !covered + (b.Dr_cfg.Cfg.end_pc - b.Dr_cfg.Cfg.start_pc))
+        f.Dr_cfg.Cfg.blocks;
+      Alcotest.(check int) "blocks tile function"
+        (f.Dr_cfg.Cfg.fend - f.Dr_cfg.Cfg.fentry)
+        !covered)
+    cfg.Dr_cfg.Cfg.funcs
+
+let prop_preds_consistent_with_succs =
+  QCheck.Test.make ~name:"preds lists mirror succs lists" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let src = Dr_lang.Gen.program seed in
+      match Dr_lang.Codegen.compile_result src with
+      | Error _ -> false
+      | Ok prog ->
+        let cfg = Dr_cfg.Cfg.build prog in
+        List.for_all
+          (fun (f : Dr_cfg.Cfg.func) ->
+            Array.for_all
+              (fun (b : Dr_cfg.Cfg.block) ->
+                List.for_all
+                  (fun s ->
+                    List.mem b.Dr_cfg.Cfg.id
+                      f.Dr_cfg.Cfg.blocks.(s).Dr_cfg.Cfg.preds)
+                  b.Dr_cfg.Cfg.succs)
+              f.Dr_cfg.Cfg.blocks)
+          cfg.Dr_cfg.Cfg.funcs)
+
+let () =
+  Alcotest.run "cfg"
+    [ ( "dom",
+        [ Alcotest.test_case "diamond" `Quick test_dom_diamond;
+          Alcotest.test_case "chain+loop" `Quick test_dom_chain_and_loop;
+          Alcotest.test_case "unreachable" `Quick test_dom_unreachable ] );
+      ( "cfg",
+        [ Alcotest.test_case "if blocks" `Quick test_blocks_if;
+          Alcotest.test_case "ipdom of if" `Quick test_ipdom_if_join;
+          Alcotest.test_case "ipdom of loop" `Quick test_ipdom_loop;
+          Alcotest.test_case "functions" `Quick test_functions_listing;
+          Alcotest.test_case "block_at" `Quick test_block_at;
+          Alcotest.test_case "discovery without debug info" `Quick
+            test_discovery_without_debug_info;
+          QCheck_alcotest.to_alcotest prop_every_pc_in_some_block ] );
+      ( "refinement",
+        [ Alcotest.test_case "jind unknown statically" `Quick
+            test_indirect_jump_unknown_statically;
+          Alcotest.test_case "jind refined" `Quick test_indirect_jump_refined ] );
+      ( "coverage",
+        [ Alcotest.test_case "region end variants" `Quick
+            test_branch_region_end_variants;
+          Alcotest.test_case "spawn target discovery" `Quick
+            test_spawn_target_discovered;
+          Alcotest.test_case "recursive fn blocks" `Quick
+            test_recursive_function_cfg;
+          QCheck_alcotest.to_alcotest prop_preds_consistent_with_succs ] ) ]

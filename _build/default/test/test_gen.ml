@@ -1,0 +1,240 @@
+(* Differential property tests over randomly generated programs
+   (lib/lang/gen.ml).  Each property exercises the whole pipeline:
+   compile -> run -> record -> replay -> trace -> slice -> slice replay. *)
+
+let compile_seed seed =
+  let src = Dr_lang.Gen.program seed in
+  match Dr_lang.Codegen.compile_result ~name:(Printf.sprintf "gen%d" seed) src with
+  | Ok p -> p
+  | Error e -> QCheck.Test.fail_reportf "seed %d does not compile: %s\n%s" seed e src
+
+let run_seeded prog ~sched_seed =
+  let m = Dr_machine.Machine.create prog in
+  let r =
+    Dr_machine.Driver.run ~max_steps:3_000_000 m
+      (Dr_machine.Driver.Seeded { seed = sched_seed; max_quantum = 5 })
+  in
+  (m, r)
+
+let clean_exit = function
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited _) -> true
+  | _ -> false
+
+(* 1. generated programs always compile and terminate cleanly *)
+let prop_gen_safe =
+  QCheck.Test.make ~name:"generated programs compile and run cleanly" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_bound 50))
+    (fun (seed, sched_seed) ->
+      let prog = compile_seed seed in
+      let _, r = run_seeded prog ~sched_seed in
+      if not (clean_exit r) then
+        QCheck.Test.fail_reportf "seed %d sched %d: %s" seed sched_seed
+          (Format.asprintf "%a" Dr_machine.Driver.pp_stop_reason r)
+      else true)
+
+(* 2. record/replay equivalence: replay reproduces output exactly *)
+let prop_gen_replay =
+  QCheck.Test.make ~name:"record/replay equivalence on generated programs"
+    ~count:40
+    QCheck.(pair (int_bound 100_000) (int_bound 50))
+    (fun (seed, sched_seed) ->
+      let prog = compile_seed seed in
+      let m, _ = run_seeded prog ~sched_seed in
+      let native_out = Dr_machine.Machine.output_list m in
+      match
+        Dr_pinplay.Logger.log
+          ~policy:(Dr_machine.Driver.Seeded { seed = sched_seed; max_quantum = 5 })
+          prog Dr_pinplay.Logger.Whole
+      with
+      | Error _ -> false
+      | Ok (pb, _) ->
+        let m2, _ = Dr_pinplay.Replayer.replay prog pb in
+        Dr_machine.Machine.output_list m2 = native_out)
+
+(* reference slicer: no LP, no pruning (same as test_slicing's naive) *)
+let naive_slice gt crit_pos =
+  let wanted = Hashtbl.create 64 in
+  let to_include = Hashtbl.create 64 in
+  let in_slice = Hashtbl.create 64 in
+  let crit = Dr_slicing.Global_trace.record gt crit_pos in
+  Hashtbl.replace in_slice crit_pos ();
+  Array.iter (fun u -> Hashtbl.replace wanted u ()) crit.Dr_slicing.Trace.uses;
+  if crit.Dr_slicing.Trace.cd >= 0 then
+    Hashtbl.replace to_include
+      (Dr_slicing.Global_trace.position gt ~gseq:crit.Dr_slicing.Trace.cd)
+      ();
+  for pos = crit_pos - 1 downto 0 do
+    let r = Dr_slicing.Global_trace.record gt pos in
+    let inc = ref (Hashtbl.mem to_include pos) in
+    Array.iter
+      (fun d ->
+        if Hashtbl.mem wanted d then begin
+          inc := true;
+          Hashtbl.remove wanted d
+        end)
+      r.Dr_slicing.Trace.defs;
+    if !inc && not (Hashtbl.mem in_slice pos) then begin
+      Hashtbl.replace in_slice pos ();
+      Array.iter (fun u -> Hashtbl.replace wanted u ()) r.Dr_slicing.Trace.uses;
+      if r.Dr_slicing.Trace.cd >= 0 then
+        Hashtbl.replace to_include
+          (Dr_slicing.Global_trace.position gt ~gseq:r.Dr_slicing.Trace.cd)
+          ()
+    end
+  done;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) in_slice [])
+
+let pipeline seed sched_seed =
+  let prog = compile_seed seed in
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed = sched_seed; max_quantum = 5 })
+      prog Dr_pinplay.Logger.Whole
+  with
+  | Error _ -> None
+  | Ok (pb, _) ->
+    let c = Dr_slicing.Collector.collect prog pb in
+    let gt = Dr_slicing.Global_trace.construct c in
+    Some (prog, pb, c, gt)
+
+(* 3. LP slicer == reference slicer on generated programs *)
+let prop_gen_lp_equals_naive =
+  QCheck.Test.make ~name:"LP slicer equals reference on generated programs"
+    ~count:25
+    QCheck.(pair (int_bound 100_000) (int_bound 20))
+    (fun (seed, sched_seed) ->
+      match pipeline seed sched_seed with
+      | None -> false
+      | Some (_, _, _, gt) ->
+        let n = Dr_slicing.Global_trace.length gt in
+        if n = 0 then true
+        else begin
+          let crit_pos = n - 1 in
+          let lp = Dr_slicing.Lp.prepare ~block_size:64 gt in
+          let slice =
+            Dr_slicing.Slicer.compute ~lp gt
+              { Dr_slicing.Slicer.crit_pos; crit_locs = None }
+          in
+          Array.to_list slice.Dr_slicing.Slicer.positions
+          = naive_slice gt crit_pos
+        end)
+
+(* 4. global trace is topological on generated programs *)
+let prop_gen_topological =
+  QCheck.Test.make ~name:"global trace topological on generated programs"
+    ~count:25
+    QCheck.(pair (int_bound 100_000) (int_bound 20))
+    (fun (seed, sched_seed) ->
+      match pipeline seed sched_seed with
+      | None -> false
+      | Some (_, _, c, gt) -> Dr_slicing.Global_trace.is_topological gt c)
+
+(* 5. pruning produces a subset *)
+let prop_gen_prune_subset =
+  QCheck.Test.make ~name:"pruned slice is a subset on generated programs"
+    ~count:25
+    QCheck.(pair (int_bound 100_000) (int_bound 20))
+    (fun (seed, sched_seed) ->
+      match pipeline seed sched_seed with
+      | None -> false
+      | Some (_, _, c, gt) ->
+        let n = Dr_slicing.Global_trace.length gt in
+        let crit = { Dr_slicing.Slicer.crit_pos = n - 1; crit_locs = None } in
+        let u = Dr_slicing.Slicer.compute gt crit in
+        let p =
+          Dr_slicing.Slicer.compute ~pairs:c.Dr_slicing.Collector.pairs gt crit
+        in
+        let us = Array.to_list u.Dr_slicing.Slicer.positions in
+        Dr_slicing.Slicer.size p <= Dr_slicing.Slicer.size u
+        && Array.for_all (fun x -> List.mem x us) p.Dr_slicing.Slicer.positions)
+
+(* 6. slice replay computes identical r0 values at slice statements *)
+let prop_gen_slice_replay_values =
+  QCheck.Test.make
+    ~name:"slice replay value equivalence on generated programs" ~count:20
+    QCheck.(pair (int_bound 100_000) (int_bound 20))
+    (fun (seed, sched_seed) ->
+      match pipeline seed sched_seed with
+      | None -> false
+      | Some (prog, pb, c, gt) -> (
+        let n = Dr_slicing.Global_trace.length gt in
+        let slice =
+          Dr_slicing.Slicer.compute ~pairs:c.Dr_slicing.Collector.pairs gt
+            { Dr_slicing.Slicer.crit_pos = n - 1; crit_locs = None }
+        in
+        match
+          try Some (Dr_exeslice.Exclusion.slice_pinball prog pb ~slice ~collector:c)
+          with Dr_pinplay.Relogger.Relog_error _ -> None
+        with
+        | None -> true (* nothing to check if relog declined *)
+        | Some (spb, _) ->
+          (* original r0-after-instruction per slice statement *)
+          let wanted = Hashtbl.create 128 in
+          Array.iter
+            (fun pos ->
+              let r = Dr_slicing.Global_trace.record gt pos in
+              Hashtbl.replace wanted
+                (r.Dr_slicing.Trace.tid, r.Dr_slicing.Trace.pc, r.Dr_slicing.Trace.instance)
+                ())
+            slice.Dr_slicing.Slicer.positions;
+          let orig = Hashtbl.create 128 in
+          let counts = Hashtbl.create 128 in
+          let replayer = Dr_pinplay.Replayer.create prog pb in
+          let m = Dr_pinplay.Replayer.machine replayer in
+          let hooks =
+            { Dr_machine.Driver.on_event =
+                (fun ev ->
+                  let k = (ev.Dr_machine.Event.tid, ev.Dr_machine.Event.pc) in
+                  let i = 1 + Option.value ~default:0 (Hashtbl.find_opt counts k) in
+                  Hashtbl.replace counts k i;
+                  let key = (ev.Dr_machine.Event.tid, ev.Dr_machine.Event.pc, i) in
+                  if Hashtbl.mem wanted key then
+                    Hashtbl.replace orig key
+                      (Dr_machine.Machine.thread m ev.Dr_machine.Event.tid).Dr_machine.Machine.regs.(0)) }
+          in
+          ignore (Dr_pinplay.Replayer.resume ~hooks replayer);
+          (* slice replay *)
+          let sr = Dr_exeslice.Slice_replay.create prog spb in
+          let sm = Dr_exeslice.Slice_replay.machine sr in
+          let counts2 = Hashtbl.create 128 in
+          let ok = ref true in
+          let rec go () =
+            match Dr_exeslice.Slice_replay.step sr with
+            | Dr_exeslice.Slice_replay.Stepped { tid; pc; _ } ->
+              let k = (tid, pc) in
+              let i = 1 + Option.value ~default:0 (Hashtbl.find_opt counts2 k) in
+              Hashtbl.replace counts2 k i;
+              (match Hashtbl.find_opt orig (tid, pc, i) with
+              | Some v ->
+                if (Dr_machine.Machine.thread sm tid).Dr_machine.Machine.regs.(0) <> v
+                then ok := false
+              | None -> ());
+              go ()
+            | Dr_exeslice.Slice_replay.Injected _ -> go ()
+            | _ -> ()
+          in
+          go ();
+          !ok))
+
+(* 7. debugger end-to-end on generated programs: record, replay, continue *)
+let prop_gen_debugger =
+  QCheck.Test.make ~name:"debugger session on generated programs" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog = compile_seed seed in
+      let dbg = Drdebug.Debugger.of_program prog in
+      let ok cmd =
+        match Drdebug.Debugger.exec dbg cmd with Ok _ -> true | Error _ -> false
+      in
+      ok "record whole" && ok "replay" && ok "continue" && ok "slice-failure")
+
+let () =
+  Alcotest.run "gen"
+    [ ( "generated programs",
+        [ QCheck_alcotest.to_alcotest prop_gen_safe;
+          QCheck_alcotest.to_alcotest prop_gen_replay;
+          QCheck_alcotest.to_alcotest prop_gen_lp_equals_naive;
+          QCheck_alcotest.to_alcotest prop_gen_topological;
+          QCheck_alcotest.to_alcotest prop_gen_prune_subset;
+          QCheck_alcotest.to_alcotest prop_gen_slice_replay_values;
+          QCheck_alcotest.to_alcotest prop_gen_debugger ] ) ]

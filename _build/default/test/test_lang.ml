@@ -1,0 +1,595 @@
+(* Tests for the mini-C front end: lexer, parser, sema, codegen, and
+   end-to-end execution of compiled programs on the VM. *)
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+let compile_err src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok _ -> Alcotest.fail "expected a compile error"
+  | Error msg -> msg
+
+(* Run a program to completion under a deterministic round-robin schedule
+   and return (outcome, output). *)
+let run ?(input = [||]) ?(quantum = 3) ?(max_steps = 2_000_000) prog =
+  let m = Dr_machine.Machine.create ~input prog in
+  let reason =
+    Dr_machine.Driver.run ~max_steps m
+      (Dr_machine.Driver.Round_robin { quantum })
+  in
+  (reason, Dr_machine.Machine.output_list m)
+
+let check_output ?input src expected =
+  let reason, out = run ?input (compile src) in
+  (match reason with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited _) -> ()
+  | r ->
+    Alcotest.failf "program did not exit cleanly: %a"
+      (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r)
+      ());
+  Alcotest.(check (list int)) "output" expected out
+
+(* ---- lexer ---- *)
+
+let test_lex_basic () =
+  let toks = Dr_lang.Lexer.tokenize "fn main() { return 42; }" in
+  let kinds = List.map (fun t -> t.Dr_lang.Lexer.tok) toks in
+  Alcotest.(check int) "token count" 10 (List.length kinds);
+  Alcotest.(check bool) "ends with eof" true
+    (List.nth kinds 9 = Dr_lang.Token.EOF)
+
+let test_lex_comments () =
+  let toks =
+    Dr_lang.Lexer.tokenize "// comment\nfn /* inline */ main() {}"
+  in
+  let idents =
+    List.filter_map
+      (fun t ->
+        match t.Dr_lang.Lexer.tok with Dr_lang.Token.IDENT s -> Some s | _ -> None)
+      toks
+  in
+  Alcotest.(check (list string)) "idents" [ "main" ] idents
+
+let test_lex_lines () =
+  let toks = Dr_lang.Lexer.tokenize "fn\nmain\n(\n)" in
+  let lines = List.map (fun t -> t.Dr_lang.Lexer.line) toks in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 3; 4; 4 ] lines
+
+let test_lex_string_escape () =
+  let toks = Dr_lang.Lexer.tokenize {|"a\nb"|} in
+  match (List.hd toks).Dr_lang.Lexer.tok with
+  | Dr_lang.Token.STRING s -> Alcotest.(check string) "escaped" "a\nb" s
+  | _ -> Alcotest.fail "expected string token"
+
+let test_lex_error () =
+  Alcotest.check_raises "bad char"
+    (Dr_lang.Lexer.Error { line = 1; msg = "unexpected character '@'" })
+    (fun () -> ignore (Dr_lang.Lexer.tokenize "@"))
+
+(* ---- end-to-end execution ---- *)
+
+let test_arith () =
+  check_output "fn main() { print(1 + 2 * 3 - 4 / 2); }" [ 5 ]
+
+let test_precedence () =
+  check_output "fn main() { print(2 + 3 << 1); print(1 | 2 ^ 3 & 2); }"
+    [ 10; 1 ]
+
+let test_locals_and_if () =
+  check_output
+    {|
+fn main() {
+  int a = 10;
+  int b = 20;
+  if (a < b) { print(1); } else { print(0); }
+  if (a == 10 && b == 20) { print(2); }
+  if (a > b || b == 20) { print(3); }
+}
+|}
+    [ 1; 2; 3 ]
+
+let test_while_loop () =
+  check_output
+    {|
+fn main() {
+  int i = 0;
+  int sum = 0;
+  while (i < 10) { sum = sum + i; i = i + 1; }
+  print(sum);
+}
+|}
+    [ 45 ]
+
+let test_for_loop () =
+  check_output
+    {|
+fn main() {
+  int sum = 0;
+  for (int i = 0; i < 5; i = i + 1) { sum = sum + i * i; }
+  print(sum);
+}
+|}
+    [ 30 ]
+
+let test_break_continue () =
+  check_output
+    {|
+fn main() {
+  int sum = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 10) { break; }
+    sum = sum + i;
+  }
+  print(sum);
+}
+|}
+    [ 1 + 3 + 5 + 7 + 9 ]
+
+let test_functions () =
+  check_output
+    {|
+fn add(int a, int b) { return a + b; }
+fn fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() {
+  print(add(3, 4));
+  print(fib(10));
+}
+|}
+    [ 7; 55 ]
+
+let test_many_locals () =
+  (* more locals than callee-saved registers: exercises frame slots *)
+  check_output
+    {|
+fn f(int a, int b) {
+  int c = a + b;
+  int d = c * 2;
+  int e = d + a;
+  int g = e - b;
+  int h = g * g;
+  int i = h + 1;
+  int j = i - d;
+  int k = j + c;
+  return k;
+}
+fn main() { print(f(2, 3)); }
+|}
+    [ (let a, b = (2, 3) in
+       let c = a + b in
+       let d = c * 2 in
+       let e = d + a in
+       let g = e - b in
+       let h = g * g in
+       let i = h + 1 in
+       let j = i - d in
+       j + c) ]
+
+let test_globals () =
+  check_output
+    {|
+global int counter = 5;
+global int arr[4];
+fn bump(int by) { counter = counter + by; return counter; }
+fn main() {
+  arr[0] = 10;
+  arr[3] = 40;
+  print(bump(1));
+  print(bump(2));
+  print(arr[0] + arr[3]);
+  print(arr[1]);
+}
+|}
+    [ 6; 8; 50; 0 ]
+
+let test_switch () =
+  check_output
+    {|
+fn classify(int x) {
+  int r = 0;
+  switch (x) {
+    case 1: r = 100; break;
+    case 2: r = 200; break;
+    case 4: r = 400; break;
+    default: r = 999; break;
+  }
+  return r;
+}
+fn main() {
+  print(classify(1));
+  print(classify(2));
+  print(classify(3));
+  print(classify(4));
+  print(classify(77));
+}
+|}
+    [ 100; 200; 999; 400; 999 ]
+
+let test_switch_fallthrough () =
+  check_output
+    {|
+fn main() {
+  int r = 0;
+  switch (2) {
+    case 1: r = r + 1;
+    case 2: r = r + 10;
+    case 3: r = r + 100; break;
+    case 4: r = r + 1000;
+  }
+  print(r);
+}
+|}
+    [ 110 ]
+
+let test_read_input () =
+  let reason, out =
+    run ~input:[| 7; 8 |] (compile "fn main() { print(read() + read()); }")
+  in
+  (match reason with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited _) -> ()
+  | _ -> Alcotest.fail "did not exit");
+  Alcotest.(check (list int)) "sum of inputs" [ 15 ] out
+
+let test_assert_failure () =
+  let reason, _ = run (compile {|fn main() { assert(1 == 2, "boom"); }|}) in
+  match reason with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed { msg; _ }) ->
+    Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected assert failure"
+
+let test_spawn_join () =
+  check_output
+    {|
+global int total;
+global int m;
+fn worker(int n) {
+  lock(&m);
+  total = total + n;
+  unlock(&m);
+}
+fn main() {
+  int t1 = spawn(worker, 10);
+  int t2 = spawn(worker, 20);
+  join(t1);
+  join(t2);
+  print(total);
+}
+|}
+    [ 30 ]
+
+let test_alloc () =
+  check_output
+    {|
+fn main() {
+  int p = alloc(4);
+  int q = alloc(2);
+  print(q - p);
+}
+|}
+    [ 4 ]
+
+let test_negative_and_not () =
+  check_output "fn main() { print(-5 + 3); print(!0); print(!7); }"
+    [ -2; 1; 0 ]
+
+let test_exit_builtin () =
+  let reason, out = run (compile "fn main() { print(1); exit(3); print(2); }") in
+  (match reason with
+  | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited 3) -> ()
+  | _ -> Alcotest.fail "expected exit(3)");
+  Alcotest.(check (list int)) "output before exit" [ 1 ] out
+
+let test_debug_info () =
+  let prog = compile {|
+global int g;
+fn helper(int x) {
+  int y = x + 1;
+  return y;
+}
+fn main() {
+  int a = helper(1);
+  print(a);
+}
+|} in
+  let dbg = prog.Dr_isa.Program.debug in
+  let f = Option.get (Dr_isa.Debug_info.func_named dbg "helper") in
+  Alcotest.(check (list string)) "params" [ "x" ] f.Dr_isa.Debug_info.params;
+  Alcotest.(check bool) "has var y" true
+    (List.exists (fun v -> v.Dr_isa.Debug_info.vname = "y") f.Dr_isa.Debug_info.vars);
+  (match Dr_isa.Debug_info.lookup_var dbg ~pc:f.Dr_isa.Debug_info.entry "g" with
+  | Some (Dr_isa.Debug_info.Global _) -> ()
+  | _ -> Alcotest.fail "global g not found");
+  (* every pc inside helper maps to a plausible line *)
+  for pc = f.Dr_isa.Debug_info.entry to f.Dr_isa.Debug_info.code_end - 1 do
+    match Dr_isa.Debug_info.line_of_pc dbg pc with
+    | Some l -> Alcotest.(check bool) "line in range" true (l >= 1 && l <= 10)
+    | None -> Alcotest.fail "missing line info"
+  done
+
+let test_sema_errors () =
+  let cases =
+    [ "fn main() { x = 1; }";
+      "fn main() { int x; int x; }";
+      "fn f() {} fn f() {} fn main() {}";
+      "fn main() { break; }";
+      "fn main() { continue; }";
+      "fn nope() {}";
+      "fn main(int x) {}";
+      "fn main() { f(1); }";
+      "fn f(int a) {} fn main() { f(); }";
+      "global int g; global int g; fn main() {}";
+      "fn main() { print(spawn(main, 1, 2)); }";
+      "global int a[3]; fn main() { a = 1; }";
+      "fn main() { int x; print(x[0]); }";
+      "fn main() { print(&localname); }";
+      "fn main() { switch (1) { } }" ]
+  in
+  List.iter (fun src -> ignore (compile_err src)) cases
+
+let test_codegen_has_savrestore_shape () =
+  (* the generated prologue/epilogue must contain push/pop pairs *)
+  let prog = compile {|
+fn f(int a) { int b = a * 2; return b; }
+fn main() { print(f(21)); }
+|} in
+  let dbg = prog.Dr_isa.Program.debug in
+  let f = Option.get (Dr_isa.Debug_info.func_named dbg "f") in
+  let pushes = ref 0 and pops = ref 0 in
+  for pc = f.Dr_isa.Debug_info.entry to f.Dr_isa.Debug_info.code_end - 1 do
+    match prog.Dr_isa.Program.code.(pc) with
+    | Dr_isa.Instr.Push _ -> incr pushes
+    | Dr_isa.Instr.Pop _ -> incr pops
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "has pushes" true (!pushes >= 2);
+  Alcotest.(check bool) "balanced" true (!pushes = !pops)
+
+let test_switch_uses_jind () =
+  let prog = compile {|
+fn main() {
+  switch (read()) {
+    case 0: print(0); break;
+    case 1: print(1); break;
+    default: print(9); break;
+  }
+}
+|} in
+  let has_jind =
+    Array.exists
+      (function Dr_isa.Instr.Jind _ -> true | _ -> false)
+      prog.Dr_isa.Program.code
+  in
+  Alcotest.(check bool) "switch compiles to an indirect jump" true has_jind
+
+(* ---- additional language coverage ---- *)
+
+let test_else_if_chain () =
+  check_output ~input:[| 2 |]
+    {|fn main() {
+  int x = read();
+  if (x == 0) { print(100); }
+  else if (x == 1) { print(200); }
+  else if (x == 2) { print(300); }
+  else { print(999); }
+}|}
+    [ 300 ]
+
+let test_deep_recursion () =
+  check_output
+    {|fn sum(int n) {
+  if (n <= 0) { return 0; }
+  return n + sum(n - 1);
+}
+fn main() { print(sum(100)); }|}
+    [ 5050 ]
+
+let test_mutual_recursion () =
+  check_output
+    {|fn is_odd(int n) {
+  if (n == 0) { return 0; }
+  return is_even(n - 1);
+}
+fn is_even(int n) {
+  if (n == 0) { return 1; }
+  return is_odd(n - 1);
+}
+fn main() { print(is_even(10)); print(is_odd(10)); }|}
+    [ 1; 0 ]
+
+let test_peek_poke () =
+  check_output
+    {|global int base;
+fn main() {
+  base = alloc(4);
+  poke(base + 2, 77);
+  print(peek(base + 2));
+  print(peek(base + 1));
+}|}
+    [ 77; 0 ]
+
+let test_addr_of_array_element () =
+  check_output
+    {|global int locks[4];
+global int n;
+fn main() {
+  lock(&locks[2]);
+  n = 5;
+  unlock(&locks[2]);
+  print(n);
+}|}
+    [ 5 ]
+
+let test_short_circuit_no_side_effect () =
+  (* the right operand of && must not evaluate when the left is false *)
+  check_output
+    {|global int calls;
+fn bump() { calls = calls + 1; return 1; }
+fn main() {
+  if (0 == 1 && bump() == 1) { print(111); }
+  print(calls);
+  if (1 == 1 || bump() == 1) { print(222); }
+  print(calls);
+}|}
+    [ 0; 222; 0 ]
+
+let test_block_scoping_sibling_reuse () =
+  check_output
+    {|fn main() {
+  int total = 0;
+  for (int i = 0; i < 3; i = i + 1) { total = total + i; }
+  for (int i = 0; i < 4; i = i + 1) { total = total + i; }
+  if (total > 0) { int t = 100; total = total + t; }
+  if (total > 0) { int t = 1000; total = total + t; }
+  print(total);
+}|}
+    [ 3 + 6 + 100 + 1000 ]
+
+let test_nested_shadowing_rejected () =
+  ignore
+    (compile_err
+       {|fn main() {
+  for (int i = 0; i < 3; i = i + 1) {
+    int i = 5;
+  }
+}|})
+
+let test_global_initializers () =
+  check_output {|global int a = 7;
+global int b = -3;
+global int c;
+fn main() { print(a); print(b); print(c); }|}
+    [ 7; -3; 0 ]
+
+let test_switch_negative_case () =
+  check_output ~input:[| 3 |]
+    {|fn main() {
+  int x = read() - 4;
+  switch (x) {
+    case -1: print(11); break;
+    case 0: print(22); break;
+    default: print(33); break;
+  }
+}|}
+    [ 11 ]
+
+let test_while_with_break_only () =
+  check_output
+    {|fn main() {
+  int n = 0;
+  while (1 == 1) {
+    n = n + 1;
+    if (n == 5) { break; }
+  }
+  print(n);
+}|}
+    [ 5 ]
+
+let test_return_void_function () =
+  check_output
+    {|global int g;
+fn set(int v) {
+  if (v < 0) { return; }
+  g = v;
+}
+fn main() {
+  set(0 - 1);
+  print(g);
+  set(9);
+  print(g);
+}|}
+    [ 0; 9 ]
+
+let test_line_table_monotonic () =
+  let prog = compile {|global int g;
+fn f(int x) {
+  int y = x;
+  if (y > 2) { y = y * 2; }
+  return y;
+}
+fn main() {
+  g = f(5);
+  print(g);
+}|} in
+  let lines = prog.Dr_isa.Program.debug.Dr_isa.Debug_info.lines in
+  for i = 1 to Array.length lines - 1 do
+    Alcotest.(check bool) "pcs ascending" true (fst lines.(i) > fst lines.(i - 1))
+  done
+
+let prop_generated_sources_reparse =
+  QCheck.Test.make ~name:"generated programs lex+parse+compile" ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let src = Dr_lang.Gen.program seed in
+      match Dr_lang.Codegen.compile_result src with
+      | Ok prog -> Array.length prog.Dr_isa.Program.code > 0
+      | Error _ -> false)
+
+let prop_compile_deterministic =
+  QCheck.Test.make ~name:"compilation is deterministic" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let src = Dr_lang.Gen.program seed in
+      match (Dr_lang.Codegen.compile_result src, Dr_lang.Codegen.compile_result src) with
+      | Ok a, Ok b ->
+        a.Dr_isa.Program.code = b.Dr_isa.Program.code
+        && a.Dr_isa.Program.data = b.Dr_isa.Program.data
+      | _ -> false)
+
+let () =
+  Alcotest.run "lang"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "line numbers" `Quick test_lex_lines;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escape;
+          Alcotest.test_case "error" `Quick test_lex_error ] );
+      ( "exec",
+        [ Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "locals/if" `Quick test_locals_and_if;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "for" `Quick test_for_loop;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "many locals" `Quick test_many_locals;
+          Alcotest.test_case "globals/arrays" `Quick test_globals;
+          Alcotest.test_case "switch" `Quick test_switch;
+          Alcotest.test_case "switch fallthrough" `Quick test_switch_fallthrough;
+          Alcotest.test_case "read input" `Quick test_read_input;
+          Alcotest.test_case "assert failure" `Quick test_assert_failure;
+          Alcotest.test_case "spawn/join" `Quick test_spawn_join;
+          Alcotest.test_case "alloc" `Quick test_alloc;
+          Alcotest.test_case "neg/not" `Quick test_negative_and_not;
+          Alcotest.test_case "exit" `Quick test_exit_builtin ] );
+      ( "meta",
+        [ Alcotest.test_case "debug info" `Quick test_debug_info;
+          Alcotest.test_case "sema errors" `Quick test_sema_errors;
+          Alcotest.test_case "save/restore shape" `Quick
+            test_codegen_has_savrestore_shape;
+          Alcotest.test_case "switch jind" `Quick test_switch_uses_jind ] );
+      ( "language coverage",
+        [ Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "peek/poke" `Quick test_peek_poke;
+          Alcotest.test_case "&array[i]" `Quick test_addr_of_array_element;
+          Alcotest.test_case "short circuit" `Quick
+            test_short_circuit_no_side_effect;
+          Alcotest.test_case "block scoping" `Quick
+            test_block_scoping_sibling_reuse;
+          Alcotest.test_case "shadowing rejected" `Quick
+            test_nested_shadowing_rejected;
+          Alcotest.test_case "global initializers" `Quick test_global_initializers;
+          Alcotest.test_case "negative switch case" `Quick
+            test_switch_negative_case;
+          Alcotest.test_case "while+break" `Quick test_while_with_break_only;
+          Alcotest.test_case "void return" `Quick test_return_void_function;
+          Alcotest.test_case "line table monotonic" `Quick
+            test_line_table_monotonic;
+          QCheck_alcotest.to_alcotest prop_generated_sources_reparse;
+          QCheck_alcotest.to_alcotest prop_compile_deterministic ] ) ]

@@ -1,0 +1,577 @@
+(* Tests for dr_pinplay: pinball serialization, logger region capture,
+   deterministic replay (the paper's core guarantee), and relogging with
+   exclusion regions. *)
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+let racy_src =
+  {|
+global int x;
+global int trace[64];
+global int tpos;
+fn t2(int n) {
+  int k = x;
+  k = k + 1;
+  x = k;
+  trace[tpos] = 100 + k;
+  tpos = tpos + 1;
+}
+fn main() {
+  int t = spawn(t2, 0);
+  int k = x;
+  k = k + 1;
+  x = k;
+  trace[tpos] = 200 + k;
+  tpos = tpos + 1;
+  join(t);
+  print(x);
+  print(rand() % 100);
+  print(read());
+}
+|}
+
+let log_whole ?(seed = 3) ?(input = [| 55 |]) src =
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+      ~input (compile src) Dr_pinplay.Logger.Whole
+  with
+  | Ok (pb, stats) -> (pb, stats)
+  | Error e -> Alcotest.failf "logging failed: %a" Dr_pinplay.Logger.pp_error e
+
+(* ---- pinball serialization ---- *)
+
+let test_pinball_roundtrip () =
+  let pb, _ = log_whole racy_src in
+  let bytes = Dr_pinplay.Pinball.to_bytes pb in
+  let pb' = Dr_pinplay.Pinball.of_bytes bytes in
+  Alcotest.(check bool) "schedule preserved" true
+    (pb.Dr_pinplay.Pinball.schedule = pb'.Dr_pinplay.Pinball.schedule);
+  Alcotest.(check bool) "syscalls preserved" true
+    (pb.Dr_pinplay.Pinball.syscalls = pb'.Dr_pinplay.Pinball.syscalls);
+  Alcotest.(check int) "size consistent"
+    (String.length bytes)
+    (Dr_pinplay.Pinball.size_bytes pb)
+
+let test_pinball_file () =
+  let pb, _ = log_whole racy_src in
+  let path = Filename.temp_file "drdebug" ".pinball" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dr_pinplay.Pinball.save_file path pb;
+      let pb' = Dr_pinplay.Pinball.load_file path in
+      Alcotest.(check bool) "file round-trip" true
+        (Dr_pinplay.Pinball.to_bytes pb = Dr_pinplay.Pinball.to_bytes pb'))
+
+let test_pinball_corrupt () =
+  Alcotest.check_raises "bad magic" (Dr_util.Codec.Corrupt "bad pinball magic")
+    (fun () -> ignore (Dr_pinplay.Pinball.of_bytes "\x05WRONG"))
+
+(* ---- logger + replayer: whole executions ---- *)
+
+let run_native ~seed ~input src =
+  let prog = compile src in
+  let m = Dr_machine.Machine.create ~input prog in
+  let r =
+    Dr_machine.Driver.run ~max_steps:1_000_000 m
+      (Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+  in
+  (r, Dr_machine.Machine.output_list m)
+
+let test_replay_reproduces_output () =
+  (* the replayed run must produce exactly the output of the logged run,
+     including rand() and read() results *)
+  let seed = 7 and input = [| 99 |] in
+  let _, native_out = run_native ~seed ~input racy_src in
+  let pb, _ =
+    match
+      Dr_pinplay.Logger.log
+        ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+        ~input (compile racy_src) Dr_pinplay.Logger.Whole
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let m, reason = Dr_pinplay.Replayer.replay (compile racy_src) pb in
+  (match reason with
+  | Dr_machine.Driver.Terminated _ | Dr_machine.Driver.Schedule_end -> ()
+  | r ->
+    Alcotest.failf "unexpected replay stop: %a"
+      (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ());
+  Alcotest.(check (list int)) "replay output = native output" native_out
+    (Dr_machine.Machine.output_list m)
+
+let test_replay_is_repeatable () =
+  let pb, _ = log_whole ~seed:11 racy_src in
+  let prog = compile racy_src in
+  let run () =
+    let m, _ = Dr_pinplay.Replayer.replay prog pb in
+    (Dr_machine.Machine.output_list m, Dr_machine.Machine.total_icount m)
+  in
+  let r1 = run () and r2 = run () and r3 = run () in
+  Alcotest.(check bool) "three replays identical" true (r1 = r2 && r2 = r3)
+
+let prop_replay_determinism =
+  QCheck.Test.make ~name:"replay reproduces any seeded schedule" ~count:25
+    QCheck.(pair (int_bound 500) (int_bound 1000))
+    (fun (seed, input0) ->
+      let input = [| input0 |] in
+      let _, native_out = run_native ~seed ~input racy_src in
+      match
+        Dr_pinplay.Logger.log
+          ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+          ~input (compile racy_src) Dr_pinplay.Logger.Whole
+      with
+      | Error _ -> false
+      | Ok (pb, _) ->
+        let m, _ = Dr_pinplay.Replayer.replay (compile racy_src) pb in
+        Dr_machine.Machine.output_list m = native_out)
+
+(* ---- region capture ---- *)
+
+let loopy_src =
+  {|
+global int acc;
+fn main() {
+  for (int i = 0; i < 2000; i = i + 1) {
+    acc = acc + i;
+  }
+  print(acc);
+}
+|}
+
+let test_region_skip_length () =
+  let prog = compile loopy_src in
+  match
+    Dr_pinplay.Logger.log prog
+      (Dr_pinplay.Logger.Skip_length { skip = 500; length = 300 })
+  with
+  | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  | Ok (pb, stats) ->
+    Alcotest.(check int) "main instructions" 300 stats.Dr_pinplay.Logger.main_instructions;
+    Alcotest.(check int) "region length recorded" 300
+      pb.Dr_pinplay.Pinball.region.Dr_pinplay.Pinball.length;
+    Alcotest.(check int) "skip recorded" 500
+      pb.Dr_pinplay.Pinball.region.Dr_pinplay.Pinball.skip;
+    (* single-threaded: schedule instructions = main instructions *)
+    Alcotest.(check int) "schedule totals" 300
+      (Dr_pinplay.Pinball.schedule_instructions pb);
+    (* replaying the region executes exactly those instructions *)
+    let m, reason = Dr_pinplay.Replayer.replay prog pb in
+    (match reason with
+    | Dr_machine.Driver.Schedule_end -> ()
+    | r ->
+      Alcotest.failf "expected schedule end, got %a"
+        (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ());
+    Alcotest.(check int) "replayed instruction count" 300
+      (Dr_machine.Machine.total_icount m
+      - pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.total_icount)
+
+let test_region_ends_early_at_termination () =
+  let prog = compile loopy_src in
+  match
+    Dr_pinplay.Logger.log prog
+      (Dr_pinplay.Logger.Skip_length { skip = 100; length = 10_000_000 })
+  with
+  | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  | Ok (_, stats) -> (
+    match stats.Dr_pinplay.Logger.stop with
+    | Dr_machine.Driver.Terminated (Dr_machine.Machine.Exited _) -> ()
+    | r ->
+      Alcotest.failf "expected termination, got %a"
+        (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ())
+
+let test_skip_past_end_is_error () =
+  let prog = compile "fn main() { print(1); }" in
+  match
+    Dr_pinplay.Logger.log prog
+      (Dr_pinplay.Logger.Skip_length { skip = 1_000_000; length = 10 })
+  with
+  | Error (Dr_pinplay.Logger.Terminated_before_region _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Dr_pinplay.Logger.pp_error e
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_until_assert_failure () =
+  let src =
+    {|
+global int x;
+fn racer(int n) { x = 7; }
+fn main() {
+  int t = spawn(racer, 0);
+  join(t);
+  assert(x == 0, "x was modified");
+}
+|}
+  in
+  let prog = compile src in
+  match
+    Dr_pinplay.Logger.log prog
+      (Dr_pinplay.Logger.Skip_until { skip = 0; until = (fun _ -> false) })
+  with
+  | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  | Ok (pb, stats) ->
+    (match stats.Dr_pinplay.Logger.stop with
+    | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed { msg; _ }) ->
+      Alcotest.(check string) "assert message" "x was modified" msg
+    | r ->
+      Alcotest.failf "expected assert, got %a"
+        (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ());
+    (* replaying reproduces the assertion failure *)
+    let _, reason = Dr_pinplay.Replayer.replay prog pb in
+    (match reason with
+    | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed _) -> ()
+    | r ->
+      Alcotest.failf "replay should fail the assert, got %a"
+        (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ())
+
+(* ---- replayer interaction: breakpoints and resume ---- *)
+
+let test_replay_breakpoint_resume () =
+  let prog = compile loopy_src in
+  let pb, _ =
+    match
+      Dr_pinplay.Logger.log prog
+        (Dr_pinplay.Logger.Skip_length { skip = 0; length = 1000 })
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let r = Dr_pinplay.Replayer.create prog pb in
+  (* stop after 100 steps, then resume to the end; total must match *)
+  let first = Dr_pinplay.Replayer.resume ~max_steps:100 r in
+  (match first with
+  | Dr_machine.Driver.Max_steps -> ()
+  | _ -> Alcotest.fail "expected max-steps stop");
+  let rest = Dr_pinplay.Replayer.resume r in
+  (match rest with
+  | Dr_machine.Driver.Schedule_end -> ()
+  | r ->
+    Alcotest.failf "expected schedule end, got %a"
+      (fun fmt () -> Dr_machine.Driver.pp_stop_reason fmt r) ());
+  let m = Dr_pinplay.Replayer.machine r in
+  Alcotest.(check int) "full region replayed" 1000
+    (Dr_machine.Machine.total_icount m
+    - pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.total_icount)
+
+(* ---- relogger: exclusion regions ---- *)
+
+let straightline_src =
+  {|
+global int a;
+global int b;
+global int c;
+fn main() {
+  a = 1;
+  b = 2;
+  b = b * 10;
+  b = b + 3;
+  c = a + b;
+  print(c);
+}
+|}
+
+(* Find the trace of (pc, tid, instance) for a region pinball. *)
+let trace_of prog pb =
+  let events = ref [] in
+  let counts = Hashtbl.create 64 in
+  let hooks =
+    { Dr_machine.Driver.on_event =
+        (fun ev ->
+          let tid = ev.Dr_machine.Event.tid and pc = ev.Dr_machine.Event.pc in
+          let k = (tid, pc) in
+          let i = 1 + Option.value ~default:0 (Hashtbl.find_opt counts k) in
+          Hashtbl.replace counts k i;
+          events := (tid, pc, i, ev.Dr_machine.Event.instr) :: !events) }
+  in
+  let _ = Dr_pinplay.Replayer.replay ~hooks prog pb in
+  List.rev !events
+
+let test_relog_excludes_and_injects () =
+  let prog = compile straightline_src in
+  let pb, _ =
+    match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = trace_of prog pb in
+  (* exclude the three instructions that compute b (the mov/mul/add
+     statements), i.e. every Store to b's address except a= and c= *)
+  let b_addr =
+    match
+      List.assoc_opt "b"
+        (List.map
+           (fun (n, a, _) -> (n, a))
+           prog.Dr_isa.Program.debug.Dr_isa.Debug_info.globals)
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "no global b"
+  in
+  (* find the span of trace events from the first store-to-b through the
+     last store-to-b; exclude that span *)
+  let stores_to_b =
+    List.filter
+      (fun (_, pc, _, _) ->
+        match prog.Dr_isa.Program.code.(pc) with
+        | Dr_isa.Instr.Store _ -> (
+          (* check statically: preceding mov loads b's address *)
+          match prog.Dr_isa.Program.code.(pc - 1) with
+          | Dr_isa.Instr.Mov (_, Dr_isa.Instr.Imm a) -> a = b_addr
+          | _ -> false)
+        | _ -> false)
+      trace
+  in
+  Alcotest.(check int) "three stores to b" 3 (List.length stores_to_b)
+
+let test_relog_simple_exclusion () =
+  (* exclude a contiguous chunk of a single-threaded region and check the
+     slice pinball structure *)
+  let prog = compile straightline_src in
+  let pb, _ =
+    match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = trace_of prog pb in
+  let n = List.length trace in
+  (* exclude events 5..9 (0-based) of thread 0 *)
+  let nth i = List.nth trace i in
+  let _, spc, sinst, _ = nth 5 in
+  let _, epc, einst, _ = nth 10 in
+  let spb =
+    Dr_pinplay.Relogger.relog prog pb
+      ~exclusions:
+        [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = spc;
+            x_start_instance = sinst; x_end = Some (epc, einst) } ]
+  in
+  Alcotest.(check bool) "slice kind" true
+    (spb.Dr_pinplay.Pinball.kind = Dr_pinplay.Pinball.Slice);
+  Alcotest.(check int) "five instructions excluded" (n - 5)
+    (Dr_pinplay.Pinball.step_count spb);
+  (* there must be an injection restoring the excluded side effects *)
+  Alcotest.(check bool) "has injection" true
+    (Array.length spb.Dr_pinplay.Pinball.injections >= 1)
+
+let test_relog_sync_exclusion_rejected () =
+  let src =
+    {|
+global int m;
+fn main() {
+  lock(&m);
+  unlock(&m);
+  print(1);
+}
+|}
+  in
+  let prog = compile src in
+  let pb, _ =
+    match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = trace_of prog pb in
+  (* find the lock syscall event and try to exclude it *)
+  let _, lpc, linst, _ =
+    List.find
+      (fun (_, pc, _, _) ->
+        match prog.Dr_isa.Program.code.(pc) with
+        | Dr_isa.Instr.Sys Dr_isa.Instr.Lock -> true
+        | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "raises Relog_error" true
+    (try
+       ignore
+         (Dr_pinplay.Relogger.relog prog pb
+            ~exclusions:
+              [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = lpc;
+                  x_start_instance = linst; x_end = None } ]);
+       false
+     with Dr_pinplay.Relogger.Relog_error _ -> true)
+
+(* ---- checkpoints (reverse-debugging substrate) ---- *)
+
+let test_schedule_suffix () =
+  let sched = [| (0, 5); (1, 3); (0, 2) |] in
+  Alcotest.(check bool) "suffix 0" true
+    (Dr_pinplay.Replayer.schedule_suffix sched 0 = sched);
+  Alcotest.(check bool) "suffix 5" true
+    (Dr_pinplay.Replayer.schedule_suffix sched 5 = [| (1, 3); (0, 2) |]);
+  Alcotest.(check bool) "suffix mid-slice" true
+    (Dr_pinplay.Replayer.schedule_suffix sched 6 = [| (1, 2); (0, 2) |]);
+  Alcotest.(check bool) "suffix all" true
+    (Dr_pinplay.Replayer.schedule_suffix sched 10 = [||]);
+  Alcotest.(check bool) "suffix 2" true
+    (Dr_pinplay.Replayer.schedule_suffix sched 2 = [| (0, 3); (1, 3); (0, 2) |])
+
+let test_checkpoint_resume_equivalence () =
+  (* resuming from a checkpoint produces the same continuation as the
+     uninterrupted replay *)
+  let prog = compile racy_src in
+  let pb, _ = log_whole ~seed:13 racy_src in
+  (* uninterrupted reference replay *)
+  let m_ref, _ = Dr_pinplay.Replayer.replay prog pb in
+  let ref_out = Dr_machine.Machine.output_list m_ref in
+  (* checkpoint mid-way, then resume from it *)
+  let r1 = Dr_pinplay.Replayer.create prog pb in
+  let _ = Dr_pinplay.Replayer.resume ~max_steps:40 r1 in
+  let cp = Dr_pinplay.Replayer.checkpoint r1 in
+  Alcotest.(check int) "checkpoint position" 40
+    cp.Dr_pinplay.Replayer.c_steps;
+  let r2 = Dr_pinplay.Replayer.create ~from:cp prog pb in
+  Alcotest.(check int) "resumed at checkpoint" 40 (Dr_pinplay.Replayer.steps r2);
+  let _ = Dr_pinplay.Replayer.resume r2 in
+  let out2 = Dr_machine.Machine.output_list (Dr_pinplay.Replayer.machine r2) in
+  (* the resumed machine only produces output from the checkpoint onward;
+     it must be a suffix of the reference output *)
+  let is_suffix small big =
+    let ls = List.length small and lb = List.length big in
+    ls <= lb
+    && small = List.filteri (fun i _ -> i >= lb - ls) big
+  in
+  Alcotest.(check bool) "suffix of reference output" true (is_suffix out2 ref_out)
+
+let prop_checkpoint_any_position =
+  QCheck.Test.make ~name:"checkpoint/resume at any position" ~count:20
+    QCheck.(int_bound 100)
+    (fun steps ->
+      let prog = compile racy_src in
+      let pb, _ = log_whole ~seed:5 racy_src in
+      let total = Dr_pinplay.Pinball.schedule_instructions pb in
+      let steps = min steps (total - 1) in
+      let r1 = Dr_pinplay.Replayer.create prog pb in
+      let _ = Dr_pinplay.Replayer.resume ~max_steps:steps r1 in
+      let cp = Dr_pinplay.Replayer.checkpoint r1 in
+      (* finish both and compare final machine memories *)
+      let _ = Dr_pinplay.Replayer.resume r1 in
+      let r2 = Dr_pinplay.Replayer.create ~from:cp prog pb in
+      let _ = Dr_pinplay.Replayer.resume r2 in
+      let m1 = Dr_pinplay.Replayer.machine r1 in
+      let m2 = Dr_pinplay.Replayer.machine r2 in
+      m1.Dr_machine.Machine.mem = m2.Dr_machine.Machine.mem
+      && Dr_machine.Machine.total_icount m1 = Dr_machine.Machine.total_icount m2)
+
+let test_logger_skip_exact () =
+  (* the region must start exactly after [skip] main-thread instructions *)
+  let prog = compile loopy_src in
+  match
+    Dr_pinplay.Logger.log prog
+      (Dr_pinplay.Logger.Skip_length { skip = 123; length = 10 })
+  with
+  | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  | Ok (pb, _) ->
+    let snap_icount =
+      List.find
+        (fun ts -> ts.Dr_machine.Snapshot.s_tid = 0)
+        pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.threads
+    in
+    Alcotest.(check int) "snapshot at skip boundary" 123
+      snap_icount.Dr_machine.Snapshot.s_icount
+
+let test_relog_multiple_regions_per_thread () =
+  let src = {|global int a;
+global int b;
+global int c;
+fn main() {
+  a = 1;
+  b = 100;
+  a = a + 1;
+  b = b + 100;
+  a = a + 1;
+  c = a;
+  print(c);
+}|} in
+  let prog = compile src in
+  let pb, _ =
+    match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = Array.of_list (trace_of prog pb) in
+  let line_of pc = Dr_isa.Debug_info.line_of_pc prog.Dr_isa.Program.debug pc in
+  let is_b (_, pc, _, _) = match line_of pc with Some (6 | 8) -> true | _ -> false in
+  (* build one exclusion region per contiguous run of b-statement events *)
+  let exclusions = ref [] in
+  let run_start = ref None in
+  Array.iteri
+    (fun i ev ->
+      let tid, pc, inst, _ = ev in
+      if is_b ev then begin
+        if !run_start = None then run_start := Some (tid, pc, inst)
+      end
+      else
+        match !run_start with
+        | Some (stid, spc, sinst) when stid = tid ->
+          exclusions :=
+            { Dr_pinplay.Relogger.x_tid = stid; x_start_pc = spc;
+              x_start_instance = sinst; x_end = Some (pc, inst) }
+            :: !exclusions;
+          run_start := None
+        | _ -> ignore i)
+    trace;
+  let exclusions = List.rev !exclusions in
+  Alcotest.(check int) "two disjoint regions" 2 (List.length exclusions);
+  let spb = Dr_pinplay.Relogger.relog prog pb ~exclusions in
+  Alcotest.(check int) "one injection per region" 2
+    (Array.length spb.Dr_pinplay.Pinball.injections);
+  Alcotest.(check bool) "fewer steps" true
+    (Dr_pinplay.Pinball.step_count spb
+    < Dr_pinplay.Pinball.schedule_instructions pb);
+  (* the injected b value must be correct: replay the slice pinball and
+     check memory afterwards *)
+  let m = Dr_machine.Snapshot.restore prog spb.Dr_pinplay.Pinball.snapshot in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Dr_pinplay.Pinball.Inject i ->
+        List.iter
+          (fun (a, v) -> m.Dr_machine.Machine.mem.(a) <- v)
+          spb.Dr_pinplay.Pinball.injections.(i).Dr_pinplay.Pinball.inj_mem
+      | _ -> ())
+    spb.Dr_pinplay.Pinball.slice_events;
+  let b_addr =
+    match
+      List.find_opt
+        (fun (n, _, _) -> n = "b")
+        prog.Dr_isa.Program.debug.Dr_isa.Debug_info.globals
+    with
+    | Some (_, a, _) -> a
+    | None -> Alcotest.fail "no b"
+  in
+  Alcotest.(check int) "injections restore b" 200 m.Dr_machine.Machine.mem.(b_addr)
+
+let () =
+  Alcotest.run "pinplay"
+    [ ( "pinball",
+        [ Alcotest.test_case "round-trip" `Quick test_pinball_roundtrip;
+          Alcotest.test_case "file io" `Quick test_pinball_file;
+          Alcotest.test_case "corrupt" `Quick test_pinball_corrupt ] );
+      ( "log+replay",
+        [ Alcotest.test_case "replay reproduces output" `Quick
+            test_replay_reproduces_output;
+          Alcotest.test_case "replay repeatable" `Quick test_replay_is_repeatable;
+          QCheck_alcotest.to_alcotest prop_replay_determinism ] );
+      ( "regions",
+        [ Alcotest.test_case "skip/length" `Quick test_region_skip_length;
+          Alcotest.test_case "region hits termination" `Quick
+            test_region_ends_early_at_termination;
+          Alcotest.test_case "skip past end" `Quick test_skip_past_end_is_error;
+          Alcotest.test_case "until assert" `Quick test_until_assert_failure;
+          Alcotest.test_case "breakpoint+resume" `Quick
+            test_replay_breakpoint_resume ] );
+      ( "relogger",
+        [ Alcotest.test_case "store discovery" `Quick test_relog_excludes_and_injects;
+          Alcotest.test_case "simple exclusion" `Quick test_relog_simple_exclusion;
+          Alcotest.test_case "sync exclusion rejected" `Quick
+            test_relog_sync_exclusion_rejected;
+          Alcotest.test_case "multiple regions" `Quick
+            test_relog_multiple_regions_per_thread ] );
+      ( "checkpoints",
+        [ Alcotest.test_case "schedule suffix" `Quick test_schedule_suffix;
+          Alcotest.test_case "resume equivalence" `Quick
+            test_checkpoint_resume_equivalence;
+          QCheck_alcotest.to_alcotest prop_checkpoint_any_position;
+          Alcotest.test_case "skip boundary exact" `Quick test_logger_skip_exact ] ) ]

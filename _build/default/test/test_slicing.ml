@@ -1,0 +1,627 @@
+(* Tests for dr_slicing: trace collection, control dependences, global
+   trace construction, LP traversal, and the paper's two precision
+   improvements (Fig. 7 indirect jumps, Fig. 8 save/restore pairs). *)
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+let log_whole ?(seed = 3) ?(input = [||]) prog =
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+      ~input prog Dr_pinplay.Logger.Whole
+  with
+  | Ok (pb, _) -> pb
+  | Error e -> Alcotest.failf "logging failed: %a" Dr_pinplay.Logger.pp_error e
+
+let collect ?(refine = true) ?input ?seed prog =
+  let pb = log_whole ?seed ?input prog in
+  Dr_slicing.Collector.collect ~refine prog pb
+
+(* Criterion at the last record whose pc holds an [Assert]. *)
+let assert_criterion prog gt =
+  match
+    Dr_slicing.Global_trace.find_last gt ~p:(fun r ->
+        match prog.Dr_isa.Program.code.(r.Dr_slicing.Trace.pc) with
+        | Dr_isa.Instr.Assert _ -> true
+        | _ -> false)
+  with
+  | Some pos -> { Dr_slicing.Slicer.crit_pos = pos; crit_locs = None }
+  | None -> Alcotest.fail "no assert record in trace"
+
+let slice_lines slice = Dr_slicing.Slicer.source_lines slice
+
+(* ---- basic data dependences ---- *)
+
+let test_straightline_data_deps () =
+  let src = {|fn main() {
+  int a = 1;
+  int b = 2;
+  int unrelated = 777;
+  int c = a + b;
+  assert(c == 3, "c");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "a=1 in slice" true (List.mem 2 lines);
+  Alcotest.(check bool) "b=2 in slice" true (List.mem 3 lines);
+  Alcotest.(check bool) "unrelated NOT in slice" false (List.mem 4 lines);
+  Alcotest.(check bool) "c=a+b in slice" true (List.mem 5 lines)
+
+let test_memory_data_dep () =
+  let src = {|global int g;
+global int h;
+fn main() {
+  g = 41;
+  h = 999;
+  int v = g + 1;
+  assert(v == 42, "v");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "g=41 in slice" true (List.mem 4 lines);
+  Alcotest.(check bool) "h=999 not in slice" false (List.mem 5 lines)
+
+(* ---- control dependences ---- *)
+
+let test_control_dep_if () =
+  let src = {|fn main() {
+  int c = read();
+  int r = 0;
+  if (c > 10) {
+    r = 1;
+  }
+  assert(r == 1, "r");
+}|} in
+  let prog = compile src in
+  let c = collect ~input:[| 50 |] prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  (* r=1 is control dependent on the if, which uses c *)
+  Alcotest.(check bool) "r=1 in slice" true (List.mem 5 lines);
+  Alcotest.(check bool) "if-cond in slice" true (List.mem 4 lines);
+  Alcotest.(check bool) "c=read in slice" true (List.mem 2 lines)
+
+let test_control_dep_loop () =
+  let src = {|fn main() {
+  int n = read();
+  int sum = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    sum = sum + 2;
+  }
+  assert(sum == 6, "sum");
+}|} in
+  let prog = compile src in
+  let c = collect ~input:[| 3 |] prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "loop body in slice" true (List.mem 5 lines);
+  Alcotest.(check bool) "loop head in slice" true (List.mem 4 lines);
+  Alcotest.(check bool) "n=read in slice" true (List.mem 2 lines)
+
+(* ---- the paper's Figure 5: multi-threaded atomicity violation ---- *)
+
+let fig5_src = {|global int x;
+global int y;
+global int z;
+fn t1(int n) {
+  y = 10;
+  x = y + 1;
+}
+fn main() {
+  int t = spawn(t1, 0);
+  int k = z;
+  k = k + 1;
+  k = k + x;
+  join(t);
+  assert(k == 1, "atomic region violated");
+}|}
+
+(* find a seed where the race bites (t1's write lands before main reads x) *)
+let find_failing_seed prog =
+  let rec go seed =
+    if seed > 2000 then Alcotest.fail "no failing schedule found"
+    else begin
+      let m = Dr_machine.Machine.create prog in
+      let r =
+        Dr_machine.Driver.run ~max_steps:100_000 m
+          (Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+      in
+      match r with
+      | Dr_machine.Driver.Terminated (Dr_machine.Machine.Assert_failed _) -> seed
+      | _ -> go (seed + 1)
+    end
+  in
+  go 0
+
+let test_fig5_multithreaded_slice () =
+  let prog = compile fig5_src in
+  let seed = find_failing_seed prog in
+  let pb =
+    match
+      Dr_pinplay.Logger.log
+        ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+        prog Dr_pinplay.Logger.Whole
+    with
+    | Ok (pb, _) -> pb
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let c = Dr_slicing.Collector.collect prog pb in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  (* the slice must reach across threads: x = y + 1 (line 6) in t1 is the
+     root cause, and y = 10 (line 5) feeds it *)
+  Alcotest.(check bool) "root cause x=y+1 in slice" true (List.mem 6 lines);
+  Alcotest.(check bool) "y=10 in slice" true (List.mem 5 lines);
+  Alcotest.(check bool) "k=k+x in slice" true (List.mem 12 lines);
+  (* cross-thread edge exists in the collector output *)
+  Alcotest.(check bool) "cross-thread order edges" true
+    (Array.length c.Dr_slicing.Collector.order_edges > 0)
+
+(* ---- global trace properties ---- *)
+
+let prop_global_trace_topological =
+  QCheck.Test.make ~name:"global trace is a valid topological order" ~count:20
+    QCheck.(int_bound 100)
+    (fun seed ->
+      let prog = compile fig5_src in
+      let pb =
+        match
+          Dr_pinplay.Logger.log
+            ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+            prog Dr_pinplay.Logger.Whole
+        with
+        | Ok (pb, _) -> pb
+        | Error _ -> Alcotest.fail "log failed"
+      in
+      let c = Dr_slicing.Collector.collect prog pb in
+      let gt = Dr_slicing.Global_trace.construct c in
+      Dr_slicing.Global_trace.is_topological gt c
+      && Dr_slicing.Global_trace.length gt
+         = Array.length c.Dr_slicing.Collector.records)
+
+let test_global_trace_positions () =
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  for pos = 0 to Dr_slicing.Global_trace.length gt - 1 do
+    let r = Dr_slicing.Global_trace.record gt pos in
+    Alcotest.(check int) "pos_of_gseq inverse" pos
+      (Dr_slicing.Global_trace.position gt ~gseq:r.Dr_slicing.Trace.gseq)
+  done
+
+(* ---- LP traversal equals naive traversal ---- *)
+
+(* reference slicer: plain backwards walk, no block skipping, no pruning *)
+let naive_slice gt (criterion : Dr_slicing.Slicer.criterion) =
+  let wanted = Hashtbl.create 64 in
+  let to_include = Hashtbl.create 64 in
+  let in_slice = Hashtbl.create 64 in
+  let crit = Dr_slicing.Global_trace.record gt criterion.Dr_slicing.Slicer.crit_pos in
+  Hashtbl.replace in_slice criterion.Dr_slicing.Slicer.crit_pos ();
+  (match criterion.Dr_slicing.Slicer.crit_locs with
+  | Some locs -> List.iter (fun l -> Hashtbl.replace wanted l ()) locs
+  | None ->
+    Array.iter (fun u -> Hashtbl.replace wanted u ()) crit.Dr_slicing.Trace.uses);
+  if crit.Dr_slicing.Trace.cd >= 0 then
+    Hashtbl.replace to_include
+      (Dr_slicing.Global_trace.position gt ~gseq:crit.Dr_slicing.Trace.cd)
+      ();
+  for pos = criterion.Dr_slicing.Slicer.crit_pos - 1 downto 0 do
+    let r = Dr_slicing.Global_trace.record gt pos in
+    let inc = ref (Hashtbl.mem to_include pos) in
+    Array.iter
+      (fun d ->
+        if Hashtbl.mem wanted d then begin
+          inc := true;
+          Hashtbl.remove wanted d
+        end)
+      r.Dr_slicing.Trace.defs;
+    if !inc && not (Hashtbl.mem in_slice pos) then begin
+      Hashtbl.replace in_slice pos ();
+      Array.iter (fun u -> Hashtbl.replace wanted u ()) r.Dr_slicing.Trace.uses;
+      if r.Dr_slicing.Trace.cd >= 0 then
+        Hashtbl.replace to_include
+          (Dr_slicing.Global_trace.position gt ~gseq:r.Dr_slicing.Trace.cd)
+          ()
+    end
+  done;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) in_slice [])
+
+let prop_lp_equals_naive =
+  QCheck.Test.make ~name:"LP slicing equals naive backwards traversal"
+    ~count:15
+    QCheck.(pair (int_bound 50) (int_bound 3))
+    (fun (seed, block_exp) ->
+      let prog = compile fig5_src in
+      let pb =
+        match
+          Dr_pinplay.Logger.log
+            ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+            prog Dr_pinplay.Logger.Whole
+        with
+        | Ok (pb, _) -> pb
+        | Error _ -> Alcotest.fail "log failed"
+      in
+      let c = Dr_slicing.Collector.collect prog pb in
+      let gt = Dr_slicing.Global_trace.construct c in
+      let crit =
+        { Dr_slicing.Slicer.crit_pos = Dr_slicing.Global_trace.length gt - 1;
+          crit_locs = None }
+      in
+      (* tiny blocks stress the skipping logic *)
+      let lp = Dr_slicing.Lp.prepare ~block_size:(8 lsl block_exp) gt in
+      let slice = Dr_slicing.Slicer.compute ~lp gt crit in
+      Array.to_list slice.Dr_slicing.Slicer.positions = naive_slice gt crit)
+
+let test_lp_skips_blocks () =
+  (* a long irrelevant prefix must be skipped block-wise *)
+  let src = {|global int g;
+fn main() {
+  for (int i = 0; i < 3000; i = i + 1) { g = g + 1; }
+  int a = 5;
+  int b = a + 1;
+  assert(b == 6, "b");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let lp = Dr_slicing.Lp.prepare ~block_size:256 gt in
+  let slice = Dr_slicing.Slicer.compute ~lp gt (assert_criterion prog gt) in
+  Alcotest.(check bool) "blocks were skipped" true
+    (slice.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.skipped_blocks > 0);
+  (* the loop must not be in the slice *)
+  Alcotest.(check bool) "loop body not in slice" false
+    (List.mem 3 (slice_lines slice))
+
+(* ---- Figure 7: indirect-jump control-dependence precision ---- *)
+
+(* Hand-written program mirroring the paper's assembly: a jump-table
+   switch with no bounds check, so the only path from the scrutinee to
+   the case body is the indirect jump itself.  The switch runs twice with
+   different inputs so that dynamic refinement observes both targets
+   (with a single observed target the jump is dynamically unconditional
+   and carries no control dependence). *)
+let fig7_prog () =
+  let open Dr_isa.Instr in
+  Dr_isa.Program.make ~name:"fig7" ~entry:0
+    ~data:[ (16, 7); (17, 9) ]  (* jump table: case 0 -> pc 7, case 1 -> pc 9 *)
+    ~data_end:18
+    [ (* 0 *) Mov (5, Imm 2);           (* loop counter *)
+      (* 1 *) Sys Read;                 (* c = fgetc(fin) *)
+      (* 2 *) Mov (4, Imm 7);           (* d = 7 *)
+      (* 3 *) Mov (1, Imm 16);          (* table base *)
+      (* 4 *) Bin (Add, 1, 1, Reg 0);
+      (* 5 *) Load (2, 1, 0);
+      (* 6 *) Jind 2;                   (* switch(c) *)
+      (* 7 *) Bin (Add, 3, 4, Imm 2);   (* case 0: w = d + 2 *)
+      (* 8 *) Jmp 10;
+      (* 9 *) Bin (Sub, 3, 4, Imm 2);   (* case 1: w = d - 2 *)
+      (* 10 *) Mov (1, Reg 3);
+      (* 11 *) Sys Print;
+      (* 12 *) Bin (Sub, 5, 5, Imm 1);
+      (* 13 *) Cmp (5, Imm 0);
+      (* 14 *) Jcc (Gt, 1);
+      (* 15 *) Halt ]
+
+let fig7_slice ~refine =
+  let prog = fig7_prog () in
+  let pb = log_whole ~input:[| 0; 1 |] prog in
+  let c = Dr_slicing.Collector.collect ~refine prog pb in
+  let gt = Dr_slicing.Global_trace.construct c in
+  (* criterion: first execution of w = d + 2 at pc 7 *)
+  let pos =
+    match Dr_slicing.Global_trace.find ~tid:0 ~pc:7 ~instance:1 gt with
+    | Some p -> p
+    | None -> Alcotest.fail "case body not executed"
+  in
+  let slice =
+    Dr_slicing.Slicer.compute gt
+      { Dr_slicing.Slicer.crit_pos = pos; crit_locs = None }
+  in
+  List.map
+    (fun (_, pc, _) -> pc)
+    (Array.to_list (Dr_slicing.Slicer.statements slice))
+
+let test_fig7_imprecise_without_refinement () =
+  let pcs = fig7_slice ~refine:false in
+  (* data dep on d is found, but the control dependence through the
+     indirect jump is missed: the read() never enters the slice *)
+  Alcotest.(check bool) "d=7 in slice" true (List.mem 2 pcs);
+  Alcotest.(check bool) "switch jind missed" false (List.mem 6 pcs);
+  Alcotest.(check bool) "c=read() missed" false (List.mem 1 pcs)
+
+let test_fig7_precise_with_refinement () =
+  let pcs = fig7_slice ~refine:true in
+  Alcotest.(check bool) "d=7 in slice" true (List.mem 2 pcs);
+  Alcotest.(check bool) "switch jind recovered" true (List.mem 6 pcs);
+  Alcotest.(check bool) "table load recovered" true (List.mem 5 pcs);
+  Alcotest.(check bool) "c=read() recovered" true (List.mem 1 pcs)
+
+(* ---- Figure 8: save/restore spurious-dependence pruning ---- *)
+
+let fig8_src = {|global int sink;
+fn q(int v) {
+  int local = v * 3;
+  sink = local;
+}
+fn main() {
+  int c = read();
+  int e = 2;
+  if (c > 0) {
+    q(c);
+  }
+  int w = e + 5;
+  assert(w == 7, "w");
+}|}
+
+let fig8_slice ~prune =
+  let prog = compile fig8_src in
+  let pb = log_whole ~input:[| 1 |] prog in
+  let c = Dr_slicing.Collector.collect prog pb in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let pairs = if prune then Some c.Dr_slicing.Collector.pairs else None in
+  let slice =
+    Dr_slicing.Slicer.compute ?pairs gt (assert_criterion prog gt)
+  in
+  (slice, c)
+
+let test_fig8_unpruned_is_spurious () =
+  let slice, c = fig8_slice ~prune:false in
+  let lines = slice_lines slice in
+  (* e is held in a callee-saved register that q saves/restores; without
+     pruning the slice follows the restore->save chain and drags in the
+     call, the guard and the read *)
+  Alcotest.(check bool) "pairs were confirmed" true
+    (Hashtbl.length c.Dr_slicing.Collector.pairs > 0);
+  Alcotest.(check bool) "guard dragged in (spurious)" true (List.mem 9 lines);
+  Alcotest.(check bool) "c=read dragged in (spurious)" true (List.mem 7 lines)
+
+let test_fig8_pruned_is_precise () =
+  let slice, _ = fig8_slice ~prune:true in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "e=2 still in slice" true (List.mem 8 lines);
+  Alcotest.(check bool) "w=e+5 in slice" true (List.mem 12 lines);
+  Alcotest.(check bool) "guard pruned" false (List.mem 9 lines);
+  Alcotest.(check bool) "read pruned" false (List.mem 7 lines)
+
+let test_fig8_pruned_subset () =
+  let unpruned, _ = fig8_slice ~prune:false in
+  let pruned, _ = fig8_slice ~prune:true in
+  let u = Array.to_list unpruned.Dr_slicing.Slicer.positions in
+  let p = Array.to_list pruned.Dr_slicing.Slicer.positions in
+  Alcotest.(check bool) "pruned smaller" true (List.length p < List.length u);
+  Alcotest.(check bool) "pruned subset of unpruned" true
+    (List.for_all (fun x -> List.mem x u) p)
+
+(* ---- slice files ---- *)
+
+let test_slice_file_roundtrip () =
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let path = Filename.temp_file "drdebug" ".slice" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dr_slicing.Slicer.save_file path slice;
+      let stmts = Dr_slicing.Slicer.load_file_statements path in
+      Alcotest.(check int) "statement count preserved"
+        (Dr_slicing.Slicer.size slice)
+        (List.length stmts);
+      let direct =
+        Array.to_list (Dr_slicing.Slicer.statements slice)
+        |> List.map (fun (t, p, i) -> (t, p, i))
+      in
+      let loaded = List.map (fun (t, p, i, _) -> (t, p, i)) stmts in
+      Alcotest.(check bool) "statements preserved" true (direct = loaded))
+
+(* ---- dependence navigation ---- *)
+
+let test_edge_navigation () =
+  let src = {|fn main() {
+  int a = 1;
+  int b = a + 1;
+  assert(b == 2, "b");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let crit = assert_criterion prog gt in
+  let slice = Dr_slicing.Slicer.compute gt crit in
+  (* the criterion must have at least one outgoing dependence edge, and
+     following edges backwards must stay within the slice *)
+  let deps = Dr_slicing.Slicer.deps_of slice crit.Dr_slicing.Slicer.crit_pos in
+  Alcotest.(check bool) "criterion has deps" true (deps <> []);
+  List.iter
+    (fun (_, target) ->
+      Alcotest.(check bool) "dep target in slice" true
+        (Dr_slicing.Slicer.mem slice target))
+    deps
+
+(* ---- additional slicing coverage ---- *)
+
+let test_crit_locs_narrow () =
+  (* slicing for a specific location chases only that location *)
+  let src = {|global int p;
+global int q;
+fn main() {
+  p = 11;
+  q = 22;
+  int both = p + q;
+  assert(both == 0, "x");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let crit_pos = (assert_criterion prog gt).Dr_slicing.Slicer.crit_pos in
+  let p_addr =
+    match
+      List.find_opt (fun (n, _, _) -> n = "p")
+        prog.Dr_isa.Program.debug.Dr_isa.Debug_info.globals
+    with
+    | Some (_, a, _) -> a
+    | None -> Alcotest.fail "no p"
+  in
+  let slice =
+    Dr_slicing.Slicer.compute gt
+      { Dr_slicing.Slicer.crit_pos; crit_locs = Some [ Dr_isa.Loc.mem p_addr ] }
+  in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "p=11 in slice" true (List.mem 4 lines);
+  Alcotest.(check bool) "q=22 NOT in slice" false (List.mem 5 lines)
+
+let test_deps_uses_symmetry () =
+  let prog = compile {|fn main() {
+  int a = 1;
+  int b = a + 2;
+  assert(b == 0, "b");
+}|} in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  (* every recorded edge appears in both directions of navigation *)
+  Array.iter
+    (fun (e : Dr_slicing.Slicer.edge) ->
+      let fwd = Dr_slicing.Slicer.deps_of slice e.Dr_slicing.Slicer.from_pos in
+      let bwd = Dr_slicing.Slicer.uses_of slice e.Dr_slicing.Slicer.to_pos in
+      Alcotest.(check bool) "forward direction" true
+        (List.exists (fun (_, p) -> p = e.Dr_slicing.Slicer.to_pos) fwd);
+      Alcotest.(check bool) "backward direction" true
+        (List.exists (fun (_, p) -> p = e.Dr_slicing.Slicer.from_pos) bwd))
+    slice.Dr_slicing.Slicer.edges
+
+let test_recursion_control_deps () =
+  (* the Xin–Zhang frame rule: statements in a recursive callee are
+     control dependent on the guard of the recursive call *)
+  let src = {|global int acc;
+fn down(int n) {
+  if (n > 0) {
+    acc = acc + n;
+    down(n - 1);
+  }
+  return 0;
+}
+fn main() {
+  int r = read();
+  down(r);
+  assert(acc == 0, "acc");
+}|} in
+  let prog = compile src in
+  let c = collect ~input:[| 3 |] prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "recursive accumulation in slice" true (List.mem 4 lines);
+  Alcotest.(check bool) "guard in slice" true (List.mem 3 lines);
+  Alcotest.(check bool) "read in slice" true (List.mem 10 lines)
+
+let test_slice_of_nondet_value () =
+  (* rand() results reach the criterion through the slice *)
+  let src = {|fn main() {
+  int r = rand();
+  int masked = r & 7;
+  assert(masked == 99, "masked");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let lines = slice_lines slice in
+  Alcotest.(check bool) "rand in slice" true (List.mem 2 lines)
+
+let prop_block_size_irrelevant =
+  QCheck.Test.make ~name:"slice independent of LP block size" ~count:10
+    QCheck.(int_range 0 6)
+    (fun exp ->
+      let prog = compile fig5_src in
+      let c = collect prog in
+      let gt = Dr_slicing.Global_trace.construct c in
+      let crit = assert_criterion prog gt in
+      let s1 =
+        Dr_slicing.Slicer.compute
+          ~lp:(Dr_slicing.Lp.prepare ~block_size:(1 lsl exp) gt)
+          gt crit
+      in
+      let s2 = Dr_slicing.Slicer.compute gt crit in
+      s1.Dr_slicing.Slicer.positions = s2.Dr_slicing.Slicer.positions)
+
+let test_slice_stats_sane () =
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let slice = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let st = slice.Dr_slicing.Slicer.stats in
+  Alcotest.(check bool) "visited bounded by trace" true
+    (st.Dr_slicing.Slicer.visited <= Dr_slicing.Global_trace.length gt);
+  Alcotest.(check bool) "slice smaller than visited+1" true
+    (Dr_slicing.Slicer.size slice <= st.Dr_slicing.Slicer.visited + 1);
+  Alcotest.(check bool) "time nonneg" true (st.Dr_slicing.Slicer.slice_time >= 0.0)
+
+let test_no_clustering_same_slice () =
+  (* the clustering heuristic must not change slice contents *)
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt1 = Dr_slicing.Global_trace.construct ~cluster:true c in
+  let gt2 = Dr_slicing.Global_trace.construct ~cluster:false c in
+  Alcotest.(check bool) "both topological" true
+    (Dr_slicing.Global_trace.is_topological gt1 c
+    && Dr_slicing.Global_trace.is_topological gt2 c);
+  let stmts gt =
+    let crit = assert_criterion prog gt in
+    let s = Dr_slicing.Slicer.compute gt crit in
+    List.sort compare (Array.to_list (Dr_slicing.Slicer.statements s))
+  in
+  Alcotest.(check bool) "same statements either way" true (stmts gt1 = stmts gt2)
+
+let () =
+  Alcotest.run "slicing"
+    [ ( "data deps",
+        [ Alcotest.test_case "straight line" `Quick test_straightline_data_deps;
+          Alcotest.test_case "memory" `Quick test_memory_data_dep ] );
+      ( "control deps",
+        [ Alcotest.test_case "if" `Quick test_control_dep_if;
+          Alcotest.test_case "loop" `Quick test_control_dep_loop ] );
+      ( "multi-threaded (fig 5)",
+        [ Alcotest.test_case "cross-thread slice" `Quick
+            test_fig5_multithreaded_slice;
+          QCheck_alcotest.to_alcotest prop_global_trace_topological;
+          Alcotest.test_case "positions" `Quick test_global_trace_positions ] );
+      ( "lp",
+        [ QCheck_alcotest.to_alcotest prop_lp_equals_naive;
+          Alcotest.test_case "skips blocks" `Quick test_lp_skips_blocks ] );
+      ( "fig 7 (indirect jumps)",
+        [ Alcotest.test_case "imprecise without refinement" `Quick
+            test_fig7_imprecise_without_refinement;
+          Alcotest.test_case "precise with refinement" `Quick
+            test_fig7_precise_with_refinement ] );
+      ( "fig 8 (save/restore)",
+        [ Alcotest.test_case "unpruned spurious" `Quick
+            test_fig8_unpruned_is_spurious;
+          Alcotest.test_case "pruned precise" `Quick test_fig8_pruned_is_precise;
+          Alcotest.test_case "pruned subset" `Quick test_fig8_pruned_subset ] );
+      ( "slice objects",
+        [ Alcotest.test_case "file round-trip" `Quick test_slice_file_roundtrip;
+          Alcotest.test_case "edge navigation" `Quick test_edge_navigation ] );
+      ( "coverage",
+        [ Alcotest.test_case "narrow criterion locs" `Quick test_crit_locs_narrow;
+          Alcotest.test_case "deps/uses symmetry" `Quick test_deps_uses_symmetry;
+          Alcotest.test_case "recursion control deps" `Quick
+            test_recursion_control_deps;
+          Alcotest.test_case "nondet in slice" `Quick test_slice_of_nondet_value;
+          QCheck_alcotest.to_alcotest prop_block_size_irrelevant;
+          Alcotest.test_case "stats sane" `Quick test_slice_stats_sane;
+          Alcotest.test_case "clustering invariant" `Quick
+            test_no_clustering_same_slice ] ) ]

@@ -1,0 +1,126 @@
+(* Tests for dr_util: vectors, codec round-trips (including qcheck
+   properties), bitsets, stats. *)
+
+let test_vec_basic () =
+  let v = Dr_util.Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    Dr_util.Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Dr_util.Vec.length v);
+  Alcotest.(check int) "get" 42 (Dr_util.Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Dr_util.Vec.last v);
+  Alcotest.(check int) "pop" 99 (Dr_util.Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Dr_util.Vec.length v);
+  Dr_util.Vec.set v 0 7;
+  Alcotest.(check int) "set" 7 (Dr_util.Vec.get v 0);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Dr_util.Vec.get v 99))
+
+let test_int_vec () =
+  let v = Dr_util.Vec.Int_vec.create () in
+  for i = 0 to 9999 do
+    Dr_util.Vec.Int_vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 10000 (Dr_util.Vec.Int_vec.length v);
+  Alcotest.(check int) "get" 300 (Dr_util.Vec.Int_vec.get v 100);
+  let a = Dr_util.Vec.Int_vec.to_array v in
+  Alcotest.(check int) "array len" 10000 (Array.length a);
+  Alcotest.(check int) "array val" 29997 a.(9999)
+
+let test_codec_roundtrip () =
+  let e = Dr_util.Codec.encoder () in
+  Dr_util.Codec.put_uint e 0;
+  Dr_util.Codec.put_uint e 127;
+  Dr_util.Codec.put_uint e 128;
+  Dr_util.Codec.put_uint e 1_000_000_007;
+  Dr_util.Codec.put_int e (-1);
+  Dr_util.Codec.put_int e (min_int / 4);
+  Dr_util.Codec.put_string e "hello\000world";
+  Dr_util.Codec.put_bool e true;
+  Dr_util.Codec.put_int_array e [| 1; -2; 3 |];
+  let d = Dr_util.Codec.decoder (Dr_util.Codec.to_string e) in
+  Alcotest.(check int) "u0" 0 (Dr_util.Codec.get_uint d);
+  Alcotest.(check int) "u127" 127 (Dr_util.Codec.get_uint d);
+  Alcotest.(check int) "u128" 128 (Dr_util.Codec.get_uint d);
+  Alcotest.(check int) "u1e9" 1_000_000_007 (Dr_util.Codec.get_uint d);
+  Alcotest.(check int) "neg" (-1) (Dr_util.Codec.get_int d);
+  Alcotest.(check int) "big neg" (min_int / 4) (Dr_util.Codec.get_int d);
+  Alcotest.(check string) "string" "hello\000world" (Dr_util.Codec.get_string d);
+  Alcotest.(check bool) "bool" true (Dr_util.Codec.get_bool d);
+  Alcotest.(check (array int)) "array" [| 1; -2; 3 |] (Dr_util.Codec.get_int_array d);
+  Alcotest.(check bool) "at end" true (Dr_util.Codec.at_end d)
+
+let test_codec_corrupt () =
+  let d = Dr_util.Codec.decoder "\xff" in
+  Alcotest.check_raises "truncated"
+    (Dr_util.Codec.Corrupt "truncated varint") (fun () ->
+      ignore (Dr_util.Codec.get_uint d))
+
+let prop_codec_int =
+  QCheck.Test.make ~name:"codec int round-trip" ~count:500
+    QCheck.(list int)
+    (fun xs ->
+      let e = Dr_util.Codec.encoder () in
+      List.iter (Dr_util.Codec.put_int e) xs;
+      let d = Dr_util.Codec.decoder (Dr_util.Codec.to_string e) in
+      List.for_all (fun x -> Dr_util.Codec.get_int d = x) xs)
+
+let prop_codec_string =
+  QCheck.Test.make ~name:"codec string round-trip" ~count:200
+    QCheck.(list string)
+    (fun xs ->
+      let e = Dr_util.Codec.encoder () in
+      List.iter (Dr_util.Codec.put_string e) xs;
+      let d = Dr_util.Codec.decoder (Dr_util.Codec.to_string e) in
+      List.for_all (fun x -> Dr_util.Codec.get_string d = x) xs)
+
+let test_bitset () =
+  let b = Dr_util.Bitset.create 100 in
+  Alcotest.(check int) "empty" 0 (Dr_util.Bitset.cardinal b);
+  Dr_util.Bitset.add b 0;
+  Dr_util.Bitset.add b 63;
+  Dr_util.Bitset.add b 99;
+  Alcotest.(check bool) "mem 63" true (Dr_util.Bitset.mem b 63);
+  Alcotest.(check bool) "not mem 64" false (Dr_util.Bitset.mem b 64);
+  Alcotest.(check int) "cardinal" 3 (Dr_util.Bitset.cardinal b);
+  Dr_util.Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Dr_util.Bitset.mem b 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Dr_util.Bitset.to_list b);
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: out of range")
+    (fun () -> ignore (Dr_util.Bitset.mem b 100))
+
+let prop_bitset =
+  QCheck.Test.make ~name:"bitset matches reference set" ~count:200
+    QCheck.(list (int_bound 499))
+    (fun xs ->
+      let b = Dr_util.Bitset.create 500 in
+      List.iter (Dr_util.Bitset.add b) xs;
+      let expect = List.sort_uniq compare xs in
+      Dr_util.Bitset.to_list b = expect)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Dr_util.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0
+    (Dr_util.Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "percent" 25.0
+    (Dr_util.Stats.percent ~part:1 ~total:4);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0
+    (Dr_util.Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  let lo, hi = Dr_util.Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 3.0 hi
+
+let () =
+  Alcotest.run "util"
+    [ ( "vec",
+        [ Alcotest.test_case "poly vec" `Quick test_vec_basic;
+          Alcotest.test_case "int vec" `Quick test_int_vec ] );
+      ( "codec",
+        [ Alcotest.test_case "round-trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "corrupt" `Quick test_codec_corrupt;
+          QCheck_alcotest.to_alcotest prop_codec_int;
+          QCheck_alcotest.to_alcotest prop_codec_string ] );
+      ( "bitset",
+        [ Alcotest.test_case "basic" `Quick test_bitset;
+          QCheck_alcotest.to_alcotest prop_bitset ] );
+      ("stats", [ Alcotest.test_case "basic" `Quick test_stats ]) ]
