@@ -5,8 +5,11 @@
    Usage:
      pinball_tool info <file.pinball>
      pinball_tool dump <file.pinball>            # schedule + syscalls + events
+     pinball_tool verify <file.pinball>          # section CRC integrity report
      pinball_tool verify <file.pinball> --workload <name> [--threads N --iters N]
-     pinball_tool record --workload <name> [--seed N] -o <file.pinball>
+                                                 # ... plus a double-replay check
+     pinball_tool migrate <in.pinball> <out.pinball>   # rewrite as format v2
+     pinball_tool record --workload <name> [--seed N] [--digest-interval N] -o <file.pinball>
 *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -14,6 +17,9 @@ let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 let load path =
   try Dr_pinplay.Pinball.load_file path with
   | Sys_error e -> die "cannot read %s: %s" path e
+  | Dr_pinplay.Pinball.Pinball_error e ->
+    die "%s is not a valid pinball: %s" path
+      (Dr_pinplay.Pinball.error_to_string e)
   | Dr_util.Codec.Corrupt e -> die "%s is not a valid pinball: %s" path e
 
 let info path =
@@ -31,6 +37,8 @@ let info path =
   Printf.printf "  threads:       %d in snapshot\n"
     (List.length pb.snapshot.Dr_machine.Snapshot.threads);
   Printf.printf "  locks held:    %d\n" (List.length pb.snapshot.Dr_machine.Snapshot.locks);
+  Printf.printf "  digests:       %d (every %d instructions)\n"
+    (Array.length pb.digests) pb.digest_interval;
   (match pb.kind with
   | Slice ->
     Printf.printf "  slice events:  %d (%d executed instructions, %d injections)\n"
@@ -67,32 +75,81 @@ let compile_workload name threads iters =
     die "unknown workload %s (available: %s)" name
       (String.concat ", " (Dr_workloads.Registry.names ()))
 
-let verify path name threads iters =
+(* Integrity verification: header, section CRCs, trailer CRC, full decode.
+   Prints one line per section and exits non-zero on any problem. *)
+let verify_integrity path =
+  let r =
+    try Dr_pinplay.Pinball.verify_file path
+    with Sys_error e -> die "cannot read %s: %s" path e
+  in
+  let open Dr_pinplay.Pinball in
+  Printf.printf "pinball: %s\n" path;
+  if r.r_version = 1 then
+    Printf.printf "  format:  v1 (legacy — no checksums; consider `pinball_tool migrate`)\n"
+  else Printf.printf "  format:  v%d\n" r.r_version;
+  List.iter
+    (fun s ->
+      Printf.printf "  section %-12s %8d bytes  crc %s\n" s.sr_name s.sr_bytes
+        (if s.sr_crc_ok then "ok" else "MISMATCH"))
+    r.r_sections;
+  if r.r_version > 1 then
+    Printf.printf "  trailer: %s\n" (if r.r_trailer_ok then "ok" else "MISMATCH");
+  if r.r_digest_count > 0 then
+    Printf.printf "  digests: %d replay checkpoints\n" r.r_digest_count;
+  if report_ok r then begin
+    print_endline "verify: OK — all checksums match";
+    true
+  end
+  else begin
+    List.iter (fun p -> Printf.printf "  problem: %s\n" p) r.r_problems;
+    print_endline "verify: FAILED — pinball is corrupt";
+    false
+  end
+
+(* Replay verification: two replays of the pinball against the workload's
+   program must be bit-identical (the paper's repeatability guarantee). *)
+let verify_replay path name threads iters =
   let pb = load path in
   if pb.Dr_pinplay.Pinball.kind <> Dr_pinplay.Pinball.Region then
-    die "verify supports region pinballs";
+    die "replay verify supports region pinballs";
   let prog = compile_workload name threads iters in
-  (try
-     let m, reason = Dr_pinplay.Replayer.replay prog pb in
-     Printf.printf "replay 1: %s (%d instructions)\n"
-       (Format.asprintf "%a" Dr_machine.Driver.pp_stop_reason reason)
-       (Dr_machine.Machine.total_icount m
-       - pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.total_icount);
-     let m2, _ = Dr_pinplay.Replayer.replay prog pb in
-     if
-       Dr_machine.Machine.output_list m = Dr_machine.Machine.output_list m2
-       && m.Dr_machine.Machine.mem = m2.Dr_machine.Machine.mem
-     then print_endline "verify: OK — two replays are bit-identical"
-     else die "verify: FAILED — replays diverged (pinball/program mismatch?)"
-   with Dr_pinplay.Replayer.Divergence e ->
-     die "verify: FAILED — replay divergence: %s (wrong program build?)" e)
+  try
+    let m, reason = Dr_pinplay.Replayer.replay prog pb in
+    Printf.printf "replay 1: %s (%d instructions)\n"
+      (Format.asprintf "%a" Dr_machine.Driver.pp_stop_reason reason)
+      (Dr_machine.Machine.total_icount m
+      - pb.Dr_pinplay.Pinball.snapshot.Dr_machine.Snapshot.total_icount);
+    let m2, _ = Dr_pinplay.Replayer.replay prog pb in
+    if
+      Dr_machine.Machine.output_list m = Dr_machine.Machine.output_list m2
+      && m.Dr_machine.Machine.mem = m2.Dr_machine.Machine.mem
+    then print_endline "verify: OK — two replays are bit-identical"
+    else die "verify: FAILED — replays diverged (pinball/program mismatch?)"
+  with Dr_pinplay.Replayer.Divergence d ->
+    die "verify: FAILED — %s (wrong program build?)"
+      (Dr_pinplay.Replayer.divergence_message d)
 
-let record name seed out threads iters =
+let verify path workload threads iters =
+  let intact = verify_integrity path in
+  if not intact then exit 1;
+  match workload with
+  | Some name -> verify_replay path name threads iters
+  | None -> ()
+
+let migrate src dst =
+  (try Dr_pinplay.Pinball.migrate ~src ~dst with
+  | Sys_error e -> die "migrate failed: %s" e
+  | Dr_pinplay.Pinball.Pinball_error e ->
+    die "%s is not a valid pinball: %s" src (Dr_pinplay.Pinball.error_to_string e)
+  | Dr_util.Codec.Corrupt e -> die "%s is not a valid pinball: %s" src e);
+  Printf.printf "migrated %s -> %s (format v2)\n" src dst
+
+let record name seed out threads iters digest_interval =
   let prog = compile_workload name threads iters in
   match
     Dr_pinplay.Logger.log
       ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 6 })
-      prog Dr_pinplay.Logger.Whole
+      ~digest_interval prog Dr_pinplay.Logger.Whole
   with
   | Error e -> die "recording failed: %s" (Format.asprintf "%a" Dr_pinplay.Logger.pp_error e)
   | Ok (pb, stats) ->
@@ -120,14 +177,15 @@ let () =
   match args with
   | _ :: "info" :: path :: _ -> info path
   | _ :: "dump" :: path :: _ -> dump path
-  | _ :: "verify" :: path :: _ ->
-    verify path (req "--workload" "verify") threads iters
+  | _ :: "verify" :: path :: _ -> verify path (opt "--workload") threads iters
+  | _ :: "migrate" :: src :: dst :: _ -> migrate src dst
   | _ :: "record" :: _ ->
     record
       (req "--workload" "record")
       (int_of_string (opt_or "--seed" "1"))
       (opt_or "-o" "out.pinball") threads iters
+      (int_of_string (opt_or "--digest-interval" "64"))
   | _ ->
     prerr_endline
-      "usage: pinball_tool info|dump|verify|record <file> [--workload N] [--seed N] [-o F]";
+      "usage: pinball_tool info|dump|verify|migrate|record <file> [--workload N] [--seed N] [-o F]";
     exit 2

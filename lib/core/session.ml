@@ -250,8 +250,8 @@ let continue_replay ?max_steps (t : t) : (stop, string) result =
           match Dr_pinplay.Replayer.resume ~max_steps:1 r with
           | Driver.Max_steps -> Ok None  (* stepped off; keep going *)
           | reason -> Ok (Some reason)
-        with Dr_pinplay.Replayer.Divergence msg ->
-          Error ("replay divergence: " ^ msg)
+        with Dr_pinplay.Replayer.Divergence d ->
+          Error ("replay divergence: " ^ Dr_pinplay.Replayer.divergence_message d)
       end
       else Ok None
     in
@@ -298,8 +298,8 @@ let continue_replay ?max_steps (t : t) : (stop, string) result =
             t.last_stop <- Some stop;
             Ok stop
           | _ -> finish reason
-        with Dr_pinplay.Replayer.Divergence msg ->
-          Error ("replay divergence: " ^ msg)))
+        with Dr_pinplay.Replayer.Divergence d ->
+          Error ("replay divergence: " ^ Dr_pinplay.Replayer.divergence_message d)))
   | _ -> Error "not replaying: use replay first"
 
 let stepi (t : t) n = continue_replay ~max_steps:n t

@@ -118,11 +118,20 @@ let encode e (s : t) =
   put_uint e s.input_pos;
   put_uint e s.total_icount
 
+(* Decoded memory is materialized densely, so [mem_size] cannot be
+   validated against the (sparse) input length the way collection counts
+   are; cap it instead.  16M words is far beyond any Program.mem_size
+   this VM configures, and keeps a corrupt count from allocating
+   gigabytes. *)
+let max_mem_words = 1 lsl 24
+
 let decode d : t =
   let open Dr_util.Codec in
   let mem_size = get_uint d in
+  if mem_size < 0 || mem_size > max_mem_words then
+    raise (Corrupt "snapshot mem size implausible");
   let mem = Array.make mem_size 0 in
-  let nonzero = get_uint d in
+  let nonzero = get_count ~min_elt_bytes:2 d "snapshot mem cells" in
   let last = ref 0 in
   for _ = 1 to nonzero do
     let a = !last + get_uint d in

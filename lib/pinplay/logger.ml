@@ -36,9 +36,15 @@ let pp_error fmt = function
   | Deadlock_before_region -> Format.pp_print_string fmt "deadlock before the region"
 
 (** Log a region of [prog]'s execution under the given schedule [policy]
-    (default: a seeded pseudo-random schedule, the "native" run). *)
+    (default: a seeded pseudo-random schedule, the "native" run).
+
+    Every [digest_interval] retired instructions the logger samples an
+    execution digest (hash of the stepping thread's registers and dirty
+    memory, see {!Exec_digest}) into the pinball; the replayer recomputes
+    them to localize the first divergent step.  Pass [~digest_interval:0]
+    to disable sampling. *)
 let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
-    ?(input = [||]) ?nondet_seed ?(max_steps = max_int)
+    ?(input = [||]) ?nondet_seed ?(max_steps = max_int) ?(digest_interval = 256)
     (prog : Dr_isa.Program.t) (spec : spec) : (Pinball.t * stats, error) result
     =
   let m = Machine.create ~input prog in
@@ -75,12 +81,19 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
     let total_start = Machine.total_icount m in
     let schedule = Dr_util.Vec.create ~dummy:(0, 0) in
     let syscalls = Dr_util.Vec.Int_vec.create () in
+    let digests = Dr_util.Vec.create ~dummy:{ Pinball.dg_step = 0; dg_tid = 0; dg_hash = 0 } in
+    let steps = ref 0 in
     let on_event (ev : Event.t) =
       let n = Dr_util.Vec.length schedule in
       (if n > 0 && fst (Dr_util.Vec.get schedule (n - 1)) = ev.Event.tid then
          let tid, c = Dr_util.Vec.get schedule (n - 1) in
          Dr_util.Vec.set schedule (n - 1) (tid, c + 1)
        else Dr_util.Vec.push schedule (ev.Event.tid, 1));
+      incr steps;
+      if digest_interval > 0 && !steps mod digest_interval = 0 then
+        Dr_util.Vec.push digests
+          { Pinball.dg_step = !steps; dg_tid = ev.Event.tid;
+            dg_hash = Exec_digest.hash m ev ~step:!steps };
       match ev.Event.sys with
       | Event.Sys_nondet { result; _ } -> Dr_util.Vec.Int_vec.push syscalls result
       | _ -> ()
@@ -102,11 +115,13 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
     let main_instructions = (Machine.thread m 0).Machine.icount - main_start in
     let region_instructions = Machine.total_icount m - total_start in
     let pinball =
-      Pinball.make_region ~program_name:prog.Dr_isa.Program.name
+      Pinball.make_region ~digest_interval
+        ~digests:(Dr_util.Vec.to_array digests)
+        ~program_name:prog.Dr_isa.Program.name
         ~region:{ Pinball.skip; length = main_instructions }
         ~snapshot
         ~schedule:(Dr_util.Vec.to_array schedule)
-        ~syscalls:(Dr_util.Vec.Int_vec.to_array syscalls)
+        ~syscalls:(Dr_util.Vec.Int_vec.to_array syscalls) ()
     in
     let stats =
       { ff_time; log_time; pinball_bytes = Pinball.size_bytes pinball;

@@ -27,12 +27,17 @@ val pp_error : Format.formatter -> error -> unit
 
 (** Log a region of [prog]'s execution under the given schedule [policy]
     (default: a seeded pseudo-random schedule — the "native" run whose
-    non-determinism the pinball captures). *)
+    non-determinism the pinball captures).
+
+    [digest_interval] (default 256, 0 disables) is the sampling period of
+    the execution digests stored in the pinball for divergence
+    localization during replay. *)
 val log :
   ?policy:Dr_machine.Driver.policy ->
   ?input:int array ->
   ?nondet_seed:int ->
   ?max_steps:int ->
+  ?digest_interval:int ->
   Dr_isa.Program.t ->
   spec ->
   (Pinball.t * stats, error) result

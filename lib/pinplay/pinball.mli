@@ -5,8 +5,11 @@
     two non-deterministic inputs of a run (thread schedule, syscall
     results); a {e slice pinball} (§4) additionally carries the event
     stream of an execution slice with side-effect injections.  Pinballs
-    serialize to a compact binary format and can be shipped between
-    machines: replaying one reproduces the region exactly. *)
+    serialize to a versioned, checksummed binary container (format v2:
+    magic + version + flags header, per-section byte lengths and CRC32s,
+    whole-file trailer CRC32) and can be shipped between machines:
+    replaying one reproduces the region exactly.  Legacy v1 files remain
+    readable; {!migrate} upgrades them. *)
 
 type kind = Region | Slice
 
@@ -27,6 +30,12 @@ type slice_event =
   | Step of { tid : int; pc : int }  (** execute one included instruction *)
   | Inject of int  (** apply [injections.(i)] *)
 
+(** One sampled execution digest (see {!Exec_digest}): at region step
+    [dg_step], thread [dg_tid] retired an instruction and the machine
+    hashed to [dg_hash].  The replayer recomputes these to localize the
+    first divergent step. *)
+type digest = { dg_step : int; dg_tid : int; dg_hash : int }
+
 type t = {
   program_name : string;
   kind : kind;
@@ -36,14 +45,19 @@ type t = {
   syscalls : int array;  (** nondet results in consumption order *)
   injections : injection array;
   slice_events : slice_event array;  (** empty for region pinballs *)
+  digest_interval : int;  (** digest sampling period; 0 = no digests *)
+  digests : digest array;  (** sampled digests, ascending [dg_step] *)
 }
 
 val make_region :
+  ?digest_interval:int ->
+  ?digests:digest array ->
   program_name:string ->
   region:region_spec ->
   snapshot:Dr_machine.Snapshot.t ->
   schedule:(int * int) array ->
   syscalls:int array ->
+  unit ->
   t
 
 (** Total retired instructions across all threads in the captured region. *)
@@ -53,18 +67,65 @@ val schedule_instructions : t -> int
     pinballs, same as {!schedule_instructions}). *)
 val step_count : t -> int
 
+(** {2 Decode errors} *)
+
+(** Where and why a pinball failed to decode: the container section being
+    read, the byte offset into the file, and the low-level reason. *)
+type error = { pe_section : string; pe_offset : int; pe_reason : string }
+
+exception Pinball_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+(** {2 Serialization} *)
+
+(** Append the v2 container to an encoder. *)
 val encode : Dr_util.Codec.encoder -> t -> unit
 
-(** @raise Dr_util.Codec.Corrupt on malformed input. *)
+(** Decode a container occupying the decoder's whole remaining input.
+    @raise Pinball_error on malformed input. *)
 val decode : Dr_util.Codec.decoder -> t
 
 val to_bytes : t -> string
 
+(** Legacy v1 writer (no checksums), kept so the v1 compatibility path
+    stays testable. *)
+val to_bytes_v1 : t -> string
+
+(** Decode either container version; rejects trailing bytes.
+    @raise Pinball_error on malformed input. *)
 val of_bytes : string -> t
 
 (** Serialized size in bytes — the paper's "Space" columns. *)
 val size_bytes : t -> int
 
+(** Atomic write: the file is staged at [path ^ ".tmp"], fsynced, and
+    renamed into place, so a crash mid-save never clobbers [path]. *)
 val save_file : string -> t -> unit
 
 val load_file : string -> t
+
+(** Rewrite [src] (v1 or v2) as a v2 container at [dst]. *)
+val migrate : src:string -> dst:string -> unit
+
+(** {2 Integrity verification} *)
+
+type section_report = { sr_name : string; sr_bytes : int; sr_crc_ok : bool }
+
+type report = {
+  r_version : int;  (** container format version (1 for legacy files) *)
+  r_trailer_ok : bool;
+  r_sections : section_report list;  (** empty for v1 files *)
+  r_digest_count : int;
+  r_problems : string list;  (** empty iff the file is fully intact *)
+}
+
+val report_ok : report -> bool
+
+(** Check every integrity layer (trailer CRC, per-section CRCs, full
+    decode) without raising; reports all detectable problems. *)
+val verify_bytes : string -> report
+
+val verify_file : string -> report

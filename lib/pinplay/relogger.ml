@@ -141,9 +141,13 @@ let relog (prog : Dr_isa.Program.t) (pinball : Pinball.t)
   let _reason = Replayer.run ~hooks:{ Driver.on_event } replayer in
   (* trailing exclusions: flush what's left *)
   Array.iteri (fun tid st -> if st.flag then flush_injection tid st) per_thread;
+  (* the region pinball's digests are indexed by region step, which slice
+     replay does not follow — they would all misfire, so drop them *)
   { pinball with
     Pinball.kind = Pinball.Slice;
     schedule = Dr_util.Vec.to_array schedule;
     syscalls = Dr_util.Vec.Int_vec.to_array syscalls;
     injections = Dr_util.Vec.to_array injections;
-    slice_events = Dr_util.Vec.to_array events }
+    slice_events = Dr_util.Vec.to_array events;
+    digest_interval = 0;
+    digests = [||] }

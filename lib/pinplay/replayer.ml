@@ -4,11 +4,37 @@
     schedule, and feeds syscall results from the log.  Any analysis
     (slicing, relogging) and any debugger interaction attaches to the
     replay via hooks and breakpoints — replaying the same pinball always
-    reproduces the same events. *)
+    reproduces the same events.
+
+    If the pinball does not match the program (wrong build, perturbed
+    log), the replay diverges.  Digest-carrying pinballs localize this:
+    the replayer recomputes each sampled {!Exec_digest} and reports the
+    first step whose digest disagrees with the recording, instead of
+    letting the replay run on into an unrelated failure. *)
 
 open Dr_machine
 
-exception Divergence of string
+(** Why a replay left the recorded execution. *)
+type divergence =
+  | Schedule_divergence of string
+      (** the recorded schedule named a blocked/bad thread *)
+  | Syscall_log_exhausted of { consumed : int }
+      (** the replay asked for more nondet results than were recorded *)
+  | Digest_mismatch of { step : int; tid : int; expected : int; got : int }
+      (** first sampled digest that disagrees with the recording *)
+
+exception Divergence of divergence
+
+let divergence_message = function
+  | Schedule_divergence msg -> msg
+  | Syscall_log_exhausted { consumed } ->
+    Printf.sprintf "syscall log exhausted after %d results" consumed
+  | Digest_mismatch { step; tid; expected; got } ->
+    Printf.sprintf
+      "first divergence at step %d in thread %d (digest %x, recorded %x)"
+      step tid got expected
+
+let pp_divergence fmt d = Format.pp_print_string fmt (divergence_message d)
 
 type t = {
   machine : Machine.t;
@@ -16,6 +42,7 @@ type t = {
   session : Driver.session;
   syscall_pos : int ref;
   mutable steps : int;  (** retired instructions since the region start *)
+  mutable next_digest : int;  (** index of the next pinball digest to check *)
 }
 
 (** A mid-replay checkpoint: enough state to resume the {e same} replay
@@ -32,7 +59,7 @@ type checkpoint = {
 let log_nondet (syscalls : int array) (pos : int ref) : Machine.nondet =
   fun _kind ->
     if !pos >= Array.length syscalls then
-      raise (Divergence "syscall log exhausted")
+      raise (Divergence (Syscall_log_exhausted { consumed = !pos }))
     else begin
       let v = syscalls.(!pos) in
       incr pos;
@@ -54,6 +81,14 @@ let schedule_suffix (schedule : (int * int) array) n =
     schedule;
   Array.of_list (List.rev !out)
 
+(* first digest index strictly beyond [steps] retired instructions *)
+let digest_index (digests : Pinball.digest array) steps =
+  let i = ref 0 in
+  while !i < Array.length digests && digests.(!i).Pinball.dg_step <= steps do
+    incr i
+  done;
+  !i
+
 (** Create a replayer for a region pinball, optionally resuming [from] a
     checkpoint taken on an earlier replay of the {e same} pinball. *)
 let create ?(from : checkpoint option) (prog : Dr_isa.Program.t)
@@ -70,7 +105,8 @@ let create ?(from : checkpoint option) (prog : Dr_isa.Program.t)
   let nondet = log_nondet pinball.Pinball.syscalls syscall_pos in
   let schedule = schedule_suffix pinball.Pinball.schedule steps in
   let session = Driver.session ~nondet machine (Driver.Scripted schedule) in
-  { machine; pinball; session; syscall_pos; steps }
+  { machine; pinball; session; syscall_pos; steps;
+    next_digest = digest_index pinball.Pinball.digests steps }
 
 let machine t = t.machine
 
@@ -81,6 +117,25 @@ let steps t = t.steps
 let checkpoint (t : t) : checkpoint =
   { c_snapshot = Snapshot.capture t.machine; c_steps = t.steps;
     c_syscall_pos = !(t.syscall_pos) }
+
+(* Recompute and compare the next recorded digest once the replay reaches
+   its step.  Runs before user hooks so a divergence is reported against
+   pristine machine state. *)
+let check_digest (t : t) (ev : Event.t) =
+  let digests = t.pinball.Pinball.digests in
+  if t.next_digest < Array.length digests then begin
+    let dg = digests.(t.next_digest) in
+    if t.steps = dg.Pinball.dg_step then begin
+      t.next_digest <- t.next_digest + 1;
+      let got = Exec_digest.hash t.machine ev ~step:t.steps in
+      if ev.Event.tid <> dg.Pinball.dg_tid || got <> dg.Pinball.dg_hash then
+        raise
+          (Divergence
+             (Digest_mismatch
+                { step = t.steps; tid = ev.Event.tid;
+                  expected = dg.Pinball.dg_hash; got }))
+    end
+  end
 
 (** Resume replay until a stop condition (breakpoint, predicate,
     [max_steps]) or the end of the recorded region ([Schedule_end]). *)
@@ -93,10 +148,12 @@ let resume ?hooks ?max_steps ?break_at ?stop_when (t : t) : Driver.stop_reason
     { Driver.on_event =
         (fun ev ->
           t.steps <- t.steps + 1;
+          check_digest t ev;
           user_on_event ev) }
   in
   try Driver.resume ~hooks ?max_steps ?break_at ?stop_when t.session
-  with Driver.Replay_divergence msg -> raise (Divergence msg)
+  with Driver.Replay_divergence msg ->
+    raise (Divergence (Schedule_divergence msg))
 
 (** Replay the whole region in one go. *)
 let run ?hooks (t : t) : Driver.stop_reason = resume ?hooks t

@@ -7,9 +7,25 @@
     Replaying the same pinball always reproduces the same events — the
     repeatability guarantee every other component builds on. *)
 
+(** Why a replay left the recorded execution. *)
+type divergence =
+  | Schedule_divergence of string
+      (** the recorded schedule named a blocked/bad thread *)
+  | Syscall_log_exhausted of { consumed : int }
+      (** the replay asked for more nondet results than were recorded *)
+  | Digest_mismatch of { step : int; tid : int; expected : int; got : int }
+      (** first sampled digest that disagrees with the recording; [step]
+          and [tid] localize the divergence *)
+
 (** The pinball does not match the execution (wrong program build, or a
     corrupted log). *)
-exception Divergence of string
+exception Divergence of divergence
+
+(** Human-readable rendering, e.g.
+    ["first divergence at step 112 in thread 1 (digest ..., recorded ...)"]. *)
+val divergence_message : divergence -> string
+
+val pp_divergence : Format.formatter -> divergence -> unit
 
 type t
 

@@ -262,14 +262,21 @@ let pp_kind fmt = function
 
 (* ---- slice files ---- *)
 
+let slice_file_header = "# drdebug slice v1"
+
+(** A slice file failed to parse: the 1-based line number and the reason. *)
+exception Slice_file_error of { sf_line : int; sf_reason : string }
+
+let slice_file_error sf_line sf_reason =
+  raise (Slice_file_error { sf_line; sf_reason })
+
 (** Save in the paper's "normal slice file" form: statements plus
-    dependence edges, usable across debug sessions. *)
+    dependence edges, usable across debug sessions.  The write is atomic
+    (tmp + fsync + rename): a crash mid-save cannot clobber a good file. *)
 let save_file path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "# drdebug slice v1\n";
+  Dr_util.Atomic_file.with_out path
+    (fun oc ->
+      Printf.fprintf oc "%s\n" slice_file_header;
       let r = Global_trace.record t.gt t.criterion.crit_pos in
       Printf.fprintf oc "criterion %d %d %d\n" r.Trace.tid r.Trace.pc
         r.Trace.instance;
@@ -290,22 +297,42 @@ let save_file path t =
           Printf.fprintf oc "edge %d %d %s %d\n" e.from_pos e.to_pos kind loc)
         t.edges)
 
-(** Statements read back from a slice file: (tid, pc, instance, line). *)
+(** Statements read back from a slice file: (tid, pc, instance, line).
+
+    The header line is validated and malformed [stmt] lines raise
+    {!Slice_file_error} — a corrupted slice file fails loudly instead of
+    silently dropping statements.
+    @raise Slice_file_error on a missing header or unparseable statement. *)
 let load_file_statements path : (int * int * int * int) list =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
+      (match In_channel.input_line ic with
+      | Some h when String.trim h = slice_file_header -> ()
+      | Some h ->
+        slice_file_error 1 (Printf.sprintf "bad slice file header %S" h)
+      | None -> slice_file_error 1 "empty slice file");
+      let int_field lineno what s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None ->
+          slice_file_error lineno (Printf.sprintf "bad %s field %S" what s)
+      in
       let stmts = ref [] in
+      let lineno = ref 1 in
       (try
          while true do
            let line = input_line ic in
+           incr lineno;
            match String.split_on_char ' ' line with
            | [ "stmt"; tid; pc; inst; ln ] ->
              stmts :=
-               (int_of_string tid, int_of_string pc, int_of_string inst,
-                int_of_string ln)
+               (int_field !lineno "tid" tid, int_field !lineno "pc" pc,
+                int_field !lineno "instance" inst, int_field !lineno "line" ln)
                :: !stmts
+           | "stmt" :: _ ->
+             slice_file_error !lineno "stmt line does not have 4 fields"
            | _ -> ()
          done
        with End_of_file -> ());

@@ -76,9 +76,15 @@ val uses_of : t -> int -> (dep_kind * int) list
 
 val pp_kind : Format.formatter -> dep_kind -> unit
 
+(** A slice file failed to parse: the 1-based line number and the reason. *)
+exception Slice_file_error of { sf_line : int; sf_reason : string }
+
 (** Save in the paper's "normal slice file" form (statements plus
-    dependence edges), reusable across debug sessions. *)
+    dependence edges), reusable across debug sessions.  The write is
+    atomic (tmp + fsync + rename). *)
 val save_file : string -> t -> unit
 
-(** Statements read back from a slice file: (tid, pc, instance, line). *)
+(** Statements read back from a slice file: (tid, pc, instance, line).
+    @raise Slice_file_error on a missing/bad header or a malformed
+    [stmt] line. *)
 val load_file_statements : string -> (int * int * int * int) list

@@ -1,0 +1,23 @@
+(** Crash-safe file writes: write to [path ^ ".tmp"], fsync, then rename
+    over the destination.
+
+    On POSIX the rename is atomic, so readers either see the complete old
+    file or the complete new file — a crash mid-save can never leave a
+    truncated pinball or slice file behind (it leaves at worst a stale
+    [.tmp] that the next save overwrites). *)
+
+let with_out path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string path s = with_out path (fun oc -> output_string oc s)

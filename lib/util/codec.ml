@@ -58,18 +58,34 @@ let decoder src = { src; pos = 0 }
 
 let at_end d = d.pos >= String.length d.src
 
+(** Bytes left to decode — the budget every count is checked against. *)
+let remaining d = String.length d.src - d.pos
+
 let get_uint d =
   let n = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
     if d.pos >= String.length d.src then raise (Corrupt "truncated varint");
+    (* 9 bytes of 7 bits cover the full 63-bit int range; a 10th byte can
+       only smear garbage into the sign bit *)
+    if !shift >= 63 then raise (Corrupt "varint too long");
     let b = Char.code d.src.[d.pos] in
     d.pos <- d.pos + 1;
     n := !n lor ((b land 0x7f) lsl !shift);
     shift := !shift + 7;
     if b land 0x80 = 0 then continue := false
-    else if !shift > 63 then raise (Corrupt "varint too long")
   done;
   !n
+
+(** Read a collection count and validate it against the remaining input:
+    each element occupies at least [min_elt_bytes] encoded bytes, so a
+    count that could not possibly fit is corrupt.  This bounds decode-time
+    allocation by the input size — a 5-byte file can never make
+    [Array.init] allocate gigabytes. *)
+let get_count ?(min_elt_bytes = 1) d what =
+  let n = get_uint d in
+  if n < 0 || n > remaining d / min_elt_bytes then
+    raise (Corrupt (what ^ ": count exceeds remaining input"));
+  n
 
 let get_int d =
   let z = get_uint d in
@@ -83,15 +99,15 @@ let get_bool d =
 
 let get_string d =
   let n = get_uint d in
-  if d.pos + n > String.length d.src then raise (Corrupt "truncated string");
+  if n < 0 || n > remaining d then raise (Corrupt "truncated string");
   let s = String.sub d.src d.pos n in
   d.pos <- d.pos + n;
   s
 
 let get_int_array d =
-  let n = get_uint d in
+  let n = get_count d "int array" in
   Array.init n (fun _ -> get_int d)
 
 let get_list d get_elt =
-  let n = get_uint d in
+  let n = get_count d "list" in
   List.init n (fun _ -> get_elt d)

@@ -1,0 +1,303 @@
+(* Fault-injection harness for the pinball container (the robustness
+   counterpart of test_pinplay): systematic truncation at every byte
+   boundary, seeded bit flips, hostile tiny inputs, v1 compatibility,
+   and divergence localization via execution digests.
+
+   The invariant under test: no corrupted pinball may decode silently,
+   crash with an unstructured exception, or make the decoder allocate
+   memory proportional to anything but the input size.  Every mutation
+   must surface as a structured [Pinball_error]. *)
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"fault" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+(* Two racing threads plus rand/read syscalls: exercises the snapshot,
+   schedule, syscall, and digest sections. *)
+let racy_src =
+  {|
+global int x;
+fn t2(int n) {
+  int k = x;
+  k = k + 1;
+  x = k;
+}
+fn main() {
+  int t = spawn(t2, 0);
+  int k = x;
+  k = k + 1;
+  x = k;
+  join(t);
+  print(x);
+  print(rand() % 100);
+  print(read());
+}
+|}
+
+let straightline_src =
+  {|
+global int a;
+global int b;
+global int c;
+fn main() {
+  a = 1;
+  b = 2;
+  b = b * 10;
+  b = b + 3;
+  c = a + b;
+  print(c);
+}
+|}
+
+let log_whole ?(digest_interval = 1) src =
+  let prog = compile src in
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed = 3; max_quantum = 4 })
+      ~input:[| 55 |] ~digest_interval prog Dr_pinplay.Logger.Whole
+  with
+  | Ok (pb, _) -> (prog, pb)
+  | Error e -> Alcotest.failf "logging failed: %a" Dr_pinplay.Logger.pp_error e
+
+(* A slice pinball (carries injections + slice-events sections). *)
+let slice_pinball () =
+  let prog = compile straightline_src in
+  let pb, _ =
+    match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = ref [] in
+  let hooks =
+    { Dr_machine.Driver.on_event =
+        (fun ev -> trace := (ev.Dr_machine.Event.tid, ev.Dr_machine.Event.pc) :: !trace) }
+  in
+  let _ = Dr_pinplay.Replayer.replay ~hooks prog pb in
+  let trace = Array.of_list (List.rev !trace) in
+  let _, spc = trace.(5) and _, epc = trace.(10) in
+  Dr_pinplay.Relogger.relog prog pb
+    ~exclusions:
+      [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = spc; x_start_instance = 1;
+          x_end = Some (epc, 1) } ]
+
+(* Decoding corrupted bytes must yield exactly a structured error —
+   anything else (success, Invalid_argument, Out_of_memory, ...) fails. *)
+let expect_structured what s =
+  match Dr_pinplay.Pinball.of_bytes s with
+  | _ -> Alcotest.failf "%s: corrupt pinball decoded without error" what
+  | exception Dr_pinplay.Pinball.Pinball_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: unstructured exception %s" what (Printexc.to_string e)
+
+let flip_bit s i bit =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+(* ---- systematic truncation ---- *)
+
+let test_truncation_region () =
+  let _, pb = log_whole racy_src in
+  let bytes = Dr_pinplay.Pinball.to_bytes pb in
+  for len = 0 to String.length bytes - 1 do
+    expect_structured
+      (Printf.sprintf "region truncated to %d/%d" len (String.length bytes))
+      (String.sub bytes 0 len)
+  done
+
+let test_truncation_slice () =
+  let spb = slice_pinball () in
+  Alcotest.(check bool) "is a slice" true
+    (spb.Dr_pinplay.Pinball.kind = Dr_pinplay.Pinball.Slice);
+  let bytes = Dr_pinplay.Pinball.to_bytes spb in
+  for len = 0 to String.length bytes - 1 do
+    expect_structured
+      (Printf.sprintf "slice truncated to %d/%d" len (String.length bytes))
+      (String.sub bytes 0 len)
+  done
+
+(* ---- seeded bit flips ---- *)
+
+(* 256 deterministic single-bit flips spread over the container.  The
+   whole-file trailer CRC32 guarantees every one is caught (a flip in
+   the trailer itself mismatches too). *)
+let test_bit_flips () =
+  let _, pb = log_whole racy_src in
+  let bytes = Dr_pinplay.Pinball.to_bytes pb in
+  let n = String.length bytes in
+  let state = ref 42 in
+  let next () =
+    state := ((!state * 2685821657736338717) + 1442695040888963407) land max_int;
+    !state
+  in
+  for k = 1 to 256 do
+    let i = next () mod n in
+    let bit = next () mod 8 in
+    let mutated = flip_bit bytes i bit in
+    expect_structured
+      (Printf.sprintf "flip #%d (byte %d bit %d)" k i bit)
+      mutated;
+    (* verify_bytes must agree, without raising *)
+    if k mod 32 = 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "verify_bytes flags flip #%d" k)
+        false
+        (Dr_pinplay.Pinball.report_ok (Dr_pinplay.Pinball.verify_bytes mutated))
+  done
+
+(* ---- hostile tiny inputs: structured errors, bounded allocation ---- *)
+
+let test_tiny_inputs () =
+  expect_structured "empty" "";
+  expect_structured "single byte" "\x00";
+  expect_structured "bad magic" "\x05WRONG";
+  expect_structured "magic only v1" "\x05DRPB1";
+  expect_structured "magic only v2" "\x05DRPB2";
+  (* v1 body whose first varint claims a ~2^62 program-name length: must
+     fail against the remaining-input budget, not allocate. *)
+  expect_structured "huge v1 string length"
+    ("\x05DRPB1" ^ String.make 8 '\xff' ^ "\x3f");
+  (* v1 body with a plausible name but an absurd schedule count *)
+  let e = Dr_util.Codec.encoder () in
+  Dr_util.Codec.put_string e "DRPB1";
+  Dr_util.Codec.put_string e "prog";
+  Dr_util.Codec.put_uint e 0 (* kind *);
+  Dr_util.Codec.put_uint e 0 (* skip *);
+  Dr_util.Codec.put_uint e 0 (* length *);
+  Dr_util.Codec.put_uint e (1 lsl 50) (* snapshot decode sees huge count *);
+  expect_structured "huge v1 count" (Dr_util.Codec.to_string e)
+
+(* ---- trailing garbage ---- *)
+
+let test_trailing_bytes () =
+  let _, pb = log_whole racy_src in
+  expect_structured "v2 + trailing byte" (Dr_pinplay.Pinball.to_bytes pb ^ "\x00");
+  expect_structured "v1 + trailing byte" (Dr_pinplay.Pinball.to_bytes_v1 pb ^ "\x00")
+
+(* ---- v1 compatibility + migrate ---- *)
+
+let test_v1_roundtrip () =
+  let _, pb = log_whole ~digest_interval:0 racy_src in
+  let pb' = Dr_pinplay.Pinball.of_bytes (Dr_pinplay.Pinball.to_bytes_v1 pb) in
+  Alcotest.(check bool) "v1 round-trip equals v2 serialization" true
+    (Dr_pinplay.Pinball.to_bytes pb = Dr_pinplay.Pinball.to_bytes pb')
+
+let test_migrate () =
+  let _, pb = log_whole ~digest_interval:0 racy_src in
+  let src = Filename.temp_file "drdebug" ".v1.pinball" in
+  let dst = Filename.temp_file "drdebug" ".v2.pinball" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove src; Sys.remove dst)
+    (fun () ->
+      let oc = open_out_bin src in
+      output_string oc (Dr_pinplay.Pinball.to_bytes_v1 pb);
+      close_out oc;
+      let r1 = Dr_pinplay.Pinball.verify_file src in
+      Alcotest.(check int) "src reported as v1" 1 r1.Dr_pinplay.Pinball.r_version;
+      Alcotest.(check bool) "src intact" true (Dr_pinplay.Pinball.report_ok r1);
+      Dr_pinplay.Pinball.migrate ~src ~dst;
+      let r2 = Dr_pinplay.Pinball.verify_file dst in
+      Alcotest.(check int) "dst reported as v2" 2 r2.Dr_pinplay.Pinball.r_version;
+      Alcotest.(check bool) "dst intact" true (Dr_pinplay.Pinball.report_ok r2);
+      let pb' = Dr_pinplay.Pinball.load_file dst in
+      Alcotest.(check bool) "migration preserves content" true
+        (Dr_pinplay.Pinball.to_bytes pb = Dr_pinplay.Pinball.to_bytes pb'))
+
+(* ---- verify report on intact input ---- *)
+
+let test_verify_report () =
+  let _, pb = log_whole racy_src in
+  let bytes = Dr_pinplay.Pinball.to_bytes pb in
+  let r = Dr_pinplay.Pinball.verify_bytes bytes in
+  let open Dr_pinplay.Pinball in
+  Alcotest.(check bool) "intact" true (report_ok r);
+  Alcotest.(check int) "version" 2 r.r_version;
+  Alcotest.(check bool) "trailer ok" true r.r_trailer_ok;
+  Alcotest.(check bool) "has the four required sections" true
+    (List.length r.r_sections >= 4);
+  Alcotest.(check bool) "every section crc ok" true
+    (List.for_all (fun s -> s.sr_crc_ok) r.r_sections);
+  Alcotest.(check bool) "digests seen" true (r.r_digest_count > 0);
+  (* corrupt one payload byte: the report localizes it to a section *)
+  let payload_flip = flip_bit bytes (String.length bytes - 8) 3 in
+  let r' = verify_bytes payload_flip in
+  Alcotest.(check bool) "flip detected" false (report_ok r');
+  Alcotest.(check bool) "problems listed" true (r'.r_problems <> [])
+
+(* ---- divergence localization via digests ---- *)
+
+let test_digests_verify_clean () =
+  let prog, pb = log_whole racy_src in
+  Alcotest.(check bool) "digests recorded" true
+    (Array.length pb.Dr_pinplay.Pinball.digests > 0);
+  (* an unperturbed replay must pass every digest checkpoint *)
+  let _ = Dr_pinplay.Replayer.replay prog pb in
+  ()
+
+let test_perturbed_syscall_localized () =
+  let prog, pb = log_whole racy_src in
+  let syscalls = Array.copy pb.Dr_pinplay.Pinball.syscalls in
+  Alcotest.(check bool) "has syscalls" true (Array.length syscalls > 0);
+  syscalls.(0) <- syscalls.(0) + 7;
+  let pb' = { pb with Dr_pinplay.Pinball.syscalls } in
+  match Dr_pinplay.Replayer.replay prog pb' with
+  | _ -> Alcotest.fail "perturbed replay did not diverge"
+  | exception
+      Dr_pinplay.Replayer.Divergence
+        (Dr_pinplay.Replayer.Digest_mismatch { step; tid; _ } as d) ->
+    Alcotest.(check bool) "step localized" true (step >= 1);
+    Alcotest.(check bool) "thread localized" true (tid >= 0);
+    let msg = Dr_pinplay.Replayer.divergence_message d in
+    Alcotest.(check bool)
+      (Printf.sprintf "message names step and thread: %s" msg)
+      true
+      (String.length msg > 0
+      && String.sub msg 0 19 = "first divergence at")
+  | exception Dr_pinplay.Replayer.Divergence d ->
+    Alcotest.failf "wrong divergence kind: %s"
+      (Dr_pinplay.Replayer.divergence_message d)
+
+let test_truncated_syscall_log () =
+  let prog, pb = log_whole ~digest_interval:0 racy_src in
+  let n = Array.length pb.Dr_pinplay.Pinball.syscalls in
+  Alcotest.(check bool) "has syscalls" true (n > 0);
+  let pb' =
+    { pb with
+      Dr_pinplay.Pinball.syscalls =
+        Array.sub pb.Dr_pinplay.Pinball.syscalls 0 (n - 1) }
+  in
+  match Dr_pinplay.Replayer.replay prog pb' with
+  | _ -> Alcotest.fail "replay with truncated syscall log did not diverge"
+  | exception
+      Dr_pinplay.Replayer.Divergence
+        (Dr_pinplay.Replayer.Syscall_log_exhausted { consumed }) ->
+    Alcotest.(check int) "consumed the whole log" (n - 1) consumed
+  | exception Dr_pinplay.Replayer.Divergence d ->
+    Alcotest.failf "wrong divergence kind: %s"
+      (Dr_pinplay.Replayer.divergence_message d)
+
+let () =
+  Alcotest.run "fault_injection"
+    [ ( "truncation",
+        [ Alcotest.test_case "region pinball, every prefix" `Quick
+            test_truncation_region;
+          Alcotest.test_case "slice pinball, every prefix" `Quick
+            test_truncation_slice ] );
+      ( "corruption",
+        [ Alcotest.test_case "256 seeded bit flips" `Quick test_bit_flips;
+          Alcotest.test_case "hostile tiny inputs" `Quick test_tiny_inputs;
+          Alcotest.test_case "trailing garbage" `Quick test_trailing_bytes ] );
+      ( "compat",
+        [ Alcotest.test_case "v1 round-trip" `Quick test_v1_roundtrip;
+          Alcotest.test_case "migrate v1 to v2" `Quick test_migrate ] );
+      ( "verify",
+        [ Alcotest.test_case "report on intact and damaged" `Quick
+            test_verify_report ] );
+      ( "divergence",
+        [ Alcotest.test_case "clean replay passes digests" `Quick
+            test_digests_verify_clean;
+          Alcotest.test_case "perturbed syscall localized" `Quick
+            test_perturbed_syscall_localized;
+          Alcotest.test_case "exhausted syscall log" `Quick
+            test_truncated_syscall_log ] ) ]

@@ -428,6 +428,25 @@ let test_slice_file_roundtrip () =
       let loaded = List.map (fun (t, p, i, _) -> (t, p, i)) stmts in
       Alcotest.(check bool) "statements preserved" true (direct = loaded))
 
+let test_slice_file_rejects_bad_input () =
+  let expect_error what contents =
+    let path = Filename.temp_file "drdebug" ".slice" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        match Dr_slicing.Slicer.load_file_statements path with
+        | _ -> Alcotest.failf "%s: bad slice file accepted" what
+        | exception Dr_slicing.Slicer.Slice_file_error _ -> ())
+  in
+  expect_error "empty file" "";
+  expect_error "missing header" "stmt 0 1 1 2\n";
+  expect_error "wrong header" "# something else\nstmt 0 1 1 2\n";
+  expect_error "non-numeric field" "# drdebug slice v1\nstmt 0 x 1 2\n";
+  expect_error "wrong arity" "# drdebug slice v1\nstmt 0 1\n"
+
 (* ---- dependence navigation ---- *)
 
 let test_edge_navigation () =
@@ -614,6 +633,8 @@ let () =
           Alcotest.test_case "pruned subset" `Quick test_fig8_pruned_subset ] );
       ( "slice objects",
         [ Alcotest.test_case "file round-trip" `Quick test_slice_file_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_slice_file_rejects_bad_input;
           Alcotest.test_case "edge navigation" `Quick test_edge_navigation ] );
       ( "coverage",
         [ Alcotest.test_case "narrow criterion locs" `Quick test_crit_locs_narrow;

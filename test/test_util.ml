@@ -56,6 +56,58 @@ let test_codec_corrupt () =
     (Dr_util.Codec.Corrupt "truncated varint") (fun () ->
       ignore (Dr_util.Codec.get_uint d))
 
+(* Zig-zag extremes must survive a round-trip bit-exactly. *)
+let test_codec_extremes () =
+  List.iter
+    (fun x ->
+      let e = Dr_util.Codec.encoder () in
+      Dr_util.Codec.put_int e x;
+      let d = Dr_util.Codec.decoder (Dr_util.Codec.to_string e) in
+      Alcotest.(check int) (string_of_int x) x (Dr_util.Codec.get_int d);
+      Alcotest.(check bool) "consumed" true (Dr_util.Codec.at_end d))
+    [ min_int; min_int + 1; -1; 0; 1; max_int - 1; max_int ]
+
+(* Over-long varints (10+ continuation bytes) must be rejected, not
+   silently smeared into the sign bit. *)
+let test_codec_overlong () =
+  let d = Dr_util.Codec.decoder (String.make 10 '\xff') in
+  Alcotest.check_raises "overlong" (Dr_util.Codec.Corrupt "varint too long")
+    (fun () -> ignore (Dr_util.Codec.get_uint d))
+
+(* A declared count/length larger than the remaining input must fail
+   before any allocation proportional to the count. *)
+let test_codec_bounded () =
+  let huge_count =
+    (* varint 2^40 followed by no payload *)
+    let e = Dr_util.Codec.encoder () in
+    Dr_util.Codec.put_uint e (1 lsl 40);
+    Dr_util.Codec.to_string e
+  in
+  let expect_corrupt what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: accepted bogus length" what
+    | exception Dr_util.Codec.Corrupt _ -> ()
+  in
+  expect_corrupt "string" (fun () ->
+      Dr_util.Codec.get_string (Dr_util.Codec.decoder huge_count));
+  expect_corrupt "int array" (fun () ->
+      Dr_util.Codec.get_int_array (Dr_util.Codec.decoder huge_count));
+  expect_corrupt "list" (fun () ->
+      Dr_util.Codec.get_list (Dr_util.Codec.decoder huge_count)
+        Dr_util.Codec.get_int);
+  expect_corrupt "count helper" (fun () ->
+      Dr_util.Codec.get_count (Dr_util.Codec.decoder huge_count) "test")
+
+let prop_codec_extreme_ints =
+  QCheck.Test.make ~name:"codec extreme int round-trip" ~count:500
+    QCheck.(list (oneof [ int; always min_int; always max_int ]))
+    (fun xs ->
+      let e = Dr_util.Codec.encoder () in
+      List.iter (Dr_util.Codec.put_int e) xs;
+      let d = Dr_util.Codec.decoder (Dr_util.Codec.to_string e) in
+      List.for_all (fun x -> Dr_util.Codec.get_int d = x) xs
+      && Dr_util.Codec.at_end d)
+
 let prop_codec_int =
   QCheck.Test.make ~name:"codec int round-trip" ~count:500
     QCheck.(list int)
@@ -118,8 +170,12 @@ let () =
       ( "codec",
         [ Alcotest.test_case "round-trip" `Quick test_codec_roundtrip;
           Alcotest.test_case "corrupt" `Quick test_codec_corrupt;
+          Alcotest.test_case "zig-zag extremes" `Quick test_codec_extremes;
+          Alcotest.test_case "overlong varint" `Quick test_codec_overlong;
+          Alcotest.test_case "bounded counts" `Quick test_codec_bounded;
           QCheck_alcotest.to_alcotest prop_codec_int;
-          QCheck_alcotest.to_alcotest prop_codec_string ] );
+          QCheck_alcotest.to_alcotest prop_codec_string;
+          QCheck_alcotest.to_alcotest prop_codec_extreme_ints ] );
       ( "bitset",
         [ Alcotest.test_case "basic" `Quick test_bitset;
           QCheck_alcotest.to_alcotest prop_bitset ] );
