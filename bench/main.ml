@@ -519,7 +519,9 @@ let ablation () =
       (fun pos ->
         let s, t =
           time (fun () ->
-              Dr_slicing.Slicer.compute ~lp ~block_skipping gt
+              (* scan driver on both sides: the ablation isolates LP
+                 block skipping, not the indexed fast path *)
+              Dr_slicing.Slicer.compute ~lp ~block_skipping ~indexed:false gt
                 { Dr_slicing.Slicer.crit_pos = pos; crit_locs = None })
         in
         times := t :: !times;
@@ -574,7 +576,8 @@ fn main() {
     (fun (name, bs) ->
       let s, t =
         time (fun () ->
-            Dr_slicing.Slicer.compute ~lp:nlp ~block_skipping:bs ngt ncrit)
+            Dr_slicing.Slicer.compute ~lp:nlp ~block_skipping:bs ~indexed:false
+              ngt ncrit)
       in
       printf "%-24s| %9.4fs  | visited %7d  | skipped %d/%d blocks\n" name t
         s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.visited
@@ -785,23 +788,31 @@ let micro () =
 
 (* ---------- driver ---------- *)
 
+let bench_out = ref "BENCH_slicing.json"
+
+let slicing () =
+  section "Slicing fast path: indexed traversal vs backwards scan";
+  Slicing_bench.run ~quick:!quick ~out:!bench_out ()
+
 let experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
-    ("sec7text", sec7text); ("ablation", ablation); ("micro", micro) ]
+    ("sec7text", sec7text); ("ablation", ablation); ("micro", micro);
+    ("slicing", slicing) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--bench-out" :: path :: rest ->
+      bench_out := path;
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let chosen =
     match args with
     | [] -> List.map fst experiments

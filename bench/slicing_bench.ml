@@ -1,0 +1,287 @@
+(* Slicing fast-path benchmark: indexed traversal vs the backwards scan
+   (with and without LP block skipping), across registry workloads and
+   randomly generated programs.  Emits BENCH_slicing.json (schema
+   drdebug-bench-slicing-v1, see README "Benchmarking") so the perf
+   trajectory of the slicer is tracked in-repo; a dune runtest smoke
+   runs this in --quick mode and validates the emitted JSON. *)
+
+let printf = Printf.printf
+
+module J = Dr_util.Json
+
+let schema_version = "drdebug-bench-slicing-v1"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let log_or_fail ?policy prog spec =
+  match Dr_pinplay.Logger.log ?policy prog spec with
+  | Ok (pb, _) -> pb
+  | Error e ->
+    failwith (Format.asprintf "logging failed: %a" Dr_pinplay.Logger.pp_error e)
+
+(* One prepared workload: its global trace, LP summaries + def index,
+   and the slicing criteria (the last data loads, newest first). *)
+type prepared = {
+  w_name : string;
+  w_kind : string;  (* "registry" | "generated" *)
+  gt : Dr_slicing.Global_trace.t;
+  lp : Dr_slicing.Lp.t;
+  construct_s : float;
+  lp_s : float;
+  criteria : Dr_slicing.Slicer.criterion list;
+}
+
+let criteria_of gt ~n =
+  let len = Dr_slicing.Global_trace.length gt in
+  let picks = ref [] and found = ref 0 and pos = ref (len - 1) in
+  while !found < n && !pos > 0 do
+    if Dr_slicing.Trace.is_load (Dr_slicing.Global_trace.record gt !pos)
+    then begin
+      picks := !pos :: !picks;
+      incr found
+    end;
+    decr pos
+  done;
+  let picks = if !picks = [] then [ len - 1 ] else List.rev !picks in
+  List.map
+    (fun p -> { Dr_slicing.Slicer.crit_pos = p; crit_locs = None })
+    picks
+
+let prepare ~name ~kind ~n_criteria prog pb =
+  let c = Dr_slicing.Collector.collect prog pb in
+  let gt, construct_s = time (fun () -> Dr_slicing.Global_trace.construct c) in
+  let lp, lp_s = time (fun () -> Dr_slicing.Lp.prepare gt) in
+  { w_name = name; w_kind = kind; gt; lp; construct_s; lp_s;
+    criteria = criteria_of gt ~n:n_criteria }
+
+let prepare_registry ~name ~main_instrs ~n_criteria =
+  match Dr_workloads.Registry.find name with
+  | None -> failwith (Printf.sprintf "unknown registry workload %s" name)
+  | Some e ->
+    let iters = Dr_workloads.Registry.iters_for e ~main_instrs () in
+    let prog = e.Dr_workloads.Registry.compile ~threads:4 ~iters in
+    let pb = log_or_fail prog Dr_pinplay.Logger.Whole in
+    prepare ~name ~kind:"registry" ~n_criteria prog pb
+
+(* Generated workloads: wider than the property-test default so traces
+   reach interesting sizes, several seeds, keep the largest traces. *)
+let gen_cfg =
+  { Dr_lang.Gen.max_stmts = 10; max_depth = 3; max_helpers = 4;
+    with_threads = true }
+
+let prepare_generated ~seeds ~keep ~n_criteria =
+  let candidates =
+    List.filter_map
+      (fun seed ->
+        let src = Dr_lang.Gen.program ~cfg:gen_cfg seed in
+        let name = Printf.sprintf "gen-%d" seed in
+        match Dr_lang.Codegen.compile_result ~name src with
+        | Error _ -> None
+        | Ok prog ->
+          let pb =
+            log_or_fail
+              ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+              prog Dr_pinplay.Logger.Whole
+          in
+          Some (prepare ~name ~kind:"generated" ~n_criteria prog pb))
+      seeds
+  in
+  let by_size =
+    List.sort
+      (fun a b ->
+        Int.compare
+          (Dr_slicing.Global_trace.length b.gt)
+          (Dr_slicing.Global_trace.length a.gt))
+      candidates
+  in
+  List.filteri (fun i _ -> i < keep) by_size
+
+(* ---- measurement ---- *)
+
+let canonical_edges (s : Dr_slicing.Slicer.t) =
+  let tag = function
+    | Dr_slicing.Slicer.Data l -> (0, l)
+    | Dr_slicing.Slicer.Data_bypassed l -> (1, l)
+    | Dr_slicing.Slicer.Control -> (2, -1)
+  in
+  let l =
+    Array.to_list
+      (Array.map
+         (fun (e : Dr_slicing.Slicer.edge) ->
+           let k, loc = tag e.Dr_slicing.Slicer.kind in
+           (e.Dr_slicing.Slicer.from_pos, e.Dr_slicing.Slicer.to_pos, k, loc))
+         s.Dr_slicing.Slicer.edges)
+  in
+  List.sort compare l
+
+type measured = {
+  records : int;
+  n_criteria : int;
+  reps : int;
+  indexed_s : float;
+  scan_skip_s : float;
+  scan_noskip_s : float;
+  blocks_skipped : int;
+  total_blocks : int;
+  visited_indexed : int;
+  visited_scan : int;
+  slice_size_total : int;
+  identical : bool;
+}
+
+let measure ~reps (p : prepared) : measured =
+  let gt = p.gt and lp = p.lp in
+  let records = Dr_slicing.Global_trace.length gt in
+  let compute ~indexed ~block_skipping crit =
+    Dr_slicing.Slicer.compute ~lp ~indexed ~block_skipping gt crit
+  in
+  (* correctness first: all three drivers must agree on every criterion *)
+  let identical =
+    List.for_all
+      (fun crit ->
+        let fast = compute ~indexed:true ~block_skipping:true crit in
+        let skip = compute ~indexed:false ~block_skipping:true crit in
+        let noskip = compute ~indexed:false ~block_skipping:false crit in
+        fast.Dr_slicing.Slicer.positions = skip.Dr_slicing.Slicer.positions
+        && skip.Dr_slicing.Slicer.positions
+           = noskip.Dr_slicing.Slicer.positions
+        && canonical_edges fast = canonical_edges skip
+        && canonical_edges skip = canonical_edges noskip)
+      p.criteria
+  in
+  (* stats from one pass per driver *)
+  let stats ~indexed ~block_skipping =
+    List.fold_left
+      (fun (v, sk, sz) crit ->
+        let s = compute ~indexed ~block_skipping crit in
+        ( v + s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.visited,
+          sk + s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.skipped_blocks,
+          sz + Dr_slicing.Slicer.size s ))
+      (0, 0, 0) p.criteria
+  in
+  let visited_indexed, _, slice_size_total =
+    stats ~indexed:true ~block_skipping:true
+  in
+  let visited_scan, blocks_skipped, _ =
+    stats ~indexed:false ~block_skipping:true
+  in
+  (* timed runs *)
+  let timed ~indexed ~block_skipping =
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            List.iter
+              (fun crit -> ignore (compute ~indexed ~block_skipping crit))
+              p.criteria
+          done)
+    in
+    t
+  in
+  let indexed_s = timed ~indexed:true ~block_skipping:true in
+  let scan_skip_s = timed ~indexed:false ~block_skipping:true in
+  let scan_noskip_s = timed ~indexed:false ~block_skipping:false in
+  { records; n_criteria = List.length p.criteria; reps; indexed_s;
+    scan_skip_s; scan_noskip_s; blocks_skipped;
+    total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
+    visited_scan; slice_size_total; identical }
+
+let ratio a b = if b > 0.0 then a /. b else 0.0
+
+let workload_json (p : prepared) (m : measured) : J.t =
+  let slices = float_of_int (m.n_criteria * m.reps) in
+  let per_slice_indexed = m.indexed_s /. Float.max slices 1.0 in
+  J.Obj
+    [ ("name", J.Str p.w_name);
+      ("kind", J.Str p.w_kind);
+      ("records", J.int m.records);
+      ("criteria", J.int m.n_criteria);
+      ("reps", J.int m.reps);
+      ("construct_s", J.Num p.construct_s);
+      ("lp_prepare_s", J.Num p.lp_s);
+      ("indexed_s", J.Num m.indexed_s);
+      ("scan_skip_s", J.Num m.scan_skip_s);
+      ("scan_noskip_s", J.Num m.scan_noskip_s);
+      ("speedup_vs_scan_skip", J.Num (ratio m.scan_skip_s m.indexed_s));
+      ("speedup_vs_scan_noskip", J.Num (ratio m.scan_noskip_s m.indexed_s));
+      ( "records_per_s_indexed",
+        J.Num (ratio (float_of_int m.records) per_slice_indexed) );
+      ("blocks_skipped", J.int m.blocks_skipped);
+      ("total_blocks", J.int m.total_blocks);
+      ( "visited_ratio_indexed",
+        J.Num
+          (ratio
+             (float_of_int m.visited_indexed)
+             (float_of_int (m.records * m.n_criteria))) );
+      ( "visited_ratio_scan",
+        J.Num
+          (ratio (float_of_int m.visited_scan)
+             (float_of_int (m.records * m.n_criteria))) );
+      ( "slice_size_avg",
+        J.Num (ratio (float_of_int m.slice_size_total) (float_of_int m.n_criteria)) );
+      ("results_identical", J.Bool m.identical) ]
+
+let metrics_json () : J.t =
+  J.Obj
+    (List.map
+       (fun (name, v) ->
+         match v with
+         | `Counter n -> (name, J.int n)
+         | `Timer (s, e) ->
+           (name, J.Obj [ ("seconds", J.Num s); ("events", J.int e) ]))
+       (Dr_util.Metrics.report ()))
+
+(** Run the slicing benchmark and write [out] (BENCH_slicing.json). *)
+let run ~quick ~out () =
+  let n_criteria = if quick then 3 else 6 in
+  let reps = if quick then 1 else 3 in
+  let main_instrs = if quick then 6_000 else 40_000 in
+  let seeds = if quick then [ 11; 23; 37 ] else [ 3; 7; 11; 23; 31; 37; 43; 51 ] in
+  let keep = if quick then 2 else 3 in
+  let registry_names = [ "pbzip2"; "streamcluster"; "ammp" ] in
+  let prepared =
+    List.map
+      (fun name -> prepare_registry ~name ~main_instrs ~n_criteria)
+      registry_names
+    @ prepare_generated ~seeds ~keep ~n_criteria
+  in
+  printf "%-16s %-10s %9s %10s %10s %10s %8s %s\n" "workload" "kind"
+    "records" "indexed" "scan+skip" "scan" "speedup" "identical";
+  let rows =
+    List.map
+      (fun p ->
+        let m = measure ~reps p in
+        printf "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %7.1fx %b\n" p.w_name
+          p.w_kind m.records m.indexed_s m.scan_skip_s m.scan_noskip_s
+          (ratio m.scan_skip_s m.indexed_s)
+          m.identical;
+        (p, m))
+      prepared
+  in
+  let largest_generated =
+    rows
+    |> List.filter (fun (p, _) -> p.w_kind = "generated")
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b.records a.records)
+    |> function
+    | [] -> J.Null
+    | (p, m) :: _ ->
+      J.Obj
+        [ ("name", J.Str p.w_name);
+          ("records", J.int m.records);
+          ("speedup_vs_scan_skip", J.Num (ratio m.scan_skip_s m.indexed_s));
+          ("results_identical", J.Bool m.identical) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str schema_version);
+        ("quick", J.Bool quick);
+        ("workloads", J.List (List.map (fun (p, m) -> workload_json p m) rows));
+        ("largest_generated", largest_generated);
+        ("metrics", metrics_json ()) ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (J.to_string doc);
+      Out_channel.output_char oc '\n');
+  printf "wrote %s\n" out

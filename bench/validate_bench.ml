@@ -1,0 +1,82 @@
+(* Schema validator for BENCH_slicing.json.  Run by the dune runtest
+   smoke right after the bench's --quick mode so the metrics layer and
+   the emitted JSON cannot silently rot.  Exits non-zero with a message
+   naming the first violated field. *)
+
+module J = Dr_util.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL " ^ m); exit 1) fmt
+
+let get obj k =
+  match J.member k obj with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let want_num ctx v =
+  match J.to_float v with Some f -> f | None -> fail "%s: expected number" ctx
+
+let want_str ctx v =
+  match J.to_str v with Some s -> s | None -> fail "%s: expected string" ctx
+
+let want_bool ctx v =
+  match J.to_bool v with Some b -> b | None -> fail "%s: expected bool" ctx
+
+let want_list ctx v =
+  match J.to_list v with Some l -> l | None -> fail "%s: expected list" ctx
+
+let check_workload i w =
+  let ctx k = Printf.sprintf "workloads[%d].%s" i k in
+  let num k = want_num (ctx k) (get w k) in
+  let str k = want_str (ctx k) (get w k) in
+  ignore (str "name");
+  (match str "kind" with
+  | "registry" | "generated" -> ()
+  | other -> fail "%s: unknown kind %S" (ctx "kind") other);
+  List.iter
+    (fun k ->
+      let v = num k in
+      if v < 0.0 then fail "%s: negative" (ctx k))
+    [ "records"; "criteria"; "reps"; "construct_s"; "lp_prepare_s";
+      "indexed_s"; "scan_skip_s"; "scan_noskip_s"; "speedup_vs_scan_skip";
+      "speedup_vs_scan_noskip"; "records_per_s_indexed"; "blocks_skipped";
+      "total_blocks"; "visited_ratio_indexed"; "visited_ratio_scan";
+      "slice_size_avg" ];
+  if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
+  if not (want_bool (ctx "results_identical") (get w "results_identical"))
+  then fail "%s: drivers disagree" (ctx "results_identical")
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+      prerr_endline "usage: validate_bench BENCH_slicing.json";
+      exit 2
+  in
+  let raw = In_channel.with_open_text path In_channel.input_all in
+  let doc =
+    match J.parse raw with
+    | Ok v -> v
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  let schema = want_str "schema" (get doc "schema") in
+  if schema <> "drdebug-bench-slicing-v1" then
+    fail "unexpected schema %S" schema;
+  ignore (want_bool "quick" (get doc "quick"));
+  let workloads = want_list "workloads" (get doc "workloads") in
+  if workloads = [] then fail "workloads: empty";
+  List.iteri check_workload workloads;
+  (match get doc "largest_generated" with
+  | J.Null -> ()
+  | lg ->
+    ignore (want_str "largest_generated.name" (get lg "name"));
+    if
+      not
+        (want_bool "largest_generated.results_identical"
+           (get lg "results_identical"))
+    then fail "largest_generated: drivers disagree");
+  (match get doc "metrics" with
+  | J.Obj _ -> ()
+  | _ -> fail "metrics: expected object");
+  Printf.printf "ok: %s matches %s (%d workloads)\n" path schema
+    (List.length workloads)

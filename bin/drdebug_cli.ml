@@ -26,7 +26,7 @@ let load_program workload source =
     | Error e -> Error e)
   | _ -> Error "specify exactly one of --workload or --source"
 
-let run workload source seed input script =
+let run workload source seed input script stats =
   match load_program workload source with
   | Error e ->
     prerr_endline e;
@@ -64,6 +64,8 @@ let run workload source seed input script =
         | Some line -> if exec_one line then loop ()
       in
       loop ());
+    if stats then
+      Printf.printf "--- internal metrics ---\n%s" (Dr_util.Metrics.to_string ());
     0
 
 open Cmdliner
@@ -83,10 +85,13 @@ let input =
 let script =
   Arg.(value & opt (some string) None & info [ "script" ] ~doc:"Semicolon-separated commands to run non-interactively.")
 
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print internal counters and timers (trace construction, LP, slicing, slice replay) on exit.")
+
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
   Cmd.v
     (Cmd.info "drdebug" ~doc)
-    Term.(const run $ workload $ source $ seed $ input $ script)
+    Term.(const run $ workload $ source $ seed $ input $ script $ stats)
 
 let () = exit (Cmd.eval' cmd)

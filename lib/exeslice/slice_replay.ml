@@ -11,7 +11,16 @@
 
 open Dr_machine
 
+let m_steps = Dr_util.Metrics.counter "slice_replay.steps"
+let m_injections = Dr_util.Metrics.counter "slice_replay.injections"
+let m_divergences = Dr_util.Metrics.counter "slice_replay.divergences"
+let t_run = Dr_util.Metrics.timer "slice_replay.run"
+
 exception Divergence of string
+
+let divergence msg =
+  Dr_util.Metrics.bump m_divergences;
+  raise (Divergence msg)
 
 type t = {
   prog : Dr_isa.Program.t;
@@ -39,7 +48,7 @@ let create (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t) : t =
   let nondet _kind =
     let syscalls = pinball.Dr_pinplay.Pinball.syscalls in
     if !syscall_pos >= Array.length syscalls then
-      raise (Divergence "syscall log exhausted")
+      divergence "syscall log exhausted"
     else begin
       let v = syscalls.(!syscall_pos) in
       incr syscall_pos;
@@ -76,20 +85,19 @@ let step (t : t) : step_result =
     | Dr_pinplay.Pinball.Inject i ->
       let inj = t.pinball.Dr_pinplay.Pinball.injections.(i) in
       apply_injection t inj;
+      Dr_util.Metrics.bump m_injections;
       Injected { tid = inj.Dr_pinplay.Pinball.inj_tid }
     | Dr_pinplay.Pinball.Step { tid; pc } ->
       let th = Machine.thread t.machine tid in
       if th.Machine.state <> Machine.Runnable then
-        raise
-          (Divergence
-             (Printf.sprintf "slice step schedules non-runnable tid %d at pc %d"
-                tid pc));
+        divergence
+          (Printf.sprintf "slice step schedules non-runnable tid %d at pc %d"
+             tid pc);
       th.Machine.pc <- pc;
       let mev = Machine.step t.machine ~tid ~nondet:t.nondet in
       if not mev.Event.retired then
-        raise
-          (Divergence
-             (Printf.sprintf "slice step blocked at tid %d pc %d" tid pc));
+        divergence (Printf.sprintf "slice step blocked at tid %d pc %d" tid pc);
+      Dr_util.Metrics.bump m_steps;
       let line =
         Option.value ~default:(-1)
           (Dr_isa.Debug_info.line_of_pc t.prog.Dr_isa.Program.debug pc)
@@ -121,6 +129,7 @@ let step_statement (t : t) : step_result =
     instruction. *)
 let run ?(on_step : (tid:int -> pc:int -> unit) option) (t : t) :
     step_result =
+  Dr_util.Metrics.time t_run @@ fun () ->
   let rec go () =
     match step t with
     | Stepped { tid; pc; _ } ->

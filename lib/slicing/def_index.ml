@@ -1,0 +1,83 @@
+(** Per-location definition index over the combined global trace.
+
+    For every {!Dr_isa.Loc} encoding that is ever defined in the trace,
+    the index stores the ascending array of merge positions whose record
+    defines it.  Built in one pass over the trace (positions are visited
+    in ascending order, so the per-location arrays come out sorted for
+    free) and shared by {!Lp} (block summaries are derived from it) and
+    the indexed {!Slicer} fast path, which resolves "the most recent
+    definition of [loc] at or before [pos]" with one binary search
+    instead of a linear backwards scan. *)
+
+let m_builds = Dr_util.Metrics.counter "def_index.builds"
+let m_locations = Dr_util.Metrics.counter "def_index.locations"
+let m_defs = Dr_util.Metrics.counter "def_index.def_positions"
+let m_lookups = Dr_util.Metrics.counter "def_index.lookups"
+let t_build = Dr_util.Metrics.timer "def_index.build"
+
+type t = {
+  defs_by_loc : (int, int array) Hashtbl.t;
+      (** location -> ascending positions of records defining it *)
+  trace_len : int;
+}
+
+let build (gt : Global_trace.t) : t =
+  Dr_util.Metrics.bump m_builds;
+  Dr_util.Metrics.time t_build (fun () ->
+      let n = Global_trace.length gt in
+      let acc : (int, Dr_util.Vec.Int_vec.t) Hashtbl.t = Hashtbl.create 256 in
+      for pos = 0 to n - 1 do
+        let r = Global_trace.record gt pos in
+        Array.iter
+          (fun d ->
+            match Hashtbl.find_opt acc d with
+            | Some v -> Dr_util.Vec.Int_vec.push v pos
+            | None ->
+              let v = Dr_util.Vec.Int_vec.create () in
+              Dr_util.Vec.Int_vec.push v pos;
+              Hashtbl.replace acc d v)
+          r.Trace.defs
+      done;
+      let defs_by_loc = Hashtbl.create (Hashtbl.length acc) in
+      Hashtbl.iter
+        (fun loc v ->
+          let a = Dr_util.Vec.Int_vec.to_array v in
+          Dr_util.Metrics.add m_defs (Array.length a);
+          Hashtbl.replace defs_by_loc loc a)
+        acc;
+      Dr_util.Metrics.add m_locations (Hashtbl.length defs_by_loc);
+      { defs_by_loc; trace_len = n })
+
+let trace_len t = t.trace_len
+
+let num_locations t = Hashtbl.length t.defs_by_loc
+
+let positions t ~loc =
+  match Hashtbl.find_opt t.defs_by_loc loc with Some a -> a | None -> [||]
+
+(** Position of the latest definition of [loc] at or before [pos], or
+    [-1] when none exists.  One binary search in the location's def
+    array. *)
+let latest_at_or_before t ~loc ~pos : int =
+  Dr_util.Metrics.bump m_lookups;
+  match Hashtbl.find_opt t.defs_by_loc loc with
+  | None -> -1
+  | Some a ->
+    let len = Array.length a in
+    if len = 0 || a.(0) > pos then -1
+    else begin
+      (* invariant: a.(lo) <= pos; answer is the last such element *)
+      let lo = ref 0 and hi = ref (len - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if a.(mid) <= pos then lo := mid else hi := mid - 1
+      done;
+      a.(!lo)
+    end
+
+(** Does [loc] have a definition inside [\[lo, hi\]]? *)
+let defines_in_range t ~loc ~lo ~hi : bool =
+  let p = latest_at_or_before t ~loc ~pos:hi in
+  p >= lo
+
+let iter t f = Hashtbl.iter (fun loc a -> f loc a) t.defs_by_loc

@@ -1,0 +1,34 @@
+(** Per-location definition index over the combined global trace.
+
+    Maps each defined {!Dr_isa.Loc} encoding to the ascending array of
+    global-trace positions whose record defines it.  Built once per
+    trace ({!build} is criterion-independent) and shared by {!Lp}
+    (block summaries derive from it) and the indexed {!Slicer} fast
+    path, which finds "the most recent definition of [loc] at or
+    before [pos]" by binary search instead of a linear backwards
+    scan. *)
+
+type t
+
+val build : Global_trace.t -> t
+
+(** Length of the trace the index was built over. *)
+val trace_len : t -> int
+
+(** Number of distinct locations with at least one definition. *)
+val num_locations : t -> int
+
+(** Ascending positions of records defining [loc]; [[||]] when none.
+    The returned array is owned by the index — do not mutate. *)
+val positions : t -> loc:int -> int array
+
+(** Position of the latest definition of [loc] at or before [pos], or
+    [-1] when none exists. *)
+val latest_at_or_before : t -> loc:int -> pos:int -> int
+
+(** Does [loc] have a definition inside [\[lo, hi\]]? *)
+val defines_in_range : t -> loc:int -> lo:int -> hi:int -> bool
+
+(** Iterate over (location, ascending def positions) pairs, in
+    unspecified order. *)
+val iter : t -> (int -> int array -> unit) -> unit

@@ -13,9 +13,16 @@ type t = {
   records : Trace.record array;  (** shared with the collector result *)
   order : int array;  (** position -> gseq *)
   pos_of_gseq : int array;  (** gseq -> position *)
+  mutable pc_index : (int * int, int array) Hashtbl.t option;
+      (** lazy: (tid, pc) -> ascending merge positions *)
 }
 
 exception Cycle of string
+
+let t_construct = Dr_util.Metrics.timer "global_trace.construct"
+let m_records = Dr_util.Metrics.counter "global_trace.records_merged"
+let m_find_indexed = Dr_util.Metrics.counter "global_trace.find_indexed"
+let m_find_fallback = Dr_util.Metrics.counter "global_trace.find_fallback"
 
 (** Merge per-thread traces under the given cross-thread edges.
     [cluster] (default true) keeps emitting from the current thread while
@@ -23,7 +30,9 @@ exception Cycle of string
     traversal; with [cluster:false] threads rotate every record (used by
     the ablation bench). *)
 let construct ?(cluster = true) (c : Collector.result) : t =
+  Dr_util.Metrics.time t_construct @@ fun () ->
   let n = Array.length c.Collector.records in
+  Dr_util.Metrics.add m_records n;
   let indeg = Array.make n 0 in
   (* out-edges grouped by source *)
   let out_count = Array.make n 0 in
@@ -90,7 +99,7 @@ let construct ?(cluster = true) (c : Collector.result) : t =
       indeg.(dst) <- indeg.(dst) - 1
     done
   done;
-  { records = c.Collector.records; order; pos_of_gseq }
+  { records = c.Collector.records; order; pos_of_gseq; pc_index = None }
 
 let length t = Array.length t.order
 
@@ -116,21 +125,80 @@ let is_topological (t : t) (c : Collector.result) : bool =
     c.Collector.order_edges;
   !ok
 
-(** Find the position of the [instance]-th execution of [pc] by [tid], or
-    [None]. *)
-let find ~tid ~pc ~instance (t : t) : int option =
-  let found = ref None in
-  Array.iteri
-    (fun pos g ->
-      if !found = None then begin
+(* Build (tid, pc) -> ascending merge positions on first lookup; the
+   merge order never changes after [construct], so the index is built at
+   most once per trace. *)
+let pc_index (t : t) : (int * int, int array) Hashtbl.t =
+  match t.pc_index with
+  | Some idx -> idx
+  | None ->
+    let acc : (int * int, Dr_util.Vec.Int_vec.t) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    Array.iteri
+      (fun pos g ->
         let r = t.records.(g) in
-        if r.Trace.tid = tid && r.Trace.pc = pc && r.Trace.instance = instance
-        then found := Some pos
-      end)
-    t.order;
-  !found
+        let key = (r.Trace.tid, r.Trace.pc) in
+        match Hashtbl.find_opt acc key with
+        | Some v -> Dr_util.Vec.Int_vec.push v pos
+        | None ->
+          let v = Dr_util.Vec.Int_vec.create () in
+          Dr_util.Vec.Int_vec.push v pos;
+          Hashtbl.replace acc key v)
+      t.order;
+    let idx = Hashtbl.create (Hashtbl.length acc) in
+    Hashtbl.iter
+      (fun key v -> Hashtbl.replace idx key (Dr_util.Vec.Int_vec.to_array v))
+      acc;
+    t.pc_index <- Some idx;
+    idx
 
-(** Position of the last record satisfying [p], or [None]. *)
+(** Ascending merge positions of records executing [pc] on [tid]. *)
+let pc_positions (t : t) ~tid ~pc : int array =
+  match Hashtbl.find_opt (pc_index t) (tid, pc) with
+  | Some a -> a
+  | None -> [||]
+
+(** Find the position of the [instance]-th execution of [pc] by [tid], or
+    [None].  Instances are recorded 1-based in program order, so the
+    [instance]-th occurrence in the indexed position list is the match;
+    the instance field is still verified and a linear probe of the
+    occurrence list covers traces with non-contiguous numbering. *)
+let find ~tid ~pc ~instance (t : t) : int option =
+  let occ = pc_positions t ~tid ~pc in
+  let len = Array.length occ in
+  let direct =
+    if instance >= 1 && instance <= len then begin
+      let pos = occ.(instance - 1) in
+      if (record t pos).Trace.instance = instance then Some pos else None
+    end
+    else None
+  in
+  match direct with
+  | Some _ ->
+    Dr_util.Metrics.bump m_find_indexed;
+    direct
+  | None ->
+    Dr_util.Metrics.bump m_find_fallback;
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i < len do
+      if (record t occ.(!i)).Trace.instance = instance then
+        found := Some occ.(!i);
+      incr i
+    done;
+    !found
+
+(** Position of the last execution of [pc] on [tid], or [None] —
+    indexed, O(1) after the first lookup on a trace. *)
+let find_last_at (t : t) ~tid ~pc : int option =
+  let occ = pc_positions t ~tid ~pc in
+  let len = Array.length occ in
+  if len = 0 then None else Some occ.(len - 1)
+
+(** Position of the last record satisfying [p], or [None].  The
+    predicate is arbitrary, so this stays a backwards scan; prefer
+    {!find_last_at} when the target is a (tid, pc). *)
 let find_last (t : t) ~(p : Trace.record -> bool) : int option =
   let rec go pos =
     if pos < 0 then None

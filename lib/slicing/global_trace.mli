@@ -7,6 +7,9 @@ type t = {
   records : Trace.record array;  (** shared with the collector result *)
   order : int array;  (** position -> gseq *)
   pos_of_gseq : int array;  (** gseq -> position *)
+  mutable pc_index : (int * int, int array) Hashtbl.t option;
+      (** lazily built (tid, pc) -> ascending merge positions index;
+          managed internally — use {!find} / {!find_last_at} *)
 }
 
 (** The access-order edges are cyclic — cannot happen for edges collected
@@ -31,8 +34,19 @@ val position : t -> gseq:int -> int
     cross-thread edges (used by tests). *)
 val is_topological : t -> Collector.result -> bool
 
-(** Position of the [instance]-th execution of [pc] by [tid], if any. *)
+(** Ascending merge positions of records executing [pc] on [tid]
+    ([[||]] when none).  Builds the (tid, pc) index on first use; the
+    returned array is owned by the index — do not mutate. *)
+val pc_positions : t -> tid:int -> pc:int -> int array
+
+(** Position of the [instance]-th execution of [pc] by [tid], if any.
+    Indexed: one hash lookup after the index is built. *)
 val find : tid:int -> pc:int -> instance:int -> t -> int option
 
-(** Position of the last record satisfying [p], if any. *)
+(** Position of the last execution of [pc] on [tid], if any.  Indexed. *)
+val find_last_at : t -> tid:int -> pc:int -> int option
+
+(** Position of the last record satisfying [p], if any.  The predicate
+    is arbitrary, so this is a backwards scan — prefer {!find_last_at}
+    for (tid, pc) targets. *)
 val find_last : t -> p:(Trace.record -> bool) -> int option

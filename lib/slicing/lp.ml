@@ -5,46 +5,60 @@
     summary of the locations it defines is precomputed.  The backwards
     slice traversal can then skip a whole block when the summary proves
     the block can satisfy none of the currently wanted locations and no
-    pending control-dependence target lies inside it. *)
+    pending control-dependence target lies inside it.
+
+    Since PR 2, [prepare] first builds the per-location {!Def_index}
+    and derives the block summaries from it: each location's ascending
+    def-position array visits every block at most in runs, so one pass
+    per location yields the distinct (location, block) pairs without a
+    dedup pass over raw defs.  The index rides along in [t] and powers
+    the indexed {!Slicer} fast path. *)
 
 let default_block_size = 4096
+
+let t_prepare = Dr_util.Metrics.timer "lp.prepare"
+let m_may_satisfy = Dr_util.Metrics.counter "lp.may_satisfy_checks"
 
 type t = {
   block_size : int;
   num_blocks : int;
   (* per block: sorted array of distinct defined locations *)
   summaries : int array array;
+  index : Def_index.t;
 }
 
 let prepare ?(block_size = default_block_size) (gt : Global_trace.t) : t =
-  let n = Global_trace.length gt in
-  let num_blocks = (n + block_size - 1) / block_size in
-  let summaries =
-    Array.init num_blocks (fun b ->
-        let lo = b * block_size in
-        let hi = min ((b + 1) * block_size) n - 1 in
-        let acc = Dr_util.Vec.Int_vec.create () in
-        for pos = lo to hi do
-          let r = Global_trace.record gt pos in
-          Array.iter (fun d -> Dr_util.Vec.Int_vec.push acc d) r.Trace.defs
-        done;
-        let a = Dr_util.Vec.Int_vec.to_array acc in
-        Array.sort compare a;
-        (* dedup in place *)
-        let m = Array.length a in
-        if m = 0 then a
-        else begin
-          let w = ref 1 in
-          for i = 1 to m - 1 do
-            if a.(i) <> a.(!w - 1) then begin
-              a.(!w) <- a.(i);
-              incr w
-            end
-          done;
-          Array.sub a 0 !w
-        end)
-  in
-  { block_size; num_blocks; summaries }
+  Dr_util.Metrics.time t_prepare (fun () ->
+      let n = Global_trace.length gt in
+      let num_blocks = (n + block_size - 1) / block_size in
+      let index = Def_index.build gt in
+      let accs =
+        Array.init num_blocks (fun _ -> Dr_util.Vec.Int_vec.create ())
+      in
+      (* Each location contributes once to every block containing one of
+         its defs; its positions are ascending, so a block change in the
+         walk below is a first visit. *)
+      Def_index.iter index (fun loc positions ->
+          let last_block = ref (-1) in
+          Array.iter
+            (fun pos ->
+              let b = pos / block_size in
+              if b <> !last_block then begin
+                last_block := b;
+                Dr_util.Vec.Int_vec.push accs.(b) loc
+              end)
+            positions);
+      let summaries =
+        Array.map
+          (fun acc ->
+            let a = Dr_util.Vec.Int_vec.to_array acc in
+            Array.sort Int.compare a;
+            a)
+          accs
+      in
+      { block_size; num_blocks; summaries; index })
+
+let def_index t = t.index
 
 let block_of t pos = pos / t.block_size
 
@@ -65,14 +79,20 @@ let defines t ~block ~loc =
   done;
   !found
 
+exception Found
+
 (** Can block [b] satisfy any of [wanted]?  Iterates over the smaller of
-    the wanted set and the block summary. *)
+    the wanted set and the block summary, stopping at the first hit. *)
 let may_satisfy t ~block ~(wanted : (int, 'a) Hashtbl.t) : bool =
+  Dr_util.Metrics.bump m_may_satisfy;
   let summary = t.summaries.(block) in
   let nw = Hashtbl.length wanted in
   if nw = 0 then false
-  else if nw <= Array.length summary then
-    Hashtbl.fold
-      (fun loc _ acc -> acc || defines t ~block ~loc)
-      wanted false
+  else if nw <= Array.length summary then (
+    try
+      Hashtbl.iter
+        (fun loc _ -> if defines t ~block ~loc then raise_notrace Found)
+        wanted;
+      false
+    with Found -> true)
   else Array.exists (fun loc -> Hashtbl.mem wanted loc) summary

@@ -14,9 +14,14 @@ type t = {
   num_blocks : int;
   summaries : int array array;
       (** per block: sorted distinct defined locations *)
+  index : Def_index.t;
+      (** per-location definition index the summaries derive from *)
 }
 
 val prepare : ?block_size:int -> Global_trace.t -> t
+
+(** The per-location definition index built by {!prepare}. *)
+val def_index : t -> Def_index.t
 
 (** Block containing the given trace position. *)
 val block_of : t -> int -> int
@@ -28,5 +33,5 @@ val block_range : t -> int -> int * int
 val defines : t -> block:int -> loc:int -> bool
 
 (** Can the block satisfy any currently wanted location?  Iterates the
-    smaller of the two sets. *)
+    smaller of the two sets, stopping at the first hit. *)
 val may_satisfy : t -> block:int -> wanted:(int, 'a) Hashtbl.t -> bool

@@ -12,15 +12,35 @@
     - {e control dependences}: the [cd] pointer of every included record,
       transitively.
 
-    Blocks that can satisfy no wanted location and contain no pending
-    control-dependence target are skipped wholesale using the {!Lp}
-    summaries.
+    Two traversal drivers share the same record-processing core:
+
+    - the {e indexed} fast path (default) pops candidate positions from
+      a max-heap — the latest definition of each wanted location (found
+      by binary search in the {!Def_index}), pending control-dependence
+      targets, and deferred-bypass definitions — touching only
+      positions that can change the slice state;
+    - the {e scan} path walks every position backwards, skipping whole
+      blocks via the {!Lp} summaries when they can satisfy nothing
+      (Zhang et al.'s Limited Preprocessing) — kept as the reference
+      implementation and the ablation baseline.
+
+    Both produce the same positions and dependence edges (the edge
+    array order is unspecified; compare canonically).
 
     When save/restore [pairs] are supplied, a wanted register satisfied by
     a confirmed restore is {e bypassed} (§5.2): the restore and its save
     stay out of the slice and the search for the register's definition
     resumes below the save, adding the paper's direct edge from the use to
     the real definition. *)
+
+let m_computes = Dr_util.Metrics.counter "slicer.computes"
+let m_visited = Dr_util.Metrics.counter "slicer.records_visited"
+let m_skipped = Dr_util.Metrics.counter "slicer.blocks_skipped"
+let m_edges = Dr_util.Metrics.counter "slicer.edges"
+let m_heap_pops = Dr_util.Metrics.counter "slicer.heap_pops"
+let m_stale_pops = Dr_util.Metrics.counter "slicer.heap_stale_pops"
+let m_adj_builds = Dr_util.Metrics.counter "slicer.adjacency_builds"
+let t_compute = Dr_util.Metrics.timer "slicer.compute"
 
 type dep_kind =
   | Data of int  (** data dependence on this location *)
@@ -47,12 +67,19 @@ type stats = {
   slice_time : float;
 }
 
+(* edge indices grouped by endpoint, in edge-array order *)
+type adjacency = {
+  by_from : (int, int list) Hashtbl.t;
+  by_to : (int, int list) Hashtbl.t;
+}
+
 type t = {
   gt : Global_trace.t;
   criterion : criterion;
   positions : int array;  (** included positions, ascending *)
   edges : edge array;
   stats : stats;
+  mutable adj : adjacency option;  (** lazy edge adjacency index *)
 }
 
 let size t = Array.length t.positions
@@ -74,34 +101,69 @@ type deferred = {
   d_loc : int;
   d_save_pos : int;  (** re-activate strictly below this position *)
   d_requesters : (int * bool) list;  (** (requester, was already bypassed) *)
+  mutable d_pending : bool;  (** cleared on activation (stale-heap check) *)
 }
+
+(* a wanted location's requesters plus, on the indexed path, the
+   position of its latest definition below the cap in force when the
+   entry was created (-1 = none / scan path) *)
+type want_entry = { mutable reqs : (int * bool) list; cand : int }
+
+(* indexed-path heap payloads; validity is re-checked at pop time
+   because satisfied wants / reached includes / activated deferrals
+   leave stale entries behind *)
+type cand_kind =
+  | Cand_want of int  (** location; valid iff its entry's cand = key *)
+  | Cand_inc  (** valid iff key is still in [to_include] *)
+  | Cand_defer of deferred  (** valid iff still pending *)
 
 (** Compute the backwards dynamic slice for [criterion].
 
-    [lp]: reuse precomputed block summaries (they are valid for any slice
-    over the same global trace).  [pairs]: enable save/restore bypassing
-    (§5.2).  [block_skipping]: disable to measure the LP optimisation's
-    effect (ablation); the result is identical either way. *)
+    [lp]: reuse precomputed block summaries and definition index (they
+    are valid for any slice over the same global trace).  [pairs]:
+    enable save/restore bypassing (§5.2).  [indexed] (default [true]):
+    use the definition-index fast path; disable to run the backwards
+    scan.  [block_skipping]: LP block skipping for the scan path
+    (ignored when [indexed]); disable to measure the LP optimisation's
+    effect (ablation).  The slice is identical on every path. *)
 let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
-    ?(block_skipping = true) (gt : Global_trace.t) (criterion : criterion) : t =
+    ?(block_skipping = true) ?(indexed = true) (gt : Global_trace.t)
+    (criterion : criterion) : t =
+  Dr_util.Metrics.bump m_computes;
   let t0 = Dr_util.Timer.now () in
   let n = Global_trace.length gt in
   if criterion.crit_pos < 0 || criterion.crit_pos >= n then
     invalid_arg "Slicer.compute: criterion out of range";
   let lp = match lp with Some l -> l | None -> Lp.prepare gt in
-  (* wanted location -> (requester position, reached via a bypass) *)
-  let wanted : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let index = Lp.def_index lp in
+  let wanted : (int, want_entry) Hashtbl.t = Hashtbl.create 256 in
   let deferred : deferred list ref = ref [] in
+  let heap = Dr_util.Heap.create ~dummy:Cand_inc in
   let to_include = Dr_util.Bitset.create n in
   let to_include_in_block = Array.make lp.Lp.num_blocks 0 in
   let in_slice = Dr_util.Bitset.create n in
   let slice_positions = Dr_util.Vec.Int_vec.create () in
   let edges = Dr_util.Vec.create ~dummy:{ from_pos = 0; to_pos = 0; kind = Control } in
   let visited = ref 0 and skipped = ref 0 in
-  let add_want ?(bypassed = false) loc requester =
+  (* [cap]: the largest position at which the want may be satisfied —
+     the criterion and a record's uses look strictly below themselves,
+     a reactivated deferral may be satisfied by the very record that
+     activates it *)
+  let add_want ?(bypassed = false) ~cap loc requester =
     match Hashtbl.find_opt wanted loc with
-    | Some reqs -> reqs := (requester, bypassed) :: !reqs
-    | None -> Hashtbl.replace wanted loc (ref [ (requester, bypassed) ])
+    | Some e ->
+      (* the existing candidate is still the latest definition at or
+         below [cap]: anything later was already popped and would have
+         satisfied the entry *)
+      e.reqs <- (requester, bypassed) :: e.reqs
+    | None ->
+      let cand =
+        if indexed then Def_index.latest_at_or_before index ~loc ~pos:cap
+        else -1
+      in
+      Hashtbl.replace wanted loc { reqs = [ (requester, bypassed) ]; cand };
+      if indexed && cand >= 0 then
+        Dr_util.Heap.push heap cand (Cand_want loc)
   in
   let mark_cd ~branch_gseq ~requester =
     let bpos = Global_trace.position gt ~gseq:branch_gseq in
@@ -111,7 +173,8 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     then begin
       Dr_util.Bitset.add to_include bpos;
       to_include_in_block.(Lp.block_of lp bpos)
-      <- to_include_in_block.(Lp.block_of lp bpos) + 1
+      <- to_include_in_block.(Lp.block_of lp bpos) + 1;
+      if indexed then Dr_util.Heap.push heap bpos Cand_inc
     end
   in
   (* include a record: follow its uses and its control dependence *)
@@ -120,7 +183,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
       Dr_util.Bitset.add in_slice pos;
       Dr_util.Vec.Int_vec.push slice_positions pos;
       let r = Global_trace.record gt pos in
-      Array.iter (fun u -> add_want u pos) r.Trace.uses;
+      Array.iter (fun u -> add_want ~cap:(pos - 1) u pos) r.Trace.uses;
       if r.Trace.cd >= 0 then mark_cd ~branch_gseq:r.Trace.cd ~requester:pos
     end
   in
@@ -128,22 +191,28 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let crit_rec = Global_trace.record gt criterion.crit_pos in
   Dr_util.Bitset.add in_slice criterion.crit_pos;
   Dr_util.Vec.Int_vec.push slice_positions criterion.crit_pos;
+  let crit_cap = criterion.crit_pos - 1 in
   (match criterion.crit_locs with
-  | Some locs -> List.iter (fun l -> add_want l criterion.crit_pos) locs
-  | None -> Array.iter (fun u -> add_want u criterion.crit_pos) crit_rec.Trace.uses);
+  | Some locs -> List.iter (fun l -> add_want ~cap:crit_cap l criterion.crit_pos) locs
+  | None ->
+    Array.iter
+      (fun u -> add_want ~cap:crit_cap u criterion.crit_pos)
+      crit_rec.Trace.uses);
   if crit_rec.Trace.cd >= 0 then
     mark_cd ~branch_gseq:crit_rec.Trace.cd ~requester:criterion.crit_pos;
-  (* process one record *)
+  (* process one record — shared by both traversal drivers *)
   let process pos =
     incr visited;
-    (* activate deferred wants that apply strictly below their save *)
+    (* activate deferred wants that apply strictly below their save;
+       runs before the defs loop so this very record may satisfy them *)
     if !deferred <> [] then begin
       let active, still = List.partition (fun d -> pos < d.d_save_pos) !deferred in
       deferred := still;
       List.iter
         (fun d ->
+          d.d_pending <- false;
           List.iter
-            (fun (req, _) -> add_want ~bypassed:true d.d_loc req)
+            (fun (req, _) -> add_want ~bypassed:true ~cap:pos d.d_loc req)
             d.d_requesters)
         active
     end;
@@ -158,7 +227,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
       (fun d ->
         match Hashtbl.find_opt wanted d with
         | None -> ()
-        | Some reqs ->
+        | Some e ->
           let bypassed =
             match pairs with
             | None -> None
@@ -174,53 +243,95 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
           (match bypassed with
           | Some save_pos ->
             (* skip the restore and its save; resume below the save *)
-            deferred :=
-              { d_loc = d; d_save_pos = save_pos; d_requesters = !reqs }
-              :: !deferred
+            let dfr =
+              { d_loc = d; d_save_pos = save_pos; d_requesters = e.reqs;
+                d_pending = true }
+            in
+            deferred := dfr :: !deferred;
+            if indexed then begin
+              let dc =
+                Def_index.latest_at_or_before index ~loc:d ~pos:(save_pos - 1)
+              in
+              if dc >= 0 then Dr_util.Heap.push heap dc (Cand_defer dfr)
+            end
           | None ->
             List.iter
               (fun (req, via_bypass) ->
                 Dr_util.Vec.push edges
                   { from_pos = req; to_pos = pos;
                     kind = (if via_bypass then Data_bypassed d else Data d) })
-              !reqs;
+              e.reqs;
             included := true);
           Hashtbl.remove wanted d)
       r.Trace.defs;
     if !included then include_record pos
   in
-  (* main backwards walk with LP block skipping *)
-  let pos = ref (criterion.crit_pos - 1) in
-  while !pos >= 0 do
-    let b = Lp.block_of lp !pos in
-    let lo, _ = Lp.block_range lp b in
-    let at_block_top = !pos = min (criterion.crit_pos - 1) (snd (Lp.block_range lp b)) in
-    let can_skip =
-      block_skipping
-      && at_block_top
-      && to_include_in_block.(b) = 0
-      && (not (Lp.may_satisfy lp ~block:b ~wanted))
-      && List.for_all
-           (fun d -> d.d_save_pos <= lo || not (Lp.defines lp ~block:b ~loc:d.d_loc))
-           !deferred
-    in
-    if can_skip then begin
-      incr skipped;
-      pos := lo - 1
-    end
-    else begin
-      process !pos;
-      decr pos
-    end
-  done;
+  if indexed then begin
+    (* indexed driver: pop candidate positions, largest first; stale
+       entries (want satisfied, include reached, deferral activated
+       since the push) are dropped.  Keys only ever decrease: every
+       push during [process pos] is <= pos, and a key = pos re-pop is
+       provably stale, so no position is processed twice. *)
+    let continue = ref true in
+    while !continue do
+      match Dr_util.Heap.pop heap with
+      | None -> continue := false
+      | Some (key, kind) ->
+        Dr_util.Metrics.bump m_heap_pops;
+        let valid =
+          match kind with
+          | Cand_inc -> Dr_util.Bitset.mem to_include key
+          | Cand_want loc -> (
+            match Hashtbl.find_opt wanted loc with
+            | Some e -> e.cand = key
+            | None -> false)
+          | Cand_defer d -> d.d_pending
+        in
+        if valid then process key else Dr_util.Metrics.bump m_stale_pops
+    done
+  end
+  else begin
+    (* scan driver: backwards walk with LP block skipping *)
+    let pos = ref (criterion.crit_pos - 1) in
+    while !pos >= 0 do
+      let b = Lp.block_of lp !pos in
+      let lo, hi = Lp.block_range lp b in
+      (* the skippable top of this block: its range clamped to the
+         trace end (the final block is partial) and to the walk's
+         start below the criterion *)
+      let block_top = min (min hi (n - 1)) (criterion.crit_pos - 1) in
+      let can_skip =
+        block_skipping
+        && !pos = block_top
+        && to_include_in_block.(b) = 0
+        && (not (Lp.may_satisfy lp ~block:b ~wanted))
+        && List.for_all
+             (fun d -> d.d_save_pos <= lo || not (Lp.defines lp ~block:b ~loc:d.d_loc))
+             !deferred
+      in
+      if can_skip then begin
+        incr skipped;
+        pos := lo - 1
+      end
+      else begin
+        process !pos;
+        decr pos
+      end
+    done
+  end;
   let positions = Dr_util.Vec.Int_vec.to_array slice_positions in
-  Array.sort compare positions;
-  { gt; criterion; positions;
-    edges = Dr_util.Vec.to_array edges;
+  Array.sort Int.compare positions;
+  let edges = Dr_util.Vec.to_array edges in
+  Dr_util.Metrics.add m_visited !visited;
+  Dr_util.Metrics.add m_skipped !skipped;
+  Dr_util.Metrics.add m_edges (Array.length edges);
+  let slice_time = Dr_util.Timer.now () -. t0 in
+  Dr_util.Metrics.record t_compute slice_time;
+  { gt; criterion; positions; edges;
     stats =
       { visited = !visited; skipped_blocks = !skipped;
-        total_blocks = lp.Lp.num_blocks;
-        slice_time = Dr_util.Timer.now () -. t0 } }
+        total_blocks = lp.Lp.num_blocks; slice_time };
+    adj = None }
 
 (* ---- derived views ---- *)
 
@@ -240,20 +351,53 @@ let source_lines t =
       let r = Global_trace.record t.gt pos in
       if r.Trace.line >= 0 then Hashtbl.replace lines r.Trace.line ())
     t.positions;
-  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
+  List.sort Int.compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
+
+(* Build the per-endpoint edge index once; iterating backwards with
+   prepends keeps each bucket in edge-array order, matching what the
+   old whole-array filter returned. *)
+let adjacency t =
+  match t.adj with
+  | Some a -> a
+  | None ->
+    Dr_util.Metrics.bump m_adj_builds;
+    let by_from = Hashtbl.create 64 and by_to = Hashtbl.create 64 in
+    let prepend tbl key i =
+      match Hashtbl.find_opt tbl key with
+      | Some is -> Hashtbl.replace tbl key (i :: is)
+      | None -> Hashtbl.replace tbl key [ i ]
+    in
+    for i = Array.length t.edges - 1 downto 0 do
+      prepend by_from t.edges.(i).from_pos i;
+      prepend by_to t.edges.(i).to_pos i
+    done;
+    let a = { by_from; by_to } in
+    t.adj <- Some a;
+    a
 
 (** Dependence edges out of the record at [pos] (what it depends on), for
-    backwards navigation in the slice browser. *)
+    backwards navigation in the slice browser.  Indexed: one hash lookup
+    after the adjacency is built. *)
 let deps_of t pos =
-  Array.to_list t.edges
-  |> List.filter (fun e -> e.from_pos = pos)
-  |> List.map (fun e -> (e.kind, e.to_pos))
+  match Hashtbl.find_opt (adjacency t).by_from pos with
+  | None -> []
+  | Some idxs ->
+    List.map
+      (fun i ->
+        let e = t.edges.(i) in
+        (e.kind, e.to_pos))
+      idxs
 
-(** Records that depend on [pos] (forward navigation). *)
+(** Records that depend on [pos] (forward navigation).  Indexed. *)
 let uses_of t pos =
-  Array.to_list t.edges
-  |> List.filter (fun e -> e.to_pos = pos)
-  |> List.map (fun e -> (e.kind, e.from_pos))
+  match Hashtbl.find_opt (adjacency t).by_to pos with
+  | None -> []
+  | Some idxs ->
+    List.map
+      (fun i ->
+        let e = t.edges.(i) in
+        (e.kind, e.from_pos))
+      idxs
 
 let pp_kind fmt = function
   | Data l -> Format.fprintf fmt "data(%s)" (Dr_isa.Loc.to_string l)

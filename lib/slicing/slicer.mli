@@ -4,10 +4,14 @@
     Starting from a criterion, the slicer walks the global trace
     backwards recovering data dependences (most recent earlier definition
     of each wanted location) and control dependences (the [cd] pointers,
-    transitively), skipping blocks via the {!Lp} summaries.  With
-    save/restore [pairs], wanted registers satisfied by a confirmed
-    restore are bypassed: the search resumes below the matching save and
-    a direct edge to the true definition is recorded. *)
+    transitively).  The default {e indexed} driver jumps between
+    candidate positions found by binary search in the {!Def_index}; the
+    {e scan} driver walks every position, skipping blocks via the {!Lp}
+    summaries.  Both produce the same positions and edges (edge array
+    order is unspecified; compare canonically).  With save/restore
+    [pairs], wanted registers satisfied by a confirmed restore are
+    bypassed: the search resumes below the matching save and a direct
+    edge to the true definition is recorded. *)
 
 type dep_kind =
   | Data of int  (** data dependence on this location *)
@@ -35,12 +39,16 @@ type stats = {
   slice_time : float;  (** wall-clock seconds *)
 }
 
+(** Edge adjacency index, built lazily for {!deps_of}/{!uses_of}. *)
+type adjacency
+
 type t = {
   gt : Global_trace.t;
   criterion : criterion;
   positions : int array;  (** included positions, ascending *)
   edges : edge array;
   stats : stats;
+  mutable adj : adjacency option;  (** managed internally *)
 }
 
 (** Number of trace records in the slice. *)
@@ -49,13 +57,18 @@ val size : t -> int
 (** Is the record at this global-trace position in the slice? *)
 val mem : t -> int -> bool
 
-(** Compute the slice.  [lp]: reuse precomputed block summaries.
-    [pairs]: enable save/restore bypassing (§5.2).  [block_skipping]:
-    disable to measure the LP optimisation (the result is identical). *)
+(** Compute the slice.  [lp]: reuse precomputed block summaries and
+    definition index.  [pairs]: enable save/restore bypassing (§5.2).
+    [indexed] (default [true]): use the definition-index fast path;
+    disable to run the backwards scan.  [block_skipping]: LP block
+    skipping for the scan path (ignored when [indexed]); disable to
+    measure the LP optimisation.  The slice is identical on every
+    path. *)
 val compute :
   ?lp:Lp.t ->
   ?pairs:Prune.pairs ->
   ?block_skipping:bool ->
+  ?indexed:bool ->
   Global_trace.t ->
   criterion ->
   t
@@ -68,10 +81,11 @@ val statements : t -> (int * int * int) array
 val source_lines : t -> int list
 
 (** Dependence edges out of the record at [pos] — what it depends on
-    (backwards navigation). *)
+    (backwards navigation).  One hash lookup once the lazy adjacency
+    index is built. *)
 val deps_of : t -> int -> (dep_kind * int) list
 
-(** Records that depend on [pos] (forward navigation). *)
+(** Records that depend on [pos] (forward navigation).  Indexed. *)
 val uses_of : t -> int -> (dep_kind * int) list
 
 val pp_kind : Format.formatter -> dep_kind -> unit

@@ -1,0 +1,80 @@
+(** Lightweight process-wide counters and timers for observability.
+
+    Hot paths register a handle once at module initialisation
+    ([counter]/[timer]) and bump it with a plain field update — no hash
+    lookup, no allocation — so instrumentation stays cheap enough to
+    leave enabled everywhere.  The registry is global: [report] returns
+    every registered metric for the CLI ([--stats]) and the bench
+    harness; [reset] zeroes values between measurements but keeps the
+    registrations. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type timer = {
+  t_name : string;
+  mutable seconds : float;
+  mutable events : int;  (** number of timed sections *)
+}
+
+(* registration order is preserved for reporting *)
+let counters : counter list ref = ref []
+let timers : timer list ref = ref []
+
+let counter name =
+  match List.find_opt (fun c -> c.c_name = name) !counters with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    counters := c :: !counters;
+    c
+
+let timer name =
+  match List.find_opt (fun t -> t.t_name = name) !timers with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; seconds = 0.0; events = 0 } in
+    timers := t :: !timers;
+    t
+
+let bump c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+let record t dt =
+  t.seconds <- t.seconds +. dt;
+  t.events <- t.events + 1
+
+(** [time t f] runs [f ()], accumulating its wall-clock duration in [t].
+    The elapsed time is recorded even when [f] raises. *)
+let time t f =
+  let t0 = Timer.now () in
+  Fun.protect ~finally:(fun () -> record t (Timer.now () -. t0)) f
+
+let seconds t = t.seconds
+let events t = t.events
+
+let reset () =
+  List.iter (fun c -> c.count <- 0) !counters;
+  List.iter
+    (fun t ->
+      t.seconds <- 0.0;
+      t.events <- 0)
+    !timers
+
+(** All registered metrics, sorted by name: counters as
+    [(name, `Counter n)], timers as [(name, `Timer (seconds, events))]. *)
+let report () =
+  let cs = List.map (fun c -> (c.c_name, `Counter c.count)) !counters in
+  let ts = List.map (fun t -> (t.t_name, `Timer (t.seconds, t.events))) !timers in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (cs @ ts)
+
+let pp fmt () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Counter n -> Format.fprintf fmt "%-40s %12d@." name n
+      | `Timer (s, e) ->
+        Format.fprintf fmt "%-40s %12.6fs over %d events@." name s e)
+    (report ())
+
+let to_string () = Format.asprintf "%a" pp ()

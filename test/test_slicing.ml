@@ -262,8 +262,11 @@ let prop_lp_equals_naive =
       in
       (* tiny blocks stress the skipping logic *)
       let lp = Dr_slicing.Lp.prepare ~block_size:(8 lsl block_exp) gt in
-      let slice = Dr_slicing.Slicer.compute ~lp gt crit in
-      Array.to_list slice.Dr_slicing.Slicer.positions = naive_slice gt crit)
+      let reference = naive_slice gt crit in
+      let scan = Dr_slicing.Slicer.compute ~lp ~indexed:false gt crit in
+      let fast = Dr_slicing.Slicer.compute ~lp gt crit in
+      Array.to_list scan.Dr_slicing.Slicer.positions = reference
+      && Array.to_list fast.Dr_slicing.Slicer.positions = reference)
 
 let test_lp_skips_blocks () =
   (* a long irrelevant prefix must be skipped block-wise *)
@@ -278,7 +281,9 @@ fn main() {
   let c = collect prog in
   let gt = Dr_slicing.Global_trace.construct c in
   let lp = Dr_slicing.Lp.prepare ~block_size:256 gt in
-  let slice = Dr_slicing.Slicer.compute ~lp gt (assert_criterion prog gt) in
+  let slice =
+    Dr_slicing.Slicer.compute ~lp ~indexed:false gt (assert_criterion prog gt)
+  in
   Alcotest.(check bool) "blocks were skipped" true
     (slice.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.skipped_blocks > 0);
   (* the loop must not be in the slice *)
@@ -572,7 +577,7 @@ let prop_block_size_irrelevant =
       let s1 =
         Dr_slicing.Slicer.compute
           ~lp:(Dr_slicing.Lp.prepare ~block_size:(1 lsl exp) gt)
-          gt crit
+          ~indexed:false gt crit
       in
       let s2 = Dr_slicing.Slicer.compute gt crit in
       s1.Dr_slicing.Slicer.positions = s2.Dr_slicing.Slicer.positions)
@@ -604,6 +609,228 @@ let test_no_clustering_same_slice () =
     List.sort compare (Array.to_list (Dr_slicing.Slicer.statements s))
   in
   Alcotest.(check bool) "same statements either way" true (stmts gt1 = stmts gt2)
+
+(* ---- indexed fast path, def index, and fixed skip logic ---- *)
+
+(* canonical edge view: the drivers guarantee the same edge multiset,
+   not the same array order *)
+let canonical_edges (s : Dr_slicing.Slicer.t) =
+  let tag = function
+    | Dr_slicing.Slicer.Data l -> (0, l)
+    | Dr_slicing.Slicer.Data_bypassed l -> (1, l)
+    | Dr_slicing.Slicer.Control -> (2, -1)
+  in
+  Array.to_list s.Dr_slicing.Slicer.edges
+  |> List.map (fun (e : Dr_slicing.Slicer.edge) ->
+         let k, loc = tag e.Dr_slicing.Slicer.kind in
+         (e.Dr_slicing.Slicer.from_pos, e.Dr_slicing.Slicer.to_pos, k, loc))
+  |> List.sort compare
+
+let check_drivers_agree ?pairs ~lp gt crit =
+  let compute ~indexed ~block_skipping =
+    Dr_slicing.Slicer.compute ~lp ?pairs ~indexed ~block_skipping gt crit
+  in
+  let fast = compute ~indexed:true ~block_skipping:true in
+  let skip = compute ~indexed:false ~block_skipping:true in
+  let noskip = compute ~indexed:false ~block_skipping:false in
+  Alcotest.(check bool) "skip/noskip positions identical" true
+    (skip.Dr_slicing.Slicer.positions = noskip.Dr_slicing.Slicer.positions);
+  Alcotest.(check bool) "indexed positions identical" true
+    (fast.Dr_slicing.Slicer.positions = skip.Dr_slicing.Slicer.positions);
+  Alcotest.(check bool) "skip/noskip edges identical" true
+    (canonical_edges skip = canonical_edges noskip);
+  Alcotest.(check bool) "indexed edges identical" true
+    (canonical_edges fast = canonical_edges skip);
+  (fast, skip, noskip)
+
+let test_final_partial_block_criterion () =
+  (* criterion inside the trace's final, partial LP block: the clamped
+     block top must still allow skipping the irrelevant prefix, and all
+     drivers must agree *)
+  let src = {|global int g;
+fn main() {
+  for (int i = 0; i < 800; i = i + 1) { g = g + 1; }
+  int a = 5;
+  int b = a + 1;
+  assert(b == 6, "b");
+}|} in
+  let prog = compile src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let n = Dr_slicing.Global_trace.length gt in
+  (* a block size that does NOT divide the trace length, so the last
+     block is partial and its nominal range end exceeds n-1 *)
+  let block_size = (n / 7) + 3 in
+  let lp = Dr_slicing.Lp.prepare ~block_size gt in
+  let crit = assert_criterion prog gt in
+  Alcotest.(check bool) "criterion is in the final block" true
+    (Dr_slicing.Lp.block_of lp crit.Dr_slicing.Slicer.crit_pos
+    = lp.Dr_slicing.Lp.num_blocks - 1);
+  Alcotest.(check bool) "final block is partial" true
+    (snd (Dr_slicing.Lp.block_range lp (lp.Dr_slicing.Lp.num_blocks - 1)) > n - 1);
+  let _, skip, _ = check_drivers_agree ~lp gt crit in
+  Alcotest.(check bool) "irrelevant prefix blocks skipped" true
+    (skip.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.skipped_blocks > 0)
+
+let test_deferred_bypass_in_skippable_block () =
+  (* fig8 variant with a long irrelevant pad loop between the real def
+     of e and the save/restore pair: the deferred want's save sits past
+     blocks that are skippable for every ordinary want, so the skip
+     test's deferred clause and the indexed driver's deferral candidate
+     are both exercised *)
+  let src = {|global int sink;
+fn q(int v) {
+  int local = v * 3;
+  sink = local;
+}
+fn main() {
+  int c = read();
+  int e = 2;
+  int pad = 0;
+  for (int i = 0; i < 300; i = i + 1) { pad = pad + 1; }
+  if (c > 0) {
+    q(c);
+  }
+  int w = e + 5;
+  assert(w == 7, "w");
+}|} in
+  let prog = compile src in
+  let pb = log_whole ~input:[| 1 |] prog in
+  let c = Dr_slicing.Collector.collect prog pb in
+  let gt = Dr_slicing.Global_trace.construct c in
+  Alcotest.(check bool) "save/restore pairs confirmed" true
+    (Hashtbl.length c.Dr_slicing.Collector.pairs > 0);
+  let lp = Dr_slicing.Lp.prepare ~block_size:64 gt in
+  let crit = assert_criterion prog gt in
+  let fast, _, _ =
+    check_drivers_agree ~pairs:c.Dr_slicing.Collector.pairs ~lp gt crit
+  in
+  let lines = slice_lines fast in
+  Alcotest.(check bool) "e=2 still in slice (past the bypass)" true
+    (List.mem 8 lines);
+  Alcotest.(check bool) "guard pruned" false (List.mem 11 lines);
+  Alcotest.(check bool) "read pruned" false (List.mem 7 lines);
+  Alcotest.(check bool) "pad loop not in slice" false (List.mem 10 lines)
+
+let prop_drivers_agree_on_generated =
+  QCheck.Test.make
+    ~name:"indexed/scan-skip/scan-noskip identical on generated workloads"
+    ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 3 8))
+    (fun (seed, block_exp) ->
+      let src = Dr_lang.Gen.program seed in
+      let prog =
+        match Dr_lang.Codegen.compile_result ~name:"gen" src with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "gen program failed to compile: %s" e
+      in
+      let pb =
+        match
+          Dr_pinplay.Logger.log
+            ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+            prog Dr_pinplay.Logger.Whole
+        with
+        | Ok (pb, _) -> pb
+        | Error _ -> Alcotest.fail "log failed"
+      in
+      let c = Dr_slicing.Collector.collect prog pb in
+      let gt = Dr_slicing.Global_trace.construct c in
+      let lp = Dr_slicing.Lp.prepare ~block_size:(1 lsl block_exp) gt in
+      let crit =
+        { Dr_slicing.Slicer.crit_pos = Dr_slicing.Global_trace.length gt - 1;
+          crit_locs = None }
+      in
+      let compute ~indexed ~block_skipping =
+        Dr_slicing.Slicer.compute ~lp ~pairs:c.Dr_slicing.Collector.pairs
+          ~indexed ~block_skipping gt crit
+      in
+      let fast = compute ~indexed:true ~block_skipping:true in
+      let skip = compute ~indexed:false ~block_skipping:true in
+      let noskip = compute ~indexed:false ~block_skipping:false in
+      fast.Dr_slicing.Slicer.positions = skip.Dr_slicing.Slicer.positions
+      && skip.Dr_slicing.Slicer.positions = noskip.Dr_slicing.Slicer.positions
+      && canonical_edges fast = canonical_edges skip
+      && canonical_edges skip = canonical_edges noskip)
+
+let test_def_index () =
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let idx = Dr_slicing.Def_index.build gt in
+  let n = Dr_slicing.Global_trace.length gt in
+  Alcotest.(check int) "trace_len" n (Dr_slicing.Def_index.trace_len idx);
+  Alcotest.(check bool) "has locations" true
+    (Dr_slicing.Def_index.num_locations idx > 0);
+  (* every per-location array is strictly ascending and its entries
+     really define the location *)
+  Dr_slicing.Def_index.iter idx (fun loc a ->
+      Array.iteri
+        (fun i p ->
+          if i > 0 then
+            Alcotest.(check bool) "ascending" true (a.(i - 1) < p);
+          let r = Dr_slicing.Global_trace.record gt p in
+          Alcotest.(check bool) "position defines loc" true
+            (Array.mem loc r.Dr_slicing.Trace.defs))
+        a);
+  (* binary search agrees with a linear reference on every (loc, pos) *)
+  let linear_latest loc pos =
+    let best = ref (-1) in
+    for p = 0 to pos do
+      let r = Dr_slicing.Global_trace.record gt p in
+      if Array.mem loc r.Dr_slicing.Trace.defs then best := p
+    done;
+    !best
+  in
+  let some_locs = ref [] in
+  Dr_slicing.Def_index.iter idx (fun loc _ ->
+      if List.length !some_locs < 8 then some_locs := loc :: !some_locs);
+  List.iter
+    (fun loc ->
+      List.iter
+        (fun pos ->
+          Alcotest.(check int)
+            (Printf.sprintf "latest_at_or_before loc=%d pos=%d" loc pos)
+            (linear_latest loc pos)
+            (Dr_slicing.Def_index.latest_at_or_before idx ~loc ~pos))
+        [ 0; 1; n / 2; n - 1 ])
+    !some_locs;
+  Alcotest.(check int) "unknown loc" (-1)
+    (Dr_slicing.Def_index.latest_at_or_before idx ~loc:max_int ~pos:(n - 1))
+
+let test_indexed_find () =
+  let prog = compile fig5_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let n = Dr_slicing.Global_trace.length gt in
+  (* the indexed find must locate every record by (tid, pc, instance) *)
+  for pos = 0 to n - 1 do
+    let r = Dr_slicing.Global_trace.record gt pos in
+    Alcotest.(check (option int))
+      (Printf.sprintf "find pos=%d" pos)
+      (Some pos)
+      (Dr_slicing.Global_trace.find ~tid:r.Dr_slicing.Trace.tid
+         ~pc:r.Dr_slicing.Trace.pc ~instance:r.Dr_slicing.Trace.instance gt)
+  done;
+  Alcotest.(check (option int)) "missing instance" None
+    (Dr_slicing.Global_trace.find ~tid:0 ~pc:0 ~instance:max_int gt);
+  Alcotest.(check (option int)) "missing pc" None
+    (Dr_slicing.Global_trace.find ~tid:0 ~pc:max_int ~instance:1 gt);
+  (* find_last_at agrees with the predicate-based scan *)
+  let r0 = Dr_slicing.Global_trace.record gt (n - 1) in
+  Alcotest.(check (option int)) "find_last_at = find_last"
+    (Dr_slicing.Global_trace.find_last gt ~p:(fun r ->
+         r.Dr_slicing.Trace.tid = r0.Dr_slicing.Trace.tid
+         && r.Dr_slicing.Trace.pc = r0.Dr_slicing.Trace.pc))
+    (Dr_slicing.Global_trace.find_last_at gt ~tid:r0.Dr_slicing.Trace.tid
+       ~pc:r0.Dr_slicing.Trace.pc);
+  (* pc_positions is ascending *)
+  let occ =
+    Dr_slicing.Global_trace.pc_positions gt ~tid:r0.Dr_slicing.Trace.tid
+      ~pc:r0.Dr_slicing.Trace.pc
+  in
+  Array.iteri
+    (fun i p -> if i > 0 then Alcotest.(check bool) "ascending" true (occ.(i - 1) < p))
+    occ
 
 let () =
   Alcotest.run "slicing"
@@ -645,4 +872,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_block_size_irrelevant;
           Alcotest.test_case "stats sane" `Quick test_slice_stats_sane;
           Alcotest.test_case "clustering invariant" `Quick
-            test_no_clustering_same_slice ] ) ]
+            test_no_clustering_same_slice ] );
+      ( "fast path",
+        [ Alcotest.test_case "final partial block criterion" `Quick
+            test_final_partial_block_criterion;
+          Alcotest.test_case "deferred bypass in skippable block" `Quick
+            test_deferred_bypass_in_skippable_block;
+          QCheck_alcotest.to_alcotest prop_drivers_agree_on_generated;
+          Alcotest.test_case "def index" `Quick test_def_index;
+          Alcotest.test_case "indexed find" `Quick test_indexed_find ] ) ]

@@ -162,6 +162,127 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "min" 1.0 lo;
   Alcotest.(check (float 1e-9)) "max" 3.0 hi
 
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let module J = Dr_util.Json in
+  let v =
+    J.Obj
+      [ ("schema", J.Str "demo-v1");
+        ("ok", J.Bool true);
+        ("none", J.Null);
+        ("count", J.int 42);
+        ("ratio", J.Num 0.125);
+        ( "items",
+          J.List [ J.int 1; J.Str "two \"quoted\"\n"; J.List []; J.Obj [] ] ) ]
+  in
+  List.iter
+    (fun indent ->
+      match J.parse (J.to_string ~indent v) with
+      | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+      | Error e -> Alcotest.failf "re-parse failed: %s" e)
+    [ true; false ]
+
+let test_json_rejects_bad_input () =
+  let module J = Dr_util.Json in
+  let bad =
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad;
+  Alcotest.check_raises "NaN rejected at emission"
+    (Invalid_argument "Json: NaN/infinity is not representable") (fun () ->
+      ignore (J.to_string (J.Num Float.nan)))
+
+let test_json_accessors () =
+  let module J = Dr_util.Json in
+  match J.parse {|{"a": 1.5, "b": [true, "x"], "c": null}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+    Alcotest.(check (option (float 1e-9)))
+      "num" (Some 1.5)
+      (Option.bind (J.member "a" v) J.to_float);
+    (match Option.bind (J.member "b" v) J.to_list with
+    | Some [ t; s ] ->
+      Alcotest.(check (option bool)) "bool" (Some true) (J.to_bool t);
+      Alcotest.(check (option string)) "str" (Some "x") (J.to_str s)
+    | _ -> Alcotest.fail "list accessor");
+    Alcotest.(check bool) "null member" true (J.member "c" v = Some J.Null);
+    Alcotest.(check bool) "missing member" true (J.member "zz" v = None)
+
+(* ---- metrics ---- *)
+
+let test_metrics () =
+  let module M = Dr_util.Metrics in
+  let c = M.counter "test.counter" in
+  let t = M.timer "test.timer" in
+  M.reset ();
+  M.bump c;
+  M.add c 9;
+  Alcotest.(check int) "count" 10 (M.count c);
+  Alcotest.(check bool) "handle registry is idempotent" true
+    (M.counter "test.counter" == c);
+  let r = M.time t (fun () -> 7) in
+  Alcotest.(check int) "time passes result through" 7 r;
+  Alcotest.(check int) "one event" 1 (M.events t);
+  Alcotest.(check bool) "nonneg seconds" true (M.seconds t >= 0.0);
+  (try ignore (M.time t (fun () -> failwith "boom")) with Failure _ -> ());
+  Alcotest.(check int) "raising section still recorded" 2 (M.events t);
+  let report = M.report () in
+  Alcotest.(check bool) "counter reported" true
+    (List.mem_assoc "test.counter" report);
+  Alcotest.(check bool) "timer reported" true
+    (List.mem_assoc "test.timer" report);
+  M.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (M.count c);
+  Alcotest.(check int) "reset zeroes timers" 0 (M.events t)
+
+(* ---- heap ---- *)
+
+let test_heap_basic () =
+  let h = Dr_util.Heap.create ~dummy:"" in
+  Alcotest.(check bool) "empty" true (Dr_util.Heap.is_empty h);
+  List.iter
+    (fun (k, v) -> Dr_util.Heap.push h k v)
+    [ (3, "c"); (10, "j"); (1, "a"); (7, "g"); (10, "j2") ];
+  Alcotest.(check int) "length" 5 (Dr_util.Heap.length h);
+  Alcotest.(check (option int)) "peek max" (Some 10) (Dr_util.Heap.peek_key h);
+  let keys = ref [] in
+  let rec drain () =
+    match Dr_util.Heap.pop h with
+    | None -> ()
+    | Some (k, _) ->
+      keys := k :: !keys;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "descending pop order" [ 10; 10; 7; 3; 1 ]
+    (List.rev !keys);
+  Alcotest.(check (option int)) "exhausted" None (Dr_util.Heap.peek_key h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops every key in descending order" ~count:100
+    QCheck.(list int)
+    (fun keys ->
+      let h = Dr_util.Heap.create ~dummy:0 in
+      List.iter (fun k -> Dr_util.Heap.push h k k) keys;
+      let out = ref [] in
+      let rec drain () =
+        match Dr_util.Heap.pop h with
+        | None -> ()
+        | Some (k, v) ->
+          assert (k = v);
+          out := k :: !out;
+          drain ()
+      in
+      drain ();
+      (* popped descending = accumulated list ascending *)
+      List.rev !out = List.sort (fun a b -> Int.compare b a) keys)
+
 let () =
   Alcotest.run "util"
     [ ( "vec",
@@ -179,4 +300,13 @@ let () =
       ( "bitset",
         [ Alcotest.test_case "basic" `Quick test_bitset;
           QCheck_alcotest.to_alcotest prop_bitset ] );
-      ("stats", [ Alcotest.test_case "basic" `Quick test_stats ]) ]
+      ("stats", [ Alcotest.test_case "basic" `Quick test_stats ]);
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_json_rejects_bad_input;
+          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+      ("metrics", [ Alcotest.test_case "counters/timers" `Quick test_metrics ]);
+      ( "heap",
+        [ Alcotest.test_case "basic" `Quick test_heap_basic;
+          QCheck_alcotest.to_alcotest prop_heap_sorts ] ) ]
