@@ -70,7 +70,7 @@ let prepare_registry ~name ~main_instrs ~n_criteria =
    reach interesting sizes, several seeds, keep the largest traces. *)
 let gen_cfg =
   { Dr_lang.Gen.max_stmts = 10; max_depth = 3; max_helpers = 4;
-    with_threads = true }
+    with_threads = true; max_workers = 1 }
 
 let prepare_generated ~seeds ~keep ~n_criteria =
   let candidates =

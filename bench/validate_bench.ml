@@ -5,7 +5,13 @@
 
 module J = Dr_util.Json
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL " ^ m); exit 1) fmt
+(* Every failure names the JSON file being validated: under dune runtest
+   the validator runs from a sandbox and a bare field name would leave
+   the reader guessing which artifact to open. *)
+let src = ref "<no file>"
+
+let fail fmt =
+  Printf.ksprintf (fun m -> Printf.eprintf "FAIL %s: %s\n" !src m; exit 1) fmt
 
 let get obj k =
   match J.member k obj with
@@ -53,11 +59,15 @@ let () =
       prerr_endline "usage: validate_bench BENCH_slicing.json";
       exit 2
   in
-  let raw = In_channel.with_open_text path In_channel.input_all in
+  src := path;
+  let raw =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "unreadable: %s" e
+  in
   let doc =
     match J.parse raw with
     | Ok v -> v
-    | Error e -> fail "%s does not parse: %s" path e
+    | Error e -> fail "does not parse: %s" e
   in
   let schema = want_str "schema" (get doc "schema") in
   if schema <> "drdebug-bench-slicing-v1" then

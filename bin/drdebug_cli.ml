@@ -68,6 +68,33 @@ let run workload source seed input script stats =
       Printf.printf "--- internal metrics ---\n%s" (Dr_util.Metrics.to_string ());
     0
 
+(* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
+
+let run_fuzz seed runs out budget stats =
+  let budget_s = if budget <= 0.0 then None else Some budget in
+  let log msg = Printf.printf "%s\n%!" msg in
+  let s =
+    Dr_conformance.Fuzz.run ?budget_s ?out_dir:out ~log ~seed ~runs ()
+  in
+  Printf.printf
+    "fuzz: %d cases (%d passed, %d skipped, %d failed) in %.1fs [seed %d]\n"
+    s.Dr_conformance.Fuzz.s_cases s.Dr_conformance.Fuzz.s_passes
+    s.Dr_conformance.Fuzz.s_skips
+    (List.length s.Dr_conformance.Fuzz.s_failures)
+    s.Dr_conformance.Fuzz.s_elapsed seed;
+  List.iter
+    (fun (f : Dr_conformance.Fuzz.failure) ->
+      Printf.printf "  case %d: %s: %s (%d-line repro, %d shrink steps)\n"
+        f.Dr_conformance.Fuzz.fr_case_id
+        (Dr_conformance.Oracles.kind_name f.Dr_conformance.Fuzz.fr_kind)
+        f.Dr_conformance.Fuzz.fr_detail
+        (Array.length f.Dr_conformance.Fuzz.fr_lines)
+        f.Dr_conformance.Fuzz.fr_shrink_steps)
+    s.Dr_conformance.Fuzz.s_failures;
+  if stats then
+    Printf.printf "--- internal metrics ---\n%s" (Dr_util.Metrics.to_string ());
+  if Dr_conformance.Fuzz.all_green s then 0 else 1
+
 open Cmdliner
 
 let workload =
@@ -88,10 +115,32 @@ let script =
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print internal counters and timers (trace construction, LP, slicing, slice replay) on exit.")
 
+let debug_term =
+  Term.(const run $ workload $ source $ seed $ input $ script $ stats)
+
+let fuzz_cmd =
+  let doc =
+    "differential pipeline fuzzing: generated programs through log, replay, \
+     relog, slice and slice-replay, checking determinism, roundtrip, driver \
+     agreement, slice soundness and exclusion sanity"
+  in
+  let fseed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master fuzz seed; every case derives deterministically from it.")
+  in
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of fuzz cases to run.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Directory for report.json and shrunk failure cases.")
+  in
+  let budget =
+    Arg.(value & opt float 0.0 & info [ "budget-s" ] ~doc:"Wall-clock budget in seconds; 0 = unlimited.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run_fuzz $ fseed $ runs $ out $ budget $ stats)
+
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
-  Cmd.v
-    (Cmd.info "drdebug" ~doc)
-    Term.(const run $ workload $ source $ seed $ input $ script $ stats)
+  Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc) [ fuzz_cmd ]
 
 let () = exit (Cmd.eval' cmd)

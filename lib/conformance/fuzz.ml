@@ -1,0 +1,285 @@
+(** The differential fuzz loop: generate -> log -> replay -> relog ->
+    slice -> slice-replay, with the five {!Oracles} checked on every
+    case and failing cases shrunk to minimal repros.
+
+    Case derivation is pure: a master seed plus a case id yields the
+    program seed, schedule seed and nondet seed through splitmix-style
+    mixing, so any failing case replays from [(master_seed, case_id)]
+    alone.  Failure artifacts additionally embed the exact (shrunk)
+    source lines and schedule, so a corpus file stays a repro even if the
+    generator changes. *)
+
+let cases_counter = Dr_util.Metrics.counter "conformance.cases"
+
+let skips_counter = Dr_util.Metrics.counter "conformance.skips"
+
+let fail_counter kind =
+  Dr_util.Metrics.counter ("conformance.fail." ^ Oracles.kind_name kind)
+
+(* ---- deterministic case derivation ---- *)
+
+let mix64 h x =
+  let h = h lxor x in
+  let h = h * 0x9e3779b97f4a7c1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0xbf58476d1ce4e5b in
+  (* 30 bits: derived seeds survive a JSON float round-trip exactly *)
+  (h lxor (h lsr 32)) land 0x3fffffff
+
+let prog_seed ~master id = mix64 (mix64 master 1) id
+
+let sched_seed ~master id = mix64 (mix64 master 2) id
+
+let nondet_seed ~master id = mix64 (mix64 master 3) id
+
+(* ---- running one case ---- *)
+
+let schedule_steps = 128
+
+let gen_cfg =
+  { Dr_lang.Gen.default_cfg with Dr_lang.Gen.max_workers = 2 }
+
+(** Compile [lines] and run all oracles under [sched].  Compile errors
+    are [Skip] — the fuzz loop treats the generator producing
+    uncompilable source as its own (generator) bug surfaced by the
+    skip count, not as a pipeline failure. *)
+let check_case ?mutate_slice ~(lines : string array) ~(sched : Sched.t)
+    ~(nondet_seed : int) () : Oracles.verdict =
+  let src = String.concat "\n" (Array.to_list lines) ^ "\n" in
+  match Dr_lang.Codegen.compile_result ~name:"fuzz-case" src with
+  | Error msg -> Oracles.Skip ("compile error: " ^ msg)
+  | Ok prog ->
+    Oracles.check ?mutate_slice prog ~policy:(Sched.policy sched) ~nondet_seed
+
+type failure = {
+  fr_case_id : int;
+  fr_prog_seed : int;
+  fr_nondet_seed : int;
+  fr_kind : Oracles.kind;
+  fr_detail : string;
+  fr_shrink_steps : int;
+  fr_lines : string array;  (** shrunk source *)
+  fr_sched : Sched.t;  (** shrunk schedule *)
+}
+
+type summary = {
+  s_master_seed : int;
+  s_cases : int;  (** cases attempted (incl. skips) *)
+  s_passes : int;
+  s_skips : int;
+  s_failures : failure list;
+  s_elapsed : float;
+}
+
+let all_green (s : summary) = s.s_failures = []
+
+(* ---- JSON artifacts ---- *)
+
+let case_schema = "drdebug-fuzz-case-v1"
+
+let failure_json ~master_seed (f : failure) : Dr_util.Json.t =
+  Dr_util.Json.Obj
+    [ ("schema", Dr_util.Json.Str case_schema);
+      ("master_seed", Dr_util.Json.int master_seed);
+      ("case_id", Dr_util.Json.int f.fr_case_id);
+      ("prog_seed", Dr_util.Json.int f.fr_prog_seed);
+      ("nondet_seed", Dr_util.Json.int f.fr_nondet_seed);
+      ("oracle", Dr_util.Json.Str (Oracles.kind_name f.fr_kind));
+      ("detail", Dr_util.Json.Str f.fr_detail);
+      ("shrink_steps", Dr_util.Json.int f.fr_shrink_steps);
+      ("source_lines",
+       Dr_util.Json.List
+         (Array.to_list f.fr_lines |> List.map (fun l -> Dr_util.Json.Str l)));
+      ("schedule", Sched.to_json f.fr_sched) ]
+
+let summary_json (s : summary) : Dr_util.Json.t =
+  let by_kind =
+    List.map
+      (fun k ->
+        ( Oracles.kind_name k,
+          Dr_util.Json.int
+            (List.length (List.filter (fun f -> f.fr_kind = k) s.s_failures))
+        ))
+      Oracles.all_kinds
+  in
+  Dr_util.Json.Obj
+    [ ("schema", Dr_util.Json.Str "drdebug-fuzz-report-v1");
+      ("master_seed", Dr_util.Json.int s.s_master_seed);
+      ("cases", Dr_util.Json.int s.s_cases);
+      ("passes", Dr_util.Json.int s.s_passes);
+      ("skips", Dr_util.Json.int s.s_skips);
+      ("failures", Dr_util.Json.int (List.length s.s_failures));
+      ("failures_by_oracle", Dr_util.Json.Obj by_kind);
+      ("elapsed_s", Dr_util.Json.Num s.s_elapsed) ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+(* ---- corpus files: load + replay ---- *)
+
+type corpus_case = {
+  cc_lines : string array;
+  cc_sched : Sched.t;
+  cc_nondet_seed : int;
+  cc_oracle : string;  (** the oracle that originally failed *)
+  cc_detail : string;
+}
+
+let corpus_case_of_json (j : Dr_util.Json.t) : (corpus_case, string) result =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Option.bind (Dr_util.Json.member k j) Dr_util.Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let num k =
+    match Option.bind (Dr_util.Json.member k j) Dr_util.Json.to_float with
+    | Some f -> Ok (int_of_float f)
+    | None -> Error (Printf.sprintf "missing numeric field %S" k)
+  in
+  let* schema = str "schema" in
+  if schema <> case_schema then
+    Error (Printf.sprintf "unsupported schema %S" schema)
+  else
+    let* lines =
+      match Option.bind (Dr_util.Json.member "source_lines" j) Dr_util.Json.to_list with
+      | None -> Error "missing list field \"source_lines\""
+      | Some items ->
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | Dr_util.Json.Str s :: rest -> go (s :: acc) rest
+          | _ -> Error "source_lines: expected strings"
+        in
+        go [] items
+    in
+    let* sched =
+      match Dr_util.Json.member "schedule" j with
+      | None -> Error "missing field \"schedule\""
+      | Some s -> Sched.of_json s
+    in
+    let* cc_nondet_seed = num "nondet_seed" in
+    let* cc_oracle = str "oracle" in
+    let* cc_detail = str "detail" in
+    Ok { cc_lines = lines; cc_sched = sched; cc_nondet_seed; cc_oracle;
+         cc_detail }
+
+let load_corpus_case path : (corpus_case, string) result =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  match Dr_util.Json.parse contents with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+    match corpus_case_of_json j with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok c -> Ok c)
+
+(** Re-run all oracles on a stored corpus case.  A fixed bug stays fixed
+    when this returns [Pass] (or [Skip] for an environment-dependent
+    case). *)
+let replay_corpus_case (c : corpus_case) : Oracles.verdict =
+  check_case ~lines:c.cc_lines ~sched:c.cc_sched ~nondet_seed:c.cc_nondet_seed
+    ()
+
+(* ---- the fuzz loop ---- *)
+
+let gen_case ~master id =
+  let lines =
+    Dr_lang.Gen.program ~cfg:gen_cfg (prog_seed ~master id)
+    |> String.split_on_char '\n' |> Array.of_list
+  in
+  let sched =
+    Dr_lang.Gen.schedule ~threads:(2 + gen_cfg.Dr_lang.Gen.max_workers)
+      ~steps:schedule_steps (sched_seed ~master id)
+  in
+  (lines, sched)
+
+(** Fuzz [runs] cases derived from [seed].  [budget_s] stops the loop
+    early (quick mode under [dune runtest]); [out_dir] receives
+    [report.json] plus one [case-<id>.json] per (shrunk) failure;
+    [mutate_slice] is threaded through to {!Oracles.check} for
+    broken-slicer self-tests. *)
+let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
+    summary =
+  let t0 = Dr_util.Timer.now () in
+  let passes = ref 0 and skips = ref 0 and cases = ref 0 in
+  let failures = ref [] in
+  (match out_dir with Some d -> mkdir_p d | None -> ());
+  let within_budget () =
+    match budget_s with
+    | None -> true
+    | Some b -> Dr_util.Timer.now () -. t0 < b
+  in
+  let id = ref 0 in
+  while !id < runs && within_budget () do
+    let case_id = !id in
+    incr id;
+    incr cases;
+    Dr_util.Metrics.bump cases_counter;
+    let lines, sched = gen_case ~master:seed case_id in
+    let nds = nondet_seed ~master:seed case_id in
+    match check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () with
+    | Oracles.Pass -> incr passes
+    | Oracles.Skip reason ->
+      incr skips;
+      Dr_util.Metrics.bump skips_counter;
+      log (Printf.sprintf "case %d: skipped (%s)" case_id reason)
+    | Oracles.Fail { Oracles.f_kind; f_detail } ->
+      Dr_util.Metrics.bump (fail_counter f_kind);
+      log
+        (Printf.sprintf "case %d: %s FAILED: %s (shrinking...)" case_id
+           (Oracles.kind_name f_kind) f_detail);
+      (* keep a reduction iff the same oracle still fails *)
+      let still_fails ~lines ~sched =
+        match check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () with
+        | Oracles.Fail { Oracles.f_kind = k; _ } -> k = f_kind
+        | _ -> false
+      in
+      let s_lines, s_sched, steps =
+        Shrink.shrink ~check:still_fails ~lines ~sched ()
+      in
+      (* re-run the shrunk case for the final failure detail *)
+      let detail =
+        match
+          check_case ?mutate_slice ~lines:s_lines ~sched:s_sched
+            ~nondet_seed:nds ()
+        with
+        | Oracles.Fail { Oracles.f_detail = d; _ } -> d
+        | _ -> f_detail
+      in
+      let f =
+        { fr_case_id = case_id; fr_prog_seed = prog_seed ~master:seed case_id;
+          fr_nondet_seed = nds; fr_kind = f_kind; fr_detail = detail;
+          fr_shrink_steps = steps; fr_lines = s_lines; fr_sched = s_sched }
+      in
+      failures := f :: !failures;
+      (match out_dir with
+      | Some d ->
+        let path = Filename.concat d (Printf.sprintf "case-%d.json" case_id) in
+        write_file path
+          (Dr_util.Json.to_string (failure_json ~master_seed:seed f));
+        log (Printf.sprintf "case %d: shrunk to %d lines, saved %s" case_id
+               (Array.length f.fr_lines) path)
+      | None -> ())
+  done;
+  let s =
+    { s_master_seed = seed; s_cases = !cases; s_passes = !passes;
+      s_skips = !skips; s_failures = List.rev !failures;
+      s_elapsed = Dr_util.Timer.now () -. t0 }
+  in
+  (match out_dir with
+  | Some d ->
+    write_file (Filename.concat d "report.json")
+      (Dr_util.Json.to_string (summary_json s))
+  | None -> ());
+  s

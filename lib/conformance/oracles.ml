@@ -1,0 +1,554 @@
+(** The five pipeline oracles of the conformance subsystem.
+
+    One fuzz case drives the whole DrDebug pipeline —
+    log -> pinball save/load -> replay -> trace -> slice (three drivers)
+    -> exclusion build -> relog -> slice replay — and checks an oracle at
+    every seam:
+
+    {ol
+    {- {e replay determinism}: two independent replays of the pinball
+       produce the same chained {!Dr_pinplay.Exec_digest} over every
+       retired instruction, the same step count and the same output;}
+    {- {e pinball roundtrip}: encode -> decode -> encode is byte-for-byte
+       stable and the container passes integrity verification;}
+    {- {e driver agreement}: the indexed, LP-scan and plain-scan slicers
+       produce identical positions and (canonicalized) edges on several
+       criteria;}
+    {- {e slice soundness}: (a) slice replay with injected side effects
+       reproduces the original r0 value at every slice statement and the
+       original output subsequence; (b) a forward {e re-execution} of the
+       {e unpruned} dependence closure (plus forced sync records) from
+       the region snapshot — with {e no} injections, nondet fed from the
+       recorded log, and the untracked sp/fp treated as ambient —
+       reproduces the values used and defined by the criterion.  (b) is
+       the oracle that catches an unsound slicer: injections would mask
+       a dropped dependence, pure re-execution cannot.  It runs on the
+       unpruned closure because save/restore pruning bypasses the
+       excluded restore and is only value-faithful under the relogger's
+       injections, which (a) checks;}
+    {- {e exclusion sanity}: an independent walk of the per-thread traces
+       under the relogger's flag semantics confirms no slice record falls
+       inside an exclusion region and every bounded region closes.}} *)
+
+open Dr_machine
+open Dr_pinplay
+open Dr_slicing
+
+type kind =
+  | Replay_determinism
+  | Pinball_roundtrip
+  | Driver_agreement
+  | Slice_soundness
+  | Exclusion_sanity
+
+let all_kinds =
+  [ Replay_determinism; Pinball_roundtrip; Driver_agreement; Slice_soundness;
+    Exclusion_sanity ]
+
+let kind_name = function
+  | Replay_determinism -> "replay-determinism"
+  | Pinball_roundtrip -> "pinball-roundtrip"
+  | Driver_agreement -> "driver-agreement"
+  | Slice_soundness -> "slice-soundness"
+  | Exclusion_sanity -> "exclusion-sanity"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type failure = { f_kind : kind; f_detail : string }
+
+type verdict = Pass | Fail of failure | Skip of string
+
+exception Oracle of failure
+
+exception Skipped of string
+
+let fail kind fmt =
+  Printf.ksprintf (fun d -> raise (Oracle { f_kind = kind; f_detail = d })) fmt
+
+(** Step bound per case: generated programs terminate well under this;
+    anything longer is a runaway we skip rather than fuzz. *)
+let max_case_steps = 2_000_000
+
+(* splitmix-style chaining for run digests *)
+let mix h x =
+  let h = h lxor x in
+  let h = h * 0x9e3779b97f4a7c1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0xbf58476d1ce4e5b in
+  h lxor (h lsr 32)
+
+(* ---- oracle 1: replay determinism ---- *)
+
+(* One full replay, reduced to (chained digest, steps, output). *)
+let replay_digest prog pb =
+  let r = Replayer.create prog pb in
+  let m = Replayer.machine r in
+  let h = ref 0 and steps = ref 0 in
+  let hooks =
+    { Driver.on_event =
+        (fun ev ->
+          incr steps;
+          h := mix !h (Exec_digest.hash m ev ~step:!steps)) }
+  in
+  (try ignore (Replayer.resume ~hooks r)
+   with Replayer.Divergence d ->
+     fail Replay_determinism "replay diverged: %s" (Replayer.divergence_message d));
+  (!h land max_int, !steps, Machine.output_list m)
+
+let check_determinism prog pb =
+  let h1, s1, o1 = replay_digest prog pb in
+  let h2, s2, o2 = replay_digest prog pb in
+  if (h1, s1, o1) <> (h2, s2, o2) then
+    fail Replay_determinism
+      "two replays disagree: digests %d/%d, steps %d/%d, outputs %s/%s" h1 h2
+      s1 s2
+      (String.concat "," (List.map string_of_int o1))
+      (String.concat "," (List.map string_of_int o2))
+
+(* ---- oracle 2: pinball roundtrip stability ---- *)
+
+let check_roundtrip pb =
+  let b1 = Pinball.to_bytes pb in
+  let report = Pinball.verify_bytes b1 in
+  if not (Pinball.report_ok report) then
+    fail Pinball_roundtrip "fresh container fails verification: %s"
+      (String.concat "; " report.Pinball.r_problems);
+  let pb2 =
+    try Pinball.of_bytes b1
+    with Pinball.Pinball_error e ->
+      fail Pinball_roundtrip "decode failed: %s" (Pinball.error_to_string e)
+  in
+  let b2 = Pinball.to_bytes pb2 in
+  if not (String.equal b1 b2) then
+    fail Pinball_roundtrip "re-encoded container differs (%d vs %d bytes)"
+      (String.length b1) (String.length b2)
+
+(* ---- oracle 3: driver agreement ---- *)
+
+let slice_signature (s : Slicer.t) =
+  ( Array.to_list s.Slicer.positions,
+    List.sort compare
+      (List.map
+         (fun e -> (e.Slicer.from_pos, e.Slicer.to_pos, e.Slicer.kind))
+         (Array.to_list s.Slicer.edges)) )
+
+(* Returns the indexed slice so the caller can reuse it. *)
+let check_agreement gt ~lp ~pairs crit =
+  let a = Slicer.compute ~lp ~pairs ~indexed:true gt crit in
+  let b = Slicer.compute ~lp ~pairs ~indexed:false ~block_skipping:true gt crit in
+  let c = Slicer.compute ~lp ~pairs ~indexed:false ~block_skipping:false gt crit in
+  let sa = slice_signature a
+  and sb = slice_signature b
+  and sc = slice_signature c in
+  if sa <> sb || sb <> sc then
+    fail Driver_agreement
+      "drivers disagree at crit_pos %d: indexed %d, scan+skip %d, scan %d \
+       positions"
+      crit.Slicer.crit_pos (Slicer.size a) (Slicer.size b) (Slicer.size c);
+  a
+
+(* ---- oracle 5: exclusion-region sanity ---- *)
+
+(* Re-walk each thread's records under the relogger's flag semantics
+   (end marker included; empty regions exclude nothing) and confirm no
+   slice record is flagged and every bounded region closes. *)
+let check_exclusions ~exclusions ~(c : Collector.result) ~in_slice =
+  let records = c.Collector.records in
+  Array.iteri
+    (fun tid gseqs ->
+      let queue =
+        ref (List.filter (fun x -> x.Relogger.x_tid = tid) exclusions)
+      in
+      let flag = ref false in
+      Array.iter
+        (fun g ->
+          let r = records.(g) in
+          let pc = r.Trace.pc and inst = r.Trace.instance in
+          let check_end () =
+            if !flag then
+              match !queue with
+              | { Relogger.x_end = Some (epc, einst); _ } :: rest
+                when epc = pc && einst = inst ->
+                flag := false;
+                queue := rest
+              | _ -> ()
+          in
+          check_end ();
+          (if not !flag then
+             match !queue with
+             | { Relogger.x_start_pc; x_start_instance; _ } :: _
+               when x_start_pc = pc && x_start_instance = inst ->
+               flag := true;
+               check_end ()
+             | _ -> ());
+          if !flag && Dr_util.Bitset.mem in_slice g then
+            fail Exclusion_sanity
+              "slice record inside an exclusion region: tid=%d pc=%d \
+               instance=%d (gseq %d)"
+              tid pc inst g)
+        gseqs;
+      if !flag then
+        match !queue with
+        | { Relogger.x_end = Some (epc, einst); _ } :: _ ->
+          fail Exclusion_sanity
+            "tid %d: bounded exclusion region never reached its end marker \
+             (pc %d instance %d)"
+            tid epc einst
+        | _ -> ())
+    c.Collector.per_thread
+
+(* ---- observation replay (feeds both soundness checks) ---- *)
+
+type observed = {
+  o_nondet : (int, int) Hashtbl.t;  (** gseq -> recorded nondet result *)
+  o_sp_fp : int array;  (** pre-step (sp, fp) per gseq, flattened *)
+  o_sync_regs : (int, int array) Hashtbl.t;
+      (** pre-step register file of forced (sync/final-ret) records *)
+  o_r0 : (int * int, int list ref) Hashtbl.t;
+      (** (tid, pc) -> post-step r0 of every {e included} record, in
+          execution order (reversed while building).  Slice replay steps
+          exactly the included records, preserving per-thread order, so
+          its k-th execution of (tid, pc) pairs with the k-th entry. *)
+  o_crit_uses : (int * int) list;  (** (loc, pre-step value) at criterion *)
+  o_crit_defs : (int * int) list;  (** (loc, post-step value) at criterion *)
+  o_prints : int list;  (** print values at included records, in order *)
+}
+
+let observe prog pb (c : Collector.result) ~included ~crit_gseq :
+    observed =
+  let nrec = Array.length c.Collector.records in
+  let file_size = Dr_isa.Reg.file_size in
+  let o_nondet = Hashtbl.create 64 in
+  let o_sp_fp = Array.make (max 1 (2 * nrec)) 0 in
+  let o_sync_regs = Hashtbl.create 64 in
+  let o_r0 = Hashtbl.create 256 in
+  let o_crit_uses = ref [] and o_crit_defs = ref [] in
+  let prints = ref [] in
+  let r = Replayer.create prog pb in
+  let m = Replayer.machine r in
+  (* shadow register files: each thread's post-step registers so far,
+     i.e. the pre-step registers of its next record *)
+  let shadows = Hashtbl.create 8 in
+  let shadow tid =
+    match Hashtbl.find_opt shadows tid with
+    | Some a -> a
+    | None ->
+      let a = Array.make file_size 0 in
+      (match
+         List.find_opt
+           (fun t -> t.Snapshot.s_tid = tid)
+           pb.Pinball.snapshot.Snapshot.threads
+       with
+      | Some t -> Array.blit t.Snapshot.s_regs 0 a 0 file_size
+      | None -> ());
+      Hashtbl.replace shadows tid a;
+      a
+  in
+  let g = ref 0 in
+  let hooks =
+    { Driver.on_event =
+        (fun ev ->
+          let gseq = !g in
+          incr g;
+          if gseq >= nrec then
+            fail Replay_determinism
+              "observation replay retired more instructions (%d) than the \
+               collected trace (%d)"
+              (gseq + 1) nrec;
+          let rec_ = c.Collector.records.(gseq) in
+          let tid = ev.Event.tid in
+          if rec_.Trace.tid <> tid || rec_.Trace.pc <> ev.Event.pc then
+            fail Replay_determinism
+              "observation replay diverged from the collected trace at gseq \
+               %d: got tid=%d pc=%d, recorded tid=%d pc=%d"
+              gseq tid ev.Event.pc rec_.Trace.tid rec_.Trace.pc;
+          let pre = shadow tid in
+          o_sp_fp.(2 * gseq) <- pre.(Dr_isa.Reg.sp);
+          o_sp_fp.((2 * gseq) + 1) <- pre.(Dr_isa.Reg.fp);
+          if Dr_exeslice.Exclusion.forced rec_ then
+            Hashtbl.replace o_sync_regs gseq (Array.copy pre);
+          (match ev.Event.sys with
+          | Event.Sys_nondet { result; _ } -> Hashtbl.replace o_nondet gseq result
+          | Event.Sys_print v -> if included gseq then prints := v :: !prints
+          | _ -> ());
+          (if included gseq then
+             let r0 = (Machine.thread m tid).Machine.regs.(0) in
+             match Hashtbl.find_opt o_r0 (tid, rec_.Trace.pc) with
+             | Some l -> l := r0 :: !l
+             | None -> Hashtbl.replace o_r0 (tid, rec_.Trace.pc) (ref [ r0 ]));
+          if gseq = crit_gseq then begin
+            o_crit_uses :=
+              Array.to_list rec_.Trace.uses
+              |> List.map (fun l ->
+                     match Dr_isa.Loc.view l with
+                     | Dr_isa.Loc.Reg { tid = rt; reg } ->
+                       (l, (shadow rt).(reg))
+                     | Dr_isa.Loc.Mem _ -> (l, ev.Event.mem_read_value));
+            o_crit_defs :=
+              Array.to_list rec_.Trace.defs
+              |> List.map (fun l ->
+                     match Dr_isa.Loc.view l with
+                     | Dr_isa.Loc.Reg { tid = rt; reg } ->
+                       (l, (Machine.thread m rt).Machine.regs.(reg))
+                     | Dr_isa.Loc.Mem _ -> (l, ev.Event.mem_write_value))
+          end;
+          Array.blit (Machine.thread m tid).Machine.regs 0 pre 0 file_size;
+          match ev.Event.sys with
+          | Event.Sys_spawn { child; _ } ->
+            Array.blit
+              (Machine.thread m child).Machine.regs
+              0 (shadow child) 0 file_size
+          | _ -> ()) }
+  in
+  (try ignore (Replayer.resume ~hooks r)
+   with Replayer.Divergence d ->
+     fail Replay_determinism "observation replay diverged: %s"
+       (Replayer.divergence_message d));
+  { o_nondet; o_sp_fp; o_sync_regs; o_r0;
+    o_crit_uses = !o_crit_uses; o_crit_defs = !o_crit_defs;
+    o_prints = List.rev !prints }
+
+(* ---- oracle 4a: slice replay with injections ---- *)
+
+let check_slice_replay prog spb (obs : observed) =
+  let expected = Hashtbl.create 128 in
+  Hashtbl.iter
+    (fun k l -> Hashtbl.replace expected k (Array.of_list (List.rev !l)))
+    obs.o_r0;
+  let sr = Dr_exeslice.Slice_replay.create prog spb in
+  let sm = Dr_exeslice.Slice_replay.machine sr in
+  let counts = Hashtbl.create 128 in
+  let rec go () =
+    match Dr_exeslice.Slice_replay.step sr with
+    | Dr_exeslice.Slice_replay.Stepped { tid; pc; _ } ->
+      let k = (tid, pc) in
+      let i = 1 + Option.value ~default:0 (Hashtbl.find_opt counts k) in
+      Hashtbl.replace counts k i;
+      (match Hashtbl.find_opt expected k with
+      | Some vs when i <= Array.length vs ->
+        let v = vs.(i - 1) in
+        let got = (Machine.thread sm tid).Machine.regs.(0) in
+        if got <> v then
+          fail Slice_soundness
+            "slice replay: r0=%d after execution %d of tid=%d pc=%d, \
+             original had %d"
+            got i tid pc v
+      | Some vs ->
+        fail Slice_soundness
+          "slice replay executed tid=%d pc=%d %d times, original included \
+           only %d"
+          tid pc i (Array.length vs)
+      | None ->
+        fail Slice_soundness
+          "slice replay executed tid=%d pc=%d, which the original never \
+           included"
+          tid pc);
+      go ()
+    | Dr_exeslice.Slice_replay.Injected _ -> go ()
+    | Dr_exeslice.Slice_replay.Finished _ | Dr_exeslice.Slice_replay.End_of_slice
+      ->
+      ()
+  in
+  (try go ()
+   with Dr_exeslice.Slice_replay.Divergence msg ->
+     fail Slice_soundness "slice replay diverged: %s" msg);
+  let out = Machine.output_list sm in
+  if out <> obs.o_prints then
+    fail Slice_soundness "slice replay output [%s] differs from original [%s]"
+      (String.concat "," (List.map string_of_int out))
+      (String.concat "," (List.map string_of_int obs.o_prints))
+
+(* ---- oracle 4b: forward re-execution without injections ---- *)
+
+let check_reexec prog pb (c : Collector.result) ~included ~in_slice ~crit_gseq
+    (obs : observed) =
+  let m = Snapshot.restore prog pb.Pinball.snapshot in
+  let file_size = Dr_isa.Reg.file_size in
+  let cur = ref (-1) in
+  let nondet _kind =
+    match Hashtbl.find_opt obs.o_nondet !cur with
+    | Some v -> v
+    | None ->
+      fail Slice_soundness "re-execution: nondet result missing for gseq %d"
+        !cur
+  in
+  for g = 0 to crit_gseq do
+    if included g then begin
+      let r = c.Collector.records.(g) in
+      if Machine.outcome m <> Machine.Running then
+        fail Slice_soundness
+          "re-execution terminated before the criterion (at gseq %d)" g;
+      if r.Trace.tid >= Machine.num_threads m then
+        fail Slice_soundness "re-execution: thread %d does not exist at gseq %d"
+          r.Trace.tid g;
+      let th = Machine.thread m r.Trace.tid in
+      if th.Machine.state <> Machine.Runnable then
+        fail Slice_soundness
+          "re-execution: thread %d not runnable at gseq %d (pc %d)" r.Trace.tid
+          g r.Trace.pc;
+      th.Machine.pc <- r.Trace.pc;
+      (match Hashtbl.find_opt obs.o_sync_regs g with
+      | Some regs when not (Dr_util.Bitset.mem in_slice g) ->
+        (* forced sync record outside the slice: its operands are not in
+           the dependence closure, so restore its full register file *)
+        Array.blit regs 0 th.Machine.regs 0 file_size
+      | _ ->
+        (* sp/fp are untracked by dependence collection (ambient, as in
+           binary slicers): pin them to their recorded values *)
+        th.Machine.regs.(Dr_isa.Reg.sp) <- obs.o_sp_fp.(2 * g);
+        th.Machine.regs.(Dr_isa.Reg.fp) <- obs.o_sp_fp.((2 * g) + 1));
+      let pre =
+        if g = crit_gseq then Array.copy th.Machine.regs else [||]
+      in
+      cur := g;
+      let ev = Machine.step m ~tid:r.Trace.tid ~nondet in
+      (match Machine.outcome m with
+      | Machine.Fault { msg; _ } ->
+        fail Slice_soundness "re-execution faulted at gseq %d: %s" g msg
+      | _ -> ());
+      if not ev.Event.retired then
+        fail Slice_soundness
+          "re-execution: included instruction blocked at gseq %d (tid %d pc \
+           %d)"
+          g r.Trace.tid r.Trace.pc;
+      if g = crit_gseq then begin
+        List.iter
+          (fun (l, v) ->
+            let got =
+              match Dr_isa.Loc.view l with
+              | Dr_isa.Loc.Reg { reg; _ } -> pre.(reg)
+              | Dr_isa.Loc.Mem _ -> ev.Event.mem_read_value
+            in
+            if got <> v then
+              fail Slice_soundness
+                "re-execution: criterion use %s = %d, original %d"
+                (Dr_isa.Loc.to_string l) got v)
+          obs.o_crit_uses;
+        List.iter
+          (fun (l, v) ->
+            let got =
+              match Dr_isa.Loc.view l with
+              | Dr_isa.Loc.Reg { tid = rt; reg } ->
+                (Machine.thread m rt).Machine.regs.(reg)
+              | Dr_isa.Loc.Mem _ -> ev.Event.mem_write_value
+            in
+            if got <> v then
+              fail Slice_soundness
+                "re-execution: criterion def %s = %d, original %d"
+                (Dr_isa.Loc.to_string l) got v)
+          obs.o_crit_defs
+      end
+    end
+  done
+
+(* ---- the full pipeline for one case ---- *)
+
+(** Run every stage and every oracle on [prog] under [policy].
+    [mutate_slice] is a test hook: it rewrites the slice before exclusion
+    building, standing in for a broken slicer — a mutation that drops a
+    needed statement must be caught by the soundness oracle.
+    [nondet_seed] seeds the native rand/time/read results of the logged
+    run. *)
+let check ?mutate_slice (prog : Dr_isa.Program.t)
+    ~(policy : Driver.policy) ~(nondet_seed : int) : verdict =
+  try
+    match
+      Logger.log ~policy ~nondet_seed ~max_steps:max_case_steps prog
+        Logger.Whole
+    with
+    | Error e -> Skip (Format.asprintf "logging failed: %a" Logger.pp_error e)
+    | Ok (pb, stats) ->
+      (match stats.Logger.stop with
+      | Driver.Terminated (Machine.Exited _) -> ()
+      | r ->
+        raise
+          (Skipped
+             (Format.asprintf "run did not exit cleanly: %a"
+                Driver.pp_stop_reason r)));
+      check_roundtrip pb;
+      check_determinism prog pb;
+      let c = Collector.collect prog pb in
+      let gt = Global_trace.construct c in
+      let n = Global_trace.length gt in
+      if n = 0 then raise (Skipped "empty trace");
+      let lp = Lp.prepare gt in
+      let pairs = c.Collector.pairs in
+      (* The soundness criterion is the last print record — a
+         value-bearing statement, as when slicing at a failure point.
+         The final ret would slice only through control deps, which the
+         value-comparing soundness oracle cannot exercise. *)
+      let is_print (r : Trace.record) =
+        match Dr_isa.Program.instr prog r.Trace.pc with
+        | Some (Dr_isa.Instr.Sys Dr_isa.Instr.Print) -> true
+        | _ -> false
+      in
+      let crit_pos =
+        match Global_trace.find_last gt ~p:is_print with
+        | Some p -> p
+        | None -> n - 1
+      in
+      let crits = List.sort_uniq compare [ n / 4; n / 2; n - 1; crit_pos ] in
+      let slices =
+        List.map
+          (fun p ->
+            ( p,
+              check_agreement gt ~lp ~pairs
+                { Slicer.crit_pos = p; crit_locs = None } ))
+          crits
+      in
+      let slice0 = List.assoc crit_pos slices in
+      let slice =
+        match mutate_slice with None -> slice0 | Some f -> f slice0
+      in
+      let crit_gseq = (Global_trace.record gt crit_pos).Trace.gseq in
+      let nrec = Array.length c.Collector.records in
+      let in_slice = Dr_util.Bitset.create nrec in
+      Array.iter
+        (fun pos ->
+          Dr_util.Bitset.add in_slice (Global_trace.record gt pos).Trace.gseq)
+        slice.Slicer.positions;
+      let included g =
+        Dr_util.Bitset.mem in_slice g
+        || Dr_exeslice.Exclusion.forced c.Collector.records.(g)
+      in
+      let exclusions, _xstats =
+        Dr_exeslice.Exclusion.build ~slice ~collector:c
+      in
+      check_exclusions ~exclusions ~c ~in_slice;
+      let spb =
+        try Relogger.relog prog pb ~exclusions
+        with Relogger.Relog_error msg ->
+          fail Exclusion_sanity "relog rejected the exclusion regions: %s" msg
+      in
+      let obs = observe prog pb c ~included ~crit_gseq in
+      check_slice_replay prog spb obs;
+      (* Oracle 4b re-executes the UNPRUNED dependence closure: a pruned
+         slice bypasses confirmed save/restore pairs, so an included
+         record inside the call may clobber the saved register and only
+         the (excluded) restore would bring it back — sound under the
+         relogger's injections (checked by 4a), but not under pure
+         re-execution.  The closure still goes through [mutate_slice],
+         so a slicer that drops a real dependence is caught here. *)
+      let closure =
+        let s =
+          Slicer.compute ~lp ~indexed:true gt
+            { Slicer.crit_pos; crit_locs = None }
+        in
+        match mutate_slice with None -> s | Some f -> f s
+      in
+      let in_closure = Dr_util.Bitset.create nrec in
+      Array.iter
+        (fun pos ->
+          Dr_util.Bitset.add in_closure
+            (Global_trace.record gt pos).Trace.gseq)
+        closure.Slicer.positions;
+      let included_cl g =
+        Dr_util.Bitset.mem in_closure g
+        || Dr_exeslice.Exclusion.forced c.Collector.records.(g)
+      in
+      check_reexec prog pb c ~included:included_cl ~in_slice:in_closure
+        ~crit_gseq obs;
+      Pass
+  with
+  | Oracle f -> Fail f
+  | Skipped s -> Skip s

@@ -1,0 +1,157 @@
+(** Greedy shrinking of failing fuzz cases.
+
+    A candidate reduction removes structure from the source (a balanced
+    brace block, a spawn/join pair, a single statement line) or from the
+    schedule (a half, a single step).  A reduction is kept when [check]
+    still reports the {e same} oracle failure on the reduced case — cases
+    that no longer compile or fail differently are rejected by [check]
+    itself.  Greedy to a fixpoint, bounded by [max_attempts] tried
+    reductions. *)
+
+let steps_counter = Dr_util.Metrics.counter "conformance.shrink_steps"
+
+let strip = String.trim
+
+(* Lines i..j (inclusive) of a balanced brace block opened on line i.
+   Returns None when braces never balance (malformed mid-shrink text). *)
+let block_extent (lines : string array) i =
+  let n = Array.length lines in
+  let depth = ref 0 and j = ref i and found = ref false and closed = ref false in
+  while (not !closed) && !j < n do
+    String.iter
+      (fun c ->
+        if c = '{' then begin
+          incr depth;
+          found := true
+        end
+        else if c = '}' then decr depth)
+      lines.(!j);
+    if !found && !depth <= 0 then closed := true else incr j
+  done;
+  if !closed then Some !j else None
+
+(* "int twK = spawn(workerN, ...);" -> Some "twK" *)
+let spawn_var line =
+  let s = strip line in
+  let pfx = "int " in
+  if String.length s > 4 && String.sub s 0 4 = pfx && ((
+       match String.index_opt s '=' with
+       | Some eq ->
+         let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
+         String.length rhs >= 6 && String.sub rhs 0 6 = "spawn("
+       | None -> false))
+  then
+    match String.index_opt s '=' with
+    | Some eq -> Some (strip (String.sub s 4 (eq - 4)))
+    | None -> None
+  else None
+
+let remove_indices (lines : string array) (idxs : int list) =
+  let drop = Hashtbl.create 8 in
+  List.iter (fun i -> Hashtbl.replace drop i ()) idxs;
+  Array.of_list
+    (List.filteri
+       (fun i _ -> not (Hashtbl.mem drop i))
+       (Array.to_list lines))
+
+(* Candidate source reductions, largest first: blocks, spawn/join pairs,
+   single statement lines.  Each is the list of line indices to drop. *)
+let source_candidates (lines : string array) : int list list =
+  let n = Array.length lines in
+  let blocks = ref [] and pairs = ref [] and singles = ref [] in
+  for i = 0 to n - 1 do
+    let s = strip lines.(i) in
+    let len = String.length s in
+    if len > 0 then begin
+      (* brace blocks: if/while/helper-call headers, not fn definitions
+         (removing a whole fn body is fine too — compile check decides) *)
+      if s.[len - 1] = '{' then begin
+        match block_extent lines i with
+        | Some j when j > i && j - i < n - 2 ->
+          blocks := List.init (j - i + 1) (fun k -> i + k) :: !blocks
+        | _ -> ()
+      end;
+      (match spawn_var lines.(i) with
+      | Some v ->
+        let join = Printf.sprintf "join(%s);" v in
+        let ji = ref None in
+        for k = i + 1 to n - 1 do
+          if !ji = None && strip lines.(k) = join then ji := Some k
+        done;
+        (match !ji with
+        | Some k -> pairs := [ i; k ] :: !pairs
+        | None -> ())
+      | None -> ());
+      if s.[len - 1] = ';' && not (String.contains s '{') then
+        singles := [ i ] :: !singles
+    end
+  done;
+  List.rev !blocks @ List.rev !pairs @ List.rev !singles
+
+let sched_candidates (sched : Sched.t) : Sched.t list =
+  let n = Array.length sched in
+  if n = 0 then []
+  else
+    let halves =
+      if n >= 2 then
+        [ Array.sub sched 0 (n / 2); Array.sub sched (n / 2) (n - (n / 2)) ]
+      else []
+    in
+    let singles =
+      List.init (min n 32) (fun i ->
+          Array.append (Array.sub sched 0 i)
+            (Array.sub sched (i + 1) (n - i - 1)))
+    in
+    halves @ singles
+
+(** Shrink a failing case to a (local) minimum.  [check ~lines ~sched]
+    must return [true] iff the reduced case still compiles and fails the
+    {e same} oracle.  Returns the reduced case and the number of accepted
+    reduction steps. *)
+let shrink ?(max_attempts = 400)
+    ~(check : lines:string array -> sched:Sched.t -> bool)
+    ~(lines : string array) ~(sched : Sched.t) () :
+    string array * Sched.t * int =
+  let lines = ref lines and sched = ref sched in
+  let attempts = ref 0 and steps = ref 0 in
+  let try_case ls sc =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      check ~lines:ls ~sched:sc
+    end
+  in
+  let progress = ref true in
+  while !progress && !attempts < max_attempts do
+    progress := false;
+    (* source reductions *)
+    let rec try_sources = function
+      | [] -> ()
+      | idxs :: rest ->
+        let reduced = remove_indices !lines idxs in
+        if try_case reduced !sched then begin
+          lines := reduced;
+          incr steps;
+          Dr_util.Metrics.bump steps_counter;
+          progress := true
+        end
+        else try_sources rest
+    in
+    try_sources (source_candidates !lines);
+    (* schedule reductions (only once the source is stable this round) *)
+    if not !progress then begin
+      let rec try_scheds = function
+        | [] -> ()
+        | sc :: rest ->
+          if try_case !lines sc then begin
+            sched := sc;
+            incr steps;
+            Dr_util.Metrics.bump steps_counter;
+            progress := true
+          end
+          else try_scheds rest
+      in
+      try_scheds (sched_candidates !sched)
+    end
+  done;
+  (!lines, !sched, !steps)

@@ -13,11 +13,13 @@ type cfg = {
   max_stmts : int;  (** statements per block *)
   max_depth : int;  (** nesting depth of if/for *)
   max_helpers : int;
-  with_threads : bool;  (** spawn a worker + lock-guarded shared updates *)
+  with_threads : bool;  (** spawn workers + lock-guarded shared updates *)
+  max_workers : int;  (** worker threads spawnable when [with_threads] *)
 }
 
 let default_cfg =
-  { max_stmts = 6; max_depth = 2; max_helpers = 3; with_threads = true }
+  { max_stmts = 6; max_depth = 2; max_helpers = 3; with_threads = true;
+    max_workers = 1 }
 
 type ctx = {
   rng : Random.State.t;
@@ -181,8 +183,8 @@ let gen_helper ctx name arity =
   line ctx "}";
   line ctx ""
 
-let gen_worker ctx =
-  line ctx "fn worker(int id) {";
+let gen_worker ctx ~name =
+  line ctx "fn %s(int id) {" name;
   ctx.scopes <- [ [ "id" ] ];
   ctx.indent <- 1;
   let condvar = rnd ctx 2 = 0 in
@@ -212,9 +214,14 @@ let gen_worker ctx =
   line ctx "";
   condvar
 
-(** Generate a random well-behaved program from the given seed. *)
-let program ?(cfg = default_cfg) (seed : int) : string =
-  let rng = Random.State.make [| seed; 0x9e37 |] in
+(** Generate a random well-behaved program from an explicit RNG state.
+    Every random choice flows through [rng] (via [ctx.rng]); the global
+    [Random] state is never touched, so two calls with equal states
+    produce byte-identical programs regardless of what ran in between.
+    [banner] is appended to the header comment (failure artifacts print
+    the seed through it). *)
+let program_rng ?(cfg = default_cfg) ?(banner = "") (rng : Random.State.t) :
+    string =
   let nhelpers = Random.State.int rng (cfg.max_helpers + 1) in
   let helpers =
     List.init nhelpers (fun i ->
@@ -224,7 +231,7 @@ let program ?(cfg = default_cfg) (seed : int) : string =
     { rng; buf = Buffer.create 1024; indent = 0; fresh = 0; cfg;
       scopes = []; loop_vars = []; helpers = [] }
   in
-  line ctx "// generated program (seed %d)" seed;
+  line ctx "// generated program%s" banner;
   List.iter (fun g -> line ctx "global int %s;" g) globals;
   line ctx "global int arr[16];";
   line ctx "global int mtx;";
@@ -238,23 +245,52 @@ let program ?(cfg = default_cfg) (seed : int) : string =
       ctx.helpers <- ctx.helpers @ [ (name, arity) ])
     helpers;
   let threads = cfg.with_threads && Random.State.int rng 2 = 0 in
-  let worker_waits = if threads then gen_worker ctx else false in
+  let nworkers =
+    if threads then 1 + Random.State.int rng (max cfg.max_workers 1) else 0
+  in
+  let worker_waits =
+    List.init nworkers (fun k ->
+        gen_worker ctx ~name:(Printf.sprintf "worker%d" k))
+  in
+  let any_waits = List.exists Fun.id worker_waits in
   line ctx "fn main() {";
   ctx.indent <- 1;
   ctx.scopes <- [ [] ];
-  if threads then line ctx "int tw = spawn(worker, 1);";
-  if worker_waits then begin
-    (* release the waiting worker: set the predicate, then broadcast *)
+  List.iteri
+    (fun k _ -> line ctx "int tw%d = spawn(worker%d, %d);" k k (k + 1))
+    worker_waits;
+  if any_waits then begin
+    (* release the waiting workers: set the predicate, then broadcast
+       (wakes every waiter; late arrivals see go=1 and never wait) *)
     line ctx "lock(&mtx);";
     line ctx "go = 1;";
     line ctx "broadcast(&cv);";
     line ctx "unlock(&mtx);"
   end;
   gen_block_inner ctx cfg.max_depth;
-  if threads then line ctx "join(tw);";
+  List.iteri (fun k _ -> line ctx "join(tw%d);" k) worker_waits;
   (* make the program's result observable for differential testing *)
   line ctx "print(ga + gb);";
   line ctx "print(arr[3] + arr[7]);";
   ctx.indent <- 0;
   line ctx "}";
   Buffer.contents ctx.buf
+
+(** Generate a random well-behaved program from the given seed. *)
+let program ?cfg (seed : int) : string =
+  program_rng ?cfg
+    ~banner:(Printf.sprintf " (seed %d)" seed)
+    (Random.State.make [| seed; 0x9e37 |])
+
+(** An explicit thread schedule for differential testing: an RLE list of
+    [(tid hint, quantum)] steps.  A driver realizes a hint by stepping
+    that thread if it is runnable, else the next runnable tid after it —
+    deterministic given the machine state, so a schedule plus a program
+    fully determines a run (see [Dr_conformance.Sched]).  Deterministic
+    in the seed; the global [Random] state is never touched. *)
+let schedule ?(max_quantum = 6) ~threads ~steps (seed : int) :
+    (int * int) array =
+  let rng = Random.State.make [| seed; 0x5c4ed |] in
+  Array.init steps (fun _ ->
+      ( Random.State.int rng (max threads 1),
+        1 + Random.State.int rng (max max_quantum 1) ))

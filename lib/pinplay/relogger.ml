@@ -88,19 +88,26 @@ let relog (prog : Dr_isa.Program.t) (pinball : Pinball.t)
       i
     in
     (* exclusion end: the end instruction itself is included *)
-    (if st.flag then
-       match st.queue with
-       | { x_end = Some (epc, einst); _ } :: rest when epc = pc && einst = instance ->
-         st.flag <- false;
-         st.queue <- rest;
-         flush_injection tid st
-       | _ -> ());
-    (* exclusion start: the start instruction itself is excluded *)
+    let check_end () =
+      if st.flag then
+        match st.queue with
+        | { x_end = Some (epc, einst); _ } :: rest when epc = pc && einst = instance ->
+          st.flag <- false;
+          st.queue <- rest;
+          flush_injection tid st
+        | _ -> ()
+    in
+    check_end ();
+    (* exclusion start: the start instruction itself is excluded.  An
+       empty region [p:i, p:i) has its end marker on the same
+       instruction: re-checking the end right after the start keeps that
+       instruction included and excludes nothing (half-open interval). *)
     (if not st.flag then
        match st.queue with
        | { x_start_pc; x_start_instance; _ } :: _
          when x_start_pc = pc && x_start_instance = instance ->
-         st.flag <- true
+         st.flag <- true;
+         check_end ()
        | _ -> ());
     if st.flag then begin
       (* side-effect detection for the excluded instruction *)
@@ -127,6 +134,15 @@ let relog (prog : Dr_isa.Program.t) (pinball : Pinball.t)
     end
     else begin
       (* included instruction *)
+      (* An included write supersedes any pending excluded write to the
+         same cell: injecting the excluded (earlier) value at region end
+         would clobber this one.  The included instruction re-executes
+         during slice replay, so the cell needs no injection at all. *)
+      if ev.Event.mem_write >= 0 then
+        Array.iter
+          (fun (other : per_thread) ->
+            if other.dirty then Hashtbl.remove other.pending_mem ev.Event.mem_write)
+          per_thread;
       Dr_util.Vec.push events (Pinball.Step { tid; pc });
       let n = Dr_util.Vec.length schedule in
       (if n > 0 && fst (Dr_util.Vec.get schedule (n - 1)) = tid then

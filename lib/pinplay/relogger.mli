@@ -16,7 +16,8 @@ exception Relog_error of string
     [[startPc:sinstance, endPc:einstance)]: the start instruction is the
     first excluded, the end instruction the first included again.
     Instances are 1-based per (thread, pc), counted from the region
-    start. *)
+    start.  The interval is half-open: a region whose end marker equals
+    its start ([p:i, p:i)) is empty and excludes nothing. *)
 type exclusion = {
   x_tid : int;
   x_start_pc : int;

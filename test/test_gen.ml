@@ -228,9 +228,57 @@ let prop_gen_debugger =
       in
       ok "record whole" && ok "replay" && ok "continue" && ok "slice-failure")
 
+(* 8. generation is a pure function of the seed: the same seed yields the
+   same program and schedule even when the global RNG is perturbed in
+   between (no leaks through Random's default state) *)
+let test_gen_deterministic () =
+  let cfg = { Dr_lang.Gen.default_cfg with Dr_lang.Gen.max_workers = 3 } in
+  for seed = 0 to 49 do
+    let p1 = Dr_lang.Gen.program ~cfg seed in
+    let s1 = Dr_lang.Gen.schedule ~threads:4 ~steps:64 seed in
+    Random.self_init ();
+    ignore (Random.bits ());
+    let p2 = Dr_lang.Gen.program ~cfg seed in
+    let s2 = Dr_lang.Gen.schedule ~threads:4 ~steps:64 seed in
+    Alcotest.(check string)
+      (Printf.sprintf "program seed %d stable" seed)
+      p1 p2;
+    if s1 <> s2 then
+      Alcotest.failf "schedule seed %d changed across global RNG perturbation"
+        seed
+  done;
+  (* distinct seeds do differ (the seed is actually consumed) *)
+  if Dr_lang.Gen.program ~cfg 1 = Dr_lang.Gen.program ~cfg 2 then
+    Alcotest.fail "seeds 1 and 2 generated identical programs"
+
+(* 9. the generator emits multi-threaded programs often enough to
+   exercise the threaded pipeline *)
+let test_gen_threads_present () =
+  let cfg = { Dr_lang.Gen.default_cfg with Dr_lang.Gen.max_workers = 2 } in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let spawns = ref 0 and multi = ref 0 in
+  for seed = 0 to 99 do
+    let src = Dr_lang.Gen.program ~cfg seed in
+    if contains_sub src "spawn(" then incr spawns;
+    if contains_sub src "worker1" then incr multi
+  done;
+  if !spawns < 20 then
+    Alcotest.failf "only %d/100 generated programs spawn threads" !spawns;
+  if !multi < 5 then
+    Alcotest.failf "only %d/100 generated programs have 2+ workers" !multi
+
 let () =
   Alcotest.run "gen"
-    [ ( "generated programs",
+    [ ( "generator determinism",
+        [ Alcotest.test_case "same seed, same program" `Quick
+            test_gen_deterministic;
+          Alcotest.test_case "threaded programs generated" `Quick
+            test_gen_threads_present ] );
+      ( "generated programs",
         [ QCheck_alcotest.to_alcotest prop_gen_safe;
           QCheck_alcotest.to_alcotest prop_gen_replay;
           QCheck_alcotest.to_alcotest prop_gen_lp_equals_naive;

@@ -549,6 +549,164 @@ fn main() {
   in
   Alcotest.(check int) "injections restore b" 200 m.Dr_machine.Machine.mem.(b_addr)
 
+(* ---- relogger injection edge cases ----
+
+   Each test replays the slice pinball to the end and compares the
+   machine's final globals (and output, when no print is excluded)
+   against an uninterrupted reference replay: the injected side effects
+   must leave exactly the state the excluded code would have computed. *)
+
+let whole_pinball prog =
+  match Dr_pinplay.Logger.log prog Dr_pinplay.Logger.Whole with
+  | Ok (pb, _) -> pb
+  | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+
+let run_slice_replay prog spb =
+  let sr = Dr_exeslice.Slice_replay.create prog spb in
+  let rec go () =
+    match Dr_exeslice.Slice_replay.step sr with
+    | Dr_exeslice.Slice_replay.Stepped _ | Dr_exeslice.Slice_replay.Injected _
+      ->
+      go ()
+    | Dr_exeslice.Slice_replay.Finished _ | Dr_exeslice.Slice_replay.End_of_slice
+      ->
+      ()
+  in
+  go ();
+  Dr_exeslice.Slice_replay.machine sr
+
+let globals_of prog (m : Dr_machine.Machine.t) =
+  List.map
+    (fun (n, addr, _) -> (n, m.Dr_machine.Machine.mem.(addr)))
+    prog.Dr_isa.Program.debug.Dr_isa.Debug_info.globals
+
+let test_relog_region_at_trace_start () =
+  let prog = compile straightline_src in
+  let pb = whole_pinball prog in
+  let trace = trace_of prog pb in
+  let n = List.length trace in
+  (* exclude events 0..3: the region starts ON the first trace record *)
+  let _, spc, sinst, _ = List.nth trace 0 in
+  let _, epc, einst, _ = List.nth trace 4 in
+  let spb =
+    Dr_pinplay.Relogger.relog prog pb
+      ~exclusions:
+        [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = spc;
+            x_start_instance = sinst; x_end = Some (epc, einst) } ]
+  in
+  (* the injection precedes the first included step *)
+  (match spb.Dr_pinplay.Pinball.slice_events.(0) with
+  | Dr_pinplay.Pinball.Inject _ -> ()
+  | Dr_pinplay.Pinball.Step { pc; _ } ->
+    Alcotest.failf "first slice event is Step pc=%d, expected Inject" pc);
+  Alcotest.(check int) "four events excluded" (n - 4)
+    (Dr_pinplay.Pinball.step_count spb);
+  let rm, _ = Dr_pinplay.Replayer.replay prog pb in
+  let sm = run_slice_replay prog spb in
+  Alcotest.(check bool) "globals match reference" true
+    (globals_of prog sm = globals_of prog rm);
+  Alcotest.(check bool) "output matches reference" true
+    (Dr_machine.Machine.output_list sm = Dr_machine.Machine.output_list rm)
+
+let test_relog_region_at_trace_end () =
+  let prog = compile straightline_src in
+  (* a Skip_length region that stops before main's final ret, so a
+     trailing open-ended exclusion never covers the thread-final ret *)
+  let pb =
+    match
+      Dr_pinplay.Logger.log prog
+        (Dr_pinplay.Logger.Skip_length { skip = 0; length = 12 })
+    with
+    | Ok (pb, _) -> pb
+    | Error e -> Alcotest.failf "log: %a" Dr_pinplay.Logger.pp_error e
+  in
+  let trace = trace_of prog pb in
+  let n = List.length trace in
+  let _, spc, sinst, _ = List.nth trace (n - 3) in
+  let spb =
+    Dr_pinplay.Relogger.relog prog pb
+      ~exclusions:
+        [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = spc;
+            x_start_instance = sinst; x_end = None } ]
+  in
+  Alcotest.(check int) "three events excluded" (n - 3)
+    (Dr_pinplay.Pinball.step_count spb);
+  (* the trailing flush emits the final slice event *)
+  (match
+     spb.Dr_pinplay.Pinball.slice_events.(Array.length
+                                            spb.Dr_pinplay.Pinball.slice_events
+                                          - 1)
+   with
+  | Dr_pinplay.Pinball.Inject _ -> ()
+  | Dr_pinplay.Pinball.Step { pc; _ } ->
+    Alcotest.failf "last slice event is Step pc=%d, expected trailing Inject"
+      pc);
+  let rm, _ = Dr_pinplay.Replayer.replay prog pb in
+  let sm = run_slice_replay prog spb in
+  Alcotest.(check bool) "globals match reference at region end" true
+    (globals_of prog sm = globals_of prog rm);
+  (* the thread's injected registers equal the reference register file *)
+  let rt = Dr_machine.Machine.thread rm 0
+  and st = Dr_machine.Machine.thread sm 0 in
+  Alcotest.(check bool) "registers match reference" true
+    (rt.Dr_machine.Machine.regs = st.Dr_machine.Machine.regs)
+
+let test_relog_two_adjacent_regions () =
+  let prog = compile straightline_src in
+  let pb = whole_pinball prog in
+  let trace = trace_of prog pb in
+  let n = List.length trace in
+  let marker i =
+    let _, pc, inst, _ = List.nth trace i in
+    (pc, inst)
+  in
+  (* [3,5) and [6,8): separated by the single included event 5 *)
+  let s1pc, s1i = marker 3 and e1pc, e1i = marker 5 in
+  let s2pc, s2i = marker 6 and e2pc, e2i = marker 8 in
+  let spb =
+    Dr_pinplay.Relogger.relog prog pb
+      ~exclusions:
+        [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = s1pc;
+            x_start_instance = s1i; x_end = Some (e1pc, e1i) };
+          { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = s2pc;
+            x_start_instance = s2i; x_end = Some (e2pc, e2i) } ]
+  in
+  Alcotest.(check int) "four events excluded" (n - 4)
+    (Dr_pinplay.Pinball.step_count spb);
+  Alcotest.(check int) "one injection per region" 2
+    (Array.length spb.Dr_pinplay.Pinball.injections);
+  let rm, _ = Dr_pinplay.Replayer.replay prog pb in
+  let sm = run_slice_replay prog spb in
+  Alcotest.(check bool) "globals match reference" true
+    (globals_of prog sm = globals_of prog rm);
+  Alcotest.(check bool) "output matches reference" true
+    (Dr_machine.Machine.output_list sm = Dr_machine.Machine.output_list rm)
+
+let test_relog_empty_region () =
+  let prog = compile straightline_src in
+  let pb = whole_pinball prog in
+  let trace = trace_of prog pb in
+  let n = List.length trace in
+  (* [p:i, p:i) is half-open and empty: excludes nothing, injects
+     nothing, and the instruction at the marker still executes *)
+  let _, pc, inst, _ = List.nth trace 5 in
+  let spb =
+    Dr_pinplay.Relogger.relog prog pb
+      ~exclusions:
+        [ { Dr_pinplay.Relogger.x_tid = 0; x_start_pc = pc;
+            x_start_instance = inst; x_end = Some (pc, inst) } ]
+  in
+  Alcotest.(check int) "no events excluded" n
+    (Dr_pinplay.Pinball.step_count spb);
+  Alcotest.(check int) "no injections" 0
+    (Array.length spb.Dr_pinplay.Pinball.injections);
+  let rm, _ = Dr_pinplay.Replayer.replay prog pb in
+  let sm = run_slice_replay prog spb in
+  Alcotest.(check bool) "globals match reference" true
+    (globals_of prog sm = globals_of prog rm);
+  Alcotest.(check bool) "output matches reference" true
+    (Dr_machine.Machine.output_list sm = Dr_machine.Machine.output_list rm)
+
 let () =
   Alcotest.run "pinplay"
     [ ( "pinball",
@@ -574,7 +732,14 @@ let () =
           Alcotest.test_case "sync exclusion rejected" `Quick
             test_relog_sync_exclusion_rejected;
           Alcotest.test_case "multiple regions" `Quick
-            test_relog_multiple_regions_per_thread ] );
+            test_relog_multiple_regions_per_thread;
+          Alcotest.test_case "region at trace start" `Quick
+            test_relog_region_at_trace_start;
+          Alcotest.test_case "region at trace end" `Quick
+            test_relog_region_at_trace_end;
+          Alcotest.test_case "two adjacent regions" `Quick
+            test_relog_two_adjacent_regions;
+          Alcotest.test_case "empty region" `Quick test_relog_empty_region ] );
       ( "checkpoints",
         [ Alcotest.test_case "schedule suffix" `Quick test_schedule_suffix;
           Alcotest.test_case "resume equivalence" `Quick

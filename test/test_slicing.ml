@@ -832,6 +832,121 @@ let test_indexed_find () =
     (fun i p -> if i > 0 then Alcotest.(check bool) "ascending" true (occ.(i - 1) < p))
     occ
 
+(* ---- prune.ml unit tests: static candidates and dynamic confirmation
+   driven by hand, without the collector in the loop ---- *)
+
+(* a program whose helper has real prologue pushes / epilogue pops *)
+let prune_src = {|global int sink;
+fn helper(int v) {
+  int a = v + 1;
+  sink = a;
+}
+fn main() {
+  int keep = 5;
+  helper(2);
+  assert(keep == 5, "keep");
+}|}
+
+let test_prune_static_candidates () =
+  let prog = compile prune_src in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let cands =
+    Dr_slicing.Prune.static_candidates prog
+      ~functions:(Dr_cfg.Cfg.functions cfg)
+  in
+  Alcotest.(check bool) "found candidate saves" true
+    (Hashtbl.length cands.Dr_slicing.Prune.saves > 0);
+  Alcotest.(check bool) "found candidate restores" true
+    (Hashtbl.length cands.Dr_slicing.Prune.restores > 0);
+  (* every candidate save pc is a Push, every restore pc a Pop *)
+  Hashtbl.iter
+    (fun pc r ->
+      match prog.Dr_isa.Program.code.(pc) with
+      | Dr_isa.Instr.Push r' -> Alcotest.(check bool) "push reg" true (r = r')
+      | i ->
+        Alcotest.failf "candidate save pc %d is %s, not a push" pc
+          (Format.asprintf "%a" Dr_isa.Instr.pp i))
+    cands.Dr_slicing.Prune.saves;
+  Hashtbl.iter
+    (fun pc r ->
+      match prog.Dr_isa.Program.code.(pc) with
+      | Dr_isa.Instr.Pop r' -> Alcotest.(check bool) "pop reg" true (r = r')
+      | i ->
+        Alcotest.failf "candidate restore pc %d is %s, not a pop" pc
+          (Format.asprintf "%a" Dr_isa.Instr.pp i))
+    cands.Dr_slicing.Prune.restores;
+  (* max_save 0 disables the scan entirely *)
+  let none =
+    Dr_slicing.Prune.static_candidates ~max_save:0 prog
+      ~functions:(Dr_cfg.Cfg.functions cfg)
+  in
+  Alcotest.(check int) "max_save 0: no saves" 0
+    (Hashtbl.length none.Dr_slicing.Prune.saves)
+
+(* hand-driven dynamic confirmation: a push/pop of the same register,
+   slot and value across one call confirms a pair *)
+let hand_state () =
+  let prog = compile prune_src in
+  let cfg = Dr_cfg.Cfg.build prog in
+  Dr_slicing.Prune.create_state
+    (Dr_slicing.Prune.static_candidates prog
+       ~functions:(Dr_cfg.Cfg.functions cfg))
+
+let test_prune_confirms_matching_pair () =
+  let st = hand_state () in
+  let reg = 3 in
+  Dr_slicing.Prune.on_call st 0;
+  Dr_slicing.Prune.on_save st ~tid:0 ~pc:10 ~reg ~addr:100 ~value:42 ~gseq:5;
+  Dr_slicing.Prune.on_restore st ~tid:0 ~pc:20 ~reg ~addr:100 ~value:42 ~gseq:9;
+  Dr_slicing.Prune.on_ret st 0;
+  Alcotest.(check (option int)) "restore at gseq 9 bypasses to save gseq 5"
+    (Some 5)
+    (Dr_slicing.Prune.bypass st.Dr_slicing.Prune.pairs ~gseq:9 ~reg)
+
+let test_prune_partial_restore_not_confirmed () =
+  let st = hand_state () in
+  let reg = 3 in
+  (* the pop reads a DIFFERENT value than the push wrote (the callee
+     clobbered the slot): the pair must NOT be confirmed — bypassing it
+     would skip a real definition *)
+  Dr_slicing.Prune.on_call st 0;
+  Dr_slicing.Prune.on_save st ~tid:0 ~pc:10 ~reg ~addr:100 ~value:42 ~gseq:5;
+  Dr_slicing.Prune.on_restore st ~tid:0 ~pc:20 ~reg ~addr:100 ~value:41 ~gseq:9;
+  Alcotest.(check (option int)) "value mismatch: unconfirmed" None
+    (Dr_slicing.Prune.bypass st.Dr_slicing.Prune.pairs ~gseq:9 ~reg);
+  (* different slot, same value: also unconfirmed *)
+  Dr_slicing.Prune.on_restore st ~tid:0 ~pc:20 ~reg ~addr:101 ~value:42 ~gseq:11;
+  Alcotest.(check (option int)) "slot mismatch: unconfirmed" None
+    (Dr_slicing.Prune.bypass st.Dr_slicing.Prune.pairs ~gseq:11 ~reg);
+  (* saves of an inner frame are invisible after its ret *)
+  Dr_slicing.Prune.on_call st 0;
+  Dr_slicing.Prune.on_save st ~tid:0 ~pc:10 ~reg ~addr:200 ~value:7 ~gseq:15;
+  Dr_slicing.Prune.on_ret st 0;
+  Dr_slicing.Prune.on_restore st ~tid:0 ~pc:20 ~reg ~addr:200 ~value:7 ~gseq:19;
+  Alcotest.(check (option int)) "popped frame: unconfirmed" None
+    (Dr_slicing.Prune.bypass st.Dr_slicing.Prune.pairs ~gseq:19 ~reg)
+
+let test_prune_bypass_wrong_reg () =
+  let st = hand_state () in
+  Dr_slicing.Prune.on_call st 0;
+  Dr_slicing.Prune.on_save st ~tid:0 ~pc:10 ~reg:3 ~addr:100 ~value:42 ~gseq:5;
+  Dr_slicing.Prune.on_restore st ~tid:0 ~pc:20 ~reg:3 ~addr:100 ~value:42 ~gseq:9;
+  (* a confirmed pair only bypasses lookups for its own register *)
+  Alcotest.(check (option int)) "other register: no bypass" None
+    (Dr_slicing.Prune.bypass st.Dr_slicing.Prune.pairs ~gseq:9 ~reg:4)
+
+let test_prune_frame_glue () =
+  Alcotest.(check bool) "mov fp, sp is glue" true
+    (Dr_slicing.Prune.is_frame_glue
+       (Dr_isa.Instr.Mov (Dr_isa.Reg.fp, Dr_isa.Instr.Reg Dr_isa.Reg.sp)));
+  Alcotest.(check bool) "sub sp, sp, 4 is glue" true
+    (Dr_slicing.Prune.is_frame_glue
+       (Dr_isa.Instr.Bin
+          (Dr_isa.Instr.Sub, Dr_isa.Reg.sp, Dr_isa.Reg.sp, Dr_isa.Instr.Imm 4)));
+  Alcotest.(check bool) "ordinary add is not glue" false
+    (Dr_slicing.Prune.is_frame_glue
+       (Dr_isa.Instr.Bin (Dr_isa.Instr.Add, 2, 3, Dr_isa.Instr.Imm 1)))
+
 let () =
   Alcotest.run "slicing"
     [ ( "data deps",
@@ -873,6 +988,17 @@ let () =
           Alcotest.test_case "stats sane" `Quick test_slice_stats_sane;
           Alcotest.test_case "clustering invariant" `Quick
             test_no_clustering_same_slice ] );
+      ( "prune units",
+        [ Alcotest.test_case "static candidates" `Quick
+            test_prune_static_candidates;
+          Alcotest.test_case "matching pair confirmed" `Quick
+            test_prune_confirms_matching_pair;
+          Alcotest.test_case "partial restore unconfirmed" `Quick
+            test_prune_partial_restore_not_confirmed;
+          Alcotest.test_case "wrong register no bypass" `Quick
+            test_prune_bypass_wrong_reg;
+          Alcotest.test_case "frame glue predicate" `Quick
+            test_prune_frame_glue ] );
       ( "fast path",
         [ Alcotest.test_case "final partial block criterion" `Quick
             test_final_partial_block_criterion;
