@@ -29,6 +29,7 @@ type prepared = {
   w_kind : string;  (* "registry" | "generated" *)
   gt : Dr_slicing.Global_trace.t;
   lp : Dr_slicing.Lp.t;
+  collect_s : float;
   construct_s : float;
   lp_s : float;
   criteria : Dr_slicing.Slicer.criterion list;
@@ -51,10 +52,10 @@ let criteria_of gt ~n =
     picks
 
 let prepare ~name ~kind ~n_criteria prog pb =
-  let c = Dr_slicing.Collector.collect prog pb in
+  let c, collect_s = time (fun () -> Dr_slicing.Collector.collect prog pb) in
   let gt, construct_s = time (fun () -> Dr_slicing.Global_trace.construct c) in
   let lp, lp_s = time (fun () -> Dr_slicing.Lp.prepare gt) in
-  { w_name = name; w_kind = kind; gt; lp; construct_s; lp_s;
+  { w_name = name; w_kind = kind; gt; lp; collect_s; construct_s; lp_s;
     criteria = criteria_of gt ~n:n_criteria }
 
 let prepare_registry ~name ~main_instrs ~n_criteria =
@@ -168,7 +169,8 @@ let measure ~reps (p : prepared) : measured =
   let visited_scan, blocks_skipped, _ =
     stats ~indexed:false ~block_skipping:true
   in
-  (* timed runs *)
+  (* timed runs: tracing off, so the measured loops stay comparable to
+     pre-observability baselines (the gate is a single field check) *)
   let timed ~indexed ~block_skipping =
     let _, t =
       time (fun () ->
@@ -180,9 +182,12 @@ let measure ~reps (p : prepared) : measured =
     in
     t
   in
+  let was_enabled = Dr_obs.Obs.enabled () in
+  Dr_obs.Obs.set_enabled false;
   let indexed_s = timed ~indexed:true ~block_skipping:true in
   let scan_skip_s = timed ~indexed:false ~block_skipping:true in
   let scan_noskip_s = timed ~indexed:false ~block_skipping:false in
+  Dr_obs.Obs.set_enabled was_enabled;
   { records; n_criteria = List.length p.criteria; reps; indexed_s;
     scan_skip_s; scan_noskip_s; blocks_skipped;
     total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
@@ -199,6 +204,7 @@ let workload_json (p : prepared) (m : measured) : J.t =
       ("records", J.int m.records);
       ("criteria", J.int m.n_criteria);
       ("reps", J.int m.reps);
+      ("collect_s", J.Num p.collect_s);
       ("construct_s", J.Num p.construct_s);
       ("lp_prepare_s", J.Num p.lp_s);
       ("indexed_s", J.Num m.indexed_s);
@@ -231,10 +237,15 @@ let metrics_json () : J.t =
          | `Counter n -> (name, J.int n)
          | `Timer (s, e) ->
            (name, J.Obj [ ("seconds", J.Num s); ("events", J.int e) ]))
-       (Dr_util.Metrics.report ()))
+       (Dr_obs.Metrics.report ()))
 
 (** Run the slicing benchmark and write [out] (BENCH_slicing.json). *)
 let run ~quick ~out () =
+  (* tracing on for the preparation and stats passes (their spans feed
+     the embedded run report); [measure] turns it off around the timed
+     loops so the measurements stay gate-check-only *)
+  Dr_obs.Obs.reset ();
+  Dr_obs.Obs.set_enabled true;
   let n_criteria = if quick then 3 else 6 in
   let reps = if quick then 1 else 3 in
   let main_instrs = if quick then 6_000 else 40_000 in
@@ -279,8 +290,10 @@ let run ~quick ~out () =
         ("quick", J.Bool quick);
         ("workloads", J.List (List.map (fun (p, m) -> workload_json p m) rows));
         ("largest_generated", largest_generated);
-        ("metrics", metrics_json ()) ]
+        ("metrics", metrics_json ());
+        ("report", Dr_obs.Report.document ~label:"slicing-bench" ()) ]
   in
+  Dr_obs.Obs.set_enabled false;
   Out_channel.with_open_text out (fun oc ->
       Out_channel.output_string oc (J.to_string doc);
       Out_channel.output_char oc '\n');

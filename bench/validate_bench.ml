@@ -1,7 +1,16 @@
-(* Schema validator for BENCH_slicing.json.  Run by the dune runtest
-   smoke right after the bench's --quick mode so the metrics layer and
-   the emitted JSON cannot silently rot.  Exits non-zero with a message
-   naming the first violated field. *)
+(* Schema validator for the repo's benchmark and observability JSON
+   artifacts.  Dispatches on the document's "schema" field:
+
+   - drdebug-bench-slicing-v1: the slicing bench output, including its
+     embedded drdebug-report-v1 run report;
+   - drdebug-report-v1: a standalone run report (drdebug_cli
+     --report-out), checked via Dr_obs.Report.validate.
+
+   Run by the dune runtest smoke right after the bench's --quick mode so
+   the metrics layer and the emitted JSON cannot silently rot.  Exits
+   non-zero with a message naming the first violated field.  An empty
+   file or an unknown schema string is a failure, never a silent pass:
+   a truncated artifact must not look green in CI. *)
 
 module J = Dr_util.Json
 
@@ -42,36 +51,21 @@ let check_workload i w =
     (fun k ->
       let v = num k in
       if v < 0.0 then fail "%s: negative" (ctx k))
-    [ "records"; "criteria"; "reps"; "construct_s"; "lp_prepare_s";
-      "indexed_s"; "scan_skip_s"; "scan_noskip_s"; "speedup_vs_scan_skip";
-      "speedup_vs_scan_noskip"; "records_per_s_indexed"; "blocks_skipped";
-      "total_blocks"; "visited_ratio_indexed"; "visited_ratio_scan";
-      "slice_size_avg" ];
+    [ "records"; "criteria"; "reps"; "collect_s"; "construct_s";
+      "lp_prepare_s"; "indexed_s"; "scan_skip_s"; "scan_noskip_s";
+      "speedup_vs_scan_skip"; "speedup_vs_scan_noskip";
+      "records_per_s_indexed"; "blocks_skipped"; "total_blocks";
+      "visited_ratio_indexed"; "visited_ratio_scan"; "slice_size_avg" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
   if not (want_bool (ctx "results_identical") (get w "results_identical"))
   then fail "%s: drivers disagree" (ctx "results_identical")
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; p |] -> p
-    | _ ->
-      prerr_endline "usage: validate_bench BENCH_slicing.json";
-      exit 2
-  in
-  src := path;
-  let raw =
-    try In_channel.with_open_text path In_channel.input_all
-    with Sys_error e -> fail "unreadable: %s" e
-  in
-  let doc =
-    match J.parse raw with
-    | Ok v -> v
-    | Error e -> fail "does not parse: %s" e
-  in
-  let schema = want_str "schema" (get doc "schema") in
-  if schema <> "drdebug-bench-slicing-v1" then
-    fail "unexpected schema %S" schema;
+let check_report ctx r =
+  match Dr_obs.Report.validate r with
+  | Ok () -> ()
+  | Error e -> fail "%s: %s" ctx e
+
+let check_slicing doc =
   ignore (want_bool "quick" (get doc "quick"));
   let workloads = want_list "workloads" (get doc "workloads") in
   if workloads = [] then fail "workloads: empty";
@@ -88,5 +82,34 @@ let () =
   (match get doc "metrics" with
   | J.Obj _ -> ()
   | _ -> fail "metrics: expected object");
-  Printf.printf "ok: %s matches %s (%d workloads)\n" path schema
-    (List.length workloads)
+  check_report "report" (get doc "report");
+  List.length workloads
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+      prerr_endline
+        "usage: validate_bench <BENCH_slicing.json | report.json>";
+      exit 2
+  in
+  src := path;
+  let raw =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "unreadable: %s" e
+  in
+  if String.trim raw = "" then fail "empty file";
+  let doc =
+    match J.parse raw with
+    | Ok v -> v
+    | Error e -> fail "does not parse: %s" e
+  in
+  match want_str "schema" (get doc "schema") with
+  | "drdebug-bench-slicing-v1" as schema ->
+    let n = check_slicing doc in
+    Printf.printf "ok: %s matches %s (%d workloads)\n" path schema n
+  | "drdebug-report-v1" as schema ->
+    check_report "report" doc;
+    Printf.printf "ok: %s matches %s\n" path schema
+  | other -> fail "unknown schema %S" other

@@ -4,9 +4,45 @@
      drdebug_cli --workload pbzip2 [--seed N]
      drdebug_cli --source prog.c [--input 1,2,3]
      drdebug_cli --workload Aget --script 'record until-fail;replay;continue;slice-failure;slice-lines'
+     drdebug_cli slice --workload pbzip2 --trace-out trace.json --report-out report.json
+     drdebug_cli fuzz --runs 50 --stats
+     drdebug_cli report report.json
 
    Without --script, reads commands from stdin (one per line; `quit`
-   exits).  See `help` inside the session for the command set. *)
+   exits).  See `help` inside the session for the command set.
+
+   Every pipeline subcommand takes --trace-out (Chrome trace-event JSON,
+   loadable in ui.perfetto.dev) and --report-out (drdebug-report-v1 run
+   report); either flag enables tracing for the run. *)
+
+(* ---- observability plumbing shared by the subcommands ---- *)
+
+(* Tracing is enabled iff some sink will consume it: a trace file, a
+   report file, or the --stats span summary. *)
+let setup_obs ~trace_out ~report_out ~stats =
+  if trace_out <> None || report_out <> None || stats then
+    Dr_obs.Obs.set_enabled true
+
+let finish_obs ~trace_out ~report_out ~stats ~label =
+  Dr_obs.Obs.set_enabled false;
+  (match trace_out with
+  | Some path ->
+    Dr_obs.Chrome_trace.write path;
+    Printf.printf "trace written to %s (%d spans; load in ui.perfetto.dev)\n"
+      path (Dr_obs.Obs.span_count ())
+  | None -> ());
+  (match report_out with
+  | Some path ->
+    Dr_obs.Report.write ~label path;
+    Printf.printf "run report written to %s\n" path
+  | None -> ());
+  if stats then begin
+    Printf.printf "--- internal metrics ---\n%s" (Dr_obs.Metrics.to_string ());
+    print_string (Format.asprintf "%a" Dr_obs.Report.pp_summary ())
+  end;
+  List.iter
+    (fun m -> Printf.eprintf "span mismatch: %s\n" m)
+    (Dr_obs.Obs.mismatch_messages ())
 
 let load_program workload source =
   match (workload, source) with
@@ -26,12 +62,13 @@ let load_program workload source =
     | Error e -> Error e)
   | _ -> Error "specify exactly one of --workload or --source"
 
-let run workload source seed input script stats =
+let run workload source seed input script stats trace_out report_out =
   match load_program workload source with
   | Error e ->
     prerr_endline e;
     1
   | Ok prog ->
+    setup_obs ~trace_out ~report_out ~stats;
     let input =
       match input with
       | None -> [||]
@@ -64,13 +101,96 @@ let run workload source seed input script stats =
         | Some line -> if exec_one line then loop ()
       in
       loop ());
-    if stats then
-      Printf.printf "--- internal metrics ---\n%s" (Dr_util.Metrics.to_string ());
+    finish_obs ~trace_out ~report_out ~stats
+      ~label:("debug:" ^ prog.Dr_isa.Program.name);
     0
+
+(* ---- slice subcommand: one-shot pipeline run ---- *)
+
+(* Run the whole pipeline non-interactively: log the execution, collect
+   the trace, build the global trace and LP, slice at the last print
+   statement (or the last record).  This is the canonical producer of
+   --trace-out / --report-out documents: every phase span shows up once. *)
+let run_slice workload source seed input stats trace_out report_out slice_out =
+  match load_program workload source with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok prog ->
+    setup_obs ~trace_out ~report_out ~stats;
+    let input =
+      match input with
+      | None -> [||]
+      | Some s ->
+        Array.of_list
+          (List.filter_map int_of_string_opt (String.split_on_char ',' s))
+    in
+    let finish () =
+      finish_obs ~trace_out ~report_out ~stats
+        ~label:("slice:" ^ prog.Dr_isa.Program.name)
+    in
+    (match
+       Dr_pinplay.Logger.log ~input
+         ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 8 })
+         prog Dr_pinplay.Logger.Whole
+     with
+    | Error e ->
+      Format.eprintf "logging failed: %a@." Dr_pinplay.Logger.pp_error e;
+      finish ();
+      1
+    | Ok (pb, lstats) ->
+      Printf.printf "logged %s: %d instructions, pinball %d bytes\n"
+        prog.Dr_isa.Program.name
+        lstats.Dr_pinplay.Logger.region_instructions
+        lstats.Dr_pinplay.Logger.pinball_bytes;
+      let c = Dr_slicing.Collector.collect prog pb in
+      let gt = Dr_slicing.Global_trace.construct c in
+      let n = Dr_slicing.Global_trace.length gt in
+      if n = 0 then begin
+        prerr_endline "empty trace: nothing to slice";
+        finish ();
+        1
+      end
+      else begin
+        let lp = Dr_slicing.Lp.prepare gt in
+        (* slice at the last print — a value-bearing statement, as when
+           slicing at a failure point — falling back to the last record *)
+        let is_print (r : Dr_slicing.Trace.record) =
+          match Dr_isa.Program.instr prog r.Dr_slicing.Trace.pc with
+          | Some (Dr_isa.Instr.Sys Dr_isa.Instr.Print) -> true
+          | _ -> false
+        in
+        let crit_pos =
+          match Dr_slicing.Global_trace.find_last gt ~p:is_print with
+          | Some p -> p
+          | None -> n - 1
+        in
+        let slice =
+          Dr_slicing.Slicer.compute ~lp ~pairs:c.Dr_slicing.Collector.pairs gt
+            { Dr_slicing.Slicer.crit_pos; crit_locs = None }
+        in
+        let st = slice.Dr_slicing.Slicer.stats in
+        Printf.printf
+          "slice at position %d/%d: %d statements over %d source lines \
+           (visited %d records, skipped %d of %d blocks, %.6fs)\n"
+          crit_pos n
+          (Dr_slicing.Slicer.size slice)
+          (List.length (Dr_slicing.Slicer.source_lines slice))
+          st.Dr_slicing.Slicer.visited st.Dr_slicing.Slicer.skipped_blocks
+          st.Dr_slicing.Slicer.total_blocks st.Dr_slicing.Slicer.slice_time;
+        (match slice_out with
+        | Some path ->
+          Dr_slicing.Slicer.save_file path slice;
+          Printf.printf "slice saved to %s\n" path
+        | None -> ());
+        finish ();
+        0
+      end)
 
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
-let run_fuzz seed runs out budget stats =
+let run_fuzz seed runs out budget stats trace_out report_out =
+  setup_obs ~trace_out ~report_out ~stats;
   let budget_s = if budget <= 0.0 then None else Some budget in
   let log msg = Printf.printf "%s\n%!" msg in
   let s =
@@ -91,9 +211,30 @@ let run_fuzz seed runs out budget stats =
         (Array.length f.Dr_conformance.Fuzz.fr_lines)
         f.Dr_conformance.Fuzz.fr_shrink_steps)
     s.Dr_conformance.Fuzz.s_failures;
-  if stats then
-    Printf.printf "--- internal metrics ---\n%s" (Dr_util.Metrics.to_string ());
+  finish_obs ~trace_out ~report_out ~stats ~label:"fuzz";
   if Dr_conformance.Fuzz.all_green s then 0 else 1
+
+(* ---- report subcommand: validate + pretty-print a run report ---- *)
+
+let run_report path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+    Printf.eprintf "cannot read %s: %s\n" path e;
+    1
+  | contents -> (
+    match Dr_util.Json.parse contents with
+    | Error e ->
+      Printf.eprintf "%s: not valid JSON: %s\n" path e;
+      1
+    | Ok doc -> (
+      match Dr_obs.Report.validate doc with
+      | Error e ->
+        Printf.eprintf "%s: invalid %s document: %s\n" path
+          Dr_obs.Report.schema_version e;
+        1
+      | Ok () ->
+        print_string (Format.asprintf "%a" Dr_obs.Report.pp_document doc);
+        0))
 
 open Cmdliner
 
@@ -113,10 +254,33 @@ let script =
   Arg.(value & opt (some string) None & info [ "script" ] ~doc:"Semicolon-separated commands to run non-interactively.")
 
 let stats =
-  Arg.(value & flag & info [ "stats" ] ~doc:"Print internal counters and timers (trace construction, LP, slicing, slice replay) on exit.")
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print internal counters/timers and the per-phase span summary on exit.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ]
+         ~doc:"Write a Chrome trace-event JSON file (load in ui.perfetto.dev or chrome://tracing); enables tracing.")
+
+let report_out =
+  Arg.(value & opt (some string) None & info [ "report-out" ]
+         ~doc:"Write a drdebug-report-v1 JSON run report; enables tracing.")
 
 let debug_term =
-  Term.(const run $ workload $ source $ seed $ input $ script $ stats)
+  Term.(
+    const run $ workload $ source $ seed $ input $ script $ stats $ trace_out
+    $ report_out)
+
+let slice_cmd =
+  let doc =
+    "one-shot pipeline run: log the whole execution, collect the trace, \
+     build the global trace and LP, and slice at the last print statement"
+  in
+  let slice_out =
+    Arg.(value & opt (some string) None & info [ "slice-out" ] ~doc:"Save the computed slice file.")
+  in
+  Cmd.v (Cmd.info "slice" ~doc)
+    Term.(
+      const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
+      $ report_out $ slice_out)
 
 let fuzz_cmd =
   let doc =
@@ -137,10 +301,20 @@ let fuzz_cmd =
     Arg.(value & opt float 0.0 & info [ "budget-s" ] ~doc:"Wall-clock budget in seconds; 0 = unlimited.")
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run_fuzz $ fseed $ runs $ out $ budget $ stats)
+    Term.(
+      const run_fuzz $ fseed $ runs $ out $ budget $ stats $ trace_out
+      $ report_out)
+
+let report_cmd =
+  let doc = "validate and pretty-print a drdebug-report-v1 run report" in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Report file to print.")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ file)
 
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
-  Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc) [ fuzz_cmd ]
+  Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc)
+    [ slice_cmd; fuzz_cmd; report_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -9,12 +9,12 @@
     source lines and schedule, so a corpus file stays a repro even if the
     generator changes. *)
 
-let cases_counter = Dr_util.Metrics.counter "conformance.cases"
+let cases_counter = Dr_obs.Metrics.counter "conformance.cases"
 
-let skips_counter = Dr_util.Metrics.counter "conformance.skips"
+let skips_counter = Dr_obs.Metrics.counter "conformance.skips"
 
 let fail_counter kind =
-  Dr_util.Metrics.counter ("conformance.fail." ^ Oracles.kind_name kind)
+  Dr_obs.Metrics.counter ("conformance.fail." ^ Oracles.kind_name kind)
 
 (* ---- deterministic case derivation ---- *)
 
@@ -225,17 +225,29 @@ let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
     let case_id = !id in
     incr id;
     incr cases;
-    Dr_util.Metrics.bump cases_counter;
+    Dr_obs.Metrics.bump cases_counter;
     let lines, sched = gen_case ~master:seed case_id in
     let nds = nondet_seed ~master:seed case_id in
-    match check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () with
+    let verdict =
+      Dr_obs.Obs.with_span ~cat:"fuzz" "fuzz.case" @@ fun sp ->
+      Dr_obs.Obs.add_attr sp "case_id" (Dr_obs.Obs.Int case_id);
+      let v = check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () in
+      Dr_obs.Obs.add_attr sp "verdict"
+        (Dr_obs.Obs.Str
+           (match v with
+           | Oracles.Pass -> "pass"
+           | Oracles.Skip _ -> "skip"
+           | Oracles.Fail f -> Oracles.kind_name f.Oracles.f_kind));
+      v
+    in
+    match verdict with
     | Oracles.Pass -> incr passes
     | Oracles.Skip reason ->
       incr skips;
-      Dr_util.Metrics.bump skips_counter;
+      Dr_obs.Metrics.bump skips_counter;
       log (Printf.sprintf "case %d: skipped (%s)" case_id reason)
     | Oracles.Fail { Oracles.f_kind; f_detail } ->
-      Dr_util.Metrics.bump (fail_counter f_kind);
+      Dr_obs.Metrics.bump (fail_counter f_kind);
       log
         (Printf.sprintf "case %d: %s FAILED: %s (shrinking...)" case_id
            (Oracles.kind_name f_kind) f_detail);

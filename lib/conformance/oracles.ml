@@ -65,6 +65,12 @@ exception Skipped of string
 let fail kind fmt =
   Printf.ksprintf (fun d -> raise (Oracle { f_kind = kind; f_detail = d })) fmt
 
+(* each oracle stage runs under its own span so fuzz --stats can report
+   per-oracle wall time *)
+let oracle_span kind f =
+  Dr_obs.Obs.with_span ~cat:"oracle" ("oracle." ^ kind_name kind) @@ fun _ ->
+  f ()
+
 (** Step bound per case: generated programs terminate well under this;
     anything longer is a runaway we skip rather than fuzz. *)
 let max_case_steps = 2_000_000
@@ -465,8 +471,8 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
           (Skipped
              (Format.asprintf "run did not exit cleanly: %a"
                 Driver.pp_stop_reason r)));
-      check_roundtrip pb;
-      check_determinism prog pb;
+      oracle_span Pinball_roundtrip (fun () -> check_roundtrip pb);
+      oracle_span Replay_determinism (fun () -> check_determinism prog pb);
       let c = Collector.collect prog pb in
       let gt = Global_trace.construct c in
       let n = Global_trace.length gt in
@@ -489,6 +495,7 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
       in
       let crits = List.sort_uniq compare [ n / 4; n / 2; n - 1; crit_pos ] in
       let slices =
+        oracle_span Driver_agreement @@ fun () ->
         List.map
           (fun p ->
             ( p,
@@ -514,12 +521,14 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
       let exclusions, _xstats =
         Dr_exeslice.Exclusion.build ~slice ~collector:c
       in
-      check_exclusions ~exclusions ~c ~in_slice;
+      oracle_span Exclusion_sanity (fun () ->
+          check_exclusions ~exclusions ~c ~in_slice);
       let spb =
         try Relogger.relog prog pb ~exclusions
         with Relogger.Relog_error msg ->
           fail Exclusion_sanity "relog rejected the exclusion regions: %s" msg
       in
+      oracle_span Slice_soundness @@ fun () ->
       let obs = observe prog pb c ~included ~crit_gseq in
       check_slice_replay prog spb obs;
       (* Oracle 4b re-executes the UNPRUNED dependence closure: a pruned

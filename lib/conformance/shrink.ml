@@ -8,7 +8,7 @@
     itself.  Greedy to a fixpoint, bounded by [max_attempts] tried
     reductions. *)
 
-let steps_counter = Dr_util.Metrics.counter "conformance.shrink_steps"
+let steps_counter = Dr_obs.Metrics.counter "conformance.shrink_steps"
 
 let strip = String.trim
 
@@ -132,7 +132,7 @@ let shrink ?(max_attempts = 400)
         if try_case reduced !sched then begin
           lines := reduced;
           incr steps;
-          Dr_util.Metrics.bump steps_counter;
+          Dr_obs.Metrics.bump steps_counter;
           progress := true
         end
         else try_sources rest
@@ -146,7 +146,7 @@ let shrink ?(max_attempts = 400)
           if try_case !lines sc then begin
             sched := sc;
             incr steps;
-            Dr_util.Metrics.bump steps_counter;
+            Dr_obs.Metrics.bump steps_counter;
             progress := true
           end
           else try_scheds rest

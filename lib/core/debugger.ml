@@ -95,6 +95,10 @@ let exec (t : t) (line : string) : (string, string) result =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
   in
+  Dr_obs.Obs.with_span ~cat:"debugger" "debugger.exec" @@ fun sp ->
+  (match words with
+  | cmd :: _ -> Dr_obs.Obs.add_attr sp "command" (Dr_obs.Obs.Str cmd)
+  | [] -> ());
   let result =
     match words with
     | [] -> Ok ()

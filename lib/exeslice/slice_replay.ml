@@ -11,15 +11,15 @@
 
 open Dr_machine
 
-let m_steps = Dr_util.Metrics.counter "slice_replay.steps"
-let m_injections = Dr_util.Metrics.counter "slice_replay.injections"
-let m_divergences = Dr_util.Metrics.counter "slice_replay.divergences"
-let t_run = Dr_util.Metrics.timer "slice_replay.run"
+let m_steps = Dr_obs.Metrics.counter "slice_replay.steps"
+let m_injections = Dr_obs.Metrics.counter "slice_replay.injections"
+let m_divergences = Dr_obs.Metrics.counter "slice_replay.divergences"
+let t_run = Dr_obs.Metrics.timer "slice_replay.run"
 
 exception Divergence of string
 
 let divergence msg =
-  Dr_util.Metrics.bump m_divergences;
+  Dr_obs.Metrics.bump m_divergences;
   raise (Divergence msg)
 
 type t = {
@@ -85,7 +85,7 @@ let step (t : t) : step_result =
     | Dr_pinplay.Pinball.Inject i ->
       let inj = t.pinball.Dr_pinplay.Pinball.injections.(i) in
       apply_injection t inj;
-      Dr_util.Metrics.bump m_injections;
+      Dr_obs.Metrics.bump m_injections;
       Injected { tid = inj.Dr_pinplay.Pinball.inj_tid }
     | Dr_pinplay.Pinball.Step { tid; pc } ->
       let th = Machine.thread t.machine tid in
@@ -97,7 +97,7 @@ let step (t : t) : step_result =
       let mev = Machine.step t.machine ~tid ~nondet:t.nondet in
       if not mev.Event.retired then
         divergence (Printf.sprintf "slice step blocked at tid %d pc %d" tid pc);
-      Dr_util.Metrics.bump m_steps;
+      Dr_obs.Metrics.bump m_steps;
       let line =
         Option.value ~default:(-1)
           (Dr_isa.Debug_info.line_of_pc t.prog.Dr_isa.Program.debug pc)
@@ -129,15 +129,25 @@ let step_statement (t : t) : step_result =
     instruction. *)
 let run ?(on_step : (tid:int -> pc:int -> unit) option) (t : t) :
     step_result =
-  Dr_util.Metrics.time t_run @@ fun () ->
+  Dr_obs.Obs.with_span ~cat:"slice-replay" "slice_replay.run" @@ fun sp ->
+  Dr_obs.Metrics.time t_run @@ fun () ->
+  let steps = ref 0 and injected = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Dr_obs.Obs.add_attr sp "steps" (Dr_obs.Obs.Int !steps);
+      Dr_obs.Obs.add_attr sp "injections" (Dr_obs.Obs.Int !injected))
+  @@ fun () ->
   let rec go () =
     match step t with
     | Stepped { tid; pc; _ } ->
+      incr steps;
       (match on_step with Some f -> f ~tid ~pc | None -> ());
       if Machine.outcome t.machine <> Machine.Running then
         Finished (Machine.outcome t.machine)
       else go ()
-    | Injected _ -> go ()
+    | Injected _ ->
+      incr injected;
+      go ()
     | other -> other
   in
   go ()

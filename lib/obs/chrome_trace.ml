@@ -1,0 +1,54 @@
+(** Chrome trace-event JSON sink: export the recorded spans as a file
+    loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}.
+
+    Spans are emitted as complete events ([ph = "X"]) with microsecond
+    [ts]/[dur], the span's thread attribution as [tid] and its
+    attributes under [args] — the object-of-arrays format both viewers
+    accept.  A metadata event names the process so the timeline is
+    labelled. *)
+
+module J = Dr_util.Json
+
+let attr_json = function
+  | Obs.Int n -> J.int n
+  | Obs.Float f -> J.Num f
+  | Obs.Str s -> J.Str s
+  | Obs.Bool b -> J.Bool b
+
+let span_json (s : Obs.span) : J.t =
+  J.Obj
+    [ ("name", J.Str s.Obs.sp_name);
+      ("cat", J.Str s.Obs.sp_cat);
+      ("ph", J.Str "X");
+      ("pid", J.int 1);
+      ("tid", J.int s.Obs.sp_tid);
+      ("ts", J.Num (s.Obs.sp_start_s *. 1e6));
+      ("dur", J.Num (s.Obs.sp_dur_s *. 1e6));
+      ("args",
+       J.Obj
+         (("depth", J.int s.Obs.sp_depth)
+         :: List.map (fun (k, v) -> (k, attr_json v)) s.Obs.sp_attrs)) ]
+
+let process_name_json : J.t =
+  J.Obj
+    [ ("name", J.Str "process_name");
+      ("ph", J.Str "M");
+      ("pid", J.int 1);
+      ("tid", J.int 0);
+      ("args", J.Obj [ ("name", J.Str "drdebug") ]) ]
+
+(** The whole recorded trace as a Chrome trace-event document. *)
+let to_json () : J.t =
+  let events =
+    process_name_json
+    :: (Array.to_list (Obs.spans ()) |> List.map span_json)
+  in
+  J.Obj
+    [ ("traceEvents", J.List events); ("displayTimeUnit", J.Str "ms") ]
+
+(** Write the trace to [path] (atomic: tmp + fsync + rename). *)
+let write path =
+  Dr_util.Atomic_file.with_out path (fun oc ->
+      output_string oc (J.to_string (to_json ()));
+      output_char oc '\n')

@@ -1,0 +1,11 @@
+(** The process-wide observability switch.
+
+    It lives in its own tiny module so both the span recorder ({!Obs})
+    and the histogram tier ({!Histogram}) can test it without depending
+    on each other.  Hot paths read the field directly: with tracing off
+    the entire event tier costs one mutable-field load per call site and
+    allocates nothing.  The scalar tier ({!Metrics} counters and timers)
+    is deliberately {e not} gated — it was cheap enough to leave enabled
+    everywhere before this flag existed and stays that way. *)
+
+let enabled = ref false

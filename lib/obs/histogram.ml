@@ -1,0 +1,127 @@
+(** Log-bucketed distributions (latencies, sizes) with quantile
+    summaries — part of the event tier of the observability registry.
+
+    Buckets are base-2: bucket [i] covers [[2^(i-bias), 2^(i-bias+1))];
+    bucket 0 additionally absorbs everything at or below its lower bound
+    (including 0 and negative values) and the last bucket everything
+    above.  With [bias = 32] and 73 buckets the range runs from ~2.3e-10
+    to beyond 1e12, covering sub-nanosecond latencies through
+    multi-gigabyte sizes with one integer increment per sample.
+
+    [observe] is gated on {!Gate.enabled} and allocation-free: with
+    tracing off it is a single field check, with tracing on it is a few
+    field updates on preallocated arrays.  [record] is the ungated
+    variant used for ad-hoc aggregation (e.g. {!Report} summarising span
+    durations).
+
+    Quantiles are bucket-resolution upper bounds: [quantile h q] returns
+    the upper bound of the bucket containing the rank-[ceil(q*count)]
+    sample, clamped to the exact observed [min]/[max].  That makes p50 /
+    p90 / p99 conservative (never under-reported) and deterministic. *)
+
+let num_buckets = 73
+let bias = 32
+
+type t = {
+  h_name : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+(** Bucket index for a sample value (total over all floats). *)
+let bucket_of v =
+  if v <= 0.0 then 0
+  else begin
+    (* v = m * 2^e with m in [0.5, 1): v lies in [2^(e-1), 2^e) *)
+    let _, e = Float.frexp v in
+    let b = e - 1 + bias in
+    if b < 0 then 0 else if b >= num_buckets then num_buckets - 1 else b
+  end
+
+(** [(lo, hi)] of bucket [i]: samples land in [i] iff [lo <= v < hi]
+    (bucket 0 reports [lo = 0] for its absorb-below role; the last
+    bucket reports [hi = infinity]). *)
+let bucket_bounds i =
+  let lo = if i = 0 then 0.0 else Float.ldexp 1.0 (i - bias) in
+  let hi =
+    if i = num_buckets - 1 then Float.infinity
+    else Float.ldexp 1.0 (i - bias + 1)
+  in
+  (lo, hi)
+
+(** An unregistered histogram (for ad-hoc aggregation). *)
+let create name =
+  { h_name = name; buckets = Array.make num_buckets 0; count = 0; sum = 0.0;
+    vmin = Float.infinity; vmax = Float.neg_infinity }
+
+(* registry: O(1) idempotent registration, report in registration order *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let order : t list ref = ref []
+
+let get name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+    let h = create name in
+    Hashtbl.replace registry name h;
+    order := h :: !order;
+    h
+
+(** Record a sample unconditionally (ungated; used for report-time
+    aggregation).  Hot paths use {!observe} instead. *)
+let record h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+(** Record a sample if tracing is enabled; a field check otherwise. *)
+let observe h v = if !Gate.enabled then record h v
+
+let name h = h.h_name
+let count h = h.count
+let sum h = h.sum
+let min_value h = if h.count = 0 then 0.0 else h.vmin
+let max_value h = if h.count = 0 then 0.0 else h.vmax
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(** Upper bound of the bucket holding the rank-[ceil(q*count)] sample,
+    clamped to the observed range; 0 on an empty histogram. *)
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let cum = ref 0 in
+    let result = ref h.vmax in
+    (try
+       for i = 0 to num_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           let _, hi = bucket_bounds i in
+           result := Float.min hi h.vmax;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.max !result h.vmin
+  end
+
+let reset h =
+  Array.fill h.buckets 0 num_buckets 0;
+  h.count <- 0;
+  h.sum <- 0.0;
+  h.vmin <- Float.infinity;
+  h.vmax <- Float.neg_infinity
+
+(** All registered histograms, in registration order. *)
+let all () = List.rev !order
+
+let reset_all () = List.iter reset (all ())

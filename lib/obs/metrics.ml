@@ -1,0 +1,94 @@
+(** Lightweight process-wide counters and timers — the {e scalar tier}
+    of the observability registry (spans and histograms are the event
+    tier, see {!Obs} and {!Histogram}).
+
+    Hot paths register a handle once at module initialisation
+    ([counter]/[timer]) and bump it with a plain field update — no hash
+    lookup, no allocation — so instrumentation stays cheap enough to
+    leave enabled everywhere; unlike the event tier, the scalar tier is
+    not gated on {!Gate.enabled}.  The registry is global: [report]
+    returns every registered metric for the CLI ([--stats]), the run
+    report ({!Report}) and the bench harness; [reset] zeroes values
+    between measurements but keeps the registrations.
+
+    Registration is a Hashtbl lookup (O(1), not a scan of a growing
+    list) and [report] emits metrics in registration order, which is the
+    order the program's phases touch them — far more readable than the
+    reversed cons order the list-based registry used to produce. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type timer = {
+  t_name : string;
+  mutable seconds : float;
+  mutable events : int;  (** number of timed sections *)
+}
+
+(* name -> handle for O(1) idempotent registration; [order] remembers
+   first-registration order (newest first, reversed by [report]) *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+let order : [ `C of counter | `T of timer ] list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    order := `C c :: !order;
+    c
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; seconds = 0.0; events = 0 } in
+    Hashtbl.replace timers name t;
+    order := `T t :: !order;
+    t
+
+let bump c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+let record t dt =
+  t.seconds <- t.seconds +. dt;
+  t.events <- t.events + 1
+
+(** [time t f] runs [f ()], accumulating its wall-clock duration in [t].
+    The elapsed time is recorded even when [f] raises. *)
+let time t f =
+  let t0 = Dr_util.Timer.now () in
+  Fun.protect ~finally:(fun () -> record t (Dr_util.Timer.now () -. t0)) f
+
+let seconds t = t.seconds
+let events t = t.events
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      t.seconds <- 0.0;
+      t.events <- 0)
+    timers
+
+(** All registered metrics, in registration order: counters as
+    [(name, `Counter n)], timers as [(name, `Timer (seconds, events))]. *)
+let report () =
+  List.rev_map
+    (function
+      | `C c -> (c.c_name, `Counter c.count)
+      | `T t -> (t.t_name, `Timer (t.seconds, t.events)))
+    !order
+
+let pp fmt () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Counter n -> Format.fprintf fmt "%-40s %12d@." name n
+      | `Timer (s, e) ->
+        Format.fprintf fmt "%-40s %12.6fs over %d events@." name s e)
+    (report ())
+
+let to_string () = Format.asprintf "%a" pp ()

@@ -1,0 +1,192 @@
+(** Nested tracing spans — the event tier of the observability registry.
+
+    A span is a named, monotonic-clock [start]/[stop] interval with a
+    thread attribution, a phase category and key:value attributes.
+    Spans nest: [start] pushes onto an open-span stack, [stop] pops and
+    appends a completed {!span} to the global buffer, from which the
+    sinks ({!Chrome_trace}, {!Report}) read.
+
+    Overhead discipline: every entry point checks {!Gate.enabled} first.
+    With tracing off, [start] returns the preallocated {!none} token and
+    [stop]/[add_attr]/[with_span] are a single field check — hot paths
+    stay allocation-free.  Tokens are plain [int]s so the disabled path
+    boxes nothing.
+
+    Mismatched stops are detected, not ignored: stopping a token that is
+    not the top of the stack closes the intervening spans (their data is
+    kept) and records a diagnostic in [mismatch_messages]; stopping an
+    unknown token records a diagnostic and does nothing else.  The count
+    also surfaces as the [obs.span_mismatches] counter so a run report
+    can never hide a broken instrumentation site. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type span = {
+  sp_name : string;
+  sp_cat : string;  (** phase category: "log", "replay", "slice", ... *)
+  sp_tid : int;  (** attributed thread (simulated tid; 0 = tool) *)
+  sp_start_s : float;  (** seconds since the trace epoch *)
+  sp_dur_s : float;
+  sp_depth : int;  (** nesting depth at the time the span was open *)
+  sp_attrs : (string * attr) list;
+}
+
+let m_spans = Metrics.counter "obs.spans"
+let m_mismatches = Metrics.counter "obs.span_mismatches"
+
+(* ---- global recorder state ---- *)
+
+let epoch = ref 0.0
+let epoch_set = ref false
+
+let dummy_span =
+  { sp_name = ""; sp_cat = ""; sp_tid = 0; sp_start_s = 0.0; sp_dur_s = 0.0;
+    sp_depth = 0; sp_attrs = [] }
+
+let spans_buf : span Dr_util.Vec.t = Dr_util.Vec.create ~dummy:dummy_span
+
+type open_span = {
+  o_id : int;
+  o_name : string;
+  o_cat : string;
+  o_tid : int;
+  o_t0 : float;
+  mutable o_attrs : (string * attr) list;  (** newest first *)
+}
+
+let dummy_open =
+  { o_id = 0; o_name = ""; o_cat = ""; o_tid = 0; o_t0 = 0.0; o_attrs = [] }
+
+let stack : open_span Dr_util.Vec.t = Dr_util.Vec.create ~dummy:dummy_open
+let next_id = ref 1
+let mismatches : string list ref = ref []
+
+(* ---- switch ---- *)
+
+let set_enabled b = Gate.enabled := b
+let enabled () = !Gate.enabled
+
+(** Drop all recorded spans, open spans and mismatch diagnostics (the
+    registrations in {!Metrics} and {!Histogram} are untouched). *)
+let reset () =
+  Dr_util.Vec.clear spans_buf;
+  Dr_util.Vec.clear stack;
+  mismatches := [];
+  epoch_set := false
+
+(* ---- recording ---- *)
+
+(** The token [start] returns when tracing is disabled; stopping it is
+    a no-op. *)
+let none = 0
+
+let now () = Dr_util.Timer.now ()
+
+let mismatch fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Metrics.bump m_mismatches;
+      mismatches := msg :: !mismatches)
+    fmt
+
+(** Open a span.  [cat] groups spans into a phase for the trace viewer
+    and the report; [tid] attributes the span to a simulated thread. *)
+let start ?(tid = 0) ?(cat = "drdebug") name =
+  if not !Gate.enabled then none
+  else begin
+    if not !epoch_set then begin
+      epoch := now ();
+      epoch_set := true
+    end;
+    let id = !next_id in
+    incr next_id;
+    Dr_util.Vec.push stack
+      { o_id = id; o_name = name; o_cat = cat; o_tid = tid; o_t0 = now ();
+        o_attrs = [] };
+    id
+  end
+
+(* index of [tok] in the open stack, or -1 *)
+let find_open tok =
+  let n = Dr_util.Vec.length stack in
+  let idx = ref (-1) in
+  for i = n - 1 downto 0 do
+    if !idx < 0 && (Dr_util.Vec.get stack i).o_id = tok then idx := i
+  done;
+  !idx
+
+(** Attach an attribute to a still-open span. *)
+let add_attr tok key v =
+  if !Gate.enabled && tok <> none then begin
+    let i = find_open tok in
+    if i >= 0 then begin
+      let o = Dr_util.Vec.get stack i in
+      o.o_attrs <- (key, v) :: o.o_attrs
+    end
+    else mismatch "add_attr %S on a closed or unknown span token" key
+  end
+
+(* pop the top open span and append the completed record *)
+let close_top t1 =
+  let o = Dr_util.Vec.pop stack in
+  Metrics.bump m_spans;
+  Dr_util.Vec.push spans_buf
+    { sp_name = o.o_name; sp_cat = o.o_cat; sp_tid = o.o_tid;
+      sp_start_s = o.o_t0 -. !epoch; sp_dur_s = t1 -. o.o_t0;
+      sp_depth = Dr_util.Vec.length stack; sp_attrs = List.rev o.o_attrs }
+
+(** Close a span, optionally attaching final [attrs].  Stopping out of
+    order closes the spans opened above it first (recording a mismatch
+    diagnostic); stopping an unknown token only records the mismatch. *)
+let stop ?(attrs = []) tok =
+  if !Gate.enabled && tok <> none then begin
+    let i = find_open tok in
+    if i < 0 then
+      mismatch "stop of a closed or unknown span token %d" tok
+    else begin
+      let t1 = now () in
+      let n = Dr_util.Vec.length stack in
+      if i < n - 1 then
+        mismatch "stop of %S closed %d unfinished child span(s)"
+          (Dr_util.Vec.get stack i).o_name
+          (n - 1 - i);
+      while Dr_util.Vec.length stack > i + 1 do
+        close_top t1
+      done;
+      let o = Dr_util.Vec.get stack i in
+      o.o_attrs <- List.rev_append attrs o.o_attrs;
+      close_top t1
+    end
+  end
+
+(** [with_span name f] runs [f token] inside a span; the span is closed
+    (and recorded) even when [f] raises.  [f] receives the token so it
+    can {!add_attr} results as they become known. *)
+let with_span ?tid ?cat ?attrs name f =
+  if not !Gate.enabled then f none
+  else begin
+    let tok = start ?tid ?cat name in
+    Fun.protect ~finally:(fun () -> stop ?attrs tok) (fun () -> f tok)
+  end
+
+(* ---- reading ---- *)
+
+(** Completed spans, in completion order. *)
+let spans () = Dr_util.Vec.to_array spans_buf
+
+let span_count () = Dr_util.Vec.length spans_buf
+
+(** Mismatch diagnostics, oldest first. *)
+let mismatch_messages () = List.rev !mismatches
+
+let mismatch_count () = List.length !mismatches
+
+let attr_to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b

@@ -1,0 +1,271 @@
+(** Machine-readable run reports ([drdebug-report-v1]).
+
+    A report is one JSON document summarising the whole observability
+    registry: the scalar tier ({!Metrics} counters and timers, in
+    registration order), the registered {!Histogram}s (bucket counts
+    plus p50/p90/p99), and the recorded {!Obs} spans aggregated into
+    {e phases} — per span name: invocation count, total wall time and
+    duration quantiles (computed through a fresh log-bucketed histogram,
+    so a report never needs the raw span list).
+
+    The schema is validated like the BENCH files: [validate] walks the
+    parsed document and names the first violated field; the bench
+    validator and the [drdebug_cli report] pretty-printer both run it
+    before trusting a file. *)
+
+module J = Dr_util.Json
+
+let schema_version = "drdebug-report-v1"
+
+(* ---- document construction ---- *)
+
+let finite f = if Float.abs f = Float.infinity || Float.is_nan f then 0.0 else f
+
+let histogram_json (h : Histogram.t) : J.t =
+  let buckets = ref [] in
+  for i = Histogram.num_buckets - 1 downto 0 do
+    let n = h.Histogram.buckets.(i) in
+    if n > 0 then begin
+      let lo, hi = Histogram.bucket_bounds i in
+      (* the last bucket's bound is infinite; clamp to the observed max
+         so the document stays valid JSON *)
+      let hi = if hi = Float.infinity then Histogram.max_value h else hi in
+      buckets :=
+        J.Obj [ ("lo", J.Num lo); ("hi", J.Num hi); ("count", J.int n) ]
+        :: !buckets
+    end
+  done;
+  J.Obj
+    [ ("count", J.int (Histogram.count h));
+      ("sum", J.Num (finite (Histogram.sum h)));
+      ("min", J.Num (finite (Histogram.min_value h)));
+      ("max", J.Num (finite (Histogram.max_value h)));
+      ("mean", J.Num (finite (Histogram.mean h)));
+      ("p50", J.Num (finite (Histogram.quantile h 0.50)));
+      ("p90", J.Num (finite (Histogram.quantile h 0.90)));
+      ("p99", J.Num (finite (Histogram.quantile h 0.99)));
+      ("buckets", J.List !buckets) ]
+
+(* per-name span aggregate *)
+type phase = {
+  ph_name : string;
+  ph_cat : string;
+  mutable ph_count : int;
+  mutable ph_total : float;
+  ph_hist : Histogram.t;  (** span durations *)
+}
+
+let phases_of_spans (spans : Obs.span array) : phase list =
+  let tbl : (string, phase) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  Array.iter
+    (fun (s : Obs.span) ->
+      let p =
+        match Hashtbl.find_opt tbl s.Obs.sp_name with
+        | Some p -> p
+        | None ->
+          let p =
+            { ph_name = s.Obs.sp_name; ph_cat = s.Obs.sp_cat; ph_count = 0;
+              ph_total = 0.0; ph_hist = Histogram.create s.Obs.sp_name }
+          in
+          Hashtbl.replace tbl s.Obs.sp_name p;
+          order := p :: !order;
+          p
+      in
+      p.ph_count <- p.ph_count + 1;
+      p.ph_total <- p.ph_total +. s.Obs.sp_dur_s;
+      Histogram.record p.ph_hist s.Obs.sp_dur_s)
+    spans;
+  List.rev !order
+
+let phase_json (p : phase) : J.t =
+  J.Obj
+    [ ("cat", J.Str p.ph_cat);
+      ("count", J.int p.ph_count);
+      ("total_s", J.Num (finite p.ph_total));
+      ("mean_s", J.Num (finite (Histogram.mean p.ph_hist)));
+      ("p50_s", J.Num (finite (Histogram.quantile p.ph_hist 0.50)));
+      ("p90_s", J.Num (finite (Histogram.quantile p.ph_hist 0.90)));
+      ("p99_s", J.Num (finite (Histogram.quantile p.ph_hist 0.99)));
+      ("max_s", J.Num (finite (Histogram.max_value p.ph_hist))) ]
+
+(** Build the [drdebug-report-v1] document from the current registry
+    state. *)
+let document ?(label = "drdebug") () : J.t =
+  let counters, timers =
+    List.partition_map
+      (fun (name, v) ->
+        match v with
+        | `Counter n -> Either.Left (name, J.int n)
+        | `Timer (s, e) ->
+          Either.Right
+            (name, J.Obj [ ("seconds", J.Num (finite s)); ("events", J.int e) ]))
+      (Metrics.report ())
+  in
+  let histograms =
+    List.filter_map
+      (fun h ->
+        if Histogram.count h = 0 then None
+        else Some (Histogram.name h, histogram_json h))
+      (Histogram.all ())
+  in
+  let phases =
+    List.map (fun p -> (p.ph_name, phase_json p)) (phases_of_spans (Obs.spans ()))
+  in
+  J.Obj
+    [ ("schema", J.Str schema_version);
+      ("label", J.Str label);
+      ("counters", J.Obj counters);
+      ("timers", J.Obj timers);
+      ("histograms", J.Obj histograms);
+      ("phases", J.Obj phases);
+      ("span_total", J.int (Obs.span_count ()));
+      ("span_mismatches", J.int (Obs.mismatch_count ())) ]
+
+(** Write the current registry state as a report to [path] (atomic). *)
+let write ?label path =
+  Dr_util.Atomic_file.with_out path (fun oc ->
+      output_string oc (J.to_string (document ?label ()));
+      output_char oc '\n')
+
+(* ---- validation ---- *)
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+let get ctx doc k =
+  match J.member k doc with
+  | Some v -> v
+  | None -> invalid "%s: missing field %S" ctx k
+
+let want_num ctx v =
+  match J.to_float v with Some f -> f | None -> invalid "%s: expected number" ctx
+
+let want_str ctx v =
+  match J.to_str v with Some s -> s | None -> invalid "%s: expected string" ctx
+
+let want_obj ctx v =
+  match v with J.Obj fields -> fields | _ -> invalid "%s: expected object" ctx
+
+let want_nonneg ctx v =
+  let f = want_num ctx v in
+  if f < 0.0 then invalid "%s: negative" ctx;
+  f
+
+let check_histogram name h =
+  let ctx k = Printf.sprintf "histograms.%s.%s" name k in
+  List.iter
+    (fun k -> ignore (want_num (ctx k) (get (ctx k) h k)))
+    [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ];
+  ignore (want_nonneg (ctx "count") (get (ctx "count") h "count"));
+  match get (ctx "buckets") h "buckets" with
+  | J.List buckets ->
+    List.iteri
+      (fun i b ->
+        let bctx k = Printf.sprintf "histograms.%s.buckets[%d].%s" name i k in
+        let lo = want_num (bctx "lo") (get (bctx "lo") b "lo") in
+        let hi = want_num (bctx "hi") (get (bctx "hi") b "hi") in
+        if hi < lo then invalid "%s: hi < lo" (bctx "hi");
+        if want_nonneg (bctx "count") (get (bctx "count") b "count") < 1.0 then
+          invalid "%s: empty bucket emitted" (bctx "count"))
+      buckets
+  | _ -> invalid "%s: expected list" (ctx "buckets")
+
+let check_phase name p =
+  let ctx k = Printf.sprintf "phases.%s.%s" name k in
+  ignore (want_str (ctx "cat") (get (ctx "cat") p "cat"));
+  if want_nonneg (ctx "count") (get (ctx "count") p "count") < 1.0 then
+    invalid "%s: phase with no spans" (ctx "count");
+  List.iter
+    (fun k -> ignore (want_nonneg (ctx k) (get (ctx k) p k)))
+    [ "total_s"; "mean_s"; "p50_s"; "p90_s"; "p99_s"; "max_s" ]
+
+(** Validate a parsed [drdebug-report-v1] document; the error names the
+    first violated field. *)
+let validate (doc : J.t) : (unit, string) result =
+  try
+    let schema = want_str "schema" (get "schema" doc "schema") in
+    if schema <> schema_version then
+      invalid "schema: expected %S, found %S" schema_version schema;
+    ignore (want_str "label" (get "label" doc "label"));
+    List.iter
+      (fun (name, v) -> ignore (want_nonneg ("counters." ^ name) v))
+      (want_obj "counters" (get "counters" doc "counters"));
+    List.iter
+      (fun (name, v) ->
+        let ctx k = Printf.sprintf "timers.%s.%s" name k in
+        ignore (want_nonneg (ctx "seconds") (get (ctx "seconds") v "seconds"));
+        ignore (want_nonneg (ctx "events") (get (ctx "events") v "events")))
+      (want_obj "timers" (get "timers" doc "timers"));
+    List.iter
+      (fun (name, h) -> check_histogram name h)
+      (want_obj "histograms" (get "histograms" doc "histograms"));
+    List.iter
+      (fun (name, p) -> check_phase name p)
+      (want_obj "phases" (get "phases" doc "phases"));
+    ignore (want_nonneg "span_total" (get "span_total" doc "span_total"));
+    ignore
+      (want_nonneg "span_mismatches"
+         (get "span_mismatches" doc "span_mismatches"));
+    Ok ()
+  with Invalid m -> Error m
+
+(* ---- pretty-printing (drdebug_cli report, --stats) ---- *)
+
+let num_of ctx doc k = want_num ctx (get ctx doc k)
+
+(** Per-phase wall-time table from a parsed report document, heaviest
+    phase first. *)
+let pp_document fmt (doc : J.t) =
+  let label =
+    match Option.bind (J.member "label" doc) J.to_str with
+    | Some l -> l
+    | None -> "?"
+  in
+  Format.fprintf fmt "run report: %s@." label;
+  let phases = want_obj "phases" (get "phases" doc "phases") in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        let n k = num_of (name ^ "." ^ k) p k in
+        ( name,
+          (match Option.bind (J.member "cat" p) J.to_str with
+          | Some c -> c
+          | None -> ""),
+          int_of_float (n "count"), n "total_s", n "p50_s", n "p99_s",
+          n "max_s" ))
+      phases
+    |> List.sort (fun (_, _, _, a, _, _, _) (_, _, _, b, _, _, _) ->
+           Float.compare b a)
+  in
+  if rows = [] then
+    Format.fprintf fmt "  (no spans recorded — was tracing enabled?)@."
+  else begin
+    Format.fprintf fmt "  %-34s %-9s %7s %11s %11s %11s %11s@." "phase" "cat"
+      "count" "total(s)" "p50(s)" "p99(s)" "max(s)";
+    List.iter
+      (fun (name, cat, count, total, p50, p99, mx) ->
+        Format.fprintf fmt "  %-34s %-9s %7d %11.6f %11.6f %11.6f %11.6f@."
+          name cat count total p50 p99 mx)
+      rows
+  end;
+  let histograms = want_obj "histograms" (get "histograms" doc "histograms") in
+  if histograms <> [] then begin
+    Format.fprintf fmt "  %-34s %9s %14s %11s %11s@." "histogram" "count"
+      "mean" "p50" "p99";
+    List.iter
+      (fun (name, h) ->
+        let n k = num_of (name ^ "." ^ k) h k in
+        Format.fprintf fmt "  %-34s %9d %14.6g %11.6g %11.6g@." name
+          (int_of_float (n "count"))
+          (n "mean") (n "p50") (n "p99"))
+      histograms
+  end;
+  let mm = num_of "span_mismatches" doc "span_mismatches" in
+  if mm > 0.0 then
+    Format.fprintf fmt "  WARNING: %d span mismatch(es) recorded@."
+      (int_of_float mm)
+
+(** The live registry's per-phase summary (used by [--stats]). *)
+let pp_summary fmt () = pp_document fmt (document ())

@@ -9,6 +9,9 @@
 
 open Dr_machine
 
+let h_pinball_bytes = Dr_obs.Histogram.get "logger.pinball_bytes"
+let h_region_instr = Dr_obs.Histogram.get "logger.region_instructions"
+
 type spec =
   | Skip_length of { skip : int; length : int }
       (** capture [length] main-thread instructions after skipping [skip] *)
@@ -56,6 +59,7 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
     | Whole -> 0
   in
   (* Phase 1: fast-forward to the region start (minimal instrumentation). *)
+  let sp_ff = Dr_obs.Obs.start ~cat:"log" "logger.fast_forward" in
   let ff_t0 = Dr_util.Timer.now () in
   let ff_ok =
     if skip = 0 then true
@@ -69,6 +73,8 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
     end
   in
   let ff_time = Dr_util.Timer.now () -. ff_t0 in
+  Dr_obs.Obs.stop sp_ff
+    ~attrs:[ ("skip", Dr_obs.Obs.Int skip); ("ok", Dr_obs.Obs.Bool ff_ok) ];
   if not ff_ok then
     Error
       (match Machine.outcome m with
@@ -107,6 +113,7 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
       | Skip_until { until; _ } -> until
       | Whole -> fun _ -> false
     in
+    let sp_log = Dr_obs.Obs.start ~cat:"log" "logger.log_region" in
     let log_t0 = Dr_util.Timer.now () in
     let stop =
       Driver.resume session ~max_steps ~hooks:{ Driver.on_event } ~stop_when
@@ -123,9 +130,17 @@ let log ?(policy = Driver.Seeded { seed = 1; max_quantum = 8 })
         ~schedule:(Dr_util.Vec.to_array schedule)
         ~syscalls:(Dr_util.Vec.Int_vec.to_array syscalls) ()
     in
+    let pinball_bytes = Pinball.size_bytes pinball in
+    Dr_obs.Obs.stop sp_log
+      ~attrs:
+        [ ("region_instructions", Dr_obs.Obs.Int region_instructions);
+          ("main_instructions", Dr_obs.Obs.Int main_instructions);
+          ("pinball_bytes", Dr_obs.Obs.Int pinball_bytes) ];
+    Dr_obs.Histogram.observe h_pinball_bytes (float_of_int pinball_bytes);
+    Dr_obs.Histogram.observe h_region_instr (float_of_int region_instructions);
     let stats =
-      { ff_time; log_time; pinball_bytes = Pinball.size_bytes pinball;
-        region_instructions; main_instructions; stop }
+      { ff_time; log_time; pinball_bytes; region_instructions;
+        main_instructions; stop }
     in
     Ok (pinball, stats)
   end

@@ -44,6 +44,7 @@ let relog (prog : Dr_isa.Program.t) (pinball : Pinball.t)
     ~(exclusions : exclusion list) : Pinball.t =
   if pinball.Pinball.kind <> Pinball.Region then
     invalid_arg "Relogger.relog: expected a region pinball";
+  Dr_obs.Obs.with_span ~cat:"relog" "relogger.relog" @@ fun sp ->
   let max_tid =
     List.fold_left (fun acc x -> max acc x.x_tid) 0 exclusions
     + prog.Dr_isa.Program.max_threads
@@ -157,6 +158,12 @@ let relog (prog : Dr_isa.Program.t) (pinball : Pinball.t)
   let _reason = Replayer.run ~hooks:{ Driver.on_event } replayer in
   (* trailing exclusions: flush what's left *)
   Array.iteri (fun tid st -> if st.flag then flush_injection tid st) per_thread;
+  Dr_obs.Obs.add_attr sp "exclusions"
+    (Dr_obs.Obs.Int (List.length exclusions));
+  Dr_obs.Obs.add_attr sp "injections"
+    (Dr_obs.Obs.Int (Dr_util.Vec.length injections));
+  Dr_obs.Obs.add_attr sp "slice_events"
+    (Dr_obs.Obs.Int (Dr_util.Vec.length events));
   (* the region pinball's digests are indexed by region step, which slice
      replay does not follow — they would all misfire, so drop them *)
   { pinball with

@@ -151,9 +151,15 @@ let resume ?hooks ?max_steps ?break_at ?stop_when (t : t) : Driver.stop_reason
           check_digest t ev;
           user_on_event ev) }
   in
-  try Driver.resume ~hooks ?max_steps ?break_at ?stop_when t.session
-  with Driver.Replay_divergence msg ->
-    raise (Divergence (Schedule_divergence msg))
+  let steps0 = t.steps in
+  Dr_obs.Obs.with_span ~cat:"replay" "replayer.resume" @@ fun sp ->
+  Fun.protect
+    ~finally:(fun () ->
+      Dr_obs.Obs.add_attr sp "steps" (Dr_obs.Obs.Int (t.steps - steps0)))
+    (fun () ->
+      try Driver.resume ~hooks ?max_steps ?break_at ?stop_when t.session
+      with Driver.Replay_divergence msg ->
+        raise (Divergence (Schedule_divergence msg)))
 
 (** Replay the whole region in one go. *)
 let run ?hooks (t : t) : Driver.stop_reason = resume ?hooks t

@@ -66,6 +66,8 @@ let collect_indirect_targets prog pinball : (int, int list) Hashtbl.t =
     candidate window of §5.2. *)
 let collect ?(refine = true) ?(max_save = Prune.default_max_save)
     (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t) : result =
+  Dr_obs.Obs.with_span ~cat:"trace" "collector.collect" @@ fun sp ->
+  Dr_obs.Obs.add_attr sp "refine" (Dr_obs.Obs.Bool refine);
   let indirect_tbl =
     if refine then collect_indirect_targets prog pinball else Hashtbl.create 1
   in
@@ -232,6 +234,7 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save)
         | Some v -> Dr_util.Vec.Int_vec.to_array v
         | None -> [||])
   in
+  Dr_obs.Obs.add_attr sp "records" (Dr_obs.Obs.Int (Dr_util.Vec.length records));
   { records = Dr_util.Vec.to_array records;
     per_thread = per_thread_arr;
     order_edges = Dr_util.Vec.to_array order_edges;

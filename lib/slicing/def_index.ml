@@ -9,11 +9,11 @@
     definition of [loc] at or before [pos]" with one binary search
     instead of a linear backwards scan. *)
 
-let m_builds = Dr_util.Metrics.counter "def_index.builds"
-let m_locations = Dr_util.Metrics.counter "def_index.locations"
-let m_defs = Dr_util.Metrics.counter "def_index.def_positions"
-let m_lookups = Dr_util.Metrics.counter "def_index.lookups"
-let t_build = Dr_util.Metrics.timer "def_index.build"
+let m_builds = Dr_obs.Metrics.counter "def_index.builds"
+let m_locations = Dr_obs.Metrics.counter "def_index.locations"
+let m_defs = Dr_obs.Metrics.counter "def_index.def_positions"
+let m_lookups = Dr_obs.Metrics.counter "def_index.lookups"
+let t_build = Dr_obs.Metrics.timer "def_index.build"
 
 type t = {
   defs_by_loc : (int, int array) Hashtbl.t;
@@ -22,8 +22,9 @@ type t = {
 }
 
 let build (gt : Global_trace.t) : t =
-  Dr_util.Metrics.bump m_builds;
-  Dr_util.Metrics.time t_build (fun () ->
+  Dr_obs.Metrics.bump m_builds;
+  Dr_obs.Obs.with_span ~cat:"slice" "def_index.build" @@ fun _ ->
+  Dr_obs.Metrics.time t_build (fun () ->
       let n = Global_trace.length gt in
       let acc : (int, Dr_util.Vec.Int_vec.t) Hashtbl.t = Hashtbl.create 256 in
       for pos = 0 to n - 1 do
@@ -42,10 +43,10 @@ let build (gt : Global_trace.t) : t =
       Hashtbl.iter
         (fun loc v ->
           let a = Dr_util.Vec.Int_vec.to_array v in
-          Dr_util.Metrics.add m_defs (Array.length a);
+          Dr_obs.Metrics.add m_defs (Array.length a);
           Hashtbl.replace defs_by_loc loc a)
         acc;
-      Dr_util.Metrics.add m_locations (Hashtbl.length defs_by_loc);
+      Dr_obs.Metrics.add m_locations (Hashtbl.length defs_by_loc);
       { defs_by_loc; trace_len = n })
 
 let trace_len t = t.trace_len
@@ -59,7 +60,7 @@ let positions t ~loc =
     [-1] when none exists.  One binary search in the location's def
     array. *)
 let latest_at_or_before t ~loc ~pos : int =
-  Dr_util.Metrics.bump m_lookups;
+  Dr_obs.Metrics.bump m_lookups;
   match Hashtbl.find_opt t.defs_by_loc loc with
   | None -> -1
   | Some a ->

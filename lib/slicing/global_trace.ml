@@ -19,10 +19,10 @@ type t = {
 
 exception Cycle of string
 
-let t_construct = Dr_util.Metrics.timer "global_trace.construct"
-let m_records = Dr_util.Metrics.counter "global_trace.records_merged"
-let m_find_indexed = Dr_util.Metrics.counter "global_trace.find_indexed"
-let m_find_fallback = Dr_util.Metrics.counter "global_trace.find_fallback"
+let t_construct = Dr_obs.Metrics.timer "global_trace.construct"
+let m_records = Dr_obs.Metrics.counter "global_trace.records_merged"
+let m_find_indexed = Dr_obs.Metrics.counter "global_trace.find_indexed"
+let m_find_fallback = Dr_obs.Metrics.counter "global_trace.find_fallback"
 
 (** Merge per-thread traces under the given cross-thread edges.
     [cluster] (default true) keeps emitting from the current thread while
@@ -30,9 +30,10 @@ let m_find_fallback = Dr_util.Metrics.counter "global_trace.find_fallback"
     traversal; with [cluster:false] threads rotate every record (used by
     the ablation bench). *)
 let construct ?(cluster = true) (c : Collector.result) : t =
-  Dr_util.Metrics.time t_construct @@ fun () ->
+  Dr_obs.Obs.with_span ~cat:"trace" "global_trace.construct" @@ fun _ ->
+  Dr_obs.Metrics.time t_construct @@ fun () ->
   let n = Array.length c.Collector.records in
-  Dr_util.Metrics.add m_records n;
+  Dr_obs.Metrics.add m_records n;
   let indeg = Array.make n 0 in
   (* out-edges grouped by source *)
   let out_count = Array.make n 0 in
@@ -176,10 +177,10 @@ let find ~tid ~pc ~instance (t : t) : int option =
   in
   match direct with
   | Some _ ->
-    Dr_util.Metrics.bump m_find_indexed;
+    Dr_obs.Metrics.bump m_find_indexed;
     direct
   | None ->
-    Dr_util.Metrics.bump m_find_fallback;
+    Dr_obs.Metrics.bump m_find_fallback;
     let found = ref None in
     let i = ref 0 in
     while !found = None && !i < len do

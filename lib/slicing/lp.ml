@@ -16,8 +16,8 @@
 
 let default_block_size = 4096
 
-let t_prepare = Dr_util.Metrics.timer "lp.prepare"
-let m_may_satisfy = Dr_util.Metrics.counter "lp.may_satisfy_checks"
+let t_prepare = Dr_obs.Metrics.timer "lp.prepare"
+let m_may_satisfy = Dr_obs.Metrics.counter "lp.may_satisfy_checks"
 
 type t = {
   block_size : int;
@@ -28,7 +28,8 @@ type t = {
 }
 
 let prepare ?(block_size = default_block_size) (gt : Global_trace.t) : t =
-  Dr_util.Metrics.time t_prepare (fun () ->
+  Dr_obs.Obs.with_span ~cat:"slice" "lp.prepare" @@ fun _ ->
+  Dr_obs.Metrics.time t_prepare (fun () ->
       let n = Global_trace.length gt in
       let num_blocks = (n + block_size - 1) / block_size in
       let index = Def_index.build gt in
@@ -84,7 +85,7 @@ exception Found
 (** Can block [b] satisfy any of [wanted]?  Iterates over the smaller of
     the wanted set and the block summary, stopping at the first hit. *)
 let may_satisfy t ~block ~(wanted : (int, 'a) Hashtbl.t) : bool =
-  Dr_util.Metrics.bump m_may_satisfy;
+  Dr_obs.Metrics.bump m_may_satisfy;
   let summary = t.summaries.(block) in
   let nw = Hashtbl.length wanted in
   if nw = 0 then false

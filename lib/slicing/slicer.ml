@@ -33,14 +33,15 @@
     resumes below the save, adding the paper's direct edge from the use to
     the real definition. *)
 
-let m_computes = Dr_util.Metrics.counter "slicer.computes"
-let m_visited = Dr_util.Metrics.counter "slicer.records_visited"
-let m_skipped = Dr_util.Metrics.counter "slicer.blocks_skipped"
-let m_edges = Dr_util.Metrics.counter "slicer.edges"
-let m_heap_pops = Dr_util.Metrics.counter "slicer.heap_pops"
-let m_stale_pops = Dr_util.Metrics.counter "slicer.heap_stale_pops"
-let m_adj_builds = Dr_util.Metrics.counter "slicer.adjacency_builds"
-let t_compute = Dr_util.Metrics.timer "slicer.compute"
+let m_computes = Dr_obs.Metrics.counter "slicer.computes"
+let h_slice_size = Dr_obs.Histogram.get "slicer.slice_size"
+let m_visited = Dr_obs.Metrics.counter "slicer.records_visited"
+let m_skipped = Dr_obs.Metrics.counter "slicer.blocks_skipped"
+let m_edges = Dr_obs.Metrics.counter "slicer.edges"
+let m_heap_pops = Dr_obs.Metrics.counter "slicer.heap_pops"
+let m_stale_pops = Dr_obs.Metrics.counter "slicer.heap_stale_pops"
+let m_adj_builds = Dr_obs.Metrics.counter "slicer.adjacency_builds"
+let t_compute = Dr_obs.Metrics.timer "slicer.compute"
 
 type dep_kind =
   | Data of int  (** data dependence on this location *)
@@ -129,11 +130,14 @@ type cand_kind =
 let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     ?(block_skipping = true) ?(indexed = true) (gt : Global_trace.t)
     (criterion : criterion) : t =
-  Dr_util.Metrics.bump m_computes;
+  Dr_obs.Metrics.bump m_computes;
   let t0 = Dr_util.Timer.now () in
   let n = Global_trace.length gt in
   if criterion.crit_pos < 0 || criterion.crit_pos >= n then
     invalid_arg "Slicer.compute: criterion out of range";
+  Dr_obs.Obs.with_span ~cat:"slice" "slicer.compute" @@ fun sp ->
+  Dr_obs.Obs.add_attr sp "crit_pos" (Dr_obs.Obs.Int criterion.crit_pos);
+  Dr_obs.Obs.add_attr sp "indexed" (Dr_obs.Obs.Bool indexed);
   let lp = match lp with Some l -> l | None -> Lp.prepare gt in
   let index = Lp.def_index lp in
   let wanted : (int, want_entry) Hashtbl.t = Hashtbl.create 256 in
@@ -277,7 +281,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
       match Dr_util.Heap.pop heap with
       | None -> continue := false
       | Some (key, kind) ->
-        Dr_util.Metrics.bump m_heap_pops;
+        Dr_obs.Metrics.bump m_heap_pops;
         let valid =
           match kind with
           | Cand_inc -> Dr_util.Bitset.mem to_include key
@@ -287,7 +291,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
             | None -> false)
           | Cand_defer d -> d.d_pending
         in
-        if valid then process key else Dr_util.Metrics.bump m_stale_pops
+        if valid then process key else Dr_obs.Metrics.bump m_stale_pops
     done
   end
   else begin
@@ -322,11 +326,16 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let positions = Dr_util.Vec.Int_vec.to_array slice_positions in
   Array.sort Int.compare positions;
   let edges = Dr_util.Vec.to_array edges in
-  Dr_util.Metrics.add m_visited !visited;
-  Dr_util.Metrics.add m_skipped !skipped;
-  Dr_util.Metrics.add m_edges (Array.length edges);
+  Dr_obs.Metrics.add m_visited !visited;
+  Dr_obs.Metrics.add m_skipped !skipped;
+  Dr_obs.Metrics.add m_edges (Array.length edges);
   let slice_time = Dr_util.Timer.now () -. t0 in
-  Dr_util.Metrics.record t_compute slice_time;
+  Dr_obs.Metrics.record t_compute slice_time;
+  Dr_obs.Obs.add_attr sp "visited" (Dr_obs.Obs.Int !visited);
+  Dr_obs.Obs.add_attr sp "skipped_blocks" (Dr_obs.Obs.Int !skipped);
+  Dr_obs.Obs.add_attr sp "total_blocks" (Dr_obs.Obs.Int lp.Lp.num_blocks);
+  Dr_obs.Obs.add_attr sp "slice_size" (Dr_obs.Obs.Int (Array.length positions));
+  Dr_obs.Histogram.observe h_slice_size (float_of_int (Array.length positions));
   { gt; criterion; positions; edges;
     stats =
       { visited = !visited; skipped_blocks = !skipped;
@@ -360,7 +369,7 @@ let adjacency t =
   match t.adj with
   | Some a -> a
   | None ->
-    Dr_util.Metrics.bump m_adj_builds;
+    Dr_obs.Metrics.bump m_adj_builds;
     let by_from = Hashtbl.create 64 and by_to = Hashtbl.create 64 in
     let prepend tbl key i =
       match Hashtbl.find_opt tbl key with

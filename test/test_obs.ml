@@ -1,0 +1,308 @@
+(* Tests for the observability library (dr_obs): span nesting and
+   mismatched-stop detection, histogram bucket boundaries and quantiles,
+   Chrome trace JSON round-trip, run-report schema validation, the
+   metrics registry, and the disabled-mode guarantee that nothing is
+   recorded when the gate is off. *)
+
+module Obs = Dr_obs.Obs
+module Histogram = Dr_obs.Histogram
+module Metrics = Dr_obs.Metrics
+module Report = Dr_obs.Report
+module Chrome_trace = Dr_obs.Chrome_trace
+module J = Dr_util.Json
+
+(* each test starts from a clean recorder, gate on unless stated *)
+let fresh ?(enabled = true) () =
+  Obs.reset ();
+  Obs.set_enabled enabled
+
+let span_by_name name =
+  let found =
+    Array.to_list (Obs.spans ())
+    |> List.filter (fun s -> s.Obs.sp_name = name)
+  in
+  match found with
+  | [ s ] -> s
+  | [] -> Alcotest.failf "span %S not recorded" name
+  | _ -> Alcotest.failf "span %S recorded more than once" name
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  fresh ();
+  let outer = Obs.start ~cat:"test" "outer" in
+  let inner = Obs.start ~cat:"test" ~tid:3 "inner" in
+  Obs.add_attr inner "k" (Obs.Int 42);
+  Obs.stop inner;
+  Obs.stop outer ~attrs:[ ("done", Obs.Bool true) ];
+  Alcotest.(check int) "two spans" 2 (Obs.span_count ());
+  Alcotest.(check int) "no mismatches" 0 (Obs.mismatch_count ());
+  let i = span_by_name "inner" and o = span_by_name "outer" in
+  Alcotest.(check int) "inner depth" 1 i.Obs.sp_depth;
+  Alcotest.(check int) "outer depth" 0 o.Obs.sp_depth;
+  Alcotest.(check int) "inner tid" 3 i.Obs.sp_tid;
+  Alcotest.(check string) "inner cat" "test" i.Obs.sp_cat;
+  Alcotest.(check bool) "inner attr kept"
+    true (List.mem_assoc "k" i.Obs.sp_attrs);
+  Alcotest.(check bool) "stop attrs kept"
+    true (List.mem_assoc "done" o.Obs.sp_attrs);
+  (* the child's interval is contained in the parent's *)
+  Alcotest.(check bool) "child starts after parent" true
+    (i.Obs.sp_start_s >= o.Obs.sp_start_s);
+  Alcotest.(check bool) "child ends before parent" true
+    (i.Obs.sp_start_s +. i.Obs.sp_dur_s
+    <= o.Obs.sp_start_s +. o.Obs.sp_dur_s +. 1e-9)
+
+let test_with_span () =
+  fresh ();
+  let r =
+    Obs.with_span ~cat:"test" "ws" (fun sp ->
+        Obs.add_attr sp "n" (Obs.Int 7);
+        "result")
+  in
+  Alcotest.(check string) "returns f's value" "result" r;
+  let s = span_by_name "ws" in
+  Alcotest.(check bool) "attr attached" true (List.mem_assoc "n" s.Obs.sp_attrs);
+  (* the span is recorded even when f raises *)
+  (try
+     Obs.with_span ~cat:"test" "raises" (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  let _ = span_by_name "raises" in
+  Alcotest.(check int) "no mismatches" 0 (Obs.mismatch_count ())
+
+let test_mismatched_stop () =
+  fresh ();
+  let outer = Obs.start "outer" in
+  let _inner = Obs.start "inner" in
+  (* stopping the outer span closes the still-open inner one and records
+     a diagnostic *)
+  Obs.stop outer;
+  Alcotest.(check int) "both spans recorded" 2 (Obs.span_count ());
+  Alcotest.(check int) "one mismatch" 1 (Obs.mismatch_count ());
+  (* stopping an already-closed token records a diagnostic only *)
+  Obs.stop outer;
+  Alcotest.(check int) "still two spans" 2 (Obs.span_count ());
+  Alcotest.(check int) "two mismatches" 2 (Obs.mismatch_count ());
+  Alcotest.(check int) "messages match count" 2
+    (List.length (Obs.mismatch_messages ()))
+
+let test_disabled_mode () =
+  fresh ~enabled:false ();
+  let tok = Obs.start "ghost" in
+  Alcotest.(check int) "start returns none" Obs.none tok;
+  Obs.add_attr tok "k" (Obs.Int 1);
+  Obs.stop tok;
+  let r = Obs.with_span "ghost2" (fun sp -> sp) in
+  Alcotest.(check int) "with_span passes none" Obs.none r;
+  Alcotest.(check int) "no spans recorded" 0 (Obs.span_count ());
+  Alcotest.(check int) "no mismatches" 0 (Obs.mismatch_count ());
+  let h = Histogram.create "test.disabled" in
+  Histogram.observe h 5.0;
+  Alcotest.(check int) "observe gated off" 0 (Histogram.count h);
+  Histogram.record h 5.0;
+  Alcotest.(check int) "record ungated" 1 (Histogram.count h)
+
+(* ---- histograms ---- *)
+
+let test_histogram_buckets () =
+  (* bucket_of and bucket_bounds agree: every sample lands in the bucket
+     whose bounds contain it *)
+  let check v =
+    let b = Histogram.bucket_of v in
+    let lo, hi = Histogram.bucket_bounds b in
+    Alcotest.(check bool)
+      (Printf.sprintf "%g in [%g, %g)" v lo hi)
+      true
+      (v >= lo && (v < hi || hi = Float.infinity))
+  in
+  List.iter check
+    [ 1e-9; 0.5; 0.999; 1.0; 1.5; 2.0; 3.0; 4.0; 1024.0; 1e6; 1e12 ];
+  (* power-of-two boundaries open a new bucket *)
+  Alcotest.(check int) "2.0 above 1.99" (Histogram.bucket_of 1.99 + 1)
+    (Histogram.bucket_of 2.0);
+  Alcotest.(check int) "same bucket within [2,4)" (Histogram.bucket_of 2.0)
+    (Histogram.bucket_of 3.999);
+  (* absorb-below and absorb-above *)
+  Alcotest.(check int) "zero in bucket 0" 0 (Histogram.bucket_of 0.0);
+  Alcotest.(check int) "negative in bucket 0" 0 (Histogram.bucket_of (-7.0));
+  Alcotest.(check int) "huge in last bucket" (Histogram.num_buckets - 1)
+    (Histogram.bucket_of 1e300);
+  let lo0, _ = Histogram.bucket_bounds 0 in
+  let _, hi_last = Histogram.bucket_bounds (Histogram.num_buckets - 1) in
+  Alcotest.(check (float 0.0)) "bucket 0 lo" 0.0 lo0;
+  Alcotest.(check bool) "last bucket open" true (hi_last = Float.infinity)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create "test.q" in
+  for i = 1 to 100 do
+    Histogram.record h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Histogram.mean h);
+  (* bucket-resolution upper bounds: rank 50 is 50, in [32,64) -> 64;
+     ranks 90 and 99 land in [64,128) whose bound clamps to max=100 *)
+  Alcotest.(check (float 1e-9)) "p50" 64.0 (Histogram.quantile h 0.50);
+  Alcotest.(check (float 1e-9)) "p90" 100.0 (Histogram.quantile h 0.90);
+  Alcotest.(check (float 1e-9)) "p99" 100.0 (Histogram.quantile h 0.99);
+  (* quantiles never under-report: bound >= exact rank value *)
+  List.iter
+    (fun q ->
+      let exact = Float.ceil (q *. 100.0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g conservative" q)
+        true
+        (Histogram.quantile h q >= exact))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+  Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.quantile h 0.5);
+  (* a single sample pins every quantile to itself *)
+  Histogram.record h 42.0;
+  Alcotest.(check (float 1e-9)) "singleton p50" 42.0 (Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "singleton p99" 42.0 (Histogram.quantile h 0.99)
+
+(* ---- Chrome trace export ---- *)
+
+let test_chrome_trace_roundtrip () =
+  fresh ();
+  Obs.with_span ~cat:"phase1" ~tid:2 "alpha" (fun sp ->
+      Obs.add_attr sp "items" (Obs.Int 5);
+      Obs.with_span ~cat:"phase1" "beta" (fun _ -> ()));
+  let doc = Chrome_trace.to_json () in
+  (* round-trip through the JSON printer/parser *)
+  let doc =
+    match J.parse (J.to_string doc) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "trace does not re-parse: %s" e
+  in
+  let events =
+    match J.member "traceEvents" doc with
+    | Some (J.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  (* one metadata event + two spans *)
+  Alcotest.(check int) "event count" 3 (List.length events);
+  let str k e = Option.bind (J.member k e) J.to_str in
+  let num k e = Option.bind (J.member k e) J.to_float in
+  let metas, xs = List.partition (fun e -> str "ph" e = Some "M") events in
+  Alcotest.(check int) "one metadata event" 1 (List.length metas);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "ph" (Some "X") (str "ph" e);
+      Alcotest.(check bool) "has name" true (str "name" e <> None);
+      Alcotest.(check bool) "has tid" true (num "tid" e <> None);
+      Alcotest.(check bool) "ts >= 0" true (num "ts" e >= Some 0.0);
+      Alcotest.(check bool) "dur >= 0" true (num "dur" e >= Some 0.0))
+    xs;
+  let alpha = List.find (fun e -> str "name" e = Some "alpha") xs in
+  Alcotest.(check (option (float 0.0))) "alpha tid" (Some 2.0)
+    (num "tid" alpha);
+  let args =
+    match J.member "args" alpha with Some a -> a | None -> J.Obj []
+  in
+  Alcotest.(check (option (float 0.0))) "alpha args.items" (Some 5.0)
+    (Option.bind (J.member "items" args) J.to_float)
+
+(* ---- run report ---- *)
+
+let test_report_validate () =
+  fresh ();
+  let c = Metrics.counter "test.report.counter" in
+  Metrics.bump c;
+  let h = Histogram.get "test.report.hist" in
+  Histogram.observe h 3.0;
+  Histogram.observe h 300.0;
+  Obs.with_span ~cat:"test" "report-span" (fun _ -> ());
+  let doc = Report.document ~label:"unit-test" () in
+  (match Report.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh report invalid: %s" e);
+  (* survives a print/parse round-trip *)
+  (match J.parse (J.to_string doc) with
+  | Ok d -> (
+    match Report.validate d with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "re-parsed report invalid: %s" e)
+  | Error e -> Alcotest.failf "report does not re-parse: %s" e);
+  (* a wrong schema string is rejected *)
+  let mutated =
+    match doc with
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", J.Str "drdebug-report-v0")
+             | kv -> kv)
+           fields)
+    | _ -> Alcotest.fail "report not an object"
+  in
+  (match Report.validate mutated with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong schema version accepted");
+  (* a missing field is rejected *)
+  let missing =
+    match doc with
+    | J.Obj fields -> J.Obj (List.filter (fun (k, _) -> k <> "phases") fields)
+    | _ -> assert false
+  in
+  (match Report.validate missing with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing phases accepted");
+  (* the recorded span shows up as a phase with sane stats *)
+  let phases =
+    match J.member "phases" doc with Some (J.Obj l) -> l | _ -> []
+  in
+  Alcotest.(check bool) "span aggregated into a phase" true
+    (List.mem_assoc "report-span" phases)
+
+let test_metrics_registry () =
+  (* registration is idempotent: same name -> same handle *)
+  let a = Metrics.counter "test.reg.a" in
+  let a' = Metrics.counter "test.reg.a" in
+  Alcotest.(check bool) "counter handle shared" true (a == a');
+  let t = Metrics.timer "test.reg.t" in
+  let t' = Metrics.timer "test.reg.t" in
+  Alcotest.(check bool) "timer handle shared" true (t == t');
+  Metrics.bump a;
+  Metrics.add a 9;
+  Alcotest.(check int) "count" 10 (Metrics.count a);
+  Metrics.time t (fun () -> ());
+  Alcotest.(check int) "timed events" 1 (Metrics.events t);
+  Alcotest.(check bool) "seconds non-negative" true (Metrics.seconds t >= 0.0);
+  (* report lists metrics in registration order *)
+  let b = Metrics.counter "test.reg.b" in
+  Metrics.bump b;
+  let names = List.map fst (Metrics.report ()) in
+  let rec index i = function
+    | [] -> -1
+    | n :: rest -> if n = i then 0 else 1 + index i rest
+  in
+  let ia = index "test.reg.a" names
+  and it = index "test.reg.t" names
+  and ib = index "test.reg.b" names in
+  Alcotest.(check bool) "all registered" true (ia >= 0 && it >= 0 && ib >= 0);
+  Alcotest.(check bool) "registration order" true (ia < it && it < ib)
+
+let () =
+  let finally () = Obs.set_enabled false in
+  Fun.protect ~finally (fun () ->
+      Alcotest.run "obs"
+        [ ( "span",
+            [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+              Alcotest.test_case "with_span" `Quick test_with_span;
+              Alcotest.test_case "mismatched stop" `Quick test_mismatched_stop;
+              Alcotest.test_case "disabled mode" `Quick test_disabled_mode ] );
+          ( "histogram",
+            [ Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+              Alcotest.test_case "quantiles" `Quick test_histogram_quantiles ]
+          );
+          ( "sinks",
+            [ Alcotest.test_case "chrome trace round-trip" `Quick
+                test_chrome_trace_roundtrip;
+              Alcotest.test_case "report validate" `Quick test_report_validate
+            ] );
+          ( "metrics",
+            [ Alcotest.test_case "registry" `Quick test_metrics_registry ] ) ])

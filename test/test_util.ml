@@ -214,32 +214,8 @@ let test_json_accessors () =
     Alcotest.(check bool) "null member" true (J.member "c" v = Some J.Null);
     Alcotest.(check bool) "missing member" true (J.member "zz" v = None)
 
-(* ---- metrics ---- *)
-
-let test_metrics () =
-  let module M = Dr_util.Metrics in
-  let c = M.counter "test.counter" in
-  let t = M.timer "test.timer" in
-  M.reset ();
-  M.bump c;
-  M.add c 9;
-  Alcotest.(check int) "count" 10 (M.count c);
-  Alcotest.(check bool) "handle registry is idempotent" true
-    (M.counter "test.counter" == c);
-  let r = M.time t (fun () -> 7) in
-  Alcotest.(check int) "time passes result through" 7 r;
-  Alcotest.(check int) "one event" 1 (M.events t);
-  Alcotest.(check bool) "nonneg seconds" true (M.seconds t >= 0.0);
-  (try ignore (M.time t (fun () -> failwith "boom")) with Failure _ -> ());
-  Alcotest.(check int) "raising section still recorded" 2 (M.events t);
-  let report = M.report () in
-  Alcotest.(check bool) "counter reported" true
-    (List.mem_assoc "test.counter" report);
-  Alcotest.(check bool) "timer reported" true
-    (List.mem_assoc "test.timer" report);
-  M.reset ();
-  Alcotest.(check int) "reset zeroes counters" 0 (M.count c);
-  Alcotest.(check int) "reset zeroes timers" 0 (M.events t)
+(* Metrics moved to the observability library (Dr_obs): its tests live
+   in test_obs.ml alongside spans and histograms. *)
 
 (* ---- heap ---- *)
 
@@ -306,7 +282,6 @@ let () =
           Alcotest.test_case "rejects bad input" `Quick
             test_json_rejects_bad_input;
           Alcotest.test_case "accessors" `Quick test_json_accessors ] );
-      ("metrics", [ Alcotest.test_case "counters/timers" `Quick test_metrics ]);
       ( "heap",
         [ Alcotest.test_case "basic" `Quick test_heap_basic;
           QCheck_alcotest.to_alcotest prop_heap_sorts ] ) ]
