@@ -23,10 +23,12 @@ let log_or_fail ?policy prog spec =
     failwith (Format.asprintf "logging failed: %a" Dr_pinplay.Logger.pp_error e)
 
 (* One prepared workload: its global trace, LP summaries + def index,
-   and the slicing criteria (the last data loads, newest first). *)
+   and the slicing criteria (the last data loads, newest first, plus one
+   register-chasing criterion that exercises the static reach filter). *)
 type prepared = {
   w_name : string;
   w_kind : string;  (* "registry" | "generated" *)
+  w_prog : Dr_isa.Program.t;
   gt : Dr_slicing.Global_trace.t;
   lp : Dr_slicing.Lp.t;
   collect_s : float;
@@ -51,12 +53,41 @@ let criteria_of gt ~n =
     (fun p -> { Dr_slicing.Slicer.crit_pos = p; crit_locs = None })
     picks
 
+(* One register-chasing criterion: slice the full trace for the defined
+   register location with the fewest dynamic definitions (ties broken by
+   encoding, for determinism).  A scarce register concentrates its defs
+   in few trace blocks, which is the shape the static reach filter
+   prunes; memory-chasing criteria rarely do, because almost every block
+   contains a store. *)
+let register_criterion gt lp =
+  let len = Dr_slicing.Global_trace.length gt in
+  let best = ref None in
+  Dr_slicing.Def_index.iter
+    (Dr_slicing.Lp.def_index lp)
+    (fun loc positions ->
+      match Dr_isa.Loc.view loc with
+      | Dr_isa.Loc.Mem _ -> ()
+      | Dr_isa.Loc.Reg _ ->
+        let n = Array.length positions in
+        if
+          n > 0
+          &&
+          match !best with
+          | None -> true
+          | Some (bn, bloc) -> n < bn || (n = bn && loc < bloc)
+        then best := Some (n, loc));
+  match !best with
+  | None -> []
+  | Some (_, loc) ->
+    [ { Dr_slicing.Slicer.crit_pos = len - 1; crit_locs = Some [ loc ] } ]
+
 let prepare ~name ~kind ~n_criteria prog pb =
   let c, collect_s = time (fun () -> Dr_slicing.Collector.collect prog pb) in
   let gt, construct_s = time (fun () -> Dr_slicing.Global_trace.construct c) in
   let lp, lp_s = time (fun () -> Dr_slicing.Lp.prepare gt) in
-  { w_name = name; w_kind = kind; gt; lp; collect_s; construct_s; lp_s;
-    criteria = criteria_of gt ~n:n_criteria }
+  { w_name = name; w_kind = kind; w_prog = prog; gt; lp; collect_s;
+    construct_s; lp_s;
+    criteria = criteria_of gt ~n:n_criteria @ register_criterion gt lp }
 
 let prepare_registry ~name ~main_instrs ~n_criteria =
   match Dr_workloads.Registry.find name with
@@ -124,8 +155,11 @@ type measured = {
   reps : int;
   indexed_s : float;
   scan_skip_s : float;
+  scan_static_s : float;
   scan_noskip_s : float;
+  static_prepare_s : float;
   blocks_skipped : int;
+  static_skips : int;
   total_blocks : int;
   visited_indexed : int;
   visited_scan : int;
@@ -136,47 +170,71 @@ type measured = {
 let measure ~reps (p : prepared) : measured =
   let gt = p.gt and lp = p.lp in
   let records = Dr_slicing.Global_trace.length gt in
-  let compute ~indexed ~block_skipping crit =
-    Dr_slicing.Slicer.compute ~lp ~indexed ~block_skipping gt crit
+  let code = p.w_prog.Dr_isa.Program.code in
+  let ncode = Array.length code in
+  let sf, static_prepare_s =
+    time (fun () ->
+        Dr_slicing.Lp.prepare_static lp gt
+          ~reg_defs:(fun pc ->
+            if pc >= 0 && pc < ncode then Dr_static.Defuse.def_mask code.(pc)
+            else 0)
+          ~writes_mem:(fun pc ->
+            pc >= 0 && pc < ncode && Dr_static.Defuse.writes_mem code.(pc)))
   in
-  (* correctness first: all three drivers must agree on every criterion *)
+  let compute ?static_filter ~indexed ~block_skipping crit =
+    Dr_slicing.Slicer.compute ?static_filter ~lp ~indexed ~block_skipping gt
+      crit
+  in
+  (* correctness first: all four drivers must agree on every criterion *)
   let identical =
     List.for_all
       (fun crit ->
         let fast = compute ~indexed:true ~block_skipping:true crit in
         let skip = compute ~indexed:false ~block_skipping:true crit in
+        let sskip =
+          compute ~static_filter:sf ~indexed:false ~block_skipping:true crit
+        in
         let noskip = compute ~indexed:false ~block_skipping:false crit in
         fast.Dr_slicing.Slicer.positions = skip.Dr_slicing.Slicer.positions
         && skip.Dr_slicing.Slicer.positions
+           = sskip.Dr_slicing.Slicer.positions
+        && skip.Dr_slicing.Slicer.positions
            = noskip.Dr_slicing.Slicer.positions
         && canonical_edges fast = canonical_edges skip
+        && canonical_edges skip = canonical_edges sskip
         && canonical_edges skip = canonical_edges noskip)
       p.criteria
   in
   (* stats from one pass per driver *)
-  let stats ~indexed ~block_skipping =
+  let stats ?static_filter ~indexed ~block_skipping () =
     List.fold_left
-      (fun (v, sk, sz) crit ->
-        let s = compute ~indexed ~block_skipping crit in
+      (fun (v, sk, st, sz) crit ->
+        let s = compute ?static_filter ~indexed ~block_skipping crit in
         ( v + s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.visited,
           sk + s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.skipped_blocks,
+          st
+          + s.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.static_skipped_blocks,
           sz + Dr_slicing.Slicer.size s ))
-      (0, 0, 0) p.criteria
+      (0, 0, 0, 0) p.criteria
   in
-  let visited_indexed, _, slice_size_total =
-    stats ~indexed:true ~block_skipping:true
+  let visited_indexed, _, _, slice_size_total =
+    stats ~indexed:true ~block_skipping:true ()
   in
-  let visited_scan, blocks_skipped, _ =
-    stats ~indexed:false ~block_skipping:true
+  let visited_scan, blocks_skipped, _, _ =
+    stats ~indexed:false ~block_skipping:true ()
+  in
+  let _, _, static_skips, _ =
+    stats ~static_filter:sf ~indexed:false ~block_skipping:true ()
   in
   (* timed runs: tracing off, so the measured loops stay comparable to
      pre-observability baselines (the gate is a single field check) *)
-  let timed ~indexed ~block_skipping =
+  let timed ?static_filter ~indexed ~block_skipping () =
     let _, t =
       time (fun () ->
           for _ = 1 to reps do
             List.iter
-              (fun crit -> ignore (compute ~indexed ~block_skipping crit))
+              (fun crit ->
+                ignore (compute ?static_filter ~indexed ~block_skipping crit))
               p.criteria
           done)
     in
@@ -184,12 +242,16 @@ let measure ~reps (p : prepared) : measured =
   in
   let was_enabled = Dr_obs.Obs.enabled () in
   Dr_obs.Obs.set_enabled false;
-  let indexed_s = timed ~indexed:true ~block_skipping:true in
-  let scan_skip_s = timed ~indexed:false ~block_skipping:true in
-  let scan_noskip_s = timed ~indexed:false ~block_skipping:false in
+  let indexed_s = timed ~indexed:true ~block_skipping:true () in
+  let scan_skip_s = timed ~indexed:false ~block_skipping:true () in
+  let scan_static_s =
+    timed ~static_filter:sf ~indexed:false ~block_skipping:true ()
+  in
+  let scan_noskip_s = timed ~indexed:false ~block_skipping:false () in
   Dr_obs.Obs.set_enabled was_enabled;
   { records; n_criteria = List.length p.criteria; reps; indexed_s;
-    scan_skip_s; scan_noskip_s; blocks_skipped;
+    scan_skip_s; scan_static_s; scan_noskip_s; static_prepare_s;
+    blocks_skipped; static_skips;
     total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
     visited_scan; slice_size_total; identical }
 
@@ -207,14 +269,17 @@ let workload_json (p : prepared) (m : measured) : J.t =
       ("collect_s", J.Num p.collect_s);
       ("construct_s", J.Num p.construct_s);
       ("lp_prepare_s", J.Num p.lp_s);
+      ("static_prepare_s", J.Num m.static_prepare_s);
       ("indexed_s", J.Num m.indexed_s);
       ("scan_skip_s", J.Num m.scan_skip_s);
+      ("scan_static_s", J.Num m.scan_static_s);
       ("scan_noskip_s", J.Num m.scan_noskip_s);
       ("speedup_vs_scan_skip", J.Num (ratio m.scan_skip_s m.indexed_s));
       ("speedup_vs_scan_noskip", J.Num (ratio m.scan_noskip_s m.indexed_s));
       ( "records_per_s_indexed",
         J.Num (ratio (float_of_int m.records) per_slice_indexed) );
       ("blocks_skipped", J.int m.blocks_skipped);
+      ("static_skips", J.int m.static_skips);
       ("total_blocks", J.int m.total_blocks);
       ( "visited_ratio_indexed",
         J.Num
@@ -258,16 +323,18 @@ let run ~quick ~out () =
       registry_names
     @ prepare_generated ~seeds ~keep ~n_criteria
   in
-  printf "%-16s %-10s %9s %10s %10s %10s %8s %s\n" "workload" "kind"
-    "records" "indexed" "scan+skip" "scan" "speedup" "identical";
+  printf "%-16s %-10s %9s %10s %10s %10s %10s %8s %7s %s\n" "workload" "kind"
+    "records" "indexed" "scan+skip" "scan+stat" "scan" "speedup" "sskips"
+    "identical";
   let rows =
     List.map
       (fun p ->
         let m = measure ~reps p in
-        printf "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %7.1fx %b\n" p.w_name
-          p.w_kind m.records m.indexed_s m.scan_skip_s m.scan_noskip_s
+        printf "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %9.4fs %7.1fx %7d %b\n"
+          p.w_name p.w_kind m.records m.indexed_s m.scan_skip_s
+          m.scan_static_s m.scan_noskip_s
           (ratio m.scan_skip_s m.indexed_s)
-          m.identical;
+          m.static_skips m.identical;
         (p, m))
       prepared
   in

@@ -4,7 +4,9 @@
    - drdebug-bench-slicing-v1: the slicing bench output, including its
      embedded drdebug-report-v1 run report;
    - drdebug-report-v1: a standalone run report (drdebug_cli
-     --report-out), checked via Dr_obs.Report.validate.
+     --report-out), checked via Dr_obs.Report.validate;
+   - drdebug-analyze-v1: a static-lint report (drdebug_cli analyze
+     --out), checked via Dr_static.Report.validate.
 
    Run by the dune runtest smoke right after the bench's --quick mode so
    the metrics layer and the emitted JSON cannot silently rot.  Exits
@@ -52,10 +54,11 @@ let check_workload i w =
       let v = num k in
       if v < 0.0 then fail "%s: negative" (ctx k))
     [ "records"; "criteria"; "reps"; "collect_s"; "construct_s";
-      "lp_prepare_s"; "indexed_s"; "scan_skip_s"; "scan_noskip_s";
-      "speedup_vs_scan_skip"; "speedup_vs_scan_noskip";
-      "records_per_s_indexed"; "blocks_skipped"; "total_blocks";
-      "visited_ratio_indexed"; "visited_ratio_scan"; "slice_size_avg" ];
+      "lp_prepare_s"; "static_prepare_s"; "indexed_s"; "scan_skip_s";
+      "scan_static_s"; "scan_noskip_s"; "speedup_vs_scan_skip";
+      "speedup_vs_scan_noskip"; "records_per_s_indexed"; "blocks_skipped";
+      "static_skips"; "total_blocks"; "visited_ratio_indexed";
+      "visited_ratio_scan"; "slice_size_avg" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
   if not (want_bool (ctx "results_identical") (get w "results_identical"))
   then fail "%s: drivers disagree" (ctx "results_identical")
@@ -112,4 +115,8 @@ let () =
   | "drdebug-report-v1" as schema ->
     check_report "report" doc;
     Printf.printf "ok: %s matches %s\n" path schema
+  | "drdebug-analyze-v1" as schema ->
+    (match Dr_static.Report.validate doc with
+    | Ok () -> Printf.printf "ok: %s matches %s\n" path schema
+    | Error e -> fail "%s" e)
   | other -> fail "unknown schema %S" other

@@ -187,6 +187,88 @@ let run_slice workload source seed input stats trace_out report_out slice_out =
         0
       end)
 
+(* ---- analyze subcommand: static binary lint ---- *)
+
+(* Purely static: no execution, no pinball.  Runs the four lint passes
+   over the program image, prints a per-pass summary and optionally
+   writes the validated drdebug-analyze-v1 JSON document. *)
+let run_analyze workload source out =
+  match load_program workload source with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok prog ->
+    let cfg = Dr_cfg.Cfg.build prog in
+    let cands =
+      Dr_slicing.Prune.static_candidates prog
+        ~functions:(Dr_cfg.Cfg.functions cfg)
+    in
+    let to_assoc h = Hashtbl.fold (fun pc r acc -> (pc, r) :: acc) h [] in
+    let candidates =
+      ( to_assoc cands.Dr_slicing.Prune.saves,
+        to_assoc cands.Dr_slicing.Prune.restores )
+    in
+    let lint, doc = Dr_static.Report.analyze ~candidates prog in
+    Printf.printf "analyze %s: %d instructions, %d functions\n"
+      prog.Dr_isa.Program.name
+      (Array.length prog.Dr_isa.Program.code)
+      (List.length (Dr_cfg.Cfg.functions cfg));
+    let pass name count = Printf.printf "  %-20s %d\n" name count in
+    pass "unreachable-blocks" (List.length lint.Dr_static.Lint.unreachable);
+    pass "maybe-uninit" (List.length lint.Dr_static.Lint.uninit);
+    pass "indirect-audit" (List.length lint.Dr_static.Lint.indirect);
+    pass "save-restore" (List.length lint.Dr_static.Lint.save_restore);
+    Printf.printf "  %-20s %d\n" "findings total"
+      (Dr_static.Lint.findings_total lint);
+    List.iter
+      (fun (u : Dr_static.Lint.unreachable_block) ->
+        Printf.printf "  [unreachable-blocks] fn@%d block %d pcs %d..%d\n"
+          u.Dr_static.Lint.ub_fentry u.Dr_static.Lint.ub_block
+          u.Dr_static.Lint.ub_start
+          (u.Dr_static.Lint.ub_end - 1))
+      lint.Dr_static.Lint.unreachable;
+    List.iter
+      (fun (u : Dr_static.Lint.uninit) ->
+        Printf.printf "  [maybe-uninit] fn@%d pc %d reg %s\n"
+          u.Dr_static.Lint.un_fentry u.Dr_static.Lint.un_pc
+          (Dr_isa.Reg.name u.Dr_static.Lint.un_reg))
+      lint.Dr_static.Lint.uninit;
+    List.iter
+      (fun (i : Dr_static.Lint.indirect) ->
+        Printf.printf "  [indirect-audit] pc %d %s %s suggestions: %s\n"
+          i.Dr_static.Lint.ind_pc
+          (match i.Dr_static.Lint.ind_kind with
+          | `Jind -> "jind"
+          | `Callind -> "callind")
+          (Dr_isa.Reg.name i.Dr_static.Lint.ind_reg)
+          (match i.Dr_static.Lint.ind_suggestions with
+          | [] -> "(none)"
+          | l -> String.concat "," (List.map string_of_int l)))
+      lint.Dr_static.Lint.indirect;
+    List.iter
+      (fun (s : Dr_static.Lint.sr_issue) ->
+        Printf.printf "  [save-restore] fn@%d %s pc %d reg %s\n"
+          s.Dr_static.Lint.sr_fentry
+          (Dr_static.Lint.sr_kind_name s.Dr_static.Lint.sr_kind)
+          s.Dr_static.Lint.sr_pc
+          (Dr_isa.Reg.name s.Dr_static.Lint.sr_reg))
+      lint.Dr_static.Lint.save_restore;
+    (match out with
+    | None -> 0
+    | Some path -> (
+      match Dr_static.Report.validate doc with
+      | Error e ->
+        Printf.eprintf "internal error: generated report fails validation: %s\n"
+          e;
+        1
+      | Ok () ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Dr_util.Json.to_string ~indent:true doc);
+            Out_channel.output_char oc '\n');
+        Printf.printf "report written to %s\n" path;
+        0))
+
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
 let run_fuzz seed runs out budget stats trace_out report_out =
@@ -282,6 +364,20 @@ let slice_cmd =
       const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
       $ report_out $ slice_out)
 
+let analyze_cmd =
+  let doc =
+    "static binary lint: unreachable blocks, maybe-uninitialized registers, \
+     unresolved-indirect audit with refinement suggestions, and \
+     save/restore discipline (cross-checked against the slicer's candidate \
+     scan)"
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ]
+           ~doc:"Write the drdebug-analyze-v1 JSON report.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run_analyze $ workload $ source $ out)
+
 let fuzz_cmd =
   let doc =
     "differential pipeline fuzzing: generated programs through log, replay, \
@@ -315,6 +411,6 @@ let report_cmd =
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
   Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc)
-    [ slice_cmd; fuzz_cmd; report_cmd ]
+    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -33,7 +33,7 @@ type func = {
 type t = {
   prog : Program.t;
   funcs : func list;  (** sorted by entry *)
-  func_of_pc : (int, func) Hashtbl.t;  (** lazily filled cache *)
+  funcs_arr : func array;  (** same functions, entry-sorted, for binary search *)
 }
 
 (* ---- function boundary discovery ---- *)
@@ -152,13 +152,12 @@ let build_func (prog : Program.t)
      exit node (id nb).  Exit blocks and unknown-successor blocks connect
      to the virtual exit (the latter conservatively). *)
   let vexit = nb in
-  let rsuccs v =
-    if v = vexit then
-      List.concat
-        (List.init nb (fun i ->
-             if exits.(i) || (unknown.(i) && succs.(i) = []) then [ i ] else []))
-    else preds.(v)
+  let vexit_edges =
+    List.concat
+      (List.init nb (fun i ->
+           if exits.(i) || (unknown.(i) && succs.(i) = []) then [ i ] else []))
   in
+  let rsuccs v = if v = vexit then vexit_edges else preds.(v) in
   let rpreds v =
     if v = vexit then []
     else if exits.(v) || (unknown.(v) && succs.(v) = []) then vexit :: succs.(v)
@@ -194,17 +193,26 @@ let build ?(indirect_targets : (int * int list) list = []) (prog : Program.t) : 
       (fun (fentry, fend) -> build_func prog ~indirect_targets:tbl ~fentry ~fend)
       (func_ranges prog)
   in
-  { prog; funcs; func_of_pc = Hashtbl.create 64 }
+  let funcs_arr = Array.of_list funcs in
+  Array.sort (fun a b -> compare a.fentry b.fentry) funcs_arr;
+  { prog; funcs; funcs_arr }
 
+(* Binary search over the entry-sorted function array: find the function
+   with the greatest [fentry <= pc], then check [pc < fend]. *)
 let func_at (t : t) pc : func option =
-  match Hashtbl.find_opt t.func_of_pc pc with
-  | Some f -> Some f
-  | None -> (
-    match List.find_opt (fun f -> pc >= f.fentry && pc < f.fend) t.funcs with
-    | Some f ->
-      Hashtbl.replace t.func_of_pc pc f;
-      Some f
-    | None -> None)
+  let a = t.funcs_arr in
+  let n = Array.length a in
+  if n = 0 || pc < a.(0).fentry then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: a.(!lo).fentry <= pc *)
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if a.(mid).fentry <= pc then lo := mid else hi := mid - 1
+    done;
+    let f = a.(!lo) in
+    if pc < f.fend then Some f else None
+  end
 
 let block_at (t : t) pc : (func * block) option =
   match func_at t pc with

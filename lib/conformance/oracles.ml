@@ -1,4 +1,4 @@
-(** The five pipeline oracles of the conformance subsystem.
+(** The six pipeline oracles of the conformance subsystem.
 
     One fuzz case drives the whole DrDebug pipeline —
     log -> pinball save/load -> replay -> trace -> slice (three drivers)
@@ -28,7 +28,13 @@
        injections, which (a) checks;}
     {- {e exclusion sanity}: an independent walk of the per-thread traces
        under the relogger's flag semantics confirms no slice record falls
-       inside an exclusion region and every bounded region closes.}} *)
+       inside an exclusion region and every bounded region closes;}
+    {- {e static slice bound}: on programs whose refined CFG is fully
+       resolved (no unknown indirect targets, every thread entered at a
+       statically known entry), the pc set of every dynamic slice is
+       contained in the static backward slice of its criterion's pc
+       ({!Dr_static.Pdg}) — the static PDG must over-approximate every
+       dynamic dependence.}} *)
 
 open Dr_machine
 open Dr_pinplay
@@ -40,10 +46,11 @@ type kind =
   | Driver_agreement
   | Slice_soundness
   | Exclusion_sanity
+  | Static_slice_bound
 
 let all_kinds =
   [ Replay_determinism; Pinball_roundtrip; Driver_agreement; Slice_soundness;
-    Exclusion_sanity ]
+    Exclusion_sanity; Static_slice_bound ]
 
 let kind_name = function
   | Replay_determinism -> "replay-determinism"
@@ -51,6 +58,7 @@ let kind_name = function
   | Driver_agreement -> "driver-agreement"
   | Slice_soundness -> "slice-soundness"
   | Exclusion_sanity -> "exclusion-sanity"
+  | Static_slice_bound -> "static-slice-bound"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -152,6 +160,49 @@ let check_agreement gt ~lp ~pairs crit =
        positions"
       crit.Slicer.crit_pos (Slicer.size a) (Slicer.size b) (Slicer.size c);
   a
+
+(* ---- oracle 6: static slice as a soundness bound ---- *)
+
+(* Every pc in a dynamic slice must lie in the static backward slice of
+   the criterion's pc: the static PDG over-approximates every dynamic
+   dependence (register RD is thread-blind, memory is one global cell,
+   control regions cover the dynamic tracker's [branch, ipdom) marks).
+   The bound only holds when the super-CFG is complete — every indirect
+   jump/call resolved by refinement — and every thread entered at a
+   statically known entry (the program entry or an address-taken
+   function).  When a precondition fails the oracle checks nothing
+   rather than reporting Skip: corpus replay treats Skip as a failure,
+   and an unresolved CFG is a property of the program, not a bug. *)
+let check_static_bound prog (c : Collector.result) gt
+    ~(slices : (int * Slicer.t) list) =
+  let pdg =
+    Dr_static.Pdg.build ~indirect_targets:c.Collector.indirect_targets prog
+  in
+  let known_entries =
+    prog.Dr_isa.Program.entry :: Dr_static.Pdg.address_taken_entries pdg
+  in
+  let entries_known =
+    Array.for_all
+      (fun gseqs ->
+        Array.length gseqs = 0
+        || List.mem c.Collector.records.(gseqs.(0)).Trace.pc known_entries)
+      c.Collector.per_thread
+  in
+  if Dr_static.Pdg.fully_resolved pdg && entries_known then
+    List.iter
+      (fun (pos, (slice : Slicer.t)) ->
+        let crit_pc = (Global_trace.record gt pos).Trace.pc in
+        let bound = Dr_static.Pdg.backward_slice pdg ~pc:crit_pc in
+        Array.iter
+          (fun p ->
+            let pc = (Global_trace.record gt p).Trace.pc in
+            if not (Dr_util.Bitset.mem bound pc) then
+              fail Static_slice_bound
+                "dynamic slice at crit_pos %d (pc %d) contains pc %d outside \
+                 its static backward slice"
+                pos crit_pc pc)
+          slice.Slicer.positions)
+      slices
 
 (* ---- oracle 5: exclusion-region sanity ---- *)
 
@@ -503,6 +554,8 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
                 { Slicer.crit_pos = p; crit_locs = None } ))
           crits
       in
+      oracle_span Static_slice_bound (fun () ->
+          check_static_bound prog c gt ~slices);
       let slice0 = List.assoc crit_pos slices in
       let slice =
         match mutate_slice with None -> slice0 | Some f -> f slice0

@@ -80,6 +80,45 @@ let defines t ~block ~loc =
   done;
   !found
 
+(* ---- static reach filter ---- *)
+
+type static_filter = {
+  sf_reg_masks : int array;
+      (** per block: union of static register-def masks of the pcs whose
+          records fall in the block (bit [r] = some pc may define [r]) *)
+  sf_mem : bool array;  (** per block: some pc in the block may write memory *)
+}
+
+let t_static = Dr_obs.Metrics.timer "lp.static_prepare"
+
+(** Per-block static definition signatures: which register {e numbers}
+    and whether memory can be defined by the code executed in each trace
+    block, per the {e static} def sets of the pcs occurring there.  The
+    callbacks come from [Dr_static.Defuse] (passed in by the caller so
+    this library stays independent of it); because static register defs
+    are a superset of dynamic ones per pc and static memory-writers cover
+    every dynamic memory def, "the signature cannot satisfy any wanted
+    location" implies the exact {!may_satisfy} summary cannot either —
+    the skip is sound and the slice unchanged. *)
+let prepare_static (t : t) (gt : Global_trace.t)
+    ~(reg_defs : int -> int) ~(writes_mem : int -> bool) : static_filter =
+  Dr_obs.Metrics.time t_static (fun () ->
+      let masks = Array.make t.num_blocks 0 in
+      let mem = Array.make t.num_blocks false in
+      let n = Global_trace.length gt in
+      for pos = 0 to n - 1 do
+        let r = Global_trace.record gt pos in
+        let b = pos / t.block_size in
+        masks.(b) <- masks.(b) lor reg_defs r.Trace.pc;
+        if writes_mem r.Trace.pc then mem.(b) <- true
+      done;
+      { sf_reg_masks = masks; sf_mem = mem })
+
+(** Can block [b] statically satisfy a want set summarised as a register
+    bit mask plus a wants-memory flag? *)
+let static_may_satisfy (sf : static_filter) ~block ~reg_mask ~wants_mem =
+  sf.sf_reg_masks.(block) land reg_mask <> 0 || (wants_mem && sf.sf_mem.(block))
+
 exception Found
 
 (** Can block [b] satisfy any of [wanted]?  Iterates over the smaller of

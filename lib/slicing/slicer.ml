@@ -37,6 +37,8 @@ let m_computes = Dr_obs.Metrics.counter "slicer.computes"
 let h_slice_size = Dr_obs.Histogram.get "slicer.slice_size"
 let m_visited = Dr_obs.Metrics.counter "slicer.records_visited"
 let m_skipped = Dr_obs.Metrics.counter "slicer.blocks_skipped"
+let m_static_checks = Dr_obs.Metrics.counter "slicer.static_checks"
+let m_static_skips = Dr_obs.Metrics.counter "slicer.static_skips"
 let m_edges = Dr_obs.Metrics.counter "slicer.edges"
 let m_heap_pops = Dr_obs.Metrics.counter "slicer.heap_pops"
 let m_stale_pops = Dr_obs.Metrics.counter "slicer.heap_stale_pops"
@@ -64,6 +66,8 @@ type criterion = {
 type stats = {
   visited : int;  (** records examined *)
   skipped_blocks : int;
+  static_skipped_blocks : int;
+      (** subset of [skipped_blocks] decided by the static filter alone *)
   total_blocks : int;
   slice_time : float;
 }
@@ -128,7 +132,8 @@ type cand_kind =
     (ignored when [indexed]); disable to measure the LP optimisation's
     effect (ablation).  The slice is identical on every path. *)
 let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
-    ?(block_skipping = true) ?(indexed = true) (gt : Global_trace.t)
+    ?(block_skipping = true) ?(indexed = true)
+    ?(static_filter : Lp.static_filter option) (gt : Global_trace.t)
     (criterion : criterion) : t =
   Dr_obs.Metrics.bump m_computes;
   let t0 = Dr_util.Timer.now () in
@@ -141,6 +146,40 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let lp = match lp with Some l -> l | None -> Lp.prepare gt in
   let index = Lp.def_index lp in
   let wanted : (int, want_entry) Hashtbl.t = Hashtbl.create 256 in
+  (* incremental want-set summary for the static pre-filter: per-register-
+     number entry counts plus a wanted-memory count, kept in sync with
+     [wanted] so a block check is a mask test instead of a hash iteration *)
+  let track = static_filter <> None in
+  let wreg_counts = Array.make Dr_isa.Reg.file_size 0 in
+  let wmem = ref 0 in
+  let track_add loc =
+    if track then
+      match Dr_isa.Loc.view loc with
+      | Dr_isa.Loc.Reg { reg; _ } -> wreg_counts.(reg) <- wreg_counts.(reg) + 1
+      | Dr_isa.Loc.Mem _ -> incr wmem
+  in
+  let track_remove loc =
+    if track then
+      match Dr_isa.Loc.view loc with
+      | Dr_isa.Loc.Reg { reg; _ } -> wreg_counts.(reg) <- wreg_counts.(reg) - 1
+      | Dr_isa.Loc.Mem _ -> decr wmem
+  in
+  let wanted_reg_mask () =
+    let m = ref 0 in
+    for r = 0 to Dr_isa.Reg.file_size - 1 do
+      if wreg_counts.(r) > 0 then m := !m lor (1 lsl r)
+    done;
+    !m
+  in
+  let static_cannot b =
+    match static_filter with
+    | None -> false
+    | Some sf ->
+      Dr_obs.Metrics.bump m_static_checks;
+      not
+        (Lp.static_may_satisfy sf ~block:b ~reg_mask:(wanted_reg_mask ())
+           ~wants_mem:(!wmem > 0))
+  in
   let deferred : deferred list ref = ref [] in
   let heap = Dr_util.Heap.create ~dummy:Cand_inc in
   let to_include = Dr_util.Bitset.create n in
@@ -148,7 +187,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let in_slice = Dr_util.Bitset.create n in
   let slice_positions = Dr_util.Vec.Int_vec.create () in
   let edges = Dr_util.Vec.create ~dummy:{ from_pos = 0; to_pos = 0; kind = Control } in
-  let visited = ref 0 and skipped = ref 0 in
+  let visited = ref 0 and skipped = ref 0 and static_skipped = ref 0 in
   (* [cap]: the largest position at which the want may be satisfied —
      the criterion and a record's uses look strictly below themselves,
      a reactivated deferral may be satisfied by the very record that
@@ -165,6 +204,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
         if indexed then Def_index.latest_at_or_before index ~loc ~pos:cap
         else -1
       in
+      track_add loc;
       Hashtbl.replace wanted loc { reqs = [ (requester, bypassed) ]; cand };
       if indexed && cand >= 0 then
         Dr_util.Heap.push heap cand (Cand_want loc)
@@ -266,6 +306,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
                     kind = (if via_bypass then Data_bypassed d else Data d) })
               e.reqs;
             included := true);
+          track_remove d;
           Hashtbl.remove wanted d)
       r.Trace.defs;
     if !included then include_record pos
@@ -304,17 +345,21 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
          trace end (the final block is partial) and to the walk's
          start below the criterion *)
       let block_top = min (min hi (n - 1)) (criterion.crit_pos - 1) in
+      let skippable =
+        block_skipping && !pos = block_top && to_include_in_block.(b) = 0
+      in
+      (* the static pre-filter short-circuits the exact summary check *)
+      let sskip = skippable && static_cannot b in
       let can_skip =
-        block_skipping
-        && !pos = block_top
-        && to_include_in_block.(b) = 0
-        && (not (Lp.may_satisfy lp ~block:b ~wanted))
+        skippable
+        && (sskip || not (Lp.may_satisfy lp ~block:b ~wanted))
         && List.for_all
              (fun d -> d.d_save_pos <= lo || not (Lp.defines lp ~block:b ~loc:d.d_loc))
              !deferred
       in
       if can_skip then begin
         incr skipped;
+        if sskip then incr static_skipped;
         pos := lo - 1
       end
       else begin
@@ -328,6 +373,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let edges = Dr_util.Vec.to_array edges in
   Dr_obs.Metrics.add m_visited !visited;
   Dr_obs.Metrics.add m_skipped !skipped;
+  Dr_obs.Metrics.add m_static_skips !static_skipped;
   Dr_obs.Metrics.add m_edges (Array.length edges);
   let slice_time = Dr_util.Timer.now () -. t0 in
   Dr_obs.Metrics.record t_compute slice_time;
@@ -339,6 +385,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   { gt; criterion; positions; edges;
     stats =
       { visited = !visited; skipped_blocks = !skipped;
+        static_skipped_blocks = !static_skipped;
         total_blocks = lp.Lp.num_blocks; slice_time };
     adj = None }
 

@@ -35,6 +35,8 @@ type criterion = {
 type stats = {
   visited : int;  (** records examined *)
   skipped_blocks : int;
+  static_skipped_blocks : int;
+      (** subset of [skipped_blocks] decided by the static filter alone *)
   total_blocks : int;
   slice_time : float;  (** wall-clock seconds *)
 }
@@ -62,13 +64,16 @@ val mem : t -> int -> bool
     [indexed] (default [true]): use the definition-index fast path;
     disable to run the backwards scan.  [block_skipping]: LP block
     skipping for the scan path (ignored when [indexed]); disable to
-    measure the LP optimisation.  The slice is identical on every
-    path. *)
+    measure the LP optimisation.  [static_filter] (scan path): consult
+    per-block static definition signatures ({!Lp.prepare_static}) before
+    the exact summary check, skipping blocks that statically cannot
+    define any pending use.  The slice is identical on every path. *)
 val compute :
   ?lp:Lp.t ->
   ?pairs:Prune.pairs ->
   ?block_skipping:bool ->
   ?indexed:bool ->
+  ?static_filter:Lp.static_filter ->
   Global_trace.t ->
   criterion ->
   t

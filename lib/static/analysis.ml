@@ -1,0 +1,115 @@
+(** Per-function instantiations of the {!Dataflow} engine.
+
+    Both analyses run at pc granularity over the intra-procedural graph
+    (one node per instruction, edges from {!Dr_isa.Instr.static_successors}
+    plus any resolved indirect targets), with facts over the register file
+    ({!Dr_isa.Reg.file_size} slots including the flags pseudo-register). *)
+
+open Dr_isa
+module Bitset = Dr_util.Bitset
+
+type graph = { nn : int; succs : int list array; preds : int list array }
+
+(** Intra-procedural pc graph of [\[fentry, fend)], node [i] = pc
+    [fentry + i].  [targets pc] supplies resolved targets for indirect
+    jumps/calls (return [[]] for the purely static view). *)
+let intra_graph (code : Instr.t array) ~fentry ~fend
+    ~(targets : int -> int list) : graph =
+  let nn = fend - fentry in
+  let succs = Array.make nn [] in
+  let add p q = if q >= fentry && q < fend then succs.(p - fentry) <- (q - fentry) :: succs.(p - fentry) in
+  for pc = fentry to fend - 1 do
+    match Instr.static_successors ~pc code.(pc) with
+    | Some qs -> List.iter (add pc) qs
+    | None ->
+      (* indirect jump or call *)
+      List.iter (add pc) (targets pc);
+      (match code.(pc) with
+      | Instr.Callind _ -> add pc (pc + 1)  (* falls through on return *)
+      | _ -> ())
+  done;
+  let preds = Array.make nn [] in
+  Array.iteri (fun p qs -> List.iter (fun q -> preds.(q) <- p :: preds.(q)) qs) succs;
+  { nn; succs; preds }
+
+let reg_bitset mask =
+  let b = Bitset.create Reg.file_size in
+  Defuse.iter_mask (Bitset.add b) mask;
+  b
+
+type liveness = {
+  live_in : Bitset.t array;  (** node -> registers live on entry *)
+  live_out : Bitset.t array;
+}
+
+(** Classic backward register liveness: gen = uses, kill = strong defs. *)
+let liveness (code : Instr.t array) ~fentry ~fend
+    ?(targets = fun _ -> []) () : liveness =
+  let g = intra_graph code ~fentry ~fend ~targets in
+  let r =
+    Dataflow.solve ~num_nodes:g.nn ~num_facts:Reg.file_size
+      ~direction:Dataflow.Backward
+      ~succs:(fun i -> g.succs.(i))
+      ~preds:(fun i -> g.preds.(i))
+      ~gen:(fun i -> reg_bitset (Defuse.use_mask code.(fentry + i)))
+      ~kill:(fun i -> reg_bitset (Defuse.strong_def_mask code.(fentry + i)))
+      ()
+  in
+  { live_in = r.Dataflow.in_; live_out = r.Dataflow.out_ }
+
+type uninit_use = { u_pc : int; u_reg : Reg.t }
+
+(** Maybe-uninitialized registers: a forward kill-only may-analysis.  At
+    function entry every tracked register is possibly-uninitialized except
+    the argument registers [r1]..[r5]; a definition removes the register;
+    calls conservatively "define" the caller-saved set (return value and
+    clobbers — treating them as initialized avoids flagging the calling
+    convention itself).  A use of a register still possibly-uninitialized
+    is reported, except [Push] of a callee-saved register: the
+    prologue-save idiom reads the register only to preserve it.  Nodes the
+    fixpoint never reaches keep empty facts, so statically unreachable
+    code is not reported. *)
+let maybe_uninit (code : Instr.t array) ~fentry ~fend
+    ?(targets = fun _ -> []) () : uninit_use list =
+  let g = intra_graph code ~fentry ~fend ~targets in
+  if g.nn = 0 then []
+  else begin
+    let entry_facts = Bitset.create Reg.file_size in
+    for r = 0 to Reg.file_size - 1 do
+      if Defuse.tracked r && not (List.mem r Reg.arg_regs) then
+        Bitset.add entry_facts r
+    done;
+    let kill i =
+      let pc = fentry + i in
+      let m = Defuse.strong_def_mask code.(pc) in
+      let m =
+        match code.(pc) with
+        | Instr.Call _ | Instr.Callind _ -> m lor Defuse.caller_saved_mask
+        | _ -> m
+      in
+      reg_bitset m
+    in
+    let r =
+      Dataflow.solve ~num_nodes:g.nn ~num_facts:Reg.file_size
+        ~direction:Dataflow.Forward
+        ~succs:(fun i -> g.succs.(i))
+        ~preds:(fun i -> g.preds.(i))
+        ~gen:(fun _ -> Bitset.create Reg.file_size)
+        ~kill
+        ~entry:(fun i -> if i = 0 then Some entry_facts else None)
+        ()
+    in
+    let findings = ref [] in
+    for i = g.nn - 1 downto 0 do
+      let pc = fentry + i in
+      match code.(pc) with
+      | Instr.Push rr when Reg.is_callee_saved rr -> ()
+      | instr ->
+        Defuse.iter_mask
+          (fun reg ->
+            if Bitset.mem r.Dataflow.in_.(i) reg then
+              findings := { u_pc = pc; u_reg = reg } :: !findings)
+          (Defuse.use_mask instr)
+    done;
+    !findings
+  end

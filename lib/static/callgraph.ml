@@ -1,0 +1,129 @@
+(** Interprocedural call graph.
+
+    Edges come from three sources, matching what the code-discovery layer
+    in {!Dr_cfg.Cfg} already recognizes:
+
+    - direct [Call] instructions;
+    - indirect [Callind] instructions, resolved by dynamically observed
+      targets when provided, otherwise conservatively to every
+      {e address-taken} function;
+    - the spawn idiom: [Sys Spawn] starts a thread at a code address that
+      was materialized into a register by a [Mov _, Imm entry] — any
+      address-taken function is a potential spawn target.
+
+    A function is {e address-taken} when some instruction materializes its
+    entry pc as an immediate ([Mov _, Imm entry]), the same heuristic
+    [Cfg.discover_entries] uses to find spawn targets. *)
+
+open Dr_isa
+module Cfg = Dr_cfg.Cfg
+
+type call_kind = Direct | Indirect | Spawn
+
+type site = {
+  site_pc : int;
+  caller : int;  (** function index, -1 when the pc is outside any function *)
+  kind : call_kind;
+  callees : int list;  (** function indices *)
+}
+
+type t = {
+  entries : int array;  (** function index -> entry pc (entry-sorted) *)
+  ends : int array;  (** function index -> end pc (exclusive) *)
+  sites : site list;
+  callees : int list array;  (** function index -> callee function indices *)
+  callers : int list array;
+  address_taken : int list;  (** function indices *)
+  unresolved_callind : int list;  (** [Callind] pcs with no observed targets *)
+  fn_of_pc : int array;  (** pc -> function index, -1 when outside *)
+}
+
+let num_functions t = Array.length t.entries
+
+let fn_at t pc =
+  if pc < 0 || pc >= Array.length t.fn_of_pc then -1 else t.fn_of_pc.(pc)
+
+let build ?(indirect_targets : (int * int list) list = [])
+    (prog : Program.t) ~(cfg : Cfg.t) : t =
+  let code = prog.Program.code in
+  let n = Array.length code in
+  let ranges = Array.of_list (Cfg.functions cfg) in
+  Array.sort compare ranges;
+  let nf = Array.length ranges in
+  let entries = Array.map fst ranges and ends = Array.map snd ranges in
+  let fn_of_pc = Array.make n (-1) in
+  Array.iteri
+    (fun i (e, f) ->
+      for pc = e to min (f - 1) (n - 1) do
+        fn_of_pc.(pc) <- i
+      done)
+    ranges;
+  let entry_idx = Hashtbl.create 16 in
+  Array.iteri (fun i e -> Hashtbl.replace entry_idx e i) entries;
+  let address_taken =
+    let seen = Array.make nf false in
+    Array.iter
+      (function
+        | Instr.Mov (_, Instr.Imm v) -> (
+          match Hashtbl.find_opt entry_idx v with
+          | Some i -> seen.(i) <- true
+          | None -> ())
+        | _ -> ())
+      code;
+    List.filter (fun i -> seen.(i)) (List.init nf Fun.id)
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (pc, ts) -> Hashtbl.replace tbl pc ts) indirect_targets;
+  let sites = ref [] and unresolved = ref [] in
+  for pc = 0 to n - 1 do
+    let caller = fn_of_pc.(pc) in
+    let site kind callees = sites := { site_pc = pc; caller; kind; callees } :: !sites in
+    match code.(pc) with
+    | Instr.Call t -> if t >= 0 && t < n then site Direct [ fn_of_pc.(t) ]
+    | Instr.Callind _ -> (
+      match Hashtbl.find_opt tbl pc with
+      | Some ts ->
+        site Indirect
+          (List.sort_uniq compare
+             (List.filter_map
+                (fun t -> if t >= 0 && t < n then Some fn_of_pc.(t) else None)
+                ts))
+      | None ->
+        unresolved := pc :: !unresolved;
+        site Indirect address_taken)
+    | Instr.Sys Instr.Spawn -> site Spawn address_taken
+    | _ -> ()
+  done;
+  let callees = Array.make nf [] and callers = Array.make nf [] in
+  List.iter
+    (fun s ->
+      if s.caller >= 0 then
+        List.iter
+          (fun g ->
+            if g >= 0 then begin
+              callees.(s.caller) <- g :: callees.(s.caller);
+              callers.(g) <- s.caller :: callers.(g)
+            end)
+          s.callees)
+    !sites;
+  Array.iteri (fun i l -> callees.(i) <- List.sort_uniq compare l) callees;
+  Array.iteri (fun i l -> callers.(i) <- List.sort_uniq compare l) callers;
+  { entries; ends; sites = List.rev !sites; callees; callers; address_taken;
+    unresolved_callind = List.rev !unresolved; fn_of_pc }
+
+(** Functions reachable from the one containing [prog.entry], following
+    call edges (spawn and unresolved-indirect edges included). *)
+let reachable_from_entry t ~(entry_pc : int) : bool array =
+  let nf = num_functions t in
+  let seen = Array.make nf false in
+  let rec go i =
+    if i >= 0 && i < nf && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.callees.(i)
+    end
+  in
+  go (fn_at t entry_pc);
+  seen
+
+let num_edges t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.callees

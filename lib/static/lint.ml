@@ -1,0 +1,267 @@
+(** Binary lint pass suite over a program image.
+
+    Four passes, all purely static (run on the unrefined CFG, as a
+    front-line audit before any dynamic information exists):
+
+    - {b unreachable-blocks}: basic blocks unreachable from their function
+      entry.  Blocks ending in an {e unresolved} indirect jump are treated
+      as possibly jumping anywhere in their function, so jump-table case
+      bodies are not false positives; what remains is genuinely dead code
+      (e.g. statements after an unconditional [return]).
+    - {b maybe-uninit}: uses of possibly-uninitialized registers
+      ({!Analysis.maybe_uninit}).
+    - {b indirect-audit}: every indirect jump/call whose targets are
+      statically unknown, with refinement suggestions — jump-table entries
+      found in the initial data image for [Jind], address-taken function
+      entries for [Callind] — i.e. the candidates a dynamic refinement run
+      is expected to confirm (paper §5.1).
+    - {b save-restore}: prologue/epilogue discipline — for every [Ret],
+      the pops before it must restore exactly the prologue's pushes in
+      reverse order.  The candidate scan uses the same idiom rules as
+      {!Dr_slicing.Prune.static_candidates} and is cross-checked against
+      that module's output when the caller provides it. *)
+
+open Dr_isa
+module Cfg = Dr_cfg.Cfg
+
+type unreachable_block = {
+  ub_fentry : int;
+  ub_block : int;
+  ub_start : int;
+  ub_end : int;
+}
+
+type uninit = { un_fentry : int; un_pc : int; un_reg : Reg.t }
+
+type indirect = {
+  ind_pc : int;
+  ind_kind : [ `Jind | `Callind ];
+  ind_reg : Reg.t;
+  ind_suggestions : int list;  (** candidate target pcs *)
+}
+
+type sr_kind =
+  | Missing_restore  (** a prologue save with no matching epilogue pop *)
+  | Unmatched_restore  (** an epilogue pop with no matching prologue push *)
+  | Order_mismatch  (** pops are not the reverse of the pushes *)
+  | Candidate_mismatch  (** disagreement with [Prune.static_candidates] *)
+
+let sr_kind_name = function
+  | Missing_restore -> "missing-restore"
+  | Unmatched_restore -> "unmatched-restore"
+  | Order_mismatch -> "order-mismatch"
+  | Candidate_mismatch -> "candidate-mismatch"
+
+type sr_issue = { sr_fentry : int; sr_kind : sr_kind; sr_pc : int; sr_reg : Reg.t }
+
+type t = {
+  unreachable : unreachable_block list;
+  uninit : uninit list;
+  indirect : indirect list;
+  save_restore : sr_issue list;
+  candidate_saves : int;
+  candidate_restores : int;
+}
+
+let findings_total t =
+  List.length t.unreachable + List.length t.uninit + List.length t.indirect
+  + List.length t.save_restore
+
+(* ---- pass: unreachable blocks ---- *)
+
+let unreachable_blocks (cfg : Cfg.t) : unreachable_block list =
+  List.concat_map
+    (fun (f : Cfg.func) ->
+      let nb = Array.length f.Cfg.blocks in
+      let seen = Array.make nb false in
+      let rec go b =
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          let blk = f.Cfg.blocks.(b) in
+          List.iter go blk.Cfg.succs;
+          if blk.Cfg.unknown_succs then
+            (* unresolved indirect jump: may target any block here *)
+            for x = 0 to nb - 1 do
+              go x
+            done
+        end
+      in
+      if nb > 0 then go 0;
+      List.filter_map
+        (fun (b : Cfg.block) ->
+          if seen.(b.Cfg.id) then None
+          else
+            Some
+              { ub_fentry = f.Cfg.fentry; ub_block = b.Cfg.id;
+                ub_start = b.Cfg.start_pc; ub_end = b.Cfg.end_pc })
+        (Array.to_list f.Cfg.blocks))
+    cfg.Cfg.funcs
+
+(* ---- pass: maybe-uninitialized registers ---- *)
+
+let maybe_uninit (prog : Program.t) (cfg : Cfg.t) : uninit list =
+  let code = prog.Program.code in
+  List.concat_map
+    (fun (f : Cfg.func) ->
+      List.map
+        (fun (u : Analysis.uninit_use) ->
+          { un_fentry = f.Cfg.fentry; un_pc = u.Analysis.u_pc;
+            un_reg = u.Analysis.u_reg })
+        (Analysis.maybe_uninit code ~fentry:f.Cfg.fentry ~fend:f.Cfg.fend ()))
+    cfg.Cfg.funcs
+
+(* ---- pass: unresolved-indirect audit ---- *)
+
+let indirect_audit (prog : Program.t) (cfg : Cfg.t) (cg : Callgraph.t)
+    : indirect list =
+  let code = prog.Program.code in
+  let n = Array.length code in
+  let acc = ref [] in
+  for pc = n - 1 downto 0 do
+    match code.(pc) with
+    | Instr.Jind r ->
+      (* suggestions: initial-data words that look like pcs in the same
+         function — exactly what the compiler's jump tables contain *)
+      let suggestions =
+        match Cfg.func_at cfg pc with
+        | None -> []
+        | Some f ->
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (_, v) ->
+                 if v >= f.Cfg.fentry && v < f.Cfg.fend then Some v else None)
+               prog.Program.data)
+      in
+      acc := { ind_pc = pc; ind_kind = `Jind; ind_reg = r;
+               ind_suggestions = suggestions } :: !acc
+    | Instr.Callind r ->
+      let suggestions =
+        List.map (fun i -> cg.Callgraph.entries.(i)) cg.Callgraph.address_taken
+      in
+      acc := { ind_pc = pc; ind_kind = `Callind; ind_reg = r;
+               ind_suggestions = suggestions } :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* ---- pass: save/restore verification ---- *)
+
+(* Same idiom rule as Prune.is_frame_glue; the Candidate_mismatch
+   cross-check below catches any drift between the two. *)
+let is_frame_glue = function
+  | Instr.Mov (rd, Instr.Reg rs) -> rd = Reg.fp && rs = Reg.sp
+  | Instr.Bin ((Instr.Sub | Instr.Add), rd, rs, Instr.Imm _) ->
+    rd = Reg.sp && (rs = Reg.sp || rs = Reg.fp)
+  | _ -> false
+
+(* Ordered variant of the Prune.static_candidates scan: prologue pushes in
+   execution order, and per-ret pops in execution order. *)
+let scan_saves code ~fentry ~fend ~max_save =
+  let saves = ref [] in
+  let count = ref 0 and pc = ref fentry and continue = ref true in
+  while !continue && !pc < fend && !count < max_save do
+    (match code.(!pc) with
+    | Instr.Push r ->
+      saves := (!pc, r) :: !saves;
+      incr count
+    | i when is_frame_glue i -> ()
+    | _ -> continue := false);
+    incr pc
+  done;
+  List.rev !saves
+
+let scan_restores code ~fentry ~ret_pc ~max_save =
+  let pops = ref [] in
+  let count = ref 0 and pc = ref (ret_pc - 1) and continue = ref true in
+  while !continue && !pc >= fentry && !count < max_save do
+    (match code.(!pc) with
+    | Instr.Pop r ->
+      pops := (!pc, r) :: !pops;
+      incr count
+    | i when is_frame_glue i -> ()
+    | _ -> continue := false);
+    decr pc
+  done;
+  !pops (* already in execution order: collected walking backwards *)
+
+let save_restore ?(max_save = 10)
+    ?(candidates : ((int * Reg.t) list * (int * Reg.t) list) option)
+    (prog : Program.t) (cfg : Cfg.t) : sr_issue list * int * int =
+  let code = prog.Program.code in
+  let issues = ref [] in
+  let my_saves = ref [] and my_restores = ref [] in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let fentry = f.Cfg.fentry and fend = f.Cfg.fend in
+      let saves = scan_saves code ~fentry ~fend ~max_save in
+      my_saves := saves @ !my_saves;
+      for ret_pc = fentry to fend - 1 do
+        if code.(ret_pc) = Instr.Ret then begin
+          let pops = scan_restores code ~fentry ~ret_pc ~max_save in
+          my_restores := pops @ !my_restores;
+          let expected = List.rev_map snd saves in
+          let got = List.map snd pops in
+          if got <> expected then begin
+            let save_regs = List.map snd saves in
+            (* pops of regs never saved *)
+            List.iter
+              (fun (ppc, r) ->
+                if not (List.mem r save_regs) then
+                  issues := { sr_fentry = fentry; sr_kind = Unmatched_restore;
+                              sr_pc = ppc; sr_reg = r } :: !issues)
+              pops;
+            (* saves never popped before this ret *)
+            List.iter
+              (fun (spc, r) ->
+                if not (List.mem r got) then
+                  issues := { sr_fentry = fentry; sr_kind = Missing_restore;
+                              sr_pc = spc; sr_reg = r } :: !issues)
+              saves;
+            (* same multiset but wrong order *)
+            if List.sort compare got = List.sort compare expected then
+              issues := { sr_fentry = fentry; sr_kind = Order_mismatch;
+                          sr_pc = ret_pc; sr_reg = List.hd got } :: !issues
+          end
+        end
+      done)
+    cfg.Cfg.funcs;
+  (* cross-check against Prune.static_candidates when provided *)
+  (match candidates with
+  | None -> ()
+  | Some (cand_saves, cand_restores) ->
+    let fentry_of pc =
+      match Cfg.func_at cfg pc with Some f -> f.Cfg.fentry | None -> -1
+    in
+    let diff kind mine theirs =
+      let mine = List.sort compare mine and theirs = List.sort compare theirs in
+      if mine <> theirs then begin
+        let missing l l' = List.filter (fun x -> not (List.mem x l')) l in
+        List.iter
+          (fun (pc, r) ->
+            issues := { sr_fentry = fentry_of pc; sr_kind = kind; sr_pc = pc;
+                        sr_reg = r } :: !issues)
+          (missing mine theirs @ missing theirs mine)
+      end
+    in
+    diff Candidate_mismatch !my_saves cand_saves;
+    diff Candidate_mismatch !my_restores cand_restores);
+  (!issues, List.length !my_saves, List.length !my_restores)
+
+(** Run all four passes.  [candidates] is the
+    [Prune.static_candidates] output as assoc lists (saves, restores) for
+    the cross-check — the caller converts, keeping this library
+    independent of [dr_slicing]. *)
+let run ?max_save ?candidates (prog : Program.t) : t =
+  let cfg = Cfg.build prog in
+  let cg = Callgraph.build prog ~cfg in
+  let save_restore, candidate_saves, candidate_restores =
+    save_restore ?max_save ?candidates prog cfg
+  in
+  {
+    unreachable = unreachable_blocks cfg;
+    uninit = maybe_uninit prog cfg;
+    indirect = indirect_audit prog cfg cg;
+    save_restore;
+    candidate_saves;
+    candidate_restores;
+  }

@@ -47,3 +47,61 @@ let to_list t =
     if mem t i then acc := i :: !acc
   done;
   !acc
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n }
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: length mismatch"
+
+let equal a b =
+  check_same a b;
+  Bytes.equal a.bits b.bits
+
+let blit ~src ~dst =
+  check_same src dst;
+  Bytes.blit src.bits 0 dst.bits 0 (Bytes.length src.bits)
+
+let is_empty t =
+  let r = ref true in
+  let nb = Bytes.length t.bits in
+  let i = ref 0 in
+  while !r && !i < nb do
+    if Bytes.get t.bits !i <> '\000' then r := false;
+    incr i
+  done;
+  !r
+
+(** [dst := dst ∪ src]; returns whether [dst] changed. *)
+let union_into ~src ~dst =
+  check_same src dst;
+  let changed = ref false in
+  for i = 0 to Bytes.length src.bits - 1 do
+    let d = Char.code (Bytes.get dst.bits i) in
+    let u = d lor Char.code (Bytes.get src.bits i) in
+    if u <> d then begin
+      changed := true;
+      Bytes.set dst.bits i (Char.chr u)
+    end
+  done;
+  !changed
+
+(** [dst := gen ∪ (src \ kill)] — the gen/kill dataflow transfer;
+    returns whether [dst] changed. *)
+let transfer ~gen ~kill ~src ~dst =
+  check_same gen kill;
+  check_same gen src;
+  check_same gen dst;
+  let changed = ref false in
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let v =
+      Char.code (Bytes.get gen.bits i)
+      lor (Char.code (Bytes.get src.bits i)
+          land lnot (Char.code (Bytes.get kill.bits i))
+          land 0xff)
+    in
+    if v <> Char.code (Bytes.get dst.bits i) then begin
+      changed := true;
+      Bytes.set dst.bits i (Char.chr v)
+    end
+  done;
+  !changed

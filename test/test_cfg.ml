@@ -313,6 +313,116 @@ let prop_preds_consistent_with_succs =
               f.Dr_cfg.Cfg.blocks)
           cfg.Dr_cfg.Cfg.funcs)
 
+(* ---- edge cases around post-dominators, indirect calls and func_at ---- *)
+
+let test_single_block_function () =
+  let open Dr_isa.Instr in
+  let prog =
+    Dr_isa.Program.make ~name:"raw" ~entry:0 [ Mov (0, Imm 1); Ret ]
+  in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let f = Option.get (Dr_cfg.Cfg.func_at cfg 0) in
+  Alcotest.(check int) "one block" 1 (Array.length f.Dr_cfg.Cfg.blocks);
+  Alcotest.(check bool) "exit block" true
+    f.Dr_cfg.Cfg.blocks.(0).Dr_cfg.Cfg.exits;
+  (* the sole block's ipdom is the virtual exit, reported as -1 *)
+  Alcotest.(check int) "ipdom is vexit" (-1) f.Dr_cfg.Cfg.ipdom.(0)
+
+let test_ipdom_unreachable_from_exit () =
+  (* a self-loop block never reaches the function exit: its ipdom must be
+     -1 (virtual exit unreachable in the reversed CFG), not a crash *)
+  let open Dr_isa.Instr in
+  let prog = Dr_isa.Program.make ~name:"raw" ~entry:0 [ Jmp 0; Halt ] in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let f = Option.get (Dr_cfg.Cfg.func_at cfg 0) in
+  let b0 = f.Dr_cfg.Cfg.block_of_pc.(0) in
+  Alcotest.(check int) "self-loop block has no ipdom" (-1)
+    f.Dr_cfg.Cfg.ipdom.(b0)
+
+let test_callind_fallthrough_and_refinement () =
+  let open Dr_isa.Instr in
+  let prog =
+    Dr_isa.Program.make ~name:"raw" ~entry:0
+      [ Mov (1, Imm 4); Callind 1; Halt; Nop; (* callee at 4 *) Ret ]
+  in
+  let static_cfg = Dr_cfg.Cfg.build prog in
+  let _, b = Option.get (Dr_cfg.Cfg.block_at static_cfg 1) in
+  Alcotest.(check bool) "unknown statically" true b.Dr_cfg.Cfg.unknown_succs;
+  (* an unresolved indirect call still falls through to its return point *)
+  Alcotest.(check bool) "fallthrough succ present" true
+    (b.Dr_cfg.Cfg.succs <> []);
+  let refined = Dr_cfg.Cfg.build ~indirect_targets:[ (1, [ 4 ]) ] prog in
+  let _, b' = Option.get (Dr_cfg.Cfg.block_at refined 1) in
+  Alcotest.(check bool) "resolved after refinement" false
+    b'.Dr_cfg.Cfg.unknown_succs
+
+let test_region_end_refinement_transition () =
+  (* the same switch jind goes Unknown -> At once targets are observed *)
+  let prog = compile switch_src in
+  let jind_pc =
+    fst
+      (List.find
+         (fun (_, i) -> match i with Dr_isa.Instr.Jind _ -> true | _ -> false)
+         (find_branch_pcs prog))
+  in
+  let static_cfg = Dr_cfg.Cfg.build prog in
+  Alcotest.(check bool) "unknown before refinement" true
+    (Dr_cfg.Cfg.branch_region_end static_cfg ~pc:jind_pc = Dr_cfg.Cfg.Unknown);
+  let targets = Hashtbl.create 4 in
+  List.iter
+    (fun input ->
+      let m = Dr_machine.Machine.create ~input:[| input |] prog in
+      let hooks =
+        { Dr_machine.Driver.on_event =
+            (fun ev ->
+              match ev.Dr_machine.Event.instr with
+              | Dr_isa.Instr.Jind _ ->
+                let pc = ev.Dr_machine.Event.pc in
+                let old =
+                  Option.value ~default:[] (Hashtbl.find_opt targets pc)
+                in
+                if not (List.mem ev.Dr_machine.Event.next_pc old) then
+                  Hashtbl.replace targets pc
+                    (ev.Dr_machine.Event.next_pc :: old)
+              | _ -> ()) }
+      in
+      ignore
+        (Dr_machine.Driver.run ~hooks ~max_steps:10_000 m
+           (Dr_machine.Driver.Round_robin { quantum = 1 })))
+    [ 0; 1; 5 ];
+  let indirect_targets =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) targets []
+  in
+  let refined = Dr_cfg.Cfg.build ~indirect_targets prog in
+  match Dr_cfg.Cfg.branch_region_end refined ~pc:jind_pc with
+  | Dr_cfg.Cfg.At p ->
+    Alcotest.(check bool) "region ends after the jump" true (p > jind_pc)
+  | Dr_cfg.Cfg.To_exit -> Alcotest.fail "switch join should be a concrete pc"
+  | Dr_cfg.Cfg.Unknown -> Alcotest.fail "refinement should resolve the region"
+
+let test_func_at_boundaries () =
+  (* the binary-searched func_at agrees with the ranges list on every
+     in-range pc and rejects everything outside *)
+  let prog = compile {|
+fn a() { return 1; }
+fn b() { return 2; }
+fn main() { print(a() + b()); }
+|} in
+  let cfg = Dr_cfg.Cfg.build prog in
+  List.iter
+    (fun (s, e) ->
+      List.iter
+        (fun pc ->
+          match Dr_cfg.Cfg.func_at cfg pc with
+          | Some f ->
+            Alcotest.(check bool) "right function" true
+              (f.Dr_cfg.Cfg.fentry = s && f.Dr_cfg.Cfg.fend = e)
+          | None -> Alcotest.failf "no function at pc %d" pc)
+        [ s; (s + e) / 2; e - 1 ])
+    (Dr_cfg.Cfg.functions cfg);
+  Alcotest.(check bool) "past end" true (Dr_cfg.Cfg.func_at cfg 100_000 = None);
+  Alcotest.(check bool) "negative" true (Dr_cfg.Cfg.func_at cfg (-1) = None)
+
 let () =
   Alcotest.run "cfg"
     [ ( "dom",
@@ -339,4 +449,15 @@ let () =
             test_spawn_target_discovered;
           Alcotest.test_case "recursive fn blocks" `Quick
             test_recursive_function_cfg;
-          QCheck_alcotest.to_alcotest prop_preds_consistent_with_succs ] ) ]
+          QCheck_alcotest.to_alcotest prop_preds_consistent_with_succs ] );
+      ( "edges",
+        [ Alcotest.test_case "single-block function" `Quick
+            test_single_block_function;
+          Alcotest.test_case "ipdom unreachable from exit" `Quick
+            test_ipdom_unreachable_from_exit;
+          Alcotest.test_case "callind fallthrough + refinement" `Quick
+            test_callind_fallthrough_and_refinement;
+          Alcotest.test_case "region end transition on refinement" `Quick
+            test_region_end_refinement_transition;
+          Alcotest.test_case "func_at boundaries" `Quick
+            test_func_at_boundaries ] ) ]
