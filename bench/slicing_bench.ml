@@ -29,6 +29,8 @@ type prepared = {
   w_name : string;
   w_kind : string;  (* "registry" | "generated" *)
   w_prog : Dr_isa.Program.t;
+  w_collect : Dr_slicing.Collector.result;
+      (* retained for the out-of-core rerun *)
   gt : Dr_slicing.Global_trace.t;
   lp : Dr_slicing.Lp.t;
   collect_s : float;
@@ -85,8 +87,8 @@ let prepare ~name ~kind ~n_criteria prog pb =
   let c, collect_s = time (fun () -> Dr_slicing.Collector.collect prog pb) in
   let gt, construct_s = time (fun () -> Dr_slicing.Global_trace.construct c) in
   let lp, lp_s = time (fun () -> Dr_slicing.Lp.prepare gt) in
-  { w_name = name; w_kind = kind; w_prog = prog; gt; lp; collect_s;
-    construct_s; lp_s;
+  { w_name = name; w_kind = kind; w_prog = prog; w_collect = c; gt; lp;
+    collect_s; construct_s; lp_s;
     criteria = criteria_of gt ~n:n_criteria @ register_criterion gt lp }
 
 let prepare_registry ~name ~main_instrs ~n_criteria =
@@ -165,7 +167,86 @@ type measured = {
   visited_scan : int;
   slice_size_total : int;
   identical : bool;
+  spilled_segments : int;  (* segments on disk during the out-of-core rerun *)
+  spill_read_s : float;  (* one indexed pass over the spilled store *)
+  degradations : int;  (* ladder steps recorded by the governed rerun *)
+  spill_identical : bool;  (* spilled rerun matches in-memory, all drivers *)
 }
+
+(* Out-of-core rerun: rebuild the trace through a segment store whose
+   memory budget is a quarter of the record bytes, so most segments
+   spill to disk, then re-slice every criterion with all four drivers
+   and demand byte-identical positions and edges vs the in-memory run.
+   The governed driver runs under the same budget, which cannot fit the
+   definition index either — the recorded indexed->scan degradation is
+   the ladder exercising itself. *)
+let measure_spill (p : prepared) =
+  let c = p.w_collect in
+  let n = Dr_slicing.Segment_store.length c.Dr_slicing.Collector.records in
+  let total_bytes = ref 0 in
+  Dr_slicing.Segment_store.iter c.Dr_slicing.Collector.records (fun _ r ->
+      total_bytes := !total_bytes + Dr_slicing.Segment_store.record_bytes r);
+  let spill_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drdebug-bench-spill-%d-%s" (Unix.getpid ()) p.w_name)
+  in
+  let budget =
+    Dr_util.Budget.create ~mem_bytes:(!total_bytes / 4) ~spill_dir ()
+  in
+  let cleanup () =
+    if Sys.file_exists spill_dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat spill_dir f) with Sys_error _ -> ())
+        (Sys.readdir spill_dir);
+      try Unix.rmdir spill_dir with Unix.Unix_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let store =
+    Dr_slicing.Segment_store.rebuild ~budget ~seg_records:1024
+      c.Dr_slicing.Collector.records
+  in
+  let spilled_segments = Dr_slicing.Segment_store.spilled_segments store in
+  let gt' =
+    Dr_slicing.Global_trace.construct
+      { c with Dr_slicing.Collector.records = store }
+  in
+  let lp' = Dr_slicing.Lp.prepare gt' in
+  let clean ?static_filter ~indexed ~block_skipping crit =
+    Dr_slicing.Slicer.compute ?static_filter ~lp:p.lp ~indexed ~block_skipping
+      p.gt crit
+  in
+  let spilled ~indexed ~block_skipping crit =
+    Dr_slicing.Slicer.compute ~lp:lp' ~indexed ~block_skipping gt' crit
+  in
+  let spill_identical =
+    n = Dr_slicing.Segment_store.length store
+    && List.for_all
+         (fun crit ->
+           let base = clean ~indexed:true ~block_skipping:true crit in
+           let governed =
+             Dr_slicing.Slicer.compute_governed ~budget gt' crit
+           in
+           List.for_all
+             (fun s ->
+               s.Dr_slicing.Slicer.positions = base.Dr_slicing.Slicer.positions
+               && canonical_edges s = canonical_edges base)
+             [ spilled ~indexed:true ~block_skipping:true crit;
+               spilled ~indexed:false ~block_skipping:true crit;
+               spilled ~indexed:false ~block_skipping:false crit;
+               governed.Dr_slicing.Slicer.g_slice ])
+         p.criteria
+  in
+  let _, spill_read_s =
+    time (fun () ->
+        List.iter
+          (fun crit -> ignore (spilled ~indexed:true ~block_skipping:true crit))
+          p.criteria)
+  in
+  ( spilled_segments,
+    spill_read_s,
+    List.length (Dr_util.Budget.degradations budget),
+    spill_identical )
 
 let measure ~reps (p : prepared) : measured =
   let gt = p.gt and lp = p.lp in
@@ -249,11 +330,15 @@ let measure ~reps (p : prepared) : measured =
   in
   let scan_noskip_s = timed ~indexed:false ~block_skipping:false () in
   Dr_obs.Obs.set_enabled was_enabled;
+  let spilled_segments, spill_read_s, degradations, spill_identical =
+    measure_spill p
+  in
   { records; n_criteria = List.length p.criteria; reps; indexed_s;
     scan_skip_s; scan_static_s; scan_noskip_s; static_prepare_s;
     blocks_skipped; static_skips;
     total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
-    visited_scan; slice_size_total; identical }
+    visited_scan; slice_size_total; identical; spilled_segments;
+    spill_read_s; degradations; spill_identical }
 
 let ratio a b = if b > 0.0 then a /. b else 0.0
 
@@ -292,7 +377,11 @@ let workload_json (p : prepared) (m : measured) : J.t =
              (float_of_int (m.records * m.n_criteria))) );
       ( "slice_size_avg",
         J.Num (ratio (float_of_int m.slice_size_total) (float_of_int m.n_criteria)) );
-      ("results_identical", J.Bool m.identical) ]
+      ("results_identical", J.Bool m.identical);
+      ("spilled_segments", J.int m.spilled_segments);
+      ("spill_read_s", J.Num m.spill_read_s);
+      ("degradations", J.int m.degradations);
+      ("spill_identical", J.Bool m.spill_identical) ]
 
 let metrics_json () : J.t =
   J.Obj
@@ -323,18 +412,19 @@ let run ~quick ~out () =
       registry_names
     @ prepare_generated ~seeds ~keep ~n_criteria
   in
-  printf "%-16s %-10s %9s %10s %10s %10s %10s %8s %7s %s\n" "workload" "kind"
-    "records" "indexed" "scan+skip" "scan+stat" "scan" "speedup" "sskips"
-    "identical";
+  printf "%-16s %-10s %9s %10s %10s %10s %10s %8s %7s %6s %s\n" "workload"
+    "kind" "records" "indexed" "scan+skip" "scan+stat" "scan" "speedup"
+    "sskips" "spill" "identical";
   let rows =
     List.map
       (fun p ->
         let m = measure ~reps p in
-        printf "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %9.4fs %7.1fx %7d %b\n"
+        printf
+          "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %9.4fs %7.1fx %7d %6d %b/%b\n"
           p.w_name p.w_kind m.records m.indexed_s m.scan_skip_s
           m.scan_static_s m.scan_noskip_s
           (ratio m.scan_skip_s m.indexed_s)
-          m.static_skips m.identical;
+          m.static_skips m.spilled_segments m.identical m.spill_identical;
         (p, m))
       prepared
   in

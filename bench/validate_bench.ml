@@ -58,10 +58,17 @@ let check_workload i w =
       "scan_static_s"; "scan_noskip_s"; "speedup_vs_scan_skip";
       "speedup_vs_scan_noskip"; "records_per_s_indexed"; "blocks_skipped";
       "static_skips"; "total_blocks"; "visited_ratio_indexed";
-      "visited_ratio_scan"; "slice_size_avg" ];
+      "visited_ratio_scan"; "slice_size_avg"; "spilled_segments";
+      "spill_read_s"; "degradations" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
+  if num "spilled_segments" < 1.0 then
+    fail "%s: out-of-core rerun never spilled" (ctx "spilled_segments");
+  if num "degradations" < 1.0 then
+    fail "%s: governed rerun recorded no ladder step" (ctx "degradations");
   if not (want_bool (ctx "results_identical") (get w "results_identical"))
-  then fail "%s: drivers disagree" (ctx "results_identical")
+  then fail "%s: drivers disagree" (ctx "results_identical");
+  if not (want_bool (ctx "spill_identical") (get w "spill_identical")) then
+    fail "%s: spilled rerun disagrees with in-memory run" (ctx "spill_identical")
 
 let check_report ctx r =
   match Dr_obs.Report.validate r with

@@ -13,7 +13,35 @@
 
    Every pipeline subcommand takes --trace-out (Chrome trace-event JSON,
    loadable in ui.perfetto.dev) and --report-out (drdebug-report-v1 run
-   report); either flag enables tracing for the run. *)
+   report); either flag enables tracing for the run.
+
+   Exit codes (stable, documented in README "Resource limits"):
+     0  success
+     1  generic failure (bad arguments, failed run, fuzz failures)
+     2  command-line usage error (cmdliner)
+     3  pinball container error (Pinball_error: bad magic, CRC, bounds)
+     4  slice file error (Slice_file_error: bad header or statement)
+     5  resource error (Resource_error: budget exceeded, disk full,
+        segment corrupt, watchdog timeout) *)
+
+let exit_pinball_error = 3
+let exit_slice_file_error = 4
+let exit_resource_error = 5
+
+(* Map structured pipeline errors to documented exit codes instead of
+   uncaught exceptions with backtraces.  Wraps every subcommand body. *)
+let guarded f =
+  try f () with
+  | Dr_pinplay.Pinball.Pinball_error e ->
+    Printf.eprintf "pinball error: %s\n"
+      (Dr_pinplay.Pinball.error_to_string e);
+    exit_pinball_error
+  | Dr_slicing.Slicer.Slice_file_error { sf_line; sf_reason } ->
+    Printf.eprintf "slice file error: line %d: %s\n" sf_line sf_reason;
+    exit_slice_file_error
+  | Dr_util.Budget.Resource_error e ->
+    Printf.eprintf "resource error: %s\n" (Dr_util.Budget.error_to_string e);
+    exit_resource_error
 
 (* ---- observability plumbing shared by the subcommands ---- *)
 
@@ -63,6 +91,7 @@ let load_program workload source =
   | _ -> Error "specify exactly one of --workload or --source"
 
 let run workload source seed input script stats trace_out report_out =
+  guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
@@ -107,11 +136,16 @@ let run workload source seed input script stats trace_out report_out =
 
 (* ---- slice subcommand: one-shot pipeline run ---- *)
 
-(* Run the whole pipeline non-interactively: log the execution, collect
-   the trace, build the global trace and LP, slice at the last print
-   statement (or the last record).  This is the canonical producer of
-   --trace-out / --report-out documents: every phase span shows up once. *)
-let run_slice workload source seed input stats trace_out report_out slice_out =
+(* Run the whole pipeline non-interactively: log the execution (or load
+   a pinball with --pinball), collect the trace, build the global trace,
+   and slice at the last print statement (or the last record).  With a
+   resource budget (--mem-budget / --time-budget / --spill-dir), trace
+   records spill to disk in segments past the memory budget and slicing
+   runs through the governed degradation ladder.  This is the canonical
+   producer of --trace-out / --report-out documents. *)
+let run_slice workload source seed input stats trace_out report_out slice_out
+    pinball_in mem_budget time_budget spill_dir =
+  guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
@@ -125,25 +159,48 @@ let run_slice workload source seed input stats trace_out report_out slice_out =
         Array.of_list
           (List.filter_map int_of_string_opt (String.split_on_char ',' s))
     in
+    let budget =
+      if mem_budget > 0 || time_budget > 0.0 || spill_dir <> None then
+        Some
+          (Dr_util.Budget.create
+             ?mem_bytes:(if mem_budget > 0 then Some mem_budget else None)
+             ?time_s:(if time_budget > 0.0 then Some time_budget else None)
+             ?spill_dir ())
+      else None
+    in
     let finish () =
       finish_obs ~trace_out ~report_out ~stats
         ~label:("slice:" ^ prog.Dr_isa.Program.name)
     in
-    (match
-       Dr_pinplay.Logger.log ~input
-         ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 8 })
-         prog Dr_pinplay.Logger.Whole
-     with
-    | Error e ->
-      Format.eprintf "logging failed: %a@." Dr_pinplay.Logger.pp_error e;
+    let pinball =
+      match pinball_in with
+      | Some path ->
+        (* raises Pinball_error (exit 3) on a corrupt container *)
+        let pb = Dr_pinplay.Pinball.load_file path in
+        Printf.printf "loaded pinball %s\n" path;
+        Ok pb
+      | None -> (
+        match
+          Dr_pinplay.Logger.log ~input
+            ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 8 })
+            prog Dr_pinplay.Logger.Whole
+        with
+        | Error e ->
+          Format.eprintf "logging failed: %a@." Dr_pinplay.Logger.pp_error e;
+          Error ()
+        | Ok (pb, lstats) ->
+          Printf.printf "logged %s: %d instructions, pinball %d bytes\n"
+            prog.Dr_isa.Program.name
+            lstats.Dr_pinplay.Logger.region_instructions
+            lstats.Dr_pinplay.Logger.pinball_bytes;
+          Ok pb)
+    in
+    (match pinball with
+    | Error () ->
       finish ();
       1
-    | Ok (pb, lstats) ->
-      Printf.printf "logged %s: %d instructions, pinball %d bytes\n"
-        prog.Dr_isa.Program.name
-        lstats.Dr_pinplay.Logger.region_instructions
-        lstats.Dr_pinplay.Logger.pinball_bytes;
-      let c = Dr_slicing.Collector.collect prog pb in
+    | Ok pb ->
+      let c = Dr_slicing.Collector.collect ?budget prog pb in
       let gt = Dr_slicing.Global_trace.construct c in
       let n = Dr_slicing.Global_trace.length gt in
       if n = 0 then begin
@@ -152,7 +209,6 @@ let run_slice workload source seed input stats trace_out report_out slice_out =
         1
       end
       else begin
-        let lp = Dr_slicing.Lp.prepare gt in
         (* slice at the last print — a value-bearing statement, as when
            slicing at a failure point — falling back to the last record *)
         let is_print (r : Dr_slicing.Trace.record) =
@@ -165,19 +221,45 @@ let run_slice workload source seed input stats trace_out report_out slice_out =
           | Some p -> p
           | None -> n - 1
         in
+        let criterion = { Dr_slicing.Slicer.crit_pos; crit_locs = None } in
+        let pairs = c.Dr_slicing.Collector.pairs in
         let slice =
-          Dr_slicing.Slicer.compute ~lp ~pairs:c.Dr_slicing.Collector.pairs gt
-            { Dr_slicing.Slicer.crit_pos; crit_locs = None }
+          match budget with
+          | None ->
+            let lp = Dr_slicing.Lp.prepare gt in
+            Dr_slicing.Slicer.compute ~lp ~pairs gt criterion
+          | Some b ->
+            let g = Dr_slicing.Slicer.compute_governed ~pairs ~budget:b gt criterion in
+            Printf.printf "governed slicing: %s driver\n"
+              (Dr_slicing.Slicer.rung_name g.Dr_slicing.Slicer.g_rung);
+            g.Dr_slicing.Slicer.g_slice
         in
         let st = slice.Dr_slicing.Slicer.stats in
         Printf.printf
           "slice at position %d/%d: %d statements over %d source lines \
-           (visited %d records, skipped %d of %d blocks, %.6fs)\n"
+           (visited %d records, skipped %d of %d blocks, %.6fs)%s\n"
           crit_pos n
           (Dr_slicing.Slicer.size slice)
           (List.length (Dr_slicing.Slicer.source_lines slice))
           st.Dr_slicing.Slicer.visited st.Dr_slicing.Slicer.skipped_blocks
-          st.Dr_slicing.Slicer.total_blocks st.Dr_slicing.Slicer.slice_time;
+          st.Dr_slicing.Slicer.total_blocks st.Dr_slicing.Slicer.slice_time
+          (if st.Dr_slicing.Slicer.truncated then " [TRUNCATED]" else "");
+        (match budget with
+        | Some b ->
+          let spilled =
+            Dr_slicing.Segment_store.spilled_segments
+              c.Dr_slicing.Collector.records
+          in
+          if spilled > 0 then
+            Printf.printf "spilled %d segments (%d bytes) to %s\n" spilled
+              (Dr_util.Budget.spilled_bytes b)
+              (Dr_util.Budget.spill_dir b);
+          List.iter
+            (fun d ->
+              Printf.printf "degraded: %s\n"
+                (Format.asprintf "%a" Dr_util.Budget.pp_degradation d))
+            (Dr_util.Budget.degradations b)
+        | None -> ());
         (match slice_out with
         | Some path ->
           Dr_slicing.Slicer.save_file path slice;
@@ -193,6 +275,7 @@ let run_slice workload source seed input stats trace_out report_out slice_out =
    over the program image, prints a per-pass summary and optionally
    writes the validated drdebug-analyze-v1 JSON document. *)
 let run_analyze workload source out =
+  guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
@@ -271,12 +354,14 @@ let run_analyze workload source out =
 
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
-let run_fuzz seed runs out budget stats trace_out report_out =
+let run_fuzz seed runs out budget disk_faults stats trace_out report_out =
+  guarded @@ fun () ->
   setup_obs ~trace_out ~report_out ~stats;
   let budget_s = if budget <= 0.0 then None else Some budget in
   let log msg = Printf.printf "%s\n%!" msg in
   let s =
-    Dr_conformance.Fuzz.run ?budget_s ?out_dir:out ~log ~seed ~runs ()
+    Dr_conformance.Fuzz.run ~disk_faults ?budget_s ?out_dir:out ~log ~seed
+      ~runs ()
   in
   Printf.printf
     "fuzz: %d cases (%d passed, %d skipped, %d failed) in %.1fs [seed %d]\n"
@@ -298,7 +383,21 @@ let run_fuzz seed runs out budget stats trace_out report_out =
 
 (* ---- report subcommand: validate + pretty-print a run report ---- *)
 
+(* ---- slice-file subcommand: validate + summarize a saved slice ---- *)
+
+let run_slice_file path =
+  guarded @@ fun () ->
+  (* raises Slice_file_error (exit 4) on a corrupt file *)
+  let stmts = Dr_slicing.Slicer.load_file_statements path in
+  Printf.printf "%s: %d statements\n" path (List.length stmts);
+  List.iter
+    (fun (tid, pc, inst, line) ->
+      Printf.printf "  tid %d pc %d instance %d line %d\n" tid pc inst line)
+    stmts;
+  0
+
 let run_report path =
+  guarded @@ fun () ->
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error e ->
     Printf.eprintf "cannot read %s: %s\n" path e;
@@ -353,16 +452,35 @@ let debug_term =
 
 let slice_cmd =
   let doc =
-    "one-shot pipeline run: log the whole execution, collect the trace, \
-     build the global trace and LP, and slice at the last print statement"
+    "one-shot pipeline run: log the whole execution (or load --pinball), \
+     collect the trace, build the global trace, and slice at the last print \
+     statement — under an optional resource budget with disk spill and \
+     graceful degradation"
   in
   let slice_out =
     Arg.(value & opt (some string) None & info [ "slice-out" ] ~doc:"Save the computed slice file.")
   in
+  let pinball_in =
+    Arg.(value & opt (some string) None & info [ "pinball" ]
+           ~doc:"Replay this pinball file instead of logging a fresh run (exit 3 on a corrupt container).")
+  in
+  let mem_budget =
+    Arg.(value & opt int 0 & info [ "mem-budget" ]
+           ~doc:"Memory budget in bytes for trace records; past it, segments spill to --spill-dir. 0 = unlimited.")
+  in
+  let time_budget =
+    Arg.(value & opt float 0.0 & info [ "time-budget" ]
+           ~doc:"Wall-clock budget in seconds; collection aborts (exit 5) and slicing returns an honestly-marked partial slice when it expires. 0 = unlimited.")
+  in
+  let spill_dir =
+    Arg.(value & opt (some string) None & info [ "spill-dir" ]
+           ~doc:"Directory for spilled trace segments (default: a per-process directory under the system temp dir).")
+  in
   Cmd.v (Cmd.info "slice" ~doc)
     Term.(
       const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
-      $ report_out $ slice_out)
+      $ report_out $ slice_out $ pinball_in $ mem_budget $ time_budget
+      $ spill_dir)
 
 let analyze_cmd =
   let doc =
@@ -396,10 +514,14 @@ let fuzz_cmd =
   let budget =
     Arg.(value & opt float 0.0 & info [ "budget-s" ] ~doc:"Wall-clock budget in seconds; 0 = unlimited.")
   in
+  let disk_faults =
+    Arg.(value & flag & info [ "disk-faults" ]
+           ~doc:"Also run the resource-robustness oracle on every case: rebuild the trace through a disk-spilled segment store and inject one deterministic disk fault (ENOSPC, short write, bit flip, truncation, deletion).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ fseed $ runs $ out $ budget $ stats $ trace_out
-      $ report_out)
+      const run_fuzz $ fseed $ runs $ out $ budget $ disk_faults $ stats
+      $ trace_out $ report_out)
 
 let report_cmd =
   let doc = "validate and pretty-print a drdebug-report-v1 run report" in
@@ -408,9 +530,18 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ file)
 
+let slice_file_cmd =
+  let doc =
+    "validate and summarize a saved slice file (exit 4 on a corrupt file)"
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Slice file to load.")
+  in
+  Cmd.v (Cmd.info "slice-file" ~doc) Term.(const run_slice_file $ file)
+
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
   Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc)
-    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd ]
+    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd; slice_file_cmd ]
 
 let () = exit (Cmd.eval' cmd)

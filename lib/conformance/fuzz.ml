@@ -32,6 +32,22 @@ let sched_seed ~master id = mix64 (mix64 master 2) id
 
 let nondet_seed ~master id = mix64 (mix64 master 3) id
 
+let fault_seed ~master id = mix64 (mix64 master 4) id
+
+(** Deterministic disk-fault plan for a case: roughly one case in three
+    runs fault-free (exercising the spill-identity phase alone), the
+    rest get one of the five injected faults; the salt picks the victim
+    write/segment/bit. *)
+let fault_plan ~master id : Oracles.disk_fault option * int =
+  let s = fault_seed ~master id in
+  let nfaults = List.length Oracles.all_disk_faults in
+  let pick = s mod (nfaults + 2) in
+  let fault =
+    if pick >= nfaults then None
+    else Some (List.nth Oracles.all_disk_faults pick)
+  in
+  (fault, mix64 s 5)
+
 (* ---- running one case ---- *)
 
 let schedule_steps = 128
@@ -43,13 +59,14 @@ let gen_cfg =
     are [Skip] — the fuzz loop treats the generator producing
     uncompilable source as its own (generator) bug surfaced by the
     skip count, not as a pipeline failure. *)
-let check_case ?mutate_slice ~(lines : string array) ~(sched : Sched.t)
-    ~(nondet_seed : int) () : Oracles.verdict =
+let check_case ?mutate_slice ?resource ~(lines : string array)
+    ~(sched : Sched.t) ~(nondet_seed : int) () : Oracles.verdict =
   let src = String.concat "\n" (Array.to_list lines) ^ "\n" in
   match Dr_lang.Codegen.compile_result ~name:"fuzz-case" src with
   | Error msg -> Oracles.Skip ("compile error: " ^ msg)
   | Ok prog ->
-    Oracles.check ?mutate_slice prog ~policy:(Sched.policy sched) ~nondet_seed
+    Oracles.check ?mutate_slice ?resource prog ~policy:(Sched.policy sched)
+      ~nondet_seed
 
 type failure = {
   fr_case_id : int;
@@ -208,9 +225,12 @@ let gen_case ~master id =
     early (quick mode under [dune runtest]); [out_dir] receives
     [report.json] plus one [case-<id>.json] per (shrunk) failure;
     [mutate_slice] is threaded through to {!Oracles.check} for
-    broken-slicer self-tests. *)
-let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
-    summary =
+    broken-slicer self-tests.  [disk_faults] additionally runs the
+    resource-robustness oracle on every case: the trace is rebuilt
+    through a disk-spilled segment store and a deterministic, seed-
+    derived disk fault plan is injected ({!fault_plan}). *)
+let run ?mutate_slice ?(disk_faults = false) ?budget_s ?out_dir ?(log = ignore)
+    ~seed ~runs () : summary =
   let t0 = Dr_util.Timer.now () in
   let passes = ref 0 and skips = ref 0 and cases = ref 0 in
   let failures = ref [] in
@@ -228,10 +248,32 @@ let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
     Dr_obs.Metrics.bump cases_counter;
     let lines, sched = gen_case ~master:seed case_id in
     let nds = nondet_seed ~master:seed case_id in
+    let resource =
+      if not disk_faults then None
+      else begin
+        let fault, salt = fault_plan ~master:seed case_id in
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "drdebug-fuzz-spill-%d-%d" (Unix.getpid ()) case_id)
+        in
+        Some { Oracles.r_spill_dir = dir; r_fault = fault; r_salt = salt }
+      end
+    in
     let verdict =
       Dr_obs.Obs.with_span ~cat:"fuzz" "fuzz.case" @@ fun sp ->
       Dr_obs.Obs.add_attr sp "case_id" (Dr_obs.Obs.Int case_id);
-      let v = check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () in
+      (match resource with
+      | Some { Oracles.r_fault; _ } ->
+        Dr_obs.Obs.add_attr sp "disk_fault"
+          (Dr_obs.Obs.Str
+             (match r_fault with
+             | Some f -> Oracles.disk_fault_name f
+             | None -> "none"))
+      | None -> ());
+      let v =
+        check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+      in
       Dr_obs.Obs.add_attr sp "verdict"
         (Dr_obs.Obs.Str
            (match v with
@@ -253,7 +295,9 @@ let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
            (Oracles.kind_name f_kind) f_detail);
       (* keep a reduction iff the same oracle still fails *)
       let still_fails ~lines ~sched =
-        match check_case ?mutate_slice ~lines ~sched ~nondet_seed:nds () with
+        match
+          check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+        with
         | Oracles.Fail { Oracles.f_kind = k; _ } -> k = f_kind
         | _ -> false
       in
@@ -263,7 +307,7 @@ let run ?mutate_slice ?budget_s ?out_dir ?(log = ignore) ~seed ~runs () :
       (* re-run the shrunk case for the final failure detail *)
       let detail =
         match
-          check_case ?mutate_slice ~lines:s_lines ~sched:s_sched
+          check_case ?mutate_slice ?resource ~lines:s_lines ~sched:s_sched
             ~nondet_seed:nds ()
         with
         | Oracles.Fail { Oracles.f_detail = d; _ } -> d

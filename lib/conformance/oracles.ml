@@ -1,4 +1,4 @@
-(** The six pipeline oracles of the conformance subsystem.
+(** The seven pipeline oracles of the conformance subsystem.
 
     One fuzz case drives the whole DrDebug pipeline —
     log -> pinball save/load -> replay -> trace -> slice (three drivers)
@@ -34,7 +34,14 @@
        statically known entry), the pc set of every dynamic slice is
        contained in the static backward slice of its criterion's pc
        ({!Dr_static.Pdg}) — the static PDG must over-approximate every
-       dynamic dependence.}} *)
+       dynamic dependence;}
+    {- {e resource robustness} (opt-in via [resource]): the trace
+       rebuilt through a disk-spilled {!Dr_slicing.Segment_store} yields
+       slices identical to the in-memory run on all four drivers, and an
+       injected disk fault (ENOSPC, short write, bit flip, truncation,
+       deletion) never yields a {e wrong} slice — only an identical one,
+       a structured {!Dr_util.Budget.Resource_error}, or a result
+       honestly marked truncated that is a subset of the clean slice.}} *)
 
 open Dr_machine
 open Dr_pinplay
@@ -47,10 +54,11 @@ type kind =
   | Slice_soundness
   | Exclusion_sanity
   | Static_slice_bound
+  | Resource_robustness
 
 let all_kinds =
   [ Replay_determinism; Pinball_roundtrip; Driver_agreement; Slice_soundness;
-    Exclusion_sanity; Static_slice_bound ]
+    Exclusion_sanity; Static_slice_bound; Resource_robustness ]
 
 let kind_name = function
   | Replay_determinism -> "replay-determinism"
@@ -59,6 +67,7 @@ let kind_name = function
   | Slice_soundness -> "slice-soundness"
   | Exclusion_sanity -> "exclusion-sanity"
   | Static_slice_bound -> "static-slice-bound"
+  | Resource_robustness -> "resource-robustness"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -185,7 +194,9 @@ let check_static_bound prog (c : Collector.result) gt
     Array.for_all
       (fun gseqs ->
         Array.length gseqs = 0
-        || List.mem c.Collector.records.(gseqs.(0)).Trace.pc known_entries)
+        || List.mem
+             (Segment_store.get c.Collector.records gseqs.(0)).Trace.pc
+             known_entries)
       c.Collector.per_thread
   in
   if Dr_static.Pdg.fully_resolved pdg && entries_known then
@@ -219,7 +230,7 @@ let check_exclusions ~exclusions ~(c : Collector.result) ~in_slice =
       let flag = ref false in
       Array.iter
         (fun g ->
-          let r = records.(g) in
+          let r = Segment_store.get records g in
           let pc = r.Trace.pc and inst = r.Trace.instance in
           let check_end () =
             if !flag then
@@ -273,7 +284,7 @@ type observed = {
 
 let observe prog pb (c : Collector.result) ~included ~crit_gseq :
     observed =
-  let nrec = Array.length c.Collector.records in
+  let nrec = Segment_store.length c.Collector.records in
   let file_size = Dr_isa.Reg.file_size in
   let o_nondet = Hashtbl.create 64 in
   let o_sp_fp = Array.make (max 1 (2 * nrec)) 0 in
@@ -312,7 +323,7 @@ let observe prog pb (c : Collector.result) ~included ~crit_gseq :
               "observation replay retired more instructions (%d) than the \
                collected trace (%d)"
               (gseq + 1) nrec;
-          let rec_ = c.Collector.records.(gseq) in
+          let rec_ = Segment_store.get c.Collector.records gseq in
           let tid = ev.Event.tid in
           if rec_.Trace.tid <> tid || rec_.Trace.pc <> ev.Event.pc then
             fail Replay_determinism
@@ -431,7 +442,7 @@ let check_reexec prog pb (c : Collector.result) ~included ~in_slice ~crit_gseq
   in
   for g = 0 to crit_gseq do
     if included g then begin
-      let r = c.Collector.records.(g) in
+      let r = Segment_store.get c.Collector.records g in
       if Machine.outcome m <> Machine.Running then
         fail Slice_soundness
           "re-execution terminated before the criterion (at gseq %d)" g;
@@ -498,6 +509,202 @@ let check_reexec prog pb (c : Collector.result) ~included ~in_slice ~crit_gseq
     end
   done
 
+(* ---- oracle 7: resource robustness ---- *)
+
+(* A corrupted or missing trace segment must never yield a WRONG slice:
+   the only acceptable endings are (a) a slice identical to the
+   in-memory one (the fault hit nothing that was read), (b) a structured
+   Resource_error, or (c) a result honestly marked truncated whose
+   positions are a subset of the clean slice.  Phase A (no fault) is the
+   spill-identity half of the oracle: the same trace rebuilt through a
+   budgeted store — every segment on disk — must produce slices
+   byte-identical to the in-memory run on all four drivers. *)
+
+type disk_fault =
+  | Fault_enospc_sim  (** a spill write fails as if the disk were full *)
+  | Fault_short  (** a spill write silently persists only a prefix *)
+  | Fault_bit_flip  (** one bit of a spilled segment flips on disk *)
+  | Fault_truncate  (** a spilled segment loses its tail *)
+  | Fault_delete  (** a spilled segment disappears *)
+
+let all_disk_faults =
+  [ Fault_enospc_sim; Fault_short; Fault_bit_flip; Fault_truncate;
+    Fault_delete ]
+
+let disk_fault_name = function
+  | Fault_enospc_sim -> "enospc"
+  | Fault_short -> "short-write"
+  | Fault_bit_flip -> "bit-flip"
+  | Fault_truncate -> "truncate"
+  | Fault_delete -> "delete"
+
+type resource_config = {
+  r_spill_dir : string;  (** per-case scratch dir for spilled segments *)
+  r_fault : disk_fault option;  (** [None]: spill-identity phase only *)
+  r_salt : int;  (** picks the victim write/segment/bit, deterministically *)
+}
+
+(** Records per segment in oracle runs — small, so even short fuzz
+    traces span several segments. *)
+let oracle_seg_records = 64
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let apply_file_fault fault ~salt path =
+  match fault with
+  | Fault_delete -> Sys.remove path
+  | Fault_truncate ->
+    let data = read_whole_file path in
+    let keep = salt mod max 1 (String.length data) in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (String.sub data 0 keep))
+  | Fault_bit_flip ->
+    let data = Bytes.of_string (read_whole_file path) in
+    if Bytes.length data > 0 then begin
+      let bit = salt mod (Bytes.length data * 8) in
+      let byte = bit / 8 in
+      Bytes.set_uint8 data byte
+        (Bytes.get_uint8 data byte lxor (1 lsl (bit mod 8)));
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Bytes.to_string data))
+    end
+  | Fault_enospc_sim | Fault_short -> invalid_arg "apply_file_fault: write fault"
+
+(* best-effort removal of a per-case spill directory *)
+let cleanup_spill_dir dir =
+  (match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+      entries
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let check_resource ~(rc : resource_config) (c : Collector.result) ~crit_pos
+    ~(clean : Slicer.t) =
+  let clean_sig = slice_signature clean in
+  let clean_pos = clean.Slicer.positions in
+  let crit = { Slicer.crit_pos; crit_locs = None } in
+  let spilled_rebuild () =
+    (* mem budget 0: every completed segment (and the sealed tail) must
+       go to disk *)
+    let budget =
+      Dr_util.Budget.create ~mem_bytes:0 ~spill_dir:rc.r_spill_dir ()
+    in
+    let store =
+      Segment_store.rebuild ~budget ~seg_records:oracle_seg_records
+        ~cache_segments:2 c.Collector.records
+    in
+    (budget, store)
+  in
+  let slice_sig_of_store ?(driver = `Indexed) store =
+    let gt = Global_trace.construct { c with Collector.records = store } in
+    let s =
+      match driver with
+      | `Indexed -> Slicer.compute ~pairs:c.Collector.pairs ~indexed:true gt crit
+      | `Scan_skip ->
+        Slicer.compute ~pairs:c.Collector.pairs ~indexed:false
+          ~block_skipping:true gt crit
+      | `Scan ->
+        Slicer.compute ~pairs:c.Collector.pairs ~indexed:false
+          ~block_skipping:false gt crit
+      | `Governed budget ->
+        (Slicer.compute_governed ~pairs:c.Collector.pairs ~budget gt crit)
+          .Slicer.g_slice
+    in
+    (slice_signature s, s)
+  in
+  Fun.protect ~finally:(fun () -> cleanup_spill_dir rc.r_spill_dir)
+  @@ fun () ->
+  (* Phase A: spill identity, all four drivers *)
+  let budget, store = spilled_rebuild () in
+  if Segment_store.length store > 0 && Segment_store.spilled_segments store = 0
+  then
+    fail Resource_robustness
+      "a zero memory budget rebuilt the trace without spilling any segment";
+  List.iter
+    (fun (name, driver) ->
+      let sg, s = slice_sig_of_store ~driver store in
+      if s.Slicer.stats.Slicer.truncated then
+        fail Resource_robustness
+          "spilled %s slice marked truncated with no time budget" name;
+      if sg <> clean_sig then
+        fail Resource_robustness
+          "spilled %s slice differs from the in-memory slice at crit_pos %d \
+           (%d vs %d positions)"
+          name crit_pos (Slicer.size s) (Slicer.size clean))
+    [ ("indexed", `Indexed); ("scan+skip", `Scan_skip); ("scan", `Scan);
+      ("governed", `Governed budget) ];
+  (* the zero budget must also have forced the governed ladder down *)
+  if Dr_util.Budget.degradations budget = [] then
+    fail Resource_robustness
+      "governed slicing under a zero memory budget recorded no degradation";
+  List.iter
+    (fun (_, p) -> try Sys.remove p with Sys_error _ -> ())
+    (Segment_store.spilled_paths store);
+  (* Phase B: one injected fault; never a wrong slice *)
+  match rc.r_fault with
+  | None -> ()
+  | Some fault ->
+    let faulted_store =
+      match fault with
+      | Fault_enospc_sim | Fault_short ->
+        (* hit the (salt mod 3 + 1)-th spill write *)
+        let target = 1 + (rc.r_salt mod 3) in
+        let writes = ref 0 in
+        Segment_store.set_write_fault_hook (fun _ ->
+            incr writes;
+            if !writes = target then
+              match fault with
+              | Fault_enospc_sim -> Some Segment_store.Fault_enospc
+              | _ -> Some (Segment_store.Fault_short_write (rc.r_salt mod 48))
+            else None);
+        Fun.protect ~finally:Segment_store.clear_write_fault_hook (fun () ->
+            try Ok (snd (spilled_rebuild ()))
+            with Dr_util.Budget.Resource_error e -> Error e)
+      | Fault_bit_flip | Fault_truncate | Fault_delete -> (
+        let _, store = spilled_rebuild () in
+        match Segment_store.spilled_paths store with
+        | [] -> Ok store
+        | paths ->
+          let _, path = List.nth paths (rc.r_salt mod List.length paths) in
+          apply_file_fault fault ~salt:rc.r_salt path;
+          Ok store)
+    in
+    (match faulted_store with
+    | Error _ -> ()  (* ending (b): a structured Resource_error *)
+    | Ok store -> (
+      match slice_sig_of_store store with
+      | exception Dr_util.Budget.Resource_error _ -> ()  (* ending (b) *)
+      | sg, s ->
+        if s.Slicer.stats.Slicer.truncated then begin
+          (* ending (c): honestly-marked partial — must be a subset *)
+          let clean_set = Hashtbl.create (Array.length clean_pos) in
+          Array.iter (fun p -> Hashtbl.replace clean_set p ()) clean_pos;
+          Array.iter
+            (fun p ->
+              if not (Hashtbl.mem clean_set p) then
+                fail Resource_robustness
+                  "truncated slice after %s fault contains position %d not \
+                   in the clean slice"
+                  (disk_fault_name fault) p)
+            s.Slicer.positions
+        end
+        else if sg <> clean_sig then
+          (* the one forbidden ending: a silently wrong slice *)
+          fail Resource_robustness
+            "slice after %s fault differs from the clean slice without an \
+             error or truncation mark (%d vs %d positions)"
+            (disk_fault_name fault) (Slicer.size s) (Slicer.size clean)))
+
 (* ---- the full pipeline for one case ---- *)
 
 (** Run every stage and every oracle on [prog] under [policy].
@@ -505,8 +712,11 @@ let check_reexec prog pb (c : Collector.result) ~included ~in_slice ~crit_gseq
     building, standing in for a broken slicer — a mutation that drops a
     needed statement must be caught by the soundness oracle.
     [nondet_seed] seeds the native rand/time/read results of the logged
-    run. *)
-let check ?mutate_slice (prog : Dr_isa.Program.t)
+    run.  [resource] additionally runs the resource-robustness oracle:
+    the trace is rebuilt through a disk-spilled segment store (and
+    optionally hit with one injected disk fault) and the outcome checked
+    against the in-memory slice. *)
+let check ?mutate_slice ?resource (prog : Dr_isa.Program.t)
     ~(policy : Driver.policy) ~(nondet_seed : int) : verdict =
   try
     match
@@ -557,11 +767,16 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
       oracle_span Static_slice_bound (fun () ->
           check_static_bound prog c gt ~slices);
       let slice0 = List.assoc crit_pos slices in
+      (match resource with
+      | Some rc ->
+        oracle_span Resource_robustness (fun () ->
+            check_resource ~rc c ~crit_pos ~clean:slice0)
+      | None -> ());
       let slice =
         match mutate_slice with None -> slice0 | Some f -> f slice0
       in
       let crit_gseq = (Global_trace.record gt crit_pos).Trace.gseq in
-      let nrec = Array.length c.Collector.records in
+      let nrec = Segment_store.length c.Collector.records in
       let in_slice = Dr_util.Bitset.create nrec in
       Array.iter
         (fun pos ->
@@ -569,7 +784,7 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
         slice.Slicer.positions;
       let included g =
         Dr_util.Bitset.mem in_slice g
-        || Dr_exeslice.Exclusion.forced c.Collector.records.(g)
+        || Dr_exeslice.Exclusion.forced (Segment_store.get c.Collector.records g)
       in
       let exclusions, _xstats =
         Dr_exeslice.Exclusion.build ~slice ~collector:c
@@ -606,7 +821,7 @@ let check ?mutate_slice (prog : Dr_isa.Program.t)
         closure.Slicer.positions;
       let included_cl g =
         Dr_util.Bitset.mem in_closure g
-        || Dr_exeslice.Exclusion.forced c.Collector.records.(g)
+        || Dr_exeslice.Exclusion.forced (Segment_store.get c.Collector.records g)
       in
       check_reexec prog pb c ~included:included_cl ~in_slice:in_closure
         ~crit_gseq obs;

@@ -509,7 +509,9 @@ let slice_var (t : t) name : (Dr_slicing.Slicer.t, string) result =
         (* the criterion is the last retired instruction: collection order
            equals replay order, so its gseq is replay_steps - 1 *)
         let crit_gseq = t.replay_steps - 1 in
-        if crit_gseq >= Array.length a.collector.Dr_slicing.Collector.records
+        if crit_gseq
+           >= Dr_slicing.Segment_store.length
+                a.collector.Dr_slicing.Collector.records
         then Error "replay position beyond collected trace"
         else begin
           let crit_pos = Dr_slicing.Global_trace.position a.gt ~gseq:crit_gseq in

@@ -30,7 +30,7 @@ let forced (r : Dr_slicing.Trace.record) =
 let build ~(slice : Dr_slicing.Slicer.t) ~(collector : Dr_slicing.Collector.result)
     : Dr_pinplay.Relogger.exclusion list * stats =
   let gt = slice.Dr_slicing.Slicer.gt in
-  let n = Array.length collector.Dr_slicing.Collector.records in
+  let n = Dr_slicing.Segment_store.length collector.Dr_slicing.Collector.records in
   let in_slice = Dr_util.Bitset.create n in
   Array.iter
     (fun pos ->
@@ -47,7 +47,9 @@ let build ~(slice : Dr_slicing.Slicer.t) ~(collector : Dr_slicing.Collector.resu
       let run_start = ref None in
       Array.iter
         (fun g ->
-          let r = collector.Dr_slicing.Collector.records.(g) in
+          let r =
+            Dr_slicing.Segment_store.get collector.Dr_slicing.Collector.records g
+          in
           if keep r then begin
             incr included;
             match !run_start with

@@ -21,7 +21,7 @@
 open Dr_machine
 
 type result = {
-  records : Trace.record array;  (** indexed by gseq = execution order *)
+  records : Segment_store.t;  (** indexed by gseq = execution order *)
   per_thread : int array array;  (** tid -> gseqs in program order *)
   order_edges : (int * int) array;  (** (earlier gseq, later gseq) cross-thread *)
   indirect_targets : (int * int list) list;
@@ -63,9 +63,13 @@ let collect_indirect_targets prog pinball : (int, int list) Hashtbl.t =
 
 (** Collect the full region trace.  [refine] (default true) enables the
     two-pass CFG refinement of §5.1; [max_save] is the save/restore
-    candidate window of §5.2. *)
-let collect ?(refine = true) ?(max_save = Prune.default_max_save)
-    (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t) : result =
+    candidate window of §5.2.  [budget] governs resources: records spill
+    to disk in segments past its memory budget, and its wall-clock
+    watchdog aborts collection (a partial trace is useless) with a
+    structured {!Dr_util.Budget.Resource_error}. *)
+let collect ?(refine = true) ?(max_save = Prune.default_max_save) ?budget
+    ?seg_records (prog : Dr_isa.Program.t) (pinball : Dr_pinplay.Pinball.t) :
+    result =
   Dr_obs.Obs.with_span ~cat:"trace" "collector.collect" @@ fun sp ->
   Dr_obs.Obs.add_attr sp "refine" (Dr_obs.Obs.Bool refine);
   let indirect_tbl =
@@ -84,7 +88,10 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save)
         Option.value ~default:(-1)
           (Dr_isa.Debug_info.line_of_pc prog.Dr_isa.Program.debug pc))
   in
-  let records = Dr_util.Vec.create ~dummy:Trace.dummy in
+  let records = Segment_store.builder ?budget ?seg_records () in
+  let watchdog =
+    Option.bind budget (Dr_util.Budget.watchdog_of ~what:"collector.collect")
+  in
   let per_thread = Hashtbl.create 8 in
   let order_edges = Dr_util.Vec.create ~dummy:(0, 0) in
   let cd_threads = Hashtbl.create 8 in
@@ -110,7 +117,9 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save)
   in
   let on_event (ev : Event.t) =
     let tid = ev.Event.tid and pc = ev.Event.pc in
-    let gseq = Dr_util.Vec.length records in
+    let gseq = Segment_store.built_length records in
+    (* cheap polled deadline: one clock read every 4096 records *)
+    if gseq land 4095 = 0 then Option.iter Dr_util.Budget.check watchdog;
     let cd_st = thread_cd tid in
     (* 1. close control-dependence regions ending at this pc *)
     let rec pop_ipdoms () =
@@ -159,7 +168,7 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save)
         defs; uses; cd; flags;
         line = (if pc < nline then line_of_pc.(pc) else -1) }
     in
-    Dr_util.Vec.push records record;
+    Segment_store.append records record;
     Dr_util.Vec.Int_vec.push (thread_gseqs tid) gseq;
     (* 5. shared-memory access order edges *)
     let addr_state a =
@@ -234,8 +243,11 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save)
         | Some v -> Dr_util.Vec.Int_vec.to_array v
         | None -> [||])
   in
-  Dr_obs.Obs.add_attr sp "records" (Dr_obs.Obs.Int (Dr_util.Vec.length records));
-  { records = Dr_util.Vec.to_array records;
+  let records = Segment_store.seal records in
+  Dr_obs.Obs.add_attr sp "records" (Dr_obs.Obs.Int (Segment_store.length records));
+  Dr_obs.Obs.add_attr sp "spilled_segments"
+    (Dr_obs.Obs.Int (Segment_store.spilled_segments records));
+  { records;
     per_thread = per_thread_arr;
     order_edges = Dr_util.Vec.to_array order_edges;
     indirect_targets;

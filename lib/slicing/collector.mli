@@ -9,7 +9,7 @@
     collects the precise trace — sound because replay is deterministic. *)
 
 type result = {
-  records : Trace.record array;  (** indexed by gseq = execution order *)
+  records : Segment_store.t;  (** indexed by gseq = execution order *)
   per_thread : int array array;  (** tid -> gseqs in program order *)
   order_edges : (int * int) array;
       (** (earlier gseq, later gseq) cross-thread RAW/WAW/WAR edges *)
@@ -27,10 +27,15 @@ val collect_indirect_targets :
 
 (** Collect the full region trace.  [refine] (default true) enables the
     two-pass CFG refinement of §5.1; [max_save] is the save/restore
-    candidate window of §5.2. *)
+    candidate window of §5.2.  With [budget], records past the memory
+    budget spill to disk in segments of [seg_records] records and the
+    wall-clock watchdog aborts collection with a structured
+    {!Dr_util.Budget.Resource_error} (a partial trace is useless). *)
 val collect :
   ?refine:bool ->
   ?max_save:int ->
+  ?budget:Dr_util.Budget.t ->
+  ?seg_records:int ->
   Dr_isa.Program.t ->
   Dr_pinplay.Pinball.t ->
   result

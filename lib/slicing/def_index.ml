@@ -49,6 +49,10 @@ let build (gt : Global_trace.t) : t =
       Dr_obs.Metrics.add m_locations (Hashtbl.length defs_by_loc);
       { defs_by_loc; trace_len = n })
 
+(** An index with no entries — the scan-driver degradation rung uses it
+    so {!Lp.prepare_lite} can skip the index build entirely. *)
+let empty ~trace_len = { defs_by_loc = Hashtbl.create 1; trace_len }
+
 let trace_len t = t.trace_len
 
 let num_locations t = Hashtbl.length t.defs_by_loc

@@ -12,6 +12,10 @@ type t
 
 val build : Global_trace.t -> t
 
+(** An index with no entries, built in O(1) — for {!Lp.prepare_lite},
+    the scan-only degradation rung that never consults it. *)
+val empty : trace_len:int -> t
+
 (** Length of the trace the index was built over. *)
 val trace_len : t -> int
 

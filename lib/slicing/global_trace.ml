@@ -10,14 +10,42 @@
     switch. *)
 
 type t = {
-  records : Trace.record array;  (** shared with the collector result *)
+  records : Segment_store.t;  (** shared with the collector result *)
+  direct : Trace.record array option;
+      (** the store's flat array when fully resident — keeps the hot
+          [record] path at one array load for in-memory traces *)
   order : int array;  (** position -> gseq *)
   pos_of_gseq : int array;  (** gseq -> position *)
   mutable pc_index : (int * int, int array) Hashtbl.t option;
       (** lazy: (tid, pc) -> ascending merge positions *)
 }
 
-exception Cycle of string
+(** One blocked per-thread head at the moment the merge stalled. *)
+type cycle_head = {
+  ch_tid : int;
+  ch_gseq : int;
+  ch_pc : int;
+  ch_indeg : int;  (** unsatisfied incoming access-order edges *)
+}
+
+type cycle_info = {
+  cy_emitted : int;  (** records merged before the stall *)
+  cy_total : int;
+  cy_heads : cycle_head list;  (** the offending record window *)
+}
+
+exception Cycle of cycle_info
+
+let cycle_message { cy_emitted; cy_total; cy_heads } =
+  let head_s h =
+    Printf.sprintf "tid %d gseq %d pc %d (indeg %d)" h.ch_tid h.ch_gseq h.ch_pc
+      h.ch_indeg
+  in
+  Printf.sprintf
+    "no thread ready after %d of %d records: access-order edges form a cycle \
+     among [%s]"
+    cy_emitted cy_total
+    (String.concat "; " (List.map head_s cy_heads))
 
 let t_construct = Dr_obs.Metrics.timer "global_trace.construct"
 let m_records = Dr_obs.Metrics.counter "global_trace.records_merged"
@@ -32,7 +60,7 @@ let m_find_fallback = Dr_obs.Metrics.counter "global_trace.find_fallback"
 let construct ?(cluster = true) (c : Collector.result) : t =
   Dr_obs.Obs.with_span ~cat:"trace" "global_trace.construct" @@ fun _ ->
   Dr_obs.Metrics.time t_construct @@ fun () ->
-  let n = Array.length c.Collector.records in
+  let n = Segment_store.length c.Collector.records in
   Dr_obs.Metrics.add m_records n;
   let indeg = Array.make n 0 in
   (* out-edges grouped by source *)
@@ -80,12 +108,21 @@ let construct ?(cluster = true) (c : Collector.result) : t =
           if ready t then found := t;
           incr k
         done;
-        if !found < 0 then
-          raise
-            (Cycle
-               (Printf.sprintf
-                  "no thread ready after %d of %d records: access-order edges form a cycle"
-                  !emitted n));
+        if !found < 0 then begin
+          (* every thread head is blocked: report the offending window *)
+          let heads = ref [] in
+          for tid = nthreads - 1 downto 0 do
+            match head tid with
+            | Some g ->
+              let r = Segment_store.get c.Collector.records g in
+              heads :=
+                { ch_tid = tid; ch_gseq = g; ch_pc = r.Trace.pc;
+                  ch_indeg = indeg.(g) }
+                :: !heads
+            | None -> ()
+          done;
+          raise (Cycle { cy_emitted = !emitted; cy_total = n; cy_heads = !heads })
+        end;
         !found
       end
     in
@@ -100,12 +137,24 @@ let construct ?(cluster = true) (c : Collector.result) : t =
       indeg.(dst) <- indeg.(dst) - 1
     done
   done;
-  { records = c.Collector.records; order; pos_of_gseq; pc_index = None }
+  { records = c.Collector.records;
+    direct = Segment_store.as_flat c.Collector.records;
+    order; pos_of_gseq; pc_index = None }
 
 let length t = Array.length t.order
 
-(** Record at merge position [pos]. *)
-let record t pos = t.records.(t.order.(pos))
+(** Record at merge position [pos].  In-memory traces hit the flat
+    array directly; spilled traces go through the segment cache. *)
+let record t pos =
+  match t.direct with
+  | Some a -> a.(t.order.(pos))
+  | None -> Segment_store.get t.records t.order.(pos)
+
+(** Record with global sequence number [gseq]. *)
+let record_at_gseq t gseq =
+  match t.direct with
+  | Some a -> a.(gseq)
+  | None -> Segment_store.get t.records gseq
 
 (** Position of the record with the given gseq. *)
 let position t ~gseq = t.pos_of_gseq.(gseq)
@@ -138,7 +187,7 @@ let pc_index (t : t) : (int * int, int array) Hashtbl.t =
     in
     Array.iteri
       (fun pos g ->
-        let r = t.records.(g) in
+        let r = record_at_gseq t g in
         let key = (r.Trace.tid, r.Trace.pc) in
         match Hashtbl.find_opt acc key with
         | Some v -> Dr_util.Vec.Int_vec.push v pos

@@ -4,7 +4,10 @@
     thread for LP locality. *)
 
 type t = {
-  records : Trace.record array;  (** shared with the collector result *)
+  records : Segment_store.t;  (** shared with the collector result *)
+  direct : Trace.record array option;
+      (** the store's flat array when fully resident — internal fast
+          path; always access records via {!record} *)
   order : int array;  (** position -> gseq *)
   pos_of_gseq : int array;  (** gseq -> position *)
   mutable pc_index : (int * int, int array) Hashtbl.t option;
@@ -12,9 +15,25 @@ type t = {
           managed internally — use {!find} / {!find_last_at} *)
 }
 
+(** One blocked per-thread head at the moment the merge stalled. *)
+type cycle_head = {
+  ch_tid : int;
+  ch_gseq : int;
+  ch_pc : int;
+  ch_indeg : int;  (** unsatisfied incoming access-order edges *)
+}
+
+type cycle_info = {
+  cy_emitted : int;  (** records merged before the stall *)
+  cy_total : int;
+  cy_heads : cycle_head list;  (** the offending record window *)
+}
+
 (** The access-order edges are cyclic — cannot happen for edges collected
-    from a real execution. *)
-exception Cycle of string
+    from a real execution; carries the blocked record window. *)
+exception Cycle of cycle_info
+
+val cycle_message : cycle_info -> string
 
 (** Merge per-thread traces under the collector's cross-thread edges.
     [cluster] (default true) applies the paper's locality heuristic;
@@ -24,8 +43,13 @@ val construct : ?cluster:bool -> Collector.result -> t
 
 val length : t -> int
 
-(** Record at merge position [pos]. *)
+(** Record at merge position [pos].  In-memory traces hit the flat
+    array; spilled traces go through the segment cache (which can raise
+    {!Dr_util.Budget.Resource_error} on a corrupt segment). *)
 val record : t -> int -> Trace.record
+
+(** Record with global sequence number [gseq]. *)
+val record_at_gseq : t -> int -> Trace.record
 
 (** Merge position of the record with the given gseq. *)
 val position : t -> gseq:int -> int

@@ -59,6 +59,18 @@ let prepare ?(block_size = default_block_size) (gt : Global_trace.t) : t =
       in
       { block_size; num_blocks; summaries; index })
 
+(** A degraded LP: correct block geometry but {e empty} summaries and an
+    empty {!Def_index} — built in O(1) memory.  Only valid for the scan
+    driver with [block_skipping:false], which never consults either; the
+    memory-budget degradation rung in {!Slicer.compute_governed} uses it
+    when the full index would not fit. *)
+let prepare_lite ?(block_size = default_block_size) (gt : Global_trace.t) : t =
+  let n = Global_trace.length gt in
+  let num_blocks = (n + block_size - 1) / block_size in
+  { block_size; num_blocks;
+    summaries = Array.make num_blocks [||];
+    index = Def_index.empty ~trace_len:n }
+
 let def_index t = t.index
 
 let block_of t pos = pos / t.block_size

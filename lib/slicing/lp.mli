@@ -20,6 +20,12 @@ type t = {
 
 val prepare : ?block_size:int -> Global_trace.t -> t
 
+(** A degraded LP with correct block geometry but empty summaries and an
+    empty index, built in O(1) memory.  Only valid for the scan driver
+    with [block_skipping:false] (which consults neither) — the
+    memory-budget rung of {!Slicer.compute_governed}. *)
+val prepare_lite : ?block_size:int -> Global_trace.t -> t
+
 (** The per-location definition index built by {!prepare}. *)
 val def_index : t -> Def_index.t
 

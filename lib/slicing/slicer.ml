@@ -43,6 +43,8 @@ let m_edges = Dr_obs.Metrics.counter "slicer.edges"
 let m_heap_pops = Dr_obs.Metrics.counter "slicer.heap_pops"
 let m_stale_pops = Dr_obs.Metrics.counter "slicer.heap_stale_pops"
 let m_adj_builds = Dr_obs.Metrics.counter "slicer.adjacency_builds"
+let m_truncated = Dr_obs.Metrics.counter "slicer.truncated_slices"
+let m_degraded = Dr_obs.Metrics.counter "slicer.degraded_to_scan"
 let t_compute = Dr_obs.Metrics.timer "slicer.compute"
 
 type dep_kind =
@@ -70,6 +72,9 @@ type stats = {
       (** subset of [skipped_blocks] decided by the static filter alone *)
   total_blocks : int;
   slice_time : float;
+  truncated : bool;
+      (** a watchdog stopped the traversal early: the positions are a
+          sound {e subset} of the full slice, honestly marked partial *)
 }
 
 (* edge indices grouped by endpoint, in edge-array order *)
@@ -130,10 +135,14 @@ type cand_kind =
     use the definition-index fast path; disable to run the backwards
     scan.  [block_skipping]: LP block skipping for the scan path
     (ignored when [indexed]); disable to measure the LP optimisation's
-    effect (ablation).  The slice is identical on every path. *)
+    effect (ablation).  The slice is identical on every path.
+    [watchdog]: a polled wall-clock deadline; when it fires mid-walk the
+    traversal stops and the result is marked [stats.truncated] — the
+    positions found so far are a sound subset of the full slice. *)
 let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     ?(block_skipping = true) ?(indexed = true)
-    ?(static_filter : Lp.static_filter option) (gt : Global_trace.t)
+    ?(static_filter : Lp.static_filter option)
+    ?(watchdog : Dr_util.Budget.watchdog option) (gt : Global_trace.t)
     (criterion : criterion) : t =
   Dr_obs.Metrics.bump m_computes;
   let t0 = Dr_util.Timer.now () in
@@ -188,6 +197,23 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let slice_positions = Dr_util.Vec.Int_vec.create () in
   let edges = Dr_util.Vec.create ~dummy:{ from_pos = 0; to_pos = 0; kind = Control } in
   let visited = ref 0 and skipped = ref 0 and static_skipped = ref 0 in
+  let truncated = ref false in
+  (* polled every 2048 steps: one clock read, no cost on the happy path *)
+  let steps = ref 0 in
+  let deadline_hit () =
+    match watchdog with
+    | None -> false
+    | Some wd ->
+      incr steps;
+      (* one up-front poll so an already-blown deadline stops even a
+         trace shorter than the polling interval *)
+      if (!steps = 1 || !steps land 2047 = 0) && Dr_util.Budget.expired wd
+      then begin
+        truncated := true;
+        true
+      end
+      else false
+  in
   (* [cap]: the largest position at which the want may be satisfied —
      the criterion and a record's uses look strictly below themselves,
      a reactivated deferral may be satisfied by the very record that
@@ -319,6 +345,8 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
        provably stale, so no position is processed twice. *)
     let continue = ref true in
     while !continue do
+      if deadline_hit () then continue := false
+      else
       match Dr_util.Heap.pop heap with
       | None -> continue := false
       | Some (key, kind) ->
@@ -338,7 +366,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   else begin
     (* scan driver: backwards walk with LP block skipping *)
     let pos = ref (criterion.crit_pos - 1) in
-    while !pos >= 0 do
+    while !pos >= 0 && not (deadline_hit ()) do
       let b = Lp.block_of lp !pos in
       let lo, hi = Lp.block_range lp b in
       (* the skippable top of this block: its range clamped to the
@@ -377,6 +405,8 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   Dr_obs.Metrics.add m_edges (Array.length edges);
   let slice_time = Dr_util.Timer.now () -. t0 in
   Dr_obs.Metrics.record t_compute slice_time;
+  if !truncated then Dr_obs.Metrics.bump m_truncated;
+  Dr_obs.Obs.add_attr sp "truncated" (Dr_obs.Obs.Bool !truncated);
   Dr_obs.Obs.add_attr sp "visited" (Dr_obs.Obs.Int !visited);
   Dr_obs.Obs.add_attr sp "skipped_blocks" (Dr_obs.Obs.Int !skipped);
   Dr_obs.Obs.add_attr sp "total_blocks" (Dr_obs.Obs.Int lp.Lp.num_blocks);
@@ -386,8 +416,72 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     stats =
       { visited = !visited; skipped_blocks = !skipped;
         static_skipped_blocks = !static_skipped;
-        total_blocks = lp.Lp.num_blocks; slice_time };
+        total_blocks = lp.Lp.num_blocks; slice_time;
+        truncated = !truncated };
     adj = None }
+
+(* ---- resource-governed slicing: the degradation ladder ---- *)
+
+type rung = Rung_indexed | Rung_scan
+
+let rung_name = function Rung_indexed -> "indexed" | Rung_scan -> "scan"
+
+type governed = {
+  g_slice : t;
+  g_rung : rung;  (** the driver actually used *)
+}
+
+(** Rough resident bytes of [Lp.prepare] (definition index + block
+    summaries) — the quantity {!compute_governed} tests against the
+    memory budget before committing to the indexed rung. *)
+let index_estimate_bytes gt = 40 * Global_trace.length gt
+
+(** Compute the slice under [budget], stepping down the degradation
+    ladder instead of dying when a budget trips:
+
+    + {e indexed} (the default driver) when the definition index fits
+      the remaining memory budget;
+    + {e scan} with an {!Lp.prepare_lite} skeleton (O(1) preprocessing
+      memory) when it does not;
+    + on either rung, a {e partial} slice honestly marked
+      [stats.truncated] when the budget's wall-clock watchdog fires.
+
+    Every step down is recorded in the budget's degradation list and the
+    [slicer.degraded_to_scan] / [slicer.truncated_slices] metrics.
+    Pass [lp] to reuse an index already paid for — that skips the
+    memory check (the memory is already spent). *)
+let compute_governed ?lp ?pairs ?static_filter ~(budget : Dr_util.Budget.t)
+    (gt : Global_trace.t) (criterion : criterion) : governed =
+  let watchdog = Dr_util.Budget.watchdog_of budget ~what:"slicer.compute" in
+  let rung, lp =
+    match lp with
+    | Some l -> (Rung_indexed, l)
+    | None ->
+      if Dr_util.Budget.mem_would_exceed budget ~bytes:(index_estimate_bytes gt)
+      then begin
+        Dr_obs.Metrics.bump m_degraded;
+        Dr_util.Budget.note_degradation budget ~what:"slicer"
+          ~from_:"indexed" ~to_:"scan"
+          ~reason:
+            (Printf.sprintf "definition index (~%d bytes) over memory budget"
+               (index_estimate_bytes gt));
+        (Rung_scan, Lp.prepare_lite gt)
+      end
+      else (Rung_indexed, Lp.prepare gt)
+  in
+  let slice =
+    match rung with
+    | Rung_indexed ->
+      compute ~lp ?pairs ?static_filter ?watchdog ~indexed:true gt criterion
+    | Rung_scan ->
+      compute ~lp ?pairs ?watchdog ~indexed:false ~block_skipping:false gt
+        criterion
+  in
+  if slice.stats.truncated then
+    Dr_util.Budget.note_degradation budget ~what:"slicer"
+      ~from_:(rung_name rung) ~to_:"partial"
+      ~reason:"wall-clock budget expired mid-traversal";
+  { g_slice = slice; g_rung = rung }
 
 (* ---- derived views ---- *)
 

@@ -39,6 +39,9 @@ type stats = {
       (** subset of [skipped_blocks] decided by the static filter alone *)
   total_blocks : int;
   slice_time : float;  (** wall-clock seconds *)
+  truncated : bool;
+      (** a watchdog stopped the traversal early: the positions are a
+          sound {e subset} of the full slice, honestly marked partial *)
 }
 
 (** Edge adjacency index, built lazily for {!deps_of}/{!uses_of}. *)
@@ -67,16 +70,51 @@ val mem : t -> int -> bool
     measure the LP optimisation.  [static_filter] (scan path): consult
     per-block static definition signatures ({!Lp.prepare_static}) before
     the exact summary check, skipping blocks that statically cannot
-    define any pending use.  The slice is identical on every path. *)
+    define any pending use.  The slice is identical on every path.
+    [watchdog]: polled wall-clock deadline; on expiry the traversal
+    stops and the result is marked [stats.truncated]. *)
 val compute :
   ?lp:Lp.t ->
   ?pairs:Prune.pairs ->
   ?block_skipping:bool ->
   ?indexed:bool ->
   ?static_filter:Lp.static_filter ->
+  ?watchdog:Dr_util.Budget.watchdog ->
   Global_trace.t ->
   criterion ->
   t
+
+(** {2 Resource-governed slicing} *)
+
+(** The rung of the degradation ladder a governed slice ran on. *)
+type rung = Rung_indexed | Rung_scan
+
+val rung_name : rung -> string
+
+type governed = {
+  g_slice : t;
+  g_rung : rung;  (** the driver actually used *)
+}
+
+(** Rough resident bytes {!Lp.prepare} would allocate for this trace —
+    what {!compute_governed} tests against the memory budget. *)
+val index_estimate_bytes : Global_trace.t -> int
+
+(** Compute the slice under [budget], degrading instead of dying:
+    indexed driver when the definition index fits the remaining memory
+    budget, scan driver over an {!Lp.prepare_lite} skeleton when it does
+    not, and on either rung a partial slice marked [stats.truncated]
+    when the budget's wall-clock watchdog fires.  Degradations are
+    recorded in the budget and mirrored to metrics.  [lp] skips the
+    memory check (an existing index is already-spent memory). *)
+val compute_governed :
+  ?lp:Lp.t ->
+  ?pairs:Prune.pairs ->
+  ?static_filter:Lp.static_filter ->
+  budget:Dr_util.Budget.t ->
+  Global_trace.t ->
+  criterion ->
+  governed
 
 (** The slice as (tid, pc, instance) statements, in trace order. *)
 val statements : t -> (int * int * int) array

@@ -344,7 +344,7 @@ let test_forced_sync_stats_consistent () =
   ignore prog;
   (* every record is classified exactly once *)
   Alcotest.(check int) "partition"
-    (Array.length collector.Dr_slicing.Collector.records)
+    (Dr_slicing.Segment_store.length collector.Dr_slicing.Collector.records)
     (stats.Dr_exeslice.Exclusion.included_records
     + stats.Dr_exeslice.Exclusion.excluded_records);
   (* included >= slice size (forced sync adds, never removes) *)

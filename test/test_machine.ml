@@ -327,6 +327,70 @@ fn main() {
   let r = Dr_machine.Driver.run m2 (Dr_machine.Driver.Round_robin { quantum = 1 }) in
   Alcotest.(check bool) "restored run finishes" true (exited r)
 
+let test_snapshot_divergence_after_restore () =
+  let prog = compile racy_src in
+  let m = Dr_machine.Machine.create prog in
+  let _ =
+    Dr_machine.Driver.run ~max_steps:20 m
+      (Dr_machine.Driver.Round_robin { quantum = 3 })
+  in
+  let snap = Dr_machine.Snapshot.capture m in
+  let m2 = Dr_machine.Snapshot.restore prog snap in
+  (* the restored machine is fully independent: clobbering its memory
+     must not leak into the original (capture/restore deep-copy) *)
+  m2.Dr_machine.Machine.mem.(0) <- m2.Dr_machine.Machine.mem.(0) + 1;
+  Alcotest.(check bool) "restore does not alias original memory" true
+    (m.Dr_machine.Machine.mem.(0) <> m2.Dr_machine.Machine.mem.(0));
+  (* and a restored machine detects replay divergence exactly like a
+     fresh one: a schedule naming a bogus tid is a structured error *)
+  let m3 = Dr_machine.Snapshot.restore prog snap in
+  Alcotest.check_raises "divergence detected after restore"
+    (Dr_machine.Driver.Replay_divergence "schedule names bad tid 7")
+    (fun () ->
+      ignore
+        (Dr_machine.Driver.run m3 (Dr_machine.Driver.Scripted [| (7, 1) |])))
+
+let test_snapshot_under_budget_pressure () =
+  let prog = compile racy_src in
+  let m = Dr_machine.Machine.create prog in
+  let _ =
+    Dr_machine.Driver.run ~max_steps:20 m
+      (Dr_machine.Driver.Round_robin { quantum = 3 })
+  in
+  let snap = Dr_machine.Snapshot.capture m in
+  let e = Dr_util.Codec.encoder () in
+  Dr_machine.Snapshot.encode e snap;
+  let encoded = Dr_util.Codec.to_string e in
+  let bytes = String.length encoded in
+  (* a hard cap below the snapshot size must surface as a structured
+     Budget_exceeded, never a silent partial snapshot *)
+  let tight = Dr_util.Budget.create ~mem_bytes:(bytes - 1) () in
+  Dr_util.Budget.charge tight bytes;
+  (match Dr_util.Budget.check_mem tight ~what:"snapshot" with
+  | () -> Alcotest.fail "over-budget snapshot charge went unnoticed"
+  | exception
+      Dr_util.Budget.Resource_error
+        (Dr_util.Budget.Budget_exceeded { re_what; _ }) ->
+    Alcotest.(check string) "names the phase" "snapshot" re_what);
+  (* under a budget with headroom the full capture/restore path is
+     unaffected by the accounting *)
+  let roomy = Dr_util.Budget.create ~mem_bytes:(2 * bytes) () in
+  Dr_util.Budget.charge roomy bytes;
+  Dr_util.Budget.check_mem roomy ~what:"snapshot";
+  let snap' =
+    Dr_machine.Snapshot.decode (Dr_util.Codec.decoder encoded)
+  in
+  let m2 = Dr_machine.Snapshot.restore prog snap' in
+  let finish mm =
+    let r =
+      Dr_machine.Driver.run ~max_steps:100_000 mm
+        (Dr_machine.Driver.Round_robin { quantum = 3 })
+    in
+    (r, Dr_machine.Machine.output_list mm)
+  in
+  Alcotest.(check bool) "same continuation under budget" true
+    (finish m = finish m2)
+
 (* ---- def/use resolution ---- *)
 
 let collect_def_use prog ~at_pc =
@@ -720,6 +784,10 @@ let () =
           Alcotest.test_case "scripted exact count" `Quick test_scripted_exact ] );
       ( "snapshot",
         [ Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "divergence after restore" `Quick
+            test_snapshot_divergence_after_restore;
+          Alcotest.test_case "budget pressure" `Quick
+            test_snapshot_under_budget_pressure;
           Alcotest.test_case "locks preserved" `Quick
             test_snapshot_preserves_locks ] );
       ( "def/use",

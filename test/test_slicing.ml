@@ -189,7 +189,7 @@ let prop_global_trace_topological =
       let gt = Dr_slicing.Global_trace.construct c in
       Dr_slicing.Global_trace.is_topological gt c
       && Dr_slicing.Global_trace.length gt
-         = Array.length c.Dr_slicing.Collector.records)
+         = Dr_slicing.Segment_store.length c.Dr_slicing.Collector.records)
 
 let test_global_trace_positions () =
   let prog = compile fig5_src in
@@ -947,6 +947,191 @@ let test_prune_frame_glue () =
     (Dr_slicing.Prune.is_frame_glue
        (Dr_isa.Instr.Bin (Dr_isa.Instr.Add, 2, 3, Dr_isa.Instr.Imm 1)))
 
+(* ---- resource governance: segments, budgets, degradation ---- *)
+
+let spill_budget () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drdebug-test-spill-%d" (Unix.getpid ()))
+  in
+  Dr_util.Budget.create ~mem_bytes:0 ~spill_dir:dir ()
+
+let cleanup_spill budget =
+  let dir = Dr_util.Budget.spill_dir budget in
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let loop_src = {|fn main() {
+  int n = 40;
+  int sum = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    sum = sum + 2;
+  }
+  assert(sum == 80, "sum");
+}|}
+
+let test_segment_spill_roundtrip () =
+  let prog = compile loop_src in
+  let c = collect prog in
+  let budget = spill_budget () in
+  Fun.protect ~finally:(fun () -> cleanup_spill budget) @@ fun () ->
+  let store =
+    Dr_slicing.Segment_store.rebuild ~budget ~seg_records:32 ~cache_segments:2
+      c.Dr_slicing.Collector.records
+  in
+  let n = Dr_slicing.Segment_store.length store in
+  Alcotest.(check int) "same length" n
+    (Dr_slicing.Segment_store.length c.Dr_slicing.Collector.records);
+  Alcotest.(check bool) "actually spilled" true
+    (Dr_slicing.Segment_store.spilled_segments store > 0);
+  Alcotest.(check bool) "no longer resident" false
+    (Dr_slicing.Segment_store.is_resident store);
+  (* every record reads back byte-identical, in both scan orders (the
+     LRU cache sees hits and misses) *)
+  for i = 0 to n - 1 do
+    let a = Dr_slicing.Segment_store.get c.Dr_slicing.Collector.records i in
+    let b = Dr_slicing.Segment_store.get store i in
+    if a <> b then Alcotest.failf "record %d differs after spill" i
+  done;
+  for i = n - 1 downto 0 do
+    let a = Dr_slicing.Segment_store.get c.Dr_slicing.Collector.records i in
+    let b = Dr_slicing.Segment_store.get store i in
+    if a <> b then Alcotest.failf "record %d differs on reverse scan" i
+  done;
+  (* and the whole pipeline on the spilled store yields the same slice *)
+  let gt = Dr_slicing.Global_trace.construct c in
+  let clean = Dr_slicing.Slicer.compute gt (assert_criterion prog gt) in
+  let gt' =
+    Dr_slicing.Global_trace.construct
+      { c with Dr_slicing.Collector.records = store }
+  in
+  let spilled = Dr_slicing.Slicer.compute gt' (assert_criterion prog gt') in
+  Alcotest.(check bool) "identical slice positions" true
+    (clean.Dr_slicing.Slicer.positions = spilled.Dr_slicing.Slicer.positions)
+
+let test_segment_corrupt_detected () =
+  let prog = compile loop_src in
+  let c = collect prog in
+  let budget = spill_budget () in
+  Fun.protect ~finally:(fun () -> cleanup_spill budget) @@ fun () ->
+  let store =
+    Dr_slicing.Segment_store.rebuild ~budget ~seg_records:32 ~cache_segments:1
+      c.Dr_slicing.Collector.records
+  in
+  let paths = Dr_slicing.Segment_store.spilled_paths store in
+  Alcotest.(check bool) "have spilled paths" true (paths <> []);
+  let _, victim = List.nth paths (List.length paths - 1) in
+  (* flip one bit in the middle of the last segment *)
+  let ic = open_in_bin victim in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  let b = Bytes.of_string buf in
+  Bytes.set b (len / 2) (Char.chr (Char.code (Bytes.get b (len / 2)) lxor 1));
+  let oc = open_out_bin victim in
+  output_bytes oc b;
+  close_out oc;
+  (* reading every record must surface Segment_corrupt, never garbage *)
+  match
+    for i = 0 to Dr_slicing.Segment_store.length store - 1 do
+      ignore (Dr_slicing.Segment_store.get store i)
+    done
+  with
+  | () -> Alcotest.fail "bit flip went undetected"
+  | exception Dr_util.Budget.Resource_error (Dr_util.Budget.Segment_corrupt _)
+    -> ()
+
+let test_watchdog_truncates_slice () =
+  let prog = compile loop_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let crit = assert_criterion prog gt in
+  let clean = Dr_slicing.Slicer.compute gt crit in
+  Alcotest.(check bool) "clean run not truncated" false
+    clean.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.truncated;
+  (* an already-expired watchdog stops the traversal immediately *)
+  let wd = Dr_util.Budget.watchdog ~what:"test" ~limit_s:0.0 in
+  ignore (Dr_util.Budget.expired wd);
+  let partial = Dr_slicing.Slicer.compute ~watchdog:wd gt crit in
+  Alcotest.(check bool) "marked truncated" true
+    partial.Dr_slicing.Slicer.stats.Dr_slicing.Slicer.truncated;
+  (* sound subset: every position of the partial slice is in the full one *)
+  Array.iter
+    (fun p ->
+      if not (Array.mem p clean.Dr_slicing.Slicer.positions) then
+        Alcotest.failf "truncated slice has spurious position %d" p)
+    partial.Dr_slicing.Slicer.positions;
+  Alcotest.(check bool) "partial is smaller" true
+    (Array.length partial.Dr_slicing.Slicer.positions
+    < Array.length clean.Dr_slicing.Slicer.positions)
+
+let test_governed_ladder_scan () =
+  let prog = compile loop_src in
+  let c = collect prog in
+  let gt = Dr_slicing.Global_trace.construct c in
+  let crit = assert_criterion prog gt in
+  let clean = Dr_slicing.Slicer.compute gt crit in
+  (* a 1-byte memory budget cannot fit the definition index: the ladder
+     must step down to the scan driver and still produce the same slice *)
+  let budget = Dr_util.Budget.create ~mem_bytes:1 () in
+  let g = Dr_slicing.Slicer.compute_governed ~budget gt crit in
+  Alcotest.(check string) "degraded to scan" "scan"
+    (Dr_slicing.Slicer.rung_name g.Dr_slicing.Slicer.g_rung);
+  Alcotest.(check bool) "same slice on the scan rung" true
+    (clean.Dr_slicing.Slicer.positions
+    = g.Dr_slicing.Slicer.g_slice.Dr_slicing.Slicer.positions);
+  Alcotest.(check bool) "degradation recorded" true
+    (Dr_util.Budget.degradations budget <> []);
+  (* a roomy budget keeps the indexed rung *)
+  let roomy = Dr_util.Budget.create ~mem_bytes:max_int ()  in
+  let g' = Dr_slicing.Slicer.compute_governed ~budget:roomy gt crit in
+  Alcotest.(check string) "roomy budget stays indexed" "indexed"
+    (Dr_slicing.Slicer.rung_name g'.Dr_slicing.Slicer.g_rung)
+
+(* satellite: a genuine order-edge cycle must raise the structured
+   [Cycle] carrying the blocked record window, not stall or die on a
+   bare failure *)
+let test_cycle_structured_error () =
+  let prog = compile loop_src in
+  let cfg = Dr_cfg.Cfg.build prog in
+  let mk gseq tid =
+    { Dr_slicing.Trace.gseq; tid; pc = 0; instance = 1; lidx = 0;
+      defs = [||]; uses = [||]; cd = -1; flags = 0; line = -1 }
+  in
+  (* two threads, one record each, with contradictory access-order
+     edges: 0 before 1 AND 1 before 0 *)
+  let c =
+    { Dr_slicing.Collector.records =
+        Dr_slicing.Segment_store.of_array [| mk 0 0; mk 1 1 |];
+      per_thread = [| [| 0 |]; [| 1 |] |];
+      order_edges = [| (0, 1); (1, 0) |];
+      indirect_targets = [];
+      pairs = Hashtbl.create 1;
+      cfg;
+      collect_time = 0.0 }
+  in
+  match Dr_slicing.Global_trace.construct c with
+  | _ -> Alcotest.fail "cyclic edges must not merge"
+  | exception Dr_slicing.Global_trace.Cycle info ->
+    Alcotest.(check int) "nothing emitted" 0
+      info.Dr_slicing.Global_trace.cy_emitted;
+    Alcotest.(check int) "two records total" 2
+      info.Dr_slicing.Global_trace.cy_total;
+    let heads = info.Dr_slicing.Global_trace.cy_heads in
+    Alcotest.(check int) "both heads blocked" 2 (List.length heads);
+    List.iter
+      (fun h ->
+        Alcotest.(check bool) "head has unsatisfied in-edges" true
+          (h.Dr_slicing.Global_trace.ch_indeg > 0))
+      heads;
+    let msg = Dr_slicing.Global_trace.cycle_message info in
+    Alcotest.(check bool) "message names the stall" true
+      (String.length msg > 0)
+
 let () =
   Alcotest.run "slicing"
     [ ( "data deps",
@@ -1006,4 +1191,14 @@ let () =
             test_deferred_bypass_in_skippable_block;
           QCheck_alcotest.to_alcotest prop_drivers_agree_on_generated;
           Alcotest.test_case "def index" `Quick test_def_index;
-          Alcotest.test_case "indexed find" `Quick test_indexed_find ] ) ]
+          Alcotest.test_case "indexed find" `Quick test_indexed_find ] );
+      ( "robustness",
+        [ Alcotest.test_case "spill round-trip" `Quick
+            test_segment_spill_roundtrip;
+          Alcotest.test_case "corrupt segment detected" `Quick
+            test_segment_corrupt_detected;
+          Alcotest.test_case "watchdog truncates" `Quick
+            test_watchdog_truncates_slice;
+          Alcotest.test_case "governed ladder" `Quick test_governed_ladder_scan;
+          Alcotest.test_case "cycle structured error" `Quick
+            test_cycle_structured_error ] ) ]
