@@ -789,10 +789,11 @@ let micro () =
 (* ---------- driver ---------- *)
 
 let bench_out = ref "BENCH_slicing.json"
+let bench_domains = ref 2
 
 let slicing () =
   section "Slicing fast path: indexed traversal vs backwards scan";
-  Slicing_bench.run ~quick:!quick ~out:!bench_out ()
+  Slicing_bench.run ~quick:!quick ~domains:!bench_domains ~out:!bench_out ()
 
 let experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
@@ -809,6 +810,11 @@ let () =
       parse acc rest
     | "--bench-out" :: path :: rest ->
       bench_out := path;
+      parse acc rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> bench_domains := d
+      | _ -> printf "ignoring bad --domains %s\n" n);
       parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in

@@ -171,6 +171,9 @@ type measured = {
   spill_read_s : float;  (* one indexed pass over the spilled store *)
   degradations : int;  (* ladder steps recorded by the governed rerun *)
   spill_identical : bool;  (* spilled rerun matches in-memory, all drivers *)
+  par_slice_s : float;  (* all criteria through compute_many on the pool *)
+  par_slice_size_total : int;  (* total slice size of the parallel run *)
+  par_identical : bool;  (* parallel slices byte-identical to sequential *)
 }
 
 (* Out-of-core rerun: rebuild the trace through a segment store whose
@@ -248,7 +251,7 @@ let measure_spill (p : prepared) =
     List.length (Dr_util.Budget.degradations budget),
     spill_identical )
 
-let measure ~reps (p : prepared) : measured =
+let measure ~reps ~pool (p : prepared) : measured =
   let gt = p.gt and lp = p.lp in
   let records = Dr_slicing.Global_trace.length gt in
   let code = p.w_prog.Dr_isa.Program.code in
@@ -321,6 +324,20 @@ let measure ~reps (p : prepared) : measured =
     in
     t
   in
+  (* domain-parallel fan-out: same criteria through compute_many; the
+     validator fails the run if these differ from the sequential slices *)
+  let par = Dr_slicing.Slicer.compute_many ~lp ~pool gt p.criteria in
+  let par_identical =
+    List.for_all2
+      (fun crit par_s ->
+        let seq = compute ~indexed:true ~block_skipping:true crit in
+        par_s.Dr_slicing.Slicer.positions = seq.Dr_slicing.Slicer.positions
+        && canonical_edges par_s = canonical_edges seq)
+      p.criteria par
+  in
+  let par_slice_size_total =
+    List.fold_left (fun acc s -> acc + Dr_slicing.Slicer.size s) 0 par
+  in
   let was_enabled = Dr_obs.Obs.enabled () in
   Dr_obs.Obs.set_enabled false;
   let indexed_s = timed ~indexed:true ~block_skipping:true () in
@@ -329,6 +346,12 @@ let measure ~reps (p : prepared) : measured =
     timed ~static_filter:sf ~indexed:false ~block_skipping:true ()
   in
   let scan_noskip_s = timed ~indexed:false ~block_skipping:false () in
+  let _, par_slice_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Dr_slicing.Slicer.compute_many ~lp ~pool gt p.criteria)
+        done)
+  in
   Dr_obs.Obs.set_enabled was_enabled;
   let spilled_segments, spill_read_s, degradations, spill_identical =
     measure_spill p
@@ -338,7 +361,8 @@ let measure ~reps (p : prepared) : measured =
     blocks_skipped; static_skips;
     total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
     visited_scan; slice_size_total; identical; spilled_segments;
-    spill_read_s; degradations; spill_identical }
+    spill_read_s; degradations; spill_identical; par_slice_s;
+    par_slice_size_total; par_identical }
 
 let ratio a b = if b > 0.0 then a /. b else 0.0
 
@@ -377,11 +401,16 @@ let workload_json (p : prepared) (m : measured) : J.t =
              (float_of_int (m.records * m.n_criteria))) );
       ( "slice_size_avg",
         J.Num (ratio (float_of_int m.slice_size_total) (float_of_int m.n_criteria)) );
+      ("slice_size_total", J.int m.slice_size_total);
       ("results_identical", J.Bool m.identical);
       ("spilled_segments", J.int m.spilled_segments);
       ("spill_read_s", J.Num m.spill_read_s);
       ("degradations", J.int m.degradations);
-      ("spill_identical", J.Bool m.spill_identical) ]
+      ("spill_identical", J.Bool m.spill_identical);
+      ("par_slice_s", J.Num m.par_slice_s);
+      ("par_speedup", J.Num (ratio m.indexed_s m.par_slice_s));
+      ("par_slice_size_total", J.int m.par_slice_size_total);
+      ("par_identical", J.Bool m.par_identical) ]
 
 let metrics_json () : J.t =
   J.Obj
@@ -393,8 +422,9 @@ let metrics_json () : J.t =
            (name, J.Obj [ ("seconds", J.Num s); ("events", J.int e) ]))
        (Dr_obs.Metrics.report ()))
 
-(** Run the slicing benchmark and write [out] (BENCH_slicing.json). *)
-let run ~quick ~out () =
+(** Run the slicing benchmark and write [out] (BENCH_slicing.json).
+    [domains] sizes the pool the parallel fan-out measurements use. *)
+let run ~quick ?(domains = 2) ~out () =
   (* tracing on for the preparation and stats passes (their spans feed
      the embedded run report); [measure] turns it off around the timed
      loops so the measurements stay gate-check-only *)
@@ -415,10 +445,12 @@ let run ~quick ~out () =
   printf "%-16s %-10s %9s %10s %10s %10s %10s %8s %7s %6s %s\n" "workload"
     "kind" "records" "indexed" "scan+skip" "scan+stat" "scan" "speedup"
     "sskips" "spill" "identical";
+  let domains = max 1 domains in
+  let pool = Dr_util.Pool.create ~domains () in
   let rows =
     List.map
       (fun p ->
-        let m = measure ~reps p in
+        let m = measure ~reps ~pool p in
         printf
           "%-16s %-10s %9d %9.4fs %9.4fs %9.4fs %9.4fs %7.1fx %7d %6d %b/%b\n"
           p.w_name p.w_kind m.records m.indexed_s m.scan_skip_s
@@ -428,6 +460,7 @@ let run ~quick ~out () =
         (p, m))
       prepared
   in
+  Dr_util.Pool.shutdown pool;
   let largest_generated =
     rows
     |> List.filter (fun (p, _) -> p.w_kind = "generated")
@@ -445,6 +478,7 @@ let run ~quick ~out () =
     J.Obj
       [ ("schema", J.Str schema_version);
         ("quick", J.Bool quick);
+        ("domains", J.int domains);
         ("workloads", J.List (List.map (fun (p, m) -> workload_json p m) rows));
         ("largest_generated", largest_generated);
         ("metrics", metrics_json ());

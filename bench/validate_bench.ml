@@ -59,7 +59,8 @@ let check_workload i w =
       "speedup_vs_scan_noskip"; "records_per_s_indexed"; "blocks_skipped";
       "static_skips"; "total_blocks"; "visited_ratio_indexed";
       "visited_ratio_scan"; "slice_size_avg"; "spilled_segments";
-      "spill_read_s"; "degradations" ];
+      "spill_read_s"; "degradations"; "slice_size_total"; "par_slice_s";
+      "par_speedup"; "par_slice_size_total" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
   if num "spilled_segments" < 1.0 then
     fail "%s: out-of-core rerun never spilled" (ctx "spilled_segments");
@@ -68,7 +69,15 @@ let check_workload i w =
   if not (want_bool (ctx "results_identical") (get w "results_identical"))
   then fail "%s: drivers disagree" (ctx "results_identical");
   if not (want_bool (ctx "spill_identical") (get w "spill_identical")) then
-    fail "%s: spilled rerun disagrees with in-memory run" (ctx "spill_identical")
+    fail "%s: spilled rerun disagrees with in-memory run" (ctx "spill_identical");
+  if not (want_bool (ctx "par_identical") (get w "par_identical")) then
+    fail "%s: parallel slices disagree with sequential" (ctx "par_identical");
+  (* slice sizes are schedule-independent: the domain-parallel fan-out
+     must land on exactly the sequential totals *)
+  let seq_total = num "slice_size_total" and par_total = num "par_slice_size_total" in
+  if seq_total <> par_total then
+    fail "%s: parallel slice size total %g <> sequential %g"
+      (ctx "par_slice_size_total") par_total seq_total
 
 let check_report ctx r =
   match Dr_obs.Report.validate r with
@@ -77,6 +86,8 @@ let check_report ctx r =
 
 let check_slicing doc =
   ignore (want_bool "quick" (get doc "quick"));
+  if want_num "domains" (get doc "domains") < 1.0 then
+    fail "domains: must be >= 1";
   let workloads = want_list "workloads" (get doc "workloads") in
   if workloads = [] then fail "workloads: empty";
   List.iteri check_workload workloads;

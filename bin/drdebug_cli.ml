@@ -144,7 +144,7 @@ let run workload source seed input script stats trace_out report_out =
    runs through the governed degradation ladder.  This is the canonical
    producer of --trace-out / --report-out documents. *)
 let run_slice workload source seed input stats trace_out report_out slice_out
-    pinball_in mem_budget time_budget spill_dir =
+    pinball_in mem_budget time_budget spill_dir domains =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
@@ -226,8 +226,18 @@ let run_slice workload source seed input stats trace_out report_out slice_out
         let slice =
           match budget with
           | None ->
-            let lp = Dr_slicing.Lp.prepare gt in
-            Dr_slicing.Slicer.compute ~lp ~pairs gt criterion
+            if domains > 1 then
+              (* one criterion: the parallelism is in the sharded LP
+                 preparation inside compute_many *)
+              Dr_util.Pool.with_pool ~domains (fun pool ->
+                  match
+                    Dr_slicing.Slicer.compute_many ~pairs ~pool gt [ criterion ]
+                  with
+                  | [ s ] -> s
+                  | _ -> assert false)
+            else
+              let lp = Dr_slicing.Lp.prepare gt in
+              Dr_slicing.Slicer.compute ~lp ~pairs gt criterion
           | Some b ->
             let g = Dr_slicing.Slicer.compute_governed ~pairs ~budget:b gt criterion in
             Printf.printf "governed slicing: %s driver\n"
@@ -354,14 +364,15 @@ let run_analyze workload source out =
 
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
-let run_fuzz seed runs out budget disk_faults stats trace_out report_out =
+let run_fuzz seed runs out budget disk_faults domains stats trace_out
+    report_out =
   guarded @@ fun () ->
   setup_obs ~trace_out ~report_out ~stats;
   let budget_s = if budget <= 0.0 then None else Some budget in
   let log msg = Printf.printf "%s\n%!" msg in
   let s =
-    Dr_conformance.Fuzz.run ~disk_faults ?budget_s ?out_dir:out ~log ~seed
-      ~runs ()
+    Dr_conformance.Fuzz.run ~disk_faults ?budget_s ?out_dir:out ~log
+      ~domains:(max 1 domains) ~seed ~runs ()
   in
   Printf.printf
     "fuzz: %d cases (%d passed, %d skipped, %d failed) in %.1fs [seed %d]\n"
@@ -476,11 +487,15 @@ let slice_cmd =
     Arg.(value & opt (some string) None & info [ "spill-dir" ]
            ~doc:"Directory for spilled trace segments (default: a per-process directory under the system temp dir).")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ]
+           ~doc:"Slice with this many OCaml domains: the LP/index preparation is sharded over a domain pool. The slice is identical to --domains 1.")
+  in
   Cmd.v (Cmd.info "slice" ~doc)
     Term.(
       const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
       $ report_out $ slice_out $ pinball_in $ mem_budget $ time_budget
-      $ spill_dir)
+      $ spill_dir $ domains)
 
 let analyze_cmd =
   let doc =
@@ -518,10 +533,14 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "disk-faults" ]
            ~doc:"Also run the resource-robustness oracle on every case: rebuild the trace through a disk-spilled segment store and inject one deterministic disk fault (ENOSPC, short write, bit flip, truncation, deletion).")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ]
+           ~doc:"Fan fuzz cases over this many OCaml domains. Case derivation is pure in (seed, case id), so any failure still reproduces on one domain from its seed alone.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ fseed $ runs $ out $ budget $ disk_faults $ stats
-      $ trace_out $ report_out)
+      const run_fuzz $ fseed $ runs $ out $ budget $ disk_faults $ domains
+      $ stats $ trace_out $ report_out)
 
 let report_cmd =
   let doc = "validate and pretty-print a drdebug-report-v1 run report" in

@@ -221,6 +221,111 @@ let gen_case ~master id =
   in
   (lines, sched)
 
+(* The complete, pure input set of a case: everything {!run} uses to
+   check it, derived from (master seed, case id) alone. *)
+let case_inputs ~disk_faults ~seed case_id =
+  let lines, sched = gen_case ~master:seed case_id in
+  let nds = nondet_seed ~master:seed case_id in
+  let resource =
+    if not disk_faults then None
+    else begin
+      let fault, salt = fault_plan ~master:seed case_id in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "drdebug-fuzz-spill-%d-%d" (Unix.getpid ()) case_id)
+      in
+      Some { Oracles.r_spill_dir = dir; r_fault = fault; r_salt = salt }
+    end
+  in
+  (lines, sched, nds, resource)
+
+(** Re-run one fuzz case from its coordinates alone — the reproduction
+    contract of the (possibly domain-sharded) fuzz farm: a failure
+    reported by {!run} with [(seed, case_id)] yields the same verdict
+    here, on one domain, with no farm state involved. *)
+let replay_case ?mutate_slice ?(disk_faults = false) ~seed ~case_id () :
+    Oracles.verdict =
+  let lines, sched, nds, resource = case_inputs ~disk_faults ~seed case_id in
+  check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+
+(* per-case result, folded into a summary in case-id order *)
+type outcome = O_pass | O_skip | O_fail of failure
+
+(* Check one case end-to-end (oracles, shrink, artifact).  Pure in the
+   case coordinates apart from [log]/[out_dir] side effects, so it runs
+   unchanged on any domain. *)
+let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
+  Dr_obs.Metrics.bump cases_counter;
+  let lines, sched, nds, resource = case_inputs ~disk_faults ~seed case_id in
+  let verdict =
+    Dr_obs.Obs.with_span ~cat:"fuzz" "fuzz.case" @@ fun sp ->
+    Dr_obs.Obs.add_attr sp "case_id" (Dr_obs.Obs.Int case_id);
+    (match resource with
+    | Some { Oracles.r_fault; _ } ->
+      Dr_obs.Obs.add_attr sp "disk_fault"
+        (Dr_obs.Obs.Str
+           (match r_fault with
+           | Some f -> Oracles.disk_fault_name f
+           | None -> "none"))
+    | None -> ());
+    let v =
+      check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+    in
+    Dr_obs.Obs.add_attr sp "verdict"
+      (Dr_obs.Obs.Str
+         (match v with
+         | Oracles.Pass -> "pass"
+         | Oracles.Skip _ -> "skip"
+         | Oracles.Fail f -> Oracles.kind_name f.Oracles.f_kind));
+    v
+  in
+  match verdict with
+  | Oracles.Pass -> O_pass
+  | Oracles.Skip reason ->
+    Dr_obs.Metrics.bump skips_counter;
+    log (Printf.sprintf "case %d: skipped (%s)" case_id reason);
+    O_skip
+  | Oracles.Fail { Oracles.f_kind; f_detail } ->
+    Dr_obs.Metrics.bump (fail_counter f_kind);
+    log
+      (Printf.sprintf "case %d: %s FAILED: %s (shrinking...)" case_id
+         (Oracles.kind_name f_kind) f_detail);
+    (* keep a reduction iff the same oracle still fails *)
+    let still_fails ~lines ~sched =
+      match
+        check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+      with
+      | Oracles.Fail { Oracles.f_kind = k; _ } -> k = f_kind
+      | _ -> false
+    in
+    let s_lines, s_sched, steps =
+      Shrink.shrink ~check:still_fails ~lines ~sched ()
+    in
+    (* re-run the shrunk case for the final failure detail *)
+    let detail =
+      match
+        check_case ?mutate_slice ?resource ~lines:s_lines ~sched:s_sched
+          ~nondet_seed:nds ()
+      with
+      | Oracles.Fail { Oracles.f_detail = d; _ } -> d
+      | _ -> f_detail
+    in
+    let f =
+      { fr_case_id = case_id; fr_prog_seed = prog_seed ~master:seed case_id;
+        fr_nondet_seed = nds; fr_kind = f_kind; fr_detail = detail;
+        fr_shrink_steps = steps; fr_lines = s_lines; fr_sched = s_sched }
+    in
+    (match out_dir with
+    | Some d ->
+      let path = Filename.concat d (Printf.sprintf "case-%d.json" case_id) in
+      write_file path
+        (Dr_util.Json.to_string (failure_json ~master_seed:seed f));
+      log (Printf.sprintf "case %d: shrunk to %d lines, saved %s" case_id
+             (Array.length f.fr_lines) path)
+    | None -> ());
+    O_fail f
+
 (** Fuzz [runs] cases derived from [seed].  [budget_s] stops the loop
     early (quick mode under [dune runtest]); [out_dir] receives
     [report.json] plus one [case-<id>.json] per (shrunk) failure;
@@ -228,106 +333,72 @@ let gen_case ~master id =
     broken-slicer self-tests.  [disk_faults] additionally runs the
     resource-robustness oracle on every case: the trace is rebuilt
     through a disk-spilled segment store and a deterministic, seed-
-    derived disk fault plan is injected ({!fault_plan}). *)
+    derived disk fault plan is injected ({!fault_plan}).
+
+    [domains] > 1 fans cases over that many domains (dynamic
+    work-stealing off an atomic cursor — good balance against uneven
+    shrink costs).  Because case derivation is pure in [(seed,
+    case_id)], sharding changes nothing about any individual case: every
+    reported failure replays bit-identically via {!replay_case} on one
+    domain, and with no [budget_s] cutoff the summary (counts and
+    failure list, ordered by case id) is identical to a sequential
+    run's.  Each case's spill directory and artifact file are keyed by
+    its case id, so concurrent cases never share disk paths. *)
 let run ?mutate_slice ?(disk_faults = false) ?budget_s ?out_dir ?(log = ignore)
-    ~seed ~runs () : summary =
+    ?(domains = 1) ~seed ~runs () : summary =
   let t0 = Dr_util.Timer.now () in
-  let passes = ref 0 and skips = ref 0 and cases = ref 0 in
-  let failures = ref [] in
   (match out_dir with Some d -> mkdir_p d | None -> ());
   let within_budget () =
     match budget_s with
     | None -> true
     | Some b -> Dr_util.Timer.now () -. t0 < b
   in
-  let id = ref 0 in
-  while !id < runs && within_budget () do
-    let case_id = !id in
-    incr id;
-    incr cases;
-    Dr_obs.Metrics.bump cases_counter;
-    let lines, sched = gen_case ~master:seed case_id in
-    let nds = nondet_seed ~master:seed case_id in
-    let resource =
-      if not disk_faults then None
-      else begin
-        let fault, salt = fault_plan ~master:seed case_id in
-        let dir =
-          Filename.concat
-            (Filename.get_temp_dir_name ())
-            (Printf.sprintf "drdebug-fuzz-spill-%d-%d" (Unix.getpid ()) case_id)
-        in
-        Some { Oracles.r_spill_dir = dir; r_fault = fault; r_salt = salt }
-      end
+  let results : outcome option array = Array.make (max runs 0) None in
+  if domains <= 1 then begin
+    let id = ref 0 in
+    while !id < runs && within_budget () do
+      results.(!id) <-
+        Some (run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed !id);
+      incr id
+    done
+  end
+  else begin
+    (* [log] is the only shared sink the workers write concurrently;
+       serialize it so interleaved lines stay whole *)
+    let log_lock = Mutex.create () in
+    let log msg =
+      Mutex.lock log_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () -> log msg)
     in
-    let verdict =
-      Dr_obs.Obs.with_span ~cat:"fuzz" "fuzz.case" @@ fun sp ->
-      Dr_obs.Obs.add_attr sp "case_id" (Dr_obs.Obs.Int case_id);
-      (match resource with
-      | Some { Oracles.r_fault; _ } ->
-        Dr_obs.Obs.add_attr sp "disk_fault"
-          (Dr_obs.Obs.Str
-             (match r_fault with
-             | Some f -> Oracles.disk_fault_name f
-             | None -> "none"))
-      | None -> ());
-      let v =
-        check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
-      in
-      Dr_obs.Obs.add_attr sp "verdict"
-        (Dr_obs.Obs.Str
-           (match v with
-           | Oracles.Pass -> "pass"
-           | Oracles.Skip _ -> "skip"
-           | Oracles.Fail f -> Oracles.kind_name f.Oracles.f_kind));
-      v
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if not (within_budget ()) then continue := false
+        else begin
+          let id = Atomic.fetch_and_add next 1 in
+          if id >= runs then continue := false
+          else
+            results.(id) <-
+              Some (run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed id)
+        end
+      done
     in
-    match verdict with
-    | Oracles.Pass -> incr passes
-    | Oracles.Skip reason ->
-      incr skips;
-      Dr_obs.Metrics.bump skips_counter;
-      log (Printf.sprintf "case %d: skipped (%s)" case_id reason)
-    | Oracles.Fail { Oracles.f_kind; f_detail } ->
-      Dr_obs.Metrics.bump (fail_counter f_kind);
-      log
-        (Printf.sprintf "case %d: %s FAILED: %s (shrinking...)" case_id
-           (Oracles.kind_name f_kind) f_detail);
-      (* keep a reduction iff the same oracle still fails *)
-      let still_fails ~lines ~sched =
-        match
-          check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
-        with
-        | Oracles.Fail { Oracles.f_kind = k; _ } -> k = f_kind
-        | _ -> false
-      in
-      let s_lines, s_sched, steps =
-        Shrink.shrink ~check:still_fails ~lines ~sched ()
-      in
-      (* re-run the shrunk case for the final failure detail *)
-      let detail =
-        match
-          check_case ?mutate_slice ?resource ~lines:s_lines ~sched:s_sched
-            ~nondet_seed:nds ()
-        with
-        | Oracles.Fail { Oracles.f_detail = d; _ } -> d
-        | _ -> f_detail
-      in
-      let f =
-        { fr_case_id = case_id; fr_prog_seed = prog_seed ~master:seed case_id;
-          fr_nondet_seed = nds; fr_kind = f_kind; fr_detail = detail;
-          fr_shrink_steps = steps; fr_lines = s_lines; fr_sched = s_sched }
-      in
-      failures := f :: !failures;
-      (match out_dir with
-      | Some d ->
-        let path = Filename.concat d (Printf.sprintf "case-%d.json" case_id) in
-        write_file path
-          (Dr_util.Json.to_string (failure_json ~master_seed:seed f));
-        log (Printf.sprintf "case %d: shrunk to %d lines, saved %s" case_id
-               (Array.length f.fr_lines) path)
-      | None -> ())
-  done;
+    Dr_util.Pool.with_pool ~domains (fun pool ->
+        Dr_util.Pool.run pool (Array.init domains (fun _ -> worker)))
+  end;
+  let passes = ref 0 and skips = ref 0 and cases = ref 0 in
+  let failures = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some o -> (
+        incr cases;
+        match o with
+        | O_pass -> incr passes
+        | O_skip -> incr skips
+        | O_fail f -> failures := f :: !failures))
+    results;
   let s =
     { s_master_seed = seed; s_cases = !cases; s_passes = !passes;
       s_skips = !skips; s_failures = List.rev !failures;

@@ -5,7 +5,24 @@
     on each other.  Hot paths read the field directly: with tracing off
     the entire event tier costs one mutable-field load per call site and
     allocates nothing.  The scalar tier ({!Metrics} counters and timers)
-    is deliberately {e not} gated — it was cheap enough to leave enabled
-    everywhere before this flag existed and stays that way. *)
+    is deliberately {e not} gated — it is atomic, domain-safe and cheap
+    enough to leave enabled everywhere.
+
+    The {e event} tier (spans, histogram observations) is additionally
+    pinned to the {e recorder domain} — the domain that loaded this
+    module, i.e. the main domain.  Worker domains in a {!Dr_util.Pool}
+    see their span and histogram calls as no-ops: the recorder keeps a
+    single open-span stack and plain (unsynchronized) buffers, which
+    stay correct because only one domain ever touches them.  Parallel
+    sections remain observable through the scalar tier and through spans
+    opened by the coordinating domain around the fan-out; DESIGN §12
+    explains why per-domain event recording is deliberately out of
+    scope. *)
 
 let enabled = ref false
+
+(* the domain that loaded the observability library = the main domain *)
+let recorder_domain : int = (Domain.self () :> int)
+
+(** Is the calling domain the one allowed to record events? *)
+let on_recorder_domain () = (Domain.self () :> int) = recorder_domain

@@ -57,18 +57,25 @@ let create name =
   { h_name = name; buckets = Array.make num_buckets 0; count = 0; sum = 0.0;
     vmin = Float.infinity; vmax = Float.neg_infinity }
 
-(* registry: O(1) idempotent registration, report in registration order *)
+(* registry: O(1) idempotent registration under a lock (two domains
+   racing to register a name share one handle), report in registration
+   order *)
+let lock = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 let order : t list ref = ref []
 
 let get name =
-  match Hashtbl.find_opt registry name with
-  | Some h -> h
-  | None ->
-    let h = create name in
-    Hashtbl.replace registry name h;
-    order := h :: !order;
-    h
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+        let h = create name in
+        Hashtbl.replace registry name h;
+        order := h :: !order;
+        h)
 
 (** Record a sample unconditionally (ungated; used for report-time
     aggregation).  Hot paths use {!observe} instead. *)
@@ -80,8 +87,12 @@ let record h v =
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
-(** Record a sample if tracing is enabled; a field check otherwise. *)
-let observe h v = if !Gate.enabled then record h v
+(** Record a sample if tracing is enabled and the caller is the recorder
+    domain; a field check otherwise.  Like spans, histogram samples are
+    plain unsynchronized field updates, so worker-domain observations
+    are dropped rather than raced (see {!Gate}). *)
+let observe h v =
+  if !Gate.enabled && Gate.on_recorder_domain () then record h v
 
 let name h = h.h_name
 let count h = h.count

@@ -3,84 +3,111 @@
     tier, see {!Obs} and {!Histogram}).
 
     Hot paths register a handle once at module initialisation
-    ([counter]/[timer]) and bump it with a plain field update — no hash
-    lookup, no allocation — so instrumentation stays cheap enough to
-    leave enabled everywhere; unlike the event tier, the scalar tier is
-    not gated on {!Gate.enabled}.  The registry is global: [report]
-    returns every registered metric for the CLI ([--stats]), the run
-    report ({!Report}) and the bench harness; [reset] zeroes values
-    between measurements but keeps the registrations.
+    ([counter]/[timer]) and bump it with one atomic fetch-and-add — no
+    hash lookup, no allocation on the counter path — so instrumentation
+    stays cheap enough to leave enabled everywhere; unlike the event
+    tier, the scalar tier is not gated on {!Gate.enabled} and, also
+    unlike the event tier, it is {e domain-safe}: counters and timers
+    are {!Atomic} cells, so worker domains in a {!Dr_util.Pool} bump the
+    same handles the sequential code does and [report] reads fully
+    merged totals with no per-domain bookkeeping.
 
-    Registration is a Hashtbl lookup (O(1), not a scan of a growing
-    list) and [report] emits metrics in registration order, which is the
-    order the program's phases touch them — far more readable than the
-    reversed cons order the list-based registry used to produce. *)
+    Registration takes the registry lock (idempotent, O(1) via a
+    Hashtbl) so two domains racing to register the same name always
+    share one handle.  [report] snapshots the registry under the same
+    lock and emits metrics {e sorted by name}: with parallel sections
+    registering handles on first touch, arrival order depends on the
+    schedule, and a deterministic report must not — two interleaved
+    registrars produce byte-identical reports. *)
 
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 
 type timer = {
   t_name : string;
-  mutable seconds : float;
-  mutable events : int;  (** number of timed sections *)
+  seconds : float Atomic.t;
+  events : int Atomic.t;  (** number of timed sections *)
 }
 
-(* name -> handle for O(1) idempotent registration; [order] remembers
-   first-registration order (newest first, reversed by [report]) *)
+(* name -> handle for O(1) idempotent registration; the lock covers
+   every structural access (register, report, reset) — handle updates
+   themselves are lock-free atomics *)
+let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
-let order : [ `C of counter | `T of timer ] list ref = ref []
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; count = 0 } in
+    let c = { c_name = name; count = Atomic.make 0 } in
     Hashtbl.replace counters name c;
-    order := `C c :: !order;
     c
 
 let timer name =
+  locked @@ fun () ->
   match Hashtbl.find_opt timers name with
   | Some t -> t
   | None ->
-    let t = { t_name = name; seconds = 0.0; events = 0 } in
+    let t = { t_name = name; seconds = Atomic.make 0.0; events = Atomic.make 0 }
+    in
     Hashtbl.replace timers name t;
-    order := `T t :: !order;
     t
 
-let bump c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
+let bump c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let count c = Atomic.get c.count
+
+(* lock-free float accumulation: retry the CAS on contention *)
+let rec add_float (a : float Atomic.t) dt =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. dt)) then add_float a dt
 
 let record t dt =
-  t.seconds <- t.seconds +. dt;
-  t.events <- t.events + 1
+  add_float t.seconds dt;
+  Atomic.incr t.events
 
-(** [time t f] runs [f ()], accumulating its wall-clock duration in [t].
-    The elapsed time is recorded even when [f] raises. *)
+(** [time t f] runs [f ()], accumulating its duration in [t].  The
+    clock is {!Dr_util.Timer.now} — the same ratcheted monotonic source
+    the span recorder uses, so a wall-clock step (NTP) can never yield a
+    negative accumulation.  The elapsed time is recorded even when [f]
+    raises. *)
 let time t f =
   let t0 = Dr_util.Timer.now () in
   Fun.protect ~finally:(fun () -> record t (Dr_util.Timer.now () -. t0)) f
 
-let seconds t = t.seconds
-let events t = t.events
+let seconds t = Atomic.get t.seconds
+let events t = Atomic.get t.events
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
   Hashtbl.iter
     (fun _ t ->
-      t.seconds <- 0.0;
-      t.events <- 0)
+      Atomic.set t.seconds 0.0;
+      Atomic.set t.events 0)
     timers
 
-(** All registered metrics, in registration order: counters as
-    [(name, `Counter n)], timers as [(name, `Timer (seconds, events))]. *)
+(** All registered metrics, sorted by name (deterministic whatever the
+    registration interleaving): counters as [(name, `Counter n)], timers
+    as [(name, `Timer (seconds, events))]. *)
 let report () =
-  List.rev_map
-    (function
-      | `C c -> (c.c_name, `Counter c.count)
-      | `T t -> (t.t_name, `Timer (t.seconds, t.events)))
-    !order
+  let entries =
+    locked @@ fun () ->
+    Hashtbl.fold
+      (fun _ c acc -> (c.c_name, `Counter (Atomic.get c.count)) :: acc)
+      counters
+      (Hashtbl.fold
+         (fun _ t acc ->
+           (t.t_name, `Timer (Atomic.get t.seconds, Atomic.get t.events))
+           :: acc)
+         timers [])
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let pp fmt () =
   List.iter

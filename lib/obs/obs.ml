@@ -17,7 +17,15 @@
     kept) and records a diagnostic in [mismatch_messages]; stopping an
     unknown token records a diagnostic and does nothing else.  The count
     also surfaces as the [obs.span_mismatches] counter so a run report
-    can never hide a broken instrumentation site. *)
+    can never hide a broken instrumentation site.
+
+    Domain discipline: the recorder is single-domain.  Every entry point
+    additionally checks {!Gate.on_recorder_domain}, so spans opened from
+    pool worker domains are silently dropped ([start] returns {!none})
+    instead of racing on the shared stack and buffer.  The coordinating
+    domain's spans around a parallel fan-out, plus the atomic
+    {!Metrics}, are the supported observability of parallel sections
+    (DESIGN §12). *)
 
 type attr =
   | Int of int
@@ -96,7 +104,7 @@ let mismatch fmt =
 (** Open a span.  [cat] groups spans into a phase for the trace viewer
     and the report; [tid] attributes the span to a simulated thread. *)
 let start ?(tid = 0) ?(cat = "drdebug") name =
-  if not !Gate.enabled then none
+  if (not !Gate.enabled) || not (Gate.on_recorder_domain ()) then none
   else begin
     if not !epoch_set then begin
       epoch := now ();
@@ -121,7 +129,7 @@ let find_open tok =
 
 (** Attach an attribute to a still-open span. *)
 let add_attr tok key v =
-  if !Gate.enabled && tok <> none then begin
+  if !Gate.enabled && tok <> none && Gate.on_recorder_domain () then begin
     let i = find_open tok in
     if i >= 0 then begin
       let o = Dr_util.Vec.get stack i in
@@ -143,7 +151,7 @@ let close_top t1 =
     order closes the spans opened above it first (recording a mismatch
     diagnostic); stopping an unknown token only records the mismatch. *)
 let stop ?(attrs = []) tok =
-  if !Gate.enabled && tok <> none then begin
+  if !Gate.enabled && tok <> none && Gate.on_recorder_domain () then begin
     let i = find_open tok in
     if i < 0 then
       mismatch "stop of a closed or unknown span token %d" tok
@@ -167,7 +175,7 @@ let stop ?(attrs = []) tok =
     (and recorded) even when [f] raises.  [f] receives the token so it
     can {!add_attr} results as they become known. *)
 let with_span ?tid ?cat ?attrs name f =
-  if not !Gate.enabled then f none
+  if (not !Gate.enabled) || not (Gate.on_recorder_domain ()) then f none
   else begin
     let tok = start ?tid ?cat name in
     Fun.protect ~finally:(fun () -> stop ?attrs tok) (fun () -> f tok)

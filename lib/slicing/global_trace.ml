@@ -17,7 +17,11 @@ type t = {
   order : int array;  (** position -> gseq *)
   pos_of_gseq : int array;  (** gseq -> position *)
   mutable pc_index : (int * int, int array) Hashtbl.t option;
-      (** lazy: (tid, pc) -> ascending merge positions *)
+      (** lazy: (tid, pc) -> ascending merge positions; read/built under
+          [pc_lock] (see {!pc_index}) *)
+  pc_lock : Mutex.t;
+      (** serializes the lazy [pc_index] build: without it two domains
+          could build and clobber the index concurrently *)
 }
 
 (** One blocked per-thread head at the moment the merge stalled. *)
@@ -139,7 +143,7 @@ let construct ?(cluster = true) (c : Collector.result) : t =
   done;
   { records = c.Collector.records;
     direct = Segment_store.as_flat c.Collector.records;
-    order; pos_of_gseq; pc_index = None }
+    order; pos_of_gseq; pc_index = None; pc_lock = Mutex.create () }
 
 let length t = Array.length t.order
 
@@ -177,31 +181,43 @@ let is_topological (t : t) (c : Collector.result) : bool =
 
 (* Build (tid, pc) -> ascending merge positions on first lookup; the
    merge order never changes after [construct], so the index is built at
-   most once per trace. *)
+   most once per trace.  The build runs under [pc_lock] with a
+   double-check — concurrent first lookups from several domains agree on
+   one index instead of each building and clobbering its own.  The
+   unlocked fast-path read is a benign race: it either sees the
+   published index or falls through to the lock and re-checks. *)
 let pc_index (t : t) : (int * int, int array) Hashtbl.t =
   match t.pc_index with
   | Some idx -> idx
   | None ->
-    let acc : (int * int, Dr_util.Vec.Int_vec.t) Hashtbl.t =
-      Hashtbl.create 256
-    in
-    Array.iteri
-      (fun pos g ->
-        let r = record_at_gseq t g in
-        let key = (r.Trace.tid, r.Trace.pc) in
-        match Hashtbl.find_opt acc key with
-        | Some v -> Dr_util.Vec.Int_vec.push v pos
+    Mutex.lock t.pc_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.pc_lock)
+      (fun () ->
+        match t.pc_index with
+        | Some idx -> idx
         | None ->
-          let v = Dr_util.Vec.Int_vec.create () in
-          Dr_util.Vec.Int_vec.push v pos;
-          Hashtbl.replace acc key v)
-      t.order;
-    let idx = Hashtbl.create (Hashtbl.length acc) in
-    Hashtbl.iter
-      (fun key v -> Hashtbl.replace idx key (Dr_util.Vec.Int_vec.to_array v))
-      acc;
-    t.pc_index <- Some idx;
-    idx
+          let acc : (int * int, Dr_util.Vec.Int_vec.t) Hashtbl.t =
+            Hashtbl.create 256
+          in
+          Array.iteri
+            (fun pos g ->
+              let r = record_at_gseq t g in
+              let key = (r.Trace.tid, r.Trace.pc) in
+              match Hashtbl.find_opt acc key with
+              | Some v -> Dr_util.Vec.Int_vec.push v pos
+              | None ->
+                let v = Dr_util.Vec.Int_vec.create () in
+                Dr_util.Vec.Int_vec.push v pos;
+                Hashtbl.replace acc key v)
+            t.order;
+          let idx = Hashtbl.create (Hashtbl.length acc) in
+          Hashtbl.iter
+            (fun key v ->
+              Hashtbl.replace idx key (Dr_util.Vec.Int_vec.to_array v))
+            acc;
+          t.pc_index <- Some idx;
+          idx)
 
 (** Ascending merge positions of records executing [pc] on [tid]. *)
 let pc_positions (t : t) ~tid ~pc : int array =

@@ -13,6 +13,9 @@ type t = {
   mutable pc_index : (int * int, int array) Hashtbl.t option;
       (** lazily built (tid, pc) -> ascending merge positions index;
           managed internally — use {!find} / {!find_last_at} *)
+  pc_lock : Mutex.t;
+      (** serializes the lazy [pc_index] build so concurrent first
+          lookups from several domains agree on one index *)
 }
 
 (** One blocked per-thread head at the moment the merge stalled. *)
@@ -57,6 +60,11 @@ val position : t -> gseq:int -> int
 (** Check the order against program order and the collector's
     cross-thread edges (used by tests). *)
 val is_topological : t -> Collector.result -> bool
+
+(** The (tid, pc) -> ascending merge positions index, built on first
+    use under [pc_lock] (safe to call from several domains; they agree
+    on one index).  Read-only once returned. *)
+val pc_index : t -> (int * int, int array) Hashtbl.t
 
 (** Ascending merge positions of records executing [pc] on [tid]
     ([[||]] when none).  Builds the (tid, pc) index on first use; the

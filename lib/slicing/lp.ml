@@ -27,12 +27,16 @@ type t = {
   index : Def_index.t;
 }
 
-let prepare ?(block_size = default_block_size) (gt : Global_trace.t) : t =
+(** [prepare ?pool] shards the {!Def_index} scan over [pool]; the
+    summary derivation below stays sequential (it is a cheap pass over
+    the already-merged index).  The result is identical with or without
+    a pool. *)
+let prepare ?pool ?(block_size = default_block_size) (gt : Global_trace.t) : t =
   Dr_obs.Obs.with_span ~cat:"slice" "lp.prepare" @@ fun _ ->
   Dr_obs.Metrics.time t_prepare (fun () ->
       let n = Global_trace.length gt in
       let num_blocks = (n + block_size - 1) / block_size in
-      let index = Def_index.build gt in
+      let index = Def_index.build ?pool gt in
       let accs =
         Array.init num_blocks (fun _ -> Dr_util.Vec.Int_vec.create ())
       in
@@ -112,19 +116,43 @@ let t_static = Dr_obs.Metrics.timer "lp.static_prepare"
     every dynamic memory def, "the signature cannot satisfy any wanted
     location" implies the exact {!may_satisfy} summary cannot either —
     the skip is sound and the slice unchanged. *)
-let prepare_static (t : t) (gt : Global_trace.t)
+let prepare_static ?pool (t : t) (gt : Global_trace.t)
     ~(reg_defs : int -> int) ~(writes_mem : int -> bool) : static_filter =
   Dr_obs.Metrics.time t_static (fun () ->
-      let masks = Array.make t.num_blocks 0 in
-      let mem = Array.make t.num_blocks false in
       let n = Global_trace.length gt in
-      for pos = 0 to n - 1 do
-        let r = Global_trace.record gt pos in
-        let b = pos / t.block_size in
-        masks.(b) <- masks.(b) lor reg_defs r.Trace.pc;
-        if writes_mem r.Trace.pc then mem.(b) <- true
-      done;
-      { sf_reg_masks = masks; sf_mem = mem })
+      let scan (lo, hi) =
+        let masks = Array.make t.num_blocks 0 in
+        let mem = Array.make t.num_blocks false in
+        for pos = lo to hi - 1 do
+          let r = Global_trace.record gt pos in
+          let b = pos / t.block_size in
+          masks.(b) <- masks.(b) lor reg_defs r.Trace.pc;
+          if writes_mem r.Trace.pc then mem.(b) <- true
+        done;
+        (masks, mem)
+      in
+      match pool with
+      | Some p when Dr_util.Pool.size p > 1 && n > 1 ->
+        (* per-shard masks merge with [lor] / [||] — commutative and
+           associative, so the merged filter is shard-order independent
+           and equal to the sequential scan *)
+        let parts =
+          Dr_util.Pool.map p scan
+            (Dr_util.Pool.split ~chunks:(Dr_util.Pool.size p) ~len:n)
+        in
+        let masks = Array.make t.num_blocks 0 in
+        let mem = Array.make t.num_blocks false in
+        Array.iter
+          (fun (pm, pb) ->
+            for b = 0 to t.num_blocks - 1 do
+              masks.(b) <- masks.(b) lor pm.(b);
+              mem.(b) <- mem.(b) || pb.(b)
+            done)
+          parts;
+        { sf_reg_masks = masks; sf_mem = mem }
+      | _ ->
+        let masks, mem = scan (0, n) in
+        { sf_reg_masks = masks; sf_mem = mem })
 
 (** Can block [b] statically satisfy a want set summarised as a register
     bit mask plus a wants-memory flag? *)

@@ -18,7 +18,10 @@ type t = {
       (** per-location definition index the summaries derive from *)
 }
 
-val prepare : ?block_size:int -> Global_trace.t -> t
+(** Prepare summaries + definition index.  With [pool] the index scan
+    is sharded over the pool ({!Def_index.build}); the result is
+    identical with or without one. *)
+val prepare : ?pool:Dr_util.Pool.t -> ?block_size:int -> Global_trace.t -> t
 
 (** A degraded LP with correct block geometry but empty summaries and an
     empty index, built in O(1) memory.  Only valid for the scan driver
@@ -57,8 +60,15 @@ type static_filter = {
     the static register-def bit mask of the instruction at [pc] and
     [writes_mem pc] its may-write-memory flag (e.g.
     [Dr_static.Defuse.def_mask] / [writes_mem] — passed as callbacks to
-    keep this library independent of [dr_static]). *)
+    keep this library independent of [dr_static]).
+
+    With [pool] the pass is sharded by position range and the per-block
+    masks merged with [lor]/[(||)] — commutative, so the filter is
+    identical to a sequential build.  The callbacks must then be safe to
+    call from several domains (the [Dr_static.Defuse] ones are: pure
+    lookups in tables frozen before slicing). *)
 val prepare_static :
+  ?pool:Dr_util.Pool.t ->
   t ->
   Global_trace.t ->
   reg_defs:(int -> int) ->

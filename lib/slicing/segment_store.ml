@@ -116,16 +116,23 @@ type write_fault =
   | Fault_short_write of int
       (** only the first [n] bytes reach disk (lost fsync / power cut) *)
 
-let write_fault_hook : (string -> write_fault option) ref = ref (fun _ -> None)
+(* Domain-local: each fuzz worker domain installs its own injector, so
+   parallel fuzz cases with different fault plans never see each other's
+   hooks. *)
+let write_fault_hook : (string -> write_fault option) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> fun _ -> None)
 
-(** Install a write-fault injector consulted on every segment write
-    (keyed by the target path).  Test/fuzzer use only. *)
-let set_write_fault_hook f = write_fault_hook := f
+(** Install a write-fault injector consulted on every segment write by
+    the {e calling domain} (keyed by the target path).  The hook is
+    domain-local, so concurrent fuzz cases on different domains inject
+    independent fault plans.  Test/fuzzer use only. *)
+let set_write_fault_hook f = Domain.DLS.set write_fault_hook f
 
-let clear_write_fault_hook () = write_fault_hook := (fun _ -> None)
+let clear_write_fault_hook () =
+  Domain.DLS.set write_fault_hook (fun _ -> None)
 
 let write_segment_file path (data : string) =
-  match !write_fault_hook path with
+  match Domain.DLS.get write_fault_hook path with
   | Some Fault_enospc ->
     raise
       (Dr_util.Budget.Resource_error
@@ -161,6 +168,10 @@ type t = {
   cache : (int, Trace.record array) Hashtbl.t;
   mutable lru : int list;  (** cached segment indices, most recent first *)
   cache_cap : int;
+  lock : Mutex.t;
+      (** guards [cache] and [lru] so concurrent readers on several
+          domains share the spilled-segment cache safely; the flat path
+          never takes it *)
 }
 
 (** Resident bytes a record roughly occupies (boxed record + two int
@@ -197,7 +208,8 @@ let spilled_paths t =
 
 let of_array (a : Trace.record array) : t =
   { seg_records = default_seg_records; total = Array.length a; segs = [||];
-    flat = Some a; cache = Hashtbl.create 1; lru = []; cache_cap = 0 }
+    flat = Some a; cache = Hashtbl.create 1; lru = []; cache_cap = 0;
+    lock = Mutex.create () }
 
 (* LRU: move [s] to the front, evicting past capacity. *)
 let cache_insert t s records =
@@ -230,17 +242,25 @@ let load_segment t s ~path ~count : Trace.record array =
   cache_insert t s records;
   records
 
+(* The cache lookup, LRU touch and miss-load all run under [t.lock]:
+   concurrent readers from a domain pool then share one cache without
+   corrupting the LRU list, and a segment is decoded once per miss
+   rather than once per racing reader. *)
 let seg_array t s =
   match t.segs.(s) with
   | Resident a -> a
-  | Spilled { sp_path; sp_count; _ } -> (
-    match Hashtbl.find_opt t.cache s with
-    | Some a ->
-      Dr_obs.Metrics.bump m_cache_hits;
-      if (match t.lru with hd :: _ -> hd <> s | [] -> true) then
-        t.lru <- s :: List.filter (fun x -> x <> s) t.lru;
-      a
-    | None -> load_segment t s ~path:sp_path ~count:sp_count)
+  | Spilled { sp_path; sp_count; _ } ->
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match Hashtbl.find_opt t.cache s with
+        | Some a ->
+          Dr_obs.Metrics.bump m_cache_hits;
+          if (match t.lru with hd :: _ -> hd <> s | [] -> true) then
+            t.lru <- s :: List.filter (fun x -> x <> s) t.lru;
+          a
+        | None -> load_segment t s ~path:sp_path ~count:sp_count)
 
 (** Record with gseq [i].
     @raise Dr_util.Budget.Resource_error when a spilled segment is
@@ -280,14 +300,16 @@ type builder = {
   mutable b_spilled : bool;
 }
 
-let store_ids = ref 0
+(* Atomic so builders created concurrently (parallel fuzz cases) get
+   distinct spill-file prefixes. *)
+let store_ids = Atomic.make 0
 
 let builder ?budget ?(seg_records = default_seg_records)
     ?(cache_segments = default_cache_segments) () : builder =
   if seg_records < 1 then invalid_arg "Segment_store.builder: seg_records < 1";
-  incr store_ids;
+  let id = 1 + Atomic.fetch_and_add store_ids 1 in
   { b_seg_records = seg_records; b_cache_cap = max 1 cache_segments;
-    b_budget = budget; b_store_id = !store_ids; b_segs = []; b_nsegs = 0;
+    b_budget = budget; b_store_id = id; b_segs = []; b_nsegs = 0;
     b_resident = []; b_cur = []; b_cur_count = 0; b_cur_bytes = 0;
     b_total = 0; b_spilled = false }
 
@@ -385,11 +407,12 @@ let seal (b : builder) : t =
       segs;
     { seg_records = b.b_seg_records; total = b.b_total; segs;
       flat = Some flat; cache = Hashtbl.create 1; lru = [];
-      cache_cap = b.b_cache_cap }
+      cache_cap = b.b_cache_cap; lock = Mutex.create () }
   end
   else
     { seg_records = b.b_seg_records; total = b.b_total; segs; flat = None;
-      cache = Hashtbl.create 8; lru = []; cache_cap = b.b_cache_cap }
+      cache = Hashtbl.create 8; lru = []; cache_cap = b.b_cache_cap;
+      lock = Mutex.create () }
 
 (** Copy an existing store through a fresh (typically budgeted) builder
     — the conformance fault oracle uses this to produce a spilled twin

@@ -420,6 +420,46 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
         truncated = !truncated };
     adj = None }
 
+(* ---- parallel fan-out over independent criteria ---- *)
+
+let m_par_batches = Dr_obs.Metrics.counter "slicer.parallel_batches"
+let m_par_criteria = Dr_obs.Metrics.counter "slicer.parallel_criteria"
+
+(** Slice every criterion of [criteria] over the same trace, fanning
+    the independent computations over [pool] (sequential without one,
+    or with a pool of size 1).
+
+    Results come back in criterion order and each slice is {e identical}
+    to what a sequential [compute] would produce: slices share only
+    read-only state (the trace, the LP summaries and definition index,
+    the save/restore pairs) plus the mutex-guarded segment cache and
+    pc-index, and all per-slice traversal state is local to each call.
+    Only [stats.slice_time] is schedule-dependent.
+
+    The LP preparation (unless passed in) happens once, up front, with
+    the scan itself sharded over the pool ({!Lp.prepare}). *)
+let compute_many ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
+    ?(static_filter : Lp.static_filter option) ?(pool : Dr_util.Pool.t option)
+    (gt : Global_trace.t) (criteria : criterion list) : t list =
+  Dr_obs.Metrics.bump m_par_batches;
+  Dr_obs.Metrics.add m_par_criteria (List.length criteria);
+  Dr_obs.Obs.with_span ~cat:"slice" "slicer.compute_many" @@ fun sp ->
+  Dr_obs.Obs.add_attr sp "criteria" (Dr_obs.Obs.Int (List.length criteria));
+  let lp = match lp with Some l -> l | None -> Lp.prepare ?pool gt in
+  (* Build the pc-index before the fan-out: workers then only read it.
+     (It is mutex-guarded anyway; this just keeps the build off the
+     contended path.) *)
+  ignore (Global_trace.pc_index gt);
+  let crits = Array.of_list criteria in
+  let one c = compute ~lp ?pairs ?static_filter gt c in
+  let results =
+    match pool with
+    | Some p when Dr_util.Pool.size p > 1 && Array.length crits > 1 ->
+      Dr_util.Pool.map p one crits
+    | _ -> Array.map one crits
+  in
+  Array.to_list results
+
 (* ---- resource-governed slicing: the degradation ladder ---- *)
 
 type rung = Rung_indexed | Rung_scan

@@ -1,0 +1,172 @@
+(** A small fixed pool of OCaml 5 domains for embarrassingly parallel
+    fan-out (parallel slicing criteria, sharded index preparation, the
+    conformance fuzz farm).
+
+    The pool owns [size - 1] worker domains parked on a condition
+    variable; the domain that calls {!run} participates as the
+    [size]-th worker, so a pool of size 1 spawns nothing and runs
+    everything inline.  A {!run} hands every worker the same
+    {e drain loop}: tasks are claimed by atomic fetch-and-add on a
+    shared cursor, so scheduling is dynamic (good load balance for
+    uneven task costs) while {e results stay deterministic} — {!map}
+    writes slot [i] of the output from task [i] regardless of which
+    domain ran it or in what order.
+
+    Exceptions raised by tasks are captured; the first one (by
+    completion order) is re-raised in the caller after the barrier, with
+    its backtrace.  The remaining tasks still run — a parallel batch is
+    not torn down half-way, which keeps shared structures (metric
+    registries, segment caches) in a sane state.
+
+    The caller's wait at the barrier is a [Domain.cpu_relax] spin: it
+    only covers the in-flight tail of tasks on other domains, and every
+    intended workload (a slice, a fuzz case, an index shard) is far
+    coarser than a spin quantum.  [run] must not be called from two
+    domains at once on the same pool; nested [run] from inside a task
+    deadlocks no one (the caller drains its own queue) but is not
+    supported either. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;  (** total parallelism: worker domains + the caller *)
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable queue : task list;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(** What the runtime recommends for this machine (never below 1). *)
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if t.closing then None
+      else
+        match t.queue with
+        | task :: rest ->
+          t.queue <- rest;
+          Some task
+        | [] ->
+          Condition.wait t.has_work t.mutex;
+          next ()
+    in
+    let task = next () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      loop ()
+  in
+  loop ()
+
+(** Create a pool of [domains] total workers (default
+    {!default_domains}).  [domains - 1] domains are spawned; they idle
+    on a condition variable until {!run}/{!map} hands them work. *)
+let create ?domains () : t =
+  let size =
+    max 1 (match domains with Some d -> d | None -> default_domains ())
+  in
+  let t =
+    { size; mutex = Mutex.create (); has_work = Condition.create ();
+      queue = []; closing = false; workers = [] }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+(** Join all worker domains.  Idempotent; the pool must be idle. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(** [with_pool ?domains f] runs [f pool] and shuts the pool down even
+    when [f] raises. *)
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(** Run every task to completion, fanning out over the pool; returns
+    when all have finished.  The first task exception (if any) is
+    re-raised after the barrier. *)
+let run t (tasks : task array) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if t.size = 1 || n = 1 then Array.iter (fun task -> task ()) tasks
+  else begin
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let drain () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          (try tasks.(i) ()
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          (* the atomic increment publishes the task's writes to the
+             caller, which reads [completed] before touching results *)
+          Atomic.incr completed
+        end
+      done
+    in
+    (* a stale drain surviving past its batch exits immediately (the
+       cursor is spent), so leftovers in the queue are harmless *)
+    let helpers = min (t.size - 1) (n - 1) in
+    Mutex.lock t.mutex;
+    for _ = 1 to helpers do
+      t.queue <- drain :: t.queue
+    done;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    drain ();
+    while Atomic.get completed < n do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(** [map t f xs] applies [f] to every element in parallel.  Output slot
+    [i] holds [f xs.(i)] — the result array is identical to
+    [Array.map f xs] whatever the domain count or schedule. *)
+let map t (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out : 'b option array = Array.make n None in
+    run t (Array.init n (fun i () -> out.(i) <- Some (f xs.(i))));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(** [split ~chunks ~len] partitions [0, len) into at most [chunks]
+    contiguous [(lo, hi_exclusive)] ranges of near-equal size, in
+    ascending order — the sharding unit for deterministic merges (shard
+    outputs concatenated in range order preserve position order). *)
+let split ~chunks ~len : (int * int) array =
+  if len <= 0 then [||]
+  else begin
+    let chunks = max 1 (min chunks len) in
+    let base = len / chunks and extra = len mod chunks in
+    let ranges = Array.make chunks (0, 0) in
+    let lo = ref 0 in
+    for i = 0 to chunks - 1 do
+      let size = base + if i < extra then 1 else 0 in
+      ranges.(i) <- (!lo, !lo + size);
+      lo := !lo + size
+    done;
+    ranges
+  end

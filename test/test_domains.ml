@@ -1,0 +1,385 @@
+(* Domain-parallelism tests: compute_many determinism across domain
+   counts and criterion orderings, sharded LP/def-index preparation
+   equality, the lazy pc_index build under concurrent first lookups,
+   spilled segment-store reads under concurrent readers, and the
+   sharded fuzz farm (parallel summary identical to sequential; every
+   failure reproduces from its (seed, case-id) coordinates alone). *)
+
+module Slicer = Dr_slicing.Slicer
+module Pool = Dr_util.Pool
+
+let compile src =
+  match Dr_lang.Codegen.compile_result ~name:"test" src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+let log_whole ?(seed = 3) ?(input = [||]) prog =
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 4 })
+      ~input prog Dr_pinplay.Logger.Whole
+  with
+  | Ok (pb, _) -> pb
+  | Error e -> Alcotest.failf "logging failed: %a" Dr_pinplay.Logger.pp_error e
+
+let collect ?input ?seed prog =
+  let pb = log_whole ?seed ?input prog in
+  Dr_slicing.Collector.collect ~refine:true prog pb
+
+(* Multithreaded program with a loop: enough records and blocks for the
+   sharded builds and the block-skipping scan to have real work. *)
+let par_src = {|global int x;
+global int y;
+global int z;
+fn t1(int n) {
+  y = 10;
+  x = y + 1;
+}
+fn main() {
+  int t = spawn(t1, 0);
+  int sum = 0;
+  for (int i = 0; i < 12; i = i + 1) {
+    sum = sum + 2;
+  }
+  int k = z;
+  k = k + sum;
+  k = k + x;
+  join(t);
+  assert(k > 0, "k");
+}|}
+
+(* Several load-record criteria spread over the trace (same recipe as
+   the bench), so a fan-out has independent work items. *)
+let criteria_of gt ~n =
+  let len = Dr_slicing.Global_trace.length gt in
+  let picks = ref [] and found = ref 0 and pos = ref (len - 1) in
+  while !found < n && !pos > 0 do
+    if Dr_slicing.Trace.is_load (Dr_slicing.Global_trace.record gt !pos)
+    then begin
+      picks := !pos :: !picks;
+      incr found
+    end;
+    decr pos
+  done;
+  let picks = if !picks = [] then [ len - 1 ] else List.rev !picks in
+  List.map
+    (fun p -> { Slicer.crit_pos = p; crit_locs = None })
+    picks
+
+let canonical_edges (s : Slicer.t) =
+  let tag = function
+    | Slicer.Data l -> (0, l)
+    | Slicer.Data_bypassed l -> (1, l)
+    | Slicer.Control -> (2, -1)
+  in
+  let l =
+    Array.to_list
+      (Array.map
+         (fun (e : Slicer.edge) ->
+           let k, loc = tag e.Slicer.kind in
+           (e.Slicer.from_pos, e.Slicer.to_pos, k, loc))
+         s.Slicer.edges)
+  in
+  List.sort compare l
+
+(* everything but slice_time, which is schedule-dependent by contract *)
+let stats_eq (a : Slicer.stats) (b : Slicer.stats) =
+  a.Slicer.visited = b.Slicer.visited
+  && a.Slicer.skipped_blocks = b.Slicer.skipped_blocks
+  && a.Slicer.static_skipped_blocks = b.Slicer.static_skipped_blocks
+  && a.Slicer.total_blocks = b.Slicer.total_blocks
+  && a.Slicer.truncated = b.Slicer.truncated
+
+let slice_eq (a : Slicer.t) (b : Slicer.t) =
+  a.Slicer.positions = b.Slicer.positions
+  && canonical_edges a = canonical_edges b
+  && stats_eq a.Slicer.stats b.Slicer.stats
+
+(* shared fixture: trace, criteria, and sequential reference slices *)
+let fixture =
+  lazy
+    (let prog = compile par_src in
+     let c = collect prog in
+     let gt = Dr_slicing.Global_trace.construct c in
+     let crits = criteria_of gt ~n:6 in
+     let seq =
+       List.map (fun crit -> (crit, Slicer.compute gt crit)) crits
+     in
+     (prog, c, gt, crits, seq))
+
+(* ---- compute_many: parallel fan-out equals sequential compute ---- *)
+
+let test_compute_many_matches_sequential () =
+  let _, _, gt, crits, seq = Lazy.force fixture in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let par = Slicer.compute_many ~pool gt crits in
+          Alcotest.(check int)
+            (Printf.sprintf "%d domains: result count" domains)
+            (List.length crits) (List.length par);
+          List.iter2
+            (fun (_, s) p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%d domains: slice identical" domains)
+                true (slice_eq s p))
+            seq par))
+    [ 1; 2; 4 ]
+
+let prop_compute_many_shuffled =
+  QCheck.Test.make
+    ~name:"compute_many: shuffled criteria x 1/2/4 domains = sequential"
+    ~count:8
+    QCheck.(pair (int_range 1 4) (int_bound 10_000))
+    (fun (domains, shuffle_seed) ->
+      let _, _, gt, crits, seq = Lazy.force fixture in
+      let rng = Random.State.make [| shuffle_seed |] in
+      let shuffled =
+        List.map (fun c -> (Random.State.bits rng, c)) crits
+        |> List.sort compare |> List.map snd
+      in
+      Pool.with_pool ~domains (fun pool ->
+          let par = Slicer.compute_many ~pool gt shuffled in
+          (* results come back in (shuffled) criterion order, each equal
+             to the sequential slice of that same criterion *)
+          List.for_all2
+            (fun crit p ->
+              p.Slicer.criterion = crit
+              && slice_eq (List.assoc crit seq) p)
+            shuffled par))
+
+(* ---- sharded LP / def-index / static-filter preparation ---- *)
+
+let test_sharded_prep_matches_sequential () =
+  let prog, _, gt, crits, _ = Lazy.force fixture in
+  let seq_lp = Dr_slicing.Lp.prepare gt in
+  let dump_index lp =
+    let acc = ref [] in
+    Dr_slicing.Def_index.iter (Dr_slicing.Lp.def_index lp)
+      (fun loc positions -> acc := (loc, Array.copy positions) :: !acc);
+    List.sort compare !acc
+  in
+  let code = prog.Dr_isa.Program.code in
+  let ncode = Array.length code in
+  let reg_defs pc =
+    if pc >= 0 && pc < ncode then Dr_static.Defuse.def_mask code.(pc) else 0
+  in
+  let writes_mem pc =
+    pc >= 0 && pc < ncode && Dr_static.Defuse.writes_mem code.(pc)
+  in
+  let seq_sf = Dr_slicing.Lp.prepare_static seq_lp gt ~reg_defs ~writes_mem in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let par_lp = Dr_slicing.Lp.prepare ~pool gt in
+          Alcotest.(check bool)
+            (Printf.sprintf "%d domains: def index identical" domains)
+            true
+            (dump_index seq_lp = dump_index par_lp);
+          let par_sf =
+            Dr_slicing.Lp.prepare_static ~pool par_lp gt ~reg_defs ~writes_mem
+          in
+          (* the sharded preparations must drive every traversal to the
+             sequential result, block-skip and static-skip stats
+             included (those prove the summaries and masks agree) *)
+          List.iter
+            (fun crit ->
+              let a =
+                Slicer.compute ~lp:seq_lp ~static_filter:seq_sf ~indexed:false
+                  ~block_skipping:true gt crit
+              in
+              let b =
+                Slicer.compute ~lp:par_lp ~static_filter:par_sf ~indexed:false
+                  ~block_skipping:true gt crit
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%d domains: scan identical" domains)
+                true (slice_eq a b);
+              let fa = Slicer.compute ~lp:seq_lp gt crit in
+              let fb = Slicer.compute ~lp:par_lp gt crit in
+              Alcotest.(check bool)
+                (Printf.sprintf "%d domains: indexed identical" domains)
+                true (slice_eq fa fb))
+            crits))
+    [ 2; 3 ]
+
+(* ---- lazy pc_index build under concurrent first lookups ---- *)
+
+let dump_tbl t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare
+
+let test_pc_index_concurrent_build () =
+  let _, c, _, _, _ = Lazy.force fixture in
+  (* fresh trace: the index is unbuilt when four domains race for it *)
+  let gt = Dr_slicing.Global_trace.construct c in
+  let tables =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.map pool
+          (fun _ -> Dr_slicing.Global_trace.pc_index gt)
+          (Array.init 4 (fun i -> i)))
+  in
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "all domains see one table" true
+        (t == tables.(0)))
+    tables;
+  let gt' = Dr_slicing.Global_trace.construct c in
+  let seq = Dr_slicing.Global_trace.pc_index gt' in
+  Alcotest.(check bool) "racy build equals sequential build" true
+    (dump_tbl tables.(0) = dump_tbl seq)
+
+(* ---- spilled segment store under concurrent readers ---- *)
+
+let spill_budget () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drdebug-test-domains-spill-%d" (Unix.getpid ()))
+  in
+  Dr_util.Budget.create ~mem_bytes:0 ~spill_dir:dir ()
+
+let cleanup_spill budget =
+  let dir = Dr_util.Budget.spill_dir budget in
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let test_segment_store_concurrent_readers () =
+  let _, c, _, _, _ = Lazy.force fixture in
+  let budget = spill_budget () in
+  Fun.protect ~finally:(fun () -> cleanup_spill budget) @@ fun () ->
+  let store =
+    Dr_slicing.Segment_store.rebuild ~budget ~seg_records:16 ~cache_segments:2
+      c.Dr_slicing.Collector.records
+  in
+  let n = Dr_slicing.Segment_store.length store in
+  Alcotest.(check bool) "actually spilled" true
+    (Dr_slicing.Segment_store.spilled_segments store > 0);
+  let expect =
+    Array.init n (fun i ->
+        Dr_slicing.Segment_store.get c.Dr_slicing.Collector.records i)
+  in
+  (* four readers scanning in opposite directions churn the tiny LRU
+     cache with concurrent hits, misses, and evictions *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let oks =
+        Pool.map pool
+          (fun d ->
+            let ok = ref true in
+            for k = 0 to n - 1 do
+              let i = if d mod 2 = 0 then k else n - 1 - k in
+              if Dr_slicing.Segment_store.get store i <> expect.(i) then
+                ok := false
+            done;
+            !ok)
+          [| 0; 1; 2; 3 |]
+      in
+      Array.iteri
+        (fun d ok ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reader %d saw every record intact" d)
+            true ok)
+        oks)
+
+(* ---- sharded fuzz farm ---- *)
+
+(* same mutation as the conformance self-test: drop one record the
+   criterion data-depends on, which only the soundness oracle catches *)
+let drop_crit_data_dep (s : Slicer.t) : Slicer.t =
+  let crit = s.Slicer.criterion.Slicer.crit_pos in
+  let victim =
+    Array.fold_left
+      (fun acc (e : Slicer.edge) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if e.Slicer.from_pos = crit then
+            match e.Slicer.kind with
+            | Slicer.Data _ | Slicer.Data_bypassed _ -> Some e.Slicer.to_pos
+            | Slicer.Control -> None
+          else None)
+      None s.Slicer.edges
+  in
+  match victim with
+  | None -> s
+  | Some v ->
+    { s with
+      Slicer.positions =
+        Array.of_list
+          (List.filter (fun p -> p <> v) (Array.to_list s.Slicer.positions));
+      adj = None }
+
+let summary_eq (a : Dr_conformance.Fuzz.summary)
+    (b : Dr_conformance.Fuzz.summary) =
+  (* everything but s_elapsed, which is wall-clock *)
+  a.Dr_conformance.Fuzz.s_master_seed = b.Dr_conformance.Fuzz.s_master_seed
+  && a.Dr_conformance.Fuzz.s_cases = b.Dr_conformance.Fuzz.s_cases
+  && a.Dr_conformance.Fuzz.s_passes = b.Dr_conformance.Fuzz.s_passes
+  && a.Dr_conformance.Fuzz.s_skips = b.Dr_conformance.Fuzz.s_skips
+  && a.Dr_conformance.Fuzz.s_failures = b.Dr_conformance.Fuzz.s_failures
+
+let test_fuzz_parallel_green_deterministic () =
+  let seq = Dr_conformance.Fuzz.run ~seed:7 ~runs:6 () in
+  Alcotest.(check int) "green run" 0
+    (List.length seq.Dr_conformance.Fuzz.s_failures);
+  List.iter
+    (fun domains ->
+      let par = Dr_conformance.Fuzz.run ~domains ~seed:7 ~runs:6 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: summary identical" domains)
+        true (summary_eq seq par))
+    [ 2; 4 ]
+
+let test_fuzz_sharded_failures_reproduce () =
+  let seq =
+    Dr_conformance.Fuzz.run ~mutate_slice:drop_crit_data_dep ~seed:42 ~runs:4
+      ()
+  in
+  let par =
+    Dr_conformance.Fuzz.run ~mutate_slice:drop_crit_data_dep ~domains:2
+      ~seed:42 ~runs:4 ()
+  in
+  Alcotest.(check bool) "failures found" true
+    (par.Dr_conformance.Fuzz.s_failures <> []);
+  (* the sharded farm reports the exact sequential failure list: same
+     case ids, same shrunk repros, in case-id order *)
+  Alcotest.(check bool) "sharded summary identical to sequential" true
+    (summary_eq seq par);
+  (* every failure reproduces from (seed, case-id) alone — one domain,
+     no farm state *)
+  List.iter
+    (fun (f : Dr_conformance.Fuzz.failure) ->
+      match
+        Dr_conformance.Fuzz.replay_case ~mutate_slice:drop_crit_data_dep
+          ~seed:42 ~case_id:f.Dr_conformance.Fuzz.fr_case_id ()
+      with
+      | Dr_conformance.Oracles.Fail _ -> ()
+      | Dr_conformance.Oracles.Pass ->
+        Alcotest.failf "case %d did not reproduce from its coordinates"
+          f.Dr_conformance.Fuzz.fr_case_id
+      | Dr_conformance.Oracles.Skip r ->
+        Alcotest.failf "case %d skipped on replay: %s"
+          f.Dr_conformance.Fuzz.fr_case_id r)
+    par.Dr_conformance.Fuzz.s_failures
+
+let () =
+  Alcotest.run "domains"
+    [ ( "compute_many",
+        [ Alcotest.test_case "matches sequential at 1/2/4 domains" `Quick
+            test_compute_many_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_compute_many_shuffled ] );
+      ( "sharded prep",
+        [ Alcotest.test_case "lp/def-index/static filter" `Quick
+            test_sharded_prep_matches_sequential ] );
+      ( "core safety",
+        [ Alcotest.test_case "pc_index concurrent first build" `Quick
+            test_pc_index_concurrent_build;
+          Alcotest.test_case "segment store concurrent readers" `Quick
+            test_segment_store_concurrent_readers ] );
+      ( "fuzz farm",
+        [ Alcotest.test_case "green run deterministic across domains" `Quick
+            test_fuzz_parallel_green_deterministic;
+          Alcotest.test_case "sharded failures reproduce from seed" `Quick
+            test_fuzz_sharded_failures_reproduce ] ) ]

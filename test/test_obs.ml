@@ -272,7 +272,8 @@ let test_metrics_registry () =
   Metrics.time t (fun () -> ());
   Alcotest.(check int) "timed events" 1 (Metrics.events t);
   Alcotest.(check bool) "seconds non-negative" true (Metrics.seconds t >= 0.0);
-  (* report lists metrics in registration order *)
+  (* report lists metrics sorted by name, independent of registration
+     order ("b" registered last still sorts before "t") *)
   let b = Metrics.counter "test.reg.b" in
   Metrics.bump b;
   let names = List.map fst (Metrics.report ()) in
@@ -284,7 +285,64 @@ let test_metrics_registry () =
   and it = index "test.reg.t" names
   and ib = index "test.reg.b" names in
   Alcotest.(check bool) "all registered" true (ia >= 0 && it >= 0 && ib >= 0);
-  Alcotest.(check bool) "registration order" true (ia < it && it < ib)
+  Alcotest.(check bool) "name-sorted order" true (ia < ib && ib < it)
+
+(* Two domains registering handles concurrently: every name lands in the
+   registry exactly once, racing registrations of the same name share
+   one handle, and the report is name-sorted — byte-identical whatever
+   the arrival interleaving (the multi-domain registration fix). *)
+let test_metrics_parallel_registration () =
+  let names d = List.init 16 (fun i -> Printf.sprintf "test.par.%d.%02d" d i) in
+  let register d () =
+    List.iter
+      (fun n -> Metrics.bump (Metrics.counter n))
+      (names d)
+  in
+  let other = Domain.spawn (register 1) in
+  register 0 ();
+  Domain.join other;
+  let report = Metrics.report () in
+  List.iter
+    (fun n ->
+      match List.assoc_opt n report with
+      | Some (`Counter 1) -> ()
+      | Some _ -> Alcotest.failf "%s: wrong count" n
+      | None -> Alcotest.failf "%s: missing from report" n)
+    (names 0 @ names 1);
+  let ns = List.map fst report in
+  Alcotest.(check bool) "report name-sorted" true
+    (List.sort String.compare ns = ns);
+  (* racing registration of the SAME name yields one shared handle *)
+  let racer = Domain.spawn (fun () -> Metrics.counter "test.par.shared") in
+  let c = Metrics.counter "test.par.shared" in
+  let c' = Domain.join racer in
+  Alcotest.(check bool) "same handle across domains" true (c == c')
+
+(* Regression for the wall-clock vs monotonic mismatch: a backwards
+   clock step between a timer's start and stop must never accumulate a
+   negative duration.  [Timer.advance_to] pushes the shared ratchet
+   ahead of real time, which is exactly the state after a backwards NTP
+   step — subsequent reads stand still instead of going backwards. *)
+let test_metrics_time_never_negative () =
+  let t = Metrics.timer "test.mono.t" in
+  Dr_util.Timer.advance_to (Dr_util.Timer.now () +. 60.0);
+  let before = Metrics.seconds t in
+  Metrics.time t (fun () -> ());
+  let dt = Metrics.seconds t -. before in
+  Alcotest.(check bool) "never negative" true (dt >= 0.0);
+  Alcotest.(check (float 0.0)) "frozen clock reads as zero-length" 0.0 dt;
+  Alcotest.(check int) "event still counted" 1 (Metrics.events t);
+  (* the raw clock itself never decreases across reads *)
+  let prev = ref (Dr_util.Timer.now ()) in
+  for _ = 1 to 1000 do
+    let n = Dr_util.Timer.now () in
+    if n < !prev then
+      Alcotest.failf "clock went backwards: %.9f after %.9f" n !prev;
+    prev := n
+  done;
+  (* Timer.time reports the same non-negative elapsed figure *)
+  let (), d = Dr_util.Timer.time (fun () -> ()) in
+  Alcotest.(check bool) "Timer.time non-negative" true (d >= 0.0)
 
 let () =
   let finally () = Obs.set_enabled false in
@@ -305,4 +363,10 @@ let () =
               Alcotest.test_case "report validate" `Quick test_report_validate
             ] );
           ( "metrics",
-            [ Alcotest.test_case "registry" `Quick test_metrics_registry ] ) ])
+            [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+              Alcotest.test_case "parallel registration determinism" `Quick
+                test_metrics_parallel_registration;
+              (* last: it steps the shared clock ratchet ahead of real
+                 time, freezing durations for the rest of the process *)
+              Alcotest.test_case "timer never negative" `Quick
+                test_metrics_time_never_negative ] ) ])

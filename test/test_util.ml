@@ -259,6 +259,90 @@ let prop_heap_sorts =
       (* popped descending = accumulated list ascending *)
       List.rev !out = List.sort (fun a b -> Int.compare b a) keys)
 
+(* ---- domain pool ---- *)
+
+exception Boom of int
+
+let test_pool_map_order () =
+  let xs = Array.init 100 (fun i -> i) in
+  let expect = Array.map (fun x -> (x * x) + 1) xs in
+  List.iter
+    (fun domains ->
+      Dr_util.Pool.with_pool ~domains (fun p ->
+          Alcotest.(check int) "size" (max 1 domains) (Dr_util.Pool.size p);
+          let got = Dr_util.Pool.map p (fun x -> (x * x) + 1) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map @ %d domains deterministic" domains)
+            expect got))
+    [ 1; 2; 4 ]
+
+let test_pool_reuse () =
+  Dr_util.Pool.with_pool ~domains:3 (fun p ->
+      (* several batches through the same pool: stale drains from the
+         previous batch must not corrupt the next one *)
+      for round = 1 to 5 do
+        let xs = Array.init (17 * round) (fun i -> i) in
+        let got = Dr_util.Pool.map p (fun x -> x + round) xs in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.map (fun x -> x + round) xs)
+          got
+      done)
+
+let test_pool_exception () =
+  Dr_util.Pool.with_pool ~domains:2 (fun p ->
+      let ran = Array.make 8 false in
+      let tasks =
+        Array.init 8 (fun i () ->
+            ran.(i) <- true;
+            if i = 3 then raise (Boom i))
+      in
+      (match Dr_util.Pool.run p tasks with
+      | () -> Alcotest.fail "task exception was swallowed"
+      | exception Boom 3 -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+      (* the batch is not torn down: every task still ran *)
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool) (Printf.sprintf "task %d ran" i) true r)
+        ran;
+      (* and the pool is still usable afterwards *)
+      let got = Dr_util.Pool.map p (fun x -> x * 2) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool survives" [| 2; 4; 6 |] got)
+
+let test_pool_split () =
+  (* ranges are contiguous, ascending, near-equal, and cover [0, len) *)
+  List.iter
+    (fun (chunks, len) ->
+      let ranges = Dr_util.Pool.split ~chunks ~len in
+      if len <= 0 then
+        Alcotest.(check int) "empty" 0 (Array.length ranges)
+      else begin
+        Alcotest.(check bool) "at most chunks" true
+          (Array.length ranges <= max 1 chunks);
+        let pos = ref 0 in
+        Array.iter
+          (fun (lo, hi) ->
+            Alcotest.(check int) "contiguous" !pos lo;
+            Alcotest.(check bool) "non-empty" true (hi > lo);
+            pos := hi)
+          ranges;
+        Alcotest.(check int) "covers len" len !pos;
+        let sizes = Array.map (fun (lo, hi) -> hi - lo) ranges in
+        let mn = Array.fold_left min max_int sizes
+        and mx = Array.fold_left max 0 sizes in
+        Alcotest.(check bool) "near-equal" true (mx - mn <= 1)
+      end)
+    [ (1, 10); (3, 10); (4, 4); (7, 3); (2, 0); (5, 1); (16, 1000) ]
+
+let prop_pool_map_matches_sequential =
+  QCheck.Test.make ~name:"pool map = Array.map at any domain count" ~count:30
+    QCheck.(pair (int_range 1 4) (list small_int))
+    (fun (domains, xs) ->
+      let xs = Array.of_list xs in
+      Dr_util.Pool.with_pool ~domains (fun p ->
+          Dr_util.Pool.map p (fun x -> x * 7) xs = Array.map (fun x -> x * 7) xs))
+
 let () =
   Alcotest.run "util"
     [ ( "vec",
@@ -284,4 +368,11 @@ let () =
           Alcotest.test_case "accessors" `Quick test_json_accessors ] );
       ( "heap",
         [ Alcotest.test_case "basic" `Quick test_heap_basic;
-          QCheck_alcotest.to_alcotest prop_heap_sorts ] ) ]
+          QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+      ( "pool",
+        [ Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "split ranges" `Quick test_pool_split;
+          QCheck_alcotest.to_alcotest prop_pool_map_matches_sequential ] ) ]
