@@ -29,6 +29,8 @@ type prepared = {
   w_name : string;
   w_kind : string;  (* "registry" | "generated" *)
   w_prog : Dr_isa.Program.t;
+  w_pinball : Dr_pinplay.Pinball.t;
+      (* retained for the re-execution tier *)
   w_collect : Dr_slicing.Collector.result;
       (* retained for the out-of-core rerun *)
   gt : Dr_slicing.Global_trace.t;
@@ -87,8 +89,8 @@ let prepare ~name ~kind ~n_criteria prog pb =
   let c, collect_s = time (fun () -> Dr_slicing.Collector.collect prog pb) in
   let gt, construct_s = time (fun () -> Dr_slicing.Global_trace.construct c) in
   let lp, lp_s = time (fun () -> Dr_slicing.Lp.prepare gt) in
-  { w_name = name; w_kind = kind; w_prog = prog; w_collect = c; gt; lp;
-    collect_s; construct_s; lp_s;
+  { w_name = name; w_kind = kind; w_prog = prog; w_pinball = pb;
+    w_collect = c; gt; lp; collect_s; construct_s; lp_s;
     criteria = criteria_of gt ~n:n_criteria @ register_criterion gt lp }
 
 let prepare_registry ~name ~main_instrs ~n_criteria =
@@ -174,6 +176,10 @@ type measured = {
   par_slice_s : float;  (* all criteria through compute_many on the pool *)
   par_slice_size_total : int;  (* total slice size of the parallel run *)
   par_identical : bool;  (* parallel slices byte-identical to sequential *)
+  record_bytes_total : int;  (* stored size of every trace record *)
+  reexec_slice_s : float;  (* one re-execution pass over all criteria *)
+  reexec_peak_mem : int;  (* peak resident record bytes during it *)
+  reexec_identical : bool;  (* re-exec slices byte-identical to indexed *)
 }
 
 (* Out-of-core rerun: rebuild the trace through a segment store whose
@@ -246,10 +252,44 @@ let measure_spill (p : prepared) =
           (fun crit -> ignore (spilled ~indexed:true ~block_skipping:true crit))
           p.criteria)
   in
+  (* records-beyond-RAM tier: the same criteria answered by on-demand
+     re-execution — record lookups replay forward from periodic
+     checkpoints and the stored (spilled) records are never read, so
+     resident record memory is bounded by the checkpoint interval (two
+     cached windows), not the trace length.  The validator enforces
+     both the byte-identity and the memory bound. *)
+  let ckpt_interval = max 16 (n / 16) in
+  let rx =
+    Dr_slicing.Reexec.create ~cfg:c.Dr_slicing.Collector.cfg ~ckpt_interval
+      ~cache_windows:2 p.w_prog p.w_pinball
+  in
+  let lp_lite = Dr_slicing.Lp.prepare_lite gt' in
+  let reexec crit =
+    Dr_slicing.Slicer.compute ~lp:lp_lite ~driver:(`Reexec rx) gt' crit
+  in
+  let reexec_identical =
+    List.for_all
+      (fun crit ->
+        let base = clean ~indexed:true ~block_skipping:true crit in
+        let s = reexec crit in
+        s.Dr_slicing.Slicer.positions = base.Dr_slicing.Slicer.positions
+        && canonical_edges s = canonical_edges base)
+      p.criteria
+  in
+  let _, reexec_slice_s =
+    time (fun () -> List.iter (fun crit -> ignore (reexec crit)) p.criteria)
+  in
+  let reexec_peak_mem =
+    (Dr_slicing.Reexec.stats rx).Dr_slicing.Reexec.peak_resident_bytes
+  in
   ( spilled_segments,
     spill_read_s,
     List.length (Dr_util.Budget.degradations budget),
-    spill_identical )
+    spill_identical,
+    !total_bytes,
+    reexec_slice_s,
+    reexec_peak_mem,
+    reexec_identical )
 
 let measure ~reps ~pool (p : prepared) : measured =
   let gt = p.gt and lp = p.lp in
@@ -353,7 +393,14 @@ let measure ~reps ~pool (p : prepared) : measured =
         done)
   in
   Dr_obs.Obs.set_enabled was_enabled;
-  let spilled_segments, spill_read_s, degradations, spill_identical =
+  let ( spilled_segments,
+        spill_read_s,
+        degradations,
+        spill_identical,
+        record_bytes_total,
+        reexec_slice_s,
+        reexec_peak_mem,
+        reexec_identical ) =
     measure_spill p
   in
   { records; n_criteria = List.length p.criteria; reps; indexed_s;
@@ -362,7 +409,8 @@ let measure ~reps ~pool (p : prepared) : measured =
     total_blocks = lp.Dr_slicing.Lp.num_blocks; visited_indexed;
     visited_scan; slice_size_total; identical; spilled_segments;
     spill_read_s; degradations; spill_identical; par_slice_s;
-    par_slice_size_total; par_identical }
+    par_slice_size_total; par_identical; record_bytes_total;
+    reexec_slice_s; reexec_peak_mem; reexec_identical }
 
 let ratio a b = if b > 0.0 then a /. b else 0.0
 
@@ -410,7 +458,11 @@ let workload_json (p : prepared) (m : measured) : J.t =
       ("par_slice_s", J.Num m.par_slice_s);
       ("par_speedup", J.Num (ratio m.indexed_s m.par_slice_s));
       ("par_slice_size_total", J.int m.par_slice_size_total);
-      ("par_identical", J.Bool m.par_identical) ]
+      ("par_identical", J.Bool m.par_identical);
+      ("record_bytes_total", J.int m.record_bytes_total);
+      ("reexec_slice_s", J.Num m.reexec_slice_s);
+      ("reexec_peak_mem", J.int m.reexec_peak_mem);
+      ("reexec_identical", J.Bool m.reexec_identical) ]
 
 let metrics_json () : J.t =
   J.Obj

@@ -60,7 +60,8 @@ let check_workload i w =
       "static_skips"; "total_blocks"; "visited_ratio_indexed";
       "visited_ratio_scan"; "slice_size_avg"; "spilled_segments";
       "spill_read_s"; "degradations"; "slice_size_total"; "par_slice_s";
-      "par_speedup"; "par_slice_size_total" ];
+      "par_speedup"; "par_slice_size_total"; "record_bytes_total";
+      "reexec_slice_s"; "reexec_peak_mem" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
   if num "spilled_segments" < 1.0 then
     fail "%s: out-of-core rerun never spilled" (ctx "spilled_segments");
@@ -72,6 +73,17 @@ let check_workload i w =
     fail "%s: spilled rerun disagrees with in-memory run" (ctx "spill_identical");
   if not (want_bool (ctx "par_identical") (get w "par_identical")) then
     fail "%s: parallel slices disagree with sequential" (ctx "par_identical");
+  if not (want_bool (ctx "reexec_identical") (get w "reexec_identical")) then
+    fail "%s: re-execution slices disagree with indexed"
+      (ctx "reexec_identical");
+  (* the point of the re-execution tier: resident record memory bounded
+     by the checkpoint interval, not the trace length (small traces are
+     exempt — a couple of windows can legitimately cover them) *)
+  if num "records" >= 1024.0 && num "reexec_peak_mem" >= num "record_bytes_total"
+  then
+    fail "%s: re-execution peak %g not below stored trace bytes %g"
+      (ctx "reexec_peak_mem") (num "reexec_peak_mem")
+      (num "record_bytes_total");
   (* slice sizes are schedule-independent: the domain-parallel fan-out
      must land on exactly the sequential totals *)
   let seq_total = num "slice_size_total" and par_total = num "par_slice_size_total" in

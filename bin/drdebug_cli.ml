@@ -144,7 +144,7 @@ let run workload source seed input script stats trace_out report_out =
    runs through the governed degradation ladder.  This is the canonical
    producer of --trace-out / --report-out documents. *)
 let run_slice workload source seed input stats trace_out report_out slice_out
-    pinball_in mem_budget time_budget spill_dir domains =
+    pinball_in mem_budget time_budget spill_dir domains driver ckpt_interval =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
@@ -223,23 +223,58 @@ let run_slice workload source seed input stats trace_out report_out slice_out
         in
         let criterion = { Dr_slicing.Slicer.crit_pos; crit_locs = None } in
         let pairs = c.Dr_slicing.Collector.pairs in
+        (* the re-execution driver needs a checkpoint ladder over the
+           same refined CFG the collector used *)
+        let rx =
+          match driver with
+          | `Reexec ->
+            Some
+              (Dr_slicing.Reexec.create ~cfg:c.Dr_slicing.Collector.cfg
+                 ~ckpt_interval prog pb)
+          | _ -> None
+        in
         let slice =
           match budget with
-          | None ->
-            if domains > 1 then
-              (* one criterion: the parallelism is in the sharded LP
-                 preparation inside compute_many *)
-              Dr_util.Pool.with_pool ~domains (fun pool ->
-                  match
-                    Dr_slicing.Slicer.compute_many ~pairs ~pool gt [ criterion ]
-                  with
-                  | [ s ] -> s
-                  | _ -> assert false)
-            else
+          | None -> (
+            match driver with
+            | `Reexec ->
+              let rx = Option.get rx in
+              let s =
+                Dr_slicing.Slicer.compute ~pairs ~driver:(`Reexec rx) gt
+                  criterion
+              in
+              let rst = Dr_slicing.Reexec.stats rx in
+              Printf.printf
+                "reexec driver: interval %d, %d checkpoints, %d windows \
+                 re-derived (%d cache hits), peak %d resident record bytes\n"
+                ckpt_interval
+                (Dr_slicing.Reexec.num_checkpoints rx)
+                rst.Dr_slicing.Reexec.windows_rederived
+                rst.Dr_slicing.Reexec.cache_hits
+                rst.Dr_slicing.Reexec.peak_resident_bytes;
+              s
+            | (`Scan_skip | `Scan) as d ->
               let lp = Dr_slicing.Lp.prepare gt in
-              Dr_slicing.Slicer.compute ~lp ~pairs gt criterion
+              Dr_slicing.Slicer.compute ~lp ~pairs ~driver:d gt criterion
+            | `Indexed ->
+              if domains > 1 then
+                (* one criterion: the parallelism is in the sharded LP
+                   preparation inside compute_many *)
+                Dr_util.Pool.with_pool ~domains (fun pool ->
+                    match
+                      Dr_slicing.Slicer.compute_many ~pairs ~pool gt
+                        [ criterion ]
+                    with
+                    | [ s ] -> s
+                    | _ -> assert false)
+              else
+                let lp = Dr_slicing.Lp.prepare gt in
+                Dr_slicing.Slicer.compute ~lp ~pairs gt criterion)
           | Some b ->
-            let g = Dr_slicing.Slicer.compute_governed ~pairs ~budget:b gt criterion in
+            let g =
+              Dr_slicing.Slicer.compute_governed ?reexec:rx ~pairs ~budget:b
+                gt criterion
+            in
             Printf.printf "governed slicing: %s driver\n"
               (Dr_slicing.Slicer.rung_name g.Dr_slicing.Slicer.g_rung);
             g.Dr_slicing.Slicer.g_slice
@@ -491,11 +526,25 @@ let slice_cmd =
     Arg.(value & opt int 1 & info [ "domains" ]
            ~doc:"Slice with this many OCaml domains: the LP/index preparation is sharded over a domain pool. The slice is identical to --domains 1.")
   in
+  let driver =
+    Arg.(value
+         & opt
+             (enum
+                [ ("indexed", `Indexed); ("scan", `Scan_skip);
+                  ("scan-noskip", `Scan); ("reexec", `Reexec) ])
+             `Indexed
+         & info [ "driver" ]
+             ~doc:"Slicer driver: $(b,indexed) (definition-index fast path, default), $(b,scan) (backwards scan with LP block skipping), $(b,scan-noskip) (plain backwards scan), or $(b,reexec) (on-demand re-execution: record lookups replay from periodic checkpoints instead of walking the stored trace). All drivers produce identical slices.")
+  in
+  let ckpt_interval =
+    Arg.(value & opt int 4096 & info [ "ckpt-interval" ]
+           ~doc:"Checkpoint interval in retired instructions for --driver reexec: smaller intervals bound re-execution (and resident record memory) tighter at the cost of more snapshots.")
+  in
   Cmd.v (Cmd.info "slice" ~doc)
     Term.(
       const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
       $ report_out $ slice_out $ pinball_in $ mem_budget $ time_budget
-      $ spill_dir $ domains)
+      $ spill_dir $ domains $ driver $ ckpt_interval)
 
 let analyze_cmd =
   let doc =

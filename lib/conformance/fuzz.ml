@@ -59,14 +59,15 @@ let gen_cfg =
     are [Skip] — the fuzz loop treats the generator producing
     uncompilable source as its own (generator) bug surfaced by the
     skip count, not as a pipeline failure. *)
-let check_case ?mutate_slice ?resource ~(lines : string array)
-    ~(sched : Sched.t) ~(nondet_seed : int) () : Oracles.verdict =
+let check_case ?mutate_slice ?resource ?reexec_clobber
+    ~(lines : string array) ~(sched : Sched.t) ~(nondet_seed : int) () :
+    Oracles.verdict =
   let src = String.concat "\n" (Array.to_list lines) ^ "\n" in
   match Dr_lang.Codegen.compile_result ~name:"fuzz-case" src with
   | Error msg -> Oracles.Skip ("compile error: " ^ msg)
   | Ok prog ->
-    Oracles.check ?mutate_slice ?resource prog ~policy:(Sched.policy sched)
-      ~nondet_seed
+    Oracles.check ?mutate_slice ?resource ?reexec_clobber prog
+      ~policy:(Sched.policy sched) ~nondet_seed
 
 type failure = {
   fr_case_id : int;
@@ -244,10 +245,12 @@ let case_inputs ~disk_faults ~seed case_id =
     contract of the (possibly domain-sharded) fuzz farm: a failure
     reported by {!run} with [(seed, case_id)] yields the same verdict
     here, on one domain, with no farm state involved. *)
-let replay_case ?mutate_slice ?(disk_faults = false) ~seed ~case_id () :
+let replay_case ?mutate_slice ?reexec_clobber ?(disk_faults = false) ~seed
+    ~case_id () :
     Oracles.verdict =
   let lines, sched, nds, resource = case_inputs ~disk_faults ~seed case_id in
-  check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+  check_case ?mutate_slice ?resource ?reexec_clobber ~lines ~sched
+      ~nondet_seed:nds ()
 
 (* per-case result, folded into a summary in case-id order *)
 type outcome = O_pass | O_skip | O_fail of failure
@@ -255,7 +258,8 @@ type outcome = O_pass | O_skip | O_fail of failure
 (* Check one case end-to-end (oracles, shrink, artifact).  Pure in the
    case coordinates apart from [log]/[out_dir] side effects, so it runs
    unchanged on any domain. *)
-let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
+let run_case ?mutate_slice ?reexec_clobber ~disk_faults ~out_dir ~log ~seed
+    case_id : outcome =
   Dr_obs.Metrics.bump cases_counter;
   let lines, sched, nds, resource = case_inputs ~disk_faults ~seed case_id in
   let verdict =
@@ -270,7 +274,8 @@ let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
            | None -> "none"))
     | None -> ());
     let v =
-      check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+      check_case ?mutate_slice ?resource ?reexec_clobber ~lines ~sched
+      ~nondet_seed:nds ()
     in
     Dr_obs.Obs.add_attr sp "verdict"
       (Dr_obs.Obs.Str
@@ -294,7 +299,8 @@ let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
     (* keep a reduction iff the same oracle still fails *)
     let still_fails ~lines ~sched =
       match
-        check_case ?mutate_slice ?resource ~lines ~sched ~nondet_seed:nds ()
+        check_case ?mutate_slice ?resource ?reexec_clobber ~lines ~sched
+      ~nondet_seed:nds ()
       with
       | Oracles.Fail { Oracles.f_kind = k; _ } -> k = f_kind
       | _ -> false
@@ -305,7 +311,8 @@ let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
     (* re-run the shrunk case for the final failure detail *)
     let detail =
       match
-        check_case ?mutate_slice ?resource ~lines:s_lines ~sched:s_sched
+        check_case ?mutate_slice ?resource ?reexec_clobber ~lines:s_lines
+          ~sched:s_sched
           ~nondet_seed:nds ()
       with
       | Oracles.Fail { Oracles.f_detail = d; _ } -> d
@@ -344,7 +351,8 @@ let run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed case_id : outcome =
     failure list, ordered by case id) is identical to a sequential
     run's.  Each case's spill directory and artifact file are keyed by
     its case id, so concurrent cases never share disk paths. *)
-let run ?mutate_slice ?(disk_faults = false) ?budget_s ?out_dir ?(log = ignore)
+let run ?mutate_slice ?reexec_clobber ?(disk_faults = false) ?budget_s
+    ?out_dir ?(log = ignore)
     ?(domains = 1) ~seed ~runs () : summary =
   let t0 = Dr_util.Timer.now () in
   (match out_dir with Some d -> mkdir_p d | None -> ());
@@ -358,7 +366,9 @@ let run ?mutate_slice ?(disk_faults = false) ?budget_s ?out_dir ?(log = ignore)
     let id = ref 0 in
     while !id < runs && within_budget () do
       results.(!id) <-
-        Some (run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed !id);
+        Some
+          (run_case ?mutate_slice ?reexec_clobber ~disk_faults ~out_dir ~log
+             ~seed !id);
       incr id
     done
   end
@@ -380,7 +390,9 @@ let run ?mutate_slice ?(disk_faults = false) ?budget_s ?out_dir ?(log = ignore)
           if id >= runs then continue := false
           else
             results.(id) <-
-              Some (run_case ?mutate_slice ~disk_faults ~out_dir ~log ~seed id)
+              Some
+                (run_case ?mutate_slice ?reexec_clobber ~disk_faults ~out_dir
+                   ~log ~seed id)
         end
       done
     in

@@ -155,19 +155,30 @@ let slice_signature (s : Slicer.t) =
          (fun e -> (e.Slicer.from_pos, e.Slicer.to_pos, e.Slicer.kind))
          (Array.to_list s.Slicer.edges)) )
 
-(* Returns the indexed slice so the caller can reuse it. *)
-let check_agreement gt ~lp ~pairs crit =
+(* Five drivers: indexed, scan+LP-skip, plain scan, scan with the
+   static pre-filter, and on-demand re-execution (record lookups
+   replayed from checkpoints — no stored-record walk).  Returns the
+   indexed slice so the caller can reuse it. *)
+let check_agreement gt ~lp ~pairs ~sf ~rx crit =
   let a = Slicer.compute ~lp ~pairs ~indexed:true gt crit in
   let b = Slicer.compute ~lp ~pairs ~indexed:false ~block_skipping:true gt crit in
   let c = Slicer.compute ~lp ~pairs ~indexed:false ~block_skipping:false gt crit in
+  let d =
+    Slicer.compute ~lp ~pairs ~indexed:false ~block_skipping:true
+      ~static_filter:sf gt crit
+  in
+  let e = Slicer.compute ~lp ~pairs ~driver:(`Reexec rx) gt crit in
   let sa = slice_signature a
   and sb = slice_signature b
-  and sc = slice_signature c in
-  if sa <> sb || sb <> sc then
+  and sc = slice_signature c
+  and sd = slice_signature d
+  and se = slice_signature e in
+  if sa <> sb || sb <> sc || sc <> sd || sd <> se then
     fail Driver_agreement
-      "drivers disagree at crit_pos %d: indexed %d, scan+skip %d, scan %d \
-       positions"
-      crit.Slicer.crit_pos (Slicer.size a) (Slicer.size b) (Slicer.size c);
+      "drivers disagree at crit_pos %d: indexed %d, scan+skip %d, scan %d, \
+       scan+static %d, reexec %d positions"
+      crit.Slicer.crit_pos (Slicer.size a) (Slicer.size b) (Slicer.size c)
+      (Slicer.size d) (Slicer.size e);
   a
 
 (* ---- oracle 6: static slice as a soundness bound ---- *)
@@ -716,7 +727,7 @@ let check_resource ~(rc : resource_config) (c : Collector.result) ~crit_pos
     the trace is rebuilt through a disk-spilled segment store (and
     optionally hit with one injected disk fault) and the outcome checked
     against the in-memory slice. *)
-let check ?mutate_slice ?resource (prog : Dr_isa.Program.t)
+let check ?mutate_slice ?resource ?reexec_clobber (prog : Dr_isa.Program.t)
     ~(policy : Driver.policy) ~(nondet_seed : int) : verdict =
   try
     match
@@ -757,10 +768,26 @@ let check ?mutate_slice ?resource (prog : Dr_isa.Program.t)
       let crits = List.sort_uniq compare [ n / 4; n / 2; n - 1; crit_pos ] in
       let slices =
         oracle_span Driver_agreement @@ fun () ->
+        let code = prog.Dr_isa.Program.code in
+        let ncode = Array.length code in
+        let sf =
+          Lp.prepare_static lp gt
+            ~reg_defs:(fun pc ->
+              if pc >= 0 && pc < ncode then Dr_static.Defuse.def_mask code.(pc)
+              else 0)
+            ~writes_mem:(fun pc ->
+              pc >= 0 && pc < ncode && Dr_static.Defuse.writes_mem code.(pc))
+        in
+        (* the refined CFG the collector used, so re-derived control
+           dependences match the stored records exactly *)
+        let rx =
+          Reexec.create ~cfg:c.Collector.cfg ~ckpt_interval:64
+            ?clobber:reexec_clobber prog pb
+        in
         List.map
           (fun p ->
             ( p,
-              check_agreement gt ~lp ~pairs
+              check_agreement gt ~lp ~pairs ~sf ~rx
                 { Slicer.crit_pos = p; crit_locs = None } ))
           crits
       in

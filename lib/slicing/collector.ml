@@ -39,6 +39,154 @@ type thread_cd = {
   mutable depth : int;
 }
 
+(** The record-derivation state machine, factored out of the collection
+    hook so that {!Reexec} can re-derive the {e exact} records of a
+    window by replaying forward from a checkpoint: Xin–Zhang
+    control-dependence stacks, per-(tid, pc) instance counters,
+    per-thread local indices, and the line table.  The state is
+    {e prefix-dependent} — a record's cd/instance/lidx fields depend on
+    every earlier event of its thread — so a checkpoint that wants to
+    resume derivation mid-trace must carry a {!Derive.copy} taken at the
+    same event boundary as the machine snapshot.
+
+    Both users drive it identically: one {!Derive.next} call per retired
+    instruction, in event order.  The collector keeps its own concerns
+    (segment appends, access-order edges, save/restore confirmation,
+    watchdog polling) outside, so a byte-for-byte agreement between a
+    collected record and a re-derived one follows from determinism of
+    the replay plus this shared core. *)
+module Derive = struct
+  type t = {
+    cfg : Dr_cfg.Cfg.t;  (* shared, read-only *)
+    nline : int;
+    line_of_pc : int array;  (* shared, read-only *)
+    cd_threads : (int, thread_cd) Hashtbl.t;
+    instance_counts : (int, int) Hashtbl.t;  (* (tid lsl 32) lor pc *)
+    lidx_counts : (int, int) Hashtbl.t;  (* tid -> records so far *)
+    scratch_defs : Dr_util.Vec.Int_vec.t;  (* per-copy, never shared *)
+    scratch_uses : Dr_util.Vec.Int_vec.t;
+  }
+
+  let create ~(cfg : Dr_cfg.Cfg.t) (prog : Dr_isa.Program.t) : t =
+    let nline = Array.length prog.Dr_isa.Program.code in
+    let line_of_pc =
+      Array.init nline (fun pc ->
+          Option.value ~default:(-1)
+            (Dr_isa.Debug_info.line_of_pc prog.Dr_isa.Program.debug pc))
+    in
+    { cfg; nline; line_of_pc;
+      cd_threads = Hashtbl.create 8;
+      instance_counts = Hashtbl.create 4096;
+      lidx_counts = Hashtbl.create 8;
+      scratch_defs = Dr_util.Vec.Int_vec.create ();
+      scratch_uses = Dr_util.Vec.Int_vec.create () }
+
+  (* Deep copy, safe to resume independently: the hashtables are copied,
+     the per-thread cd records are re-allocated (their stacks are
+     immutable lists and can be shared), the read-only cfg and line
+     table are shared. *)
+  let copy (t : t) : t =
+    let cd_threads = Hashtbl.create (Hashtbl.length t.cd_threads) in
+    Hashtbl.iter
+      (fun tid (st : thread_cd) ->
+        Hashtbl.replace cd_threads tid { stack = st.stack; depth = st.depth })
+      t.cd_threads;
+    { cfg = t.cfg; nline = t.nline; line_of_pc = t.line_of_pc;
+      cd_threads;
+      instance_counts = Hashtbl.copy t.instance_counts;
+      lidx_counts = Hashtbl.copy t.lidx_counts;
+      scratch_defs = Dr_util.Vec.Int_vec.create ();
+      scratch_uses = Dr_util.Vec.Int_vec.create () }
+
+  let thread_cd t tid =
+    match Hashtbl.find_opt t.cd_threads tid with
+    | Some st -> st
+    | None ->
+      let st = { stack = []; depth = 0 } in
+      Hashtbl.replace t.cd_threads tid st;
+      st
+
+  (** Derive the trace record for the [gseq]-th retired instruction and
+      advance the derivation state.  Must be called exactly once per
+      event, in execution order. *)
+  let next (t : t) ~(gseq : int) (ev : Event.t) : Trace.record =
+    let tid = ev.Event.tid and pc = ev.Event.pc in
+    let cd_st = thread_cd t tid in
+    (* 1. close control-dependence regions ending at this pc *)
+    let rec pop_ipdoms () =
+      match cd_st.stack with
+      | e :: rest when e.cd_depth = cd_st.depth && e.ipdom_pc = pc ->
+        cd_st.stack <- rest;
+        pop_ipdoms ()
+      | _ -> ()
+    in
+    pop_ipdoms ();
+    (* 2. current control dependence *)
+    let cd = match cd_st.stack with e :: _ -> e.branch_gseq | [] -> -1 in
+    (* 3. def/use *)
+    Dr_util.Vec.Int_vec.clear t.scratch_defs;
+    Dr_util.Vec.Int_vec.clear t.scratch_uses;
+    Def_use.collect ev ~defs:t.scratch_defs ~uses:t.scratch_uses;
+    let defs = Dr_util.Vec.Int_vec.to_array t.scratch_defs in
+    let uses = Dr_util.Vec.Int_vec.to_array t.scratch_uses in
+    (* 4. flags and instance *)
+    let instr = ev.Event.instr in
+    let is_final_ret =
+      instr = Dr_isa.Instr.Ret && ev.Event.mem_read_value = Machine.ret_sentinel
+    in
+    let flags =
+      (match ev.Event.sys with
+      | Event.Sys_spawn _ | Event.Sys_join _ | Event.Sys_lock _
+      | Event.Sys_unlock _ | Event.Sys_exit _ | Event.Sys_alloc _
+      | Event.Sys_wait _ | Event.Sys_signal _ ->
+        Trace.flag_sync
+      | Event.Sys_nondet _ -> Trace.flag_nondet
+      | _ -> 0)
+      lor (if is_final_ret then Trace.flag_final_ret lor Trace.flag_sync else 0)
+      lor (if Dr_isa.Instr.is_branch instr then Trace.flag_branch else 0)
+      lor (if ev.Event.mem_read >= 0 then Trace.flag_load else 0)
+      lor if ev.Event.mem_write >= 0 then Trace.flag_store else 0
+    in
+    let key = (tid lsl 32) lor pc in
+    let instance =
+      let i = 1 + Option.value ~default:0 (Hashtbl.find_opt t.instance_counts key) in
+      Hashtbl.replace t.instance_counts key i;
+      i
+    in
+    let lidx = Option.value ~default:0 (Hashtbl.find_opt t.lidx_counts tid) in
+    Hashtbl.replace t.lidx_counts tid (lidx + 1);
+    let record =
+      { Trace.gseq; tid; pc; instance; lidx; defs; uses; cd; flags;
+        line = (if pc < t.nline then t.line_of_pc.(pc) else -1) }
+    in
+    (* 5. maintain CD frame depth (the record above is already built) *)
+    (match instr with
+    | Dr_isa.Instr.Call _ | Dr_isa.Instr.Callind _ ->
+      cd_st.depth <- cd_st.depth + 1
+    | Dr_isa.Instr.Ret ->
+      (* close regions belonging to the returning frame *)
+      let d = cd_st.depth in
+      cd_st.stack <- List.filter (fun e -> e.cd_depth <> d) cd_st.stack;
+      cd_st.depth <- max 0 (d - 1)
+    | _ -> ());
+    (* 6. push a CD region for branches *)
+    if Dr_isa.Instr.is_branch instr then begin
+      match Dr_cfg.Cfg.branch_region_end t.cfg ~pc with
+      | Dr_cfg.Cfg.Unknown ->
+        (* unresolved indirect jump: control dependence is lost (§5.1) *)
+        ()
+      | Dr_cfg.Cfg.To_exit ->
+        cd_st.stack <-
+          { branch_gseq = gseq; ipdom_pc = -1; cd_depth = cd_st.depth }
+          :: cd_st.stack
+      | Dr_cfg.Cfg.At p ->
+        cd_st.stack <-
+          { branch_gseq = gseq; ipdom_pc = p; cd_depth = cd_st.depth }
+          :: cd_st.stack
+    end;
+    record
+end
+
 (* per-address access-order state *)
 type addr_state = {
   mutable last_writer : int;  (** gseq, -1 if none *)
@@ -81,32 +229,14 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save) ?budget
   let cfg = Dr_cfg.Cfg.build ~indirect_targets prog in
   let cands = Prune.static_candidates ~max_save prog ~functions:(Dr_cfg.Cfg.functions cfg) in
   let prune_state = Prune.create_state cands in
-  (* line table cache *)
-  let nline = Array.length prog.Dr_isa.Program.code in
-  let line_of_pc =
-    Array.init nline (fun pc ->
-        Option.value ~default:(-1)
-          (Dr_isa.Debug_info.line_of_pc prog.Dr_isa.Program.debug pc))
-  in
+  let derive = Derive.create ~cfg prog in
   let records = Segment_store.builder ?budget ?seg_records () in
   let watchdog =
     Option.bind budget (Dr_util.Budget.watchdog_of ~what:"collector.collect")
   in
   let per_thread = Hashtbl.create 8 in
   let order_edges = Dr_util.Vec.create ~dummy:(0, 0) in
-  let cd_threads = Hashtbl.create 8 in
   let addr_states : (int, addr_state) Hashtbl.t = Hashtbl.create 4096 in
-  let instance_counts = Hashtbl.create 4096 in
-  let scratch_defs = Dr_util.Vec.Int_vec.create () in
-  let scratch_uses = Dr_util.Vec.Int_vec.create () in
-  let thread_cd tid =
-    match Hashtbl.find_opt cd_threads tid with
-    | Some t -> t
-    | None ->
-      let t = { stack = []; depth = 0 } in
-      Hashtbl.replace cd_threads tid t;
-      t
-  in
   let thread_gseqs tid =
     match Hashtbl.find_opt per_thread tid with
     | Some v -> v
@@ -120,54 +250,9 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save) ?budget
     let gseq = Segment_store.built_length records in
     (* cheap polled deadline: one clock read every 4096 records *)
     if gseq land 4095 = 0 then Option.iter Dr_util.Budget.check watchdog;
-    let cd_st = thread_cd tid in
-    (* 1. close control-dependence regions ending at this pc *)
-    let rec pop_ipdoms () =
-      match cd_st.stack with
-      | e :: rest when e.cd_depth = cd_st.depth && e.ipdom_pc = pc ->
-        cd_st.stack <- rest;
-        pop_ipdoms ()
-      | _ -> ()
-    in
-    pop_ipdoms ();
-    (* 2. current control dependence *)
-    let cd = match cd_st.stack with e :: _ -> e.branch_gseq | [] -> -1 in
-    (* 3. def/use *)
-    Dr_util.Vec.Int_vec.clear scratch_defs;
-    Dr_util.Vec.Int_vec.clear scratch_uses;
-    Def_use.collect ev ~defs:scratch_defs ~uses:scratch_uses;
-    let defs = Dr_util.Vec.Int_vec.to_array scratch_defs in
-    let uses = Dr_util.Vec.Int_vec.to_array scratch_uses in
-    (* 4. flags and instance *)
-    let instr = ev.Event.instr in
-    let is_final_ret =
-      instr = Dr_isa.Instr.Ret && ev.Event.mem_read_value = Machine.ret_sentinel
-    in
-    let flags =
-      (match ev.Event.sys with
-      | Event.Sys_spawn _ | Event.Sys_join _ | Event.Sys_lock _
-      | Event.Sys_unlock _ | Event.Sys_exit _ | Event.Sys_alloc _
-      | Event.Sys_wait _ | Event.Sys_signal _ ->
-        Trace.flag_sync
-      | Event.Sys_nondet _ -> Trace.flag_nondet
-      | _ -> 0)
-      lor (if is_final_ret then Trace.flag_final_ret lor Trace.flag_sync else 0)
-      lor (if Dr_isa.Instr.is_branch instr then Trace.flag_branch else 0)
-      lor (if ev.Event.mem_read >= 0 then Trace.flag_load else 0)
-      lor if ev.Event.mem_write >= 0 then Trace.flag_store else 0
-    in
-    let key = (tid lsl 32) lor pc in
-    let instance =
-      let i = 1 + Option.value ~default:0 (Hashtbl.find_opt instance_counts key) in
-      Hashtbl.replace instance_counts key i;
-      i
-    in
-    let record =
-      { Trace.gseq; tid; pc; instance;
-        lidx = Dr_util.Vec.Int_vec.length (thread_gseqs tid);
-        defs; uses; cd; flags;
-        line = (if pc < nline then line_of_pc.(pc) else -1) }
-    in
+    (* cd / def-use / flags / instance / lidx: the shared derivation
+       core (also replayed window-by-window by {!Reexec}) *)
+    let record = Derive.next derive ~gseq ev in
     Segment_store.append records record;
     Dr_util.Vec.Int_vec.push (thread_gseqs tid) gseq;
     (* 5. shared-memory access order edges *)
@@ -196,17 +281,10 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save) ?budget
       s.last_writer_tid <- tid;
       s.readers <- []
     end;
-    (* 6. maintain CD frame depth and save/restore confirmation *)
-    (match instr with
-    | Dr_isa.Instr.Call _ | Dr_isa.Instr.Callind _ ->
-      cd_st.depth <- cd_st.depth + 1;
-      Prune.on_call prune_state tid
-    | Dr_isa.Instr.Ret ->
-      (* close regions belonging to the returning frame *)
-      let d = cd_st.depth in
-      cd_st.stack <- List.filter (fun e -> e.cd_depth <> d) cd_st.stack;
-      cd_st.depth <- max 0 (d - 1);
-      Prune.on_ret prune_state tid
+    (* 6. save/restore confirmation (the CD bookkeeping lives in Derive) *)
+    (match ev.Event.instr with
+    | Dr_isa.Instr.Call _ | Dr_isa.Instr.Callind _ -> Prune.on_call prune_state tid
+    | Dr_isa.Instr.Ret -> Prune.on_ret prune_state tid
     | Dr_isa.Instr.Push reg when Hashtbl.mem cands.Prune.saves pc ->
       if Hashtbl.find cands.Prune.saves pc = reg then
         Prune.on_save prune_state ~tid ~pc ~reg ~addr:ev.Event.mem_write
@@ -215,22 +293,7 @@ let collect ?(refine = true) ?(max_save = Prune.default_max_save) ?budget
       if Hashtbl.find cands.Prune.restores pc = reg then
         Prune.on_restore prune_state ~tid ~pc ~reg ~addr:ev.Event.mem_read
           ~value:ev.Event.mem_read_value ~gseq
-    | _ -> ());
-    (* 7. push a CD region for branches *)
-    if Dr_isa.Instr.is_branch instr then begin
-      match Dr_cfg.Cfg.branch_region_end cfg ~pc with
-      | Dr_cfg.Cfg.Unknown ->
-        (* unresolved indirect jump: control dependence is lost (§5.1) *)
-        ()
-      | Dr_cfg.Cfg.To_exit ->
-        cd_st.stack <-
-          { branch_gseq = gseq; ipdom_pc = -1; cd_depth = cd_st.depth }
-          :: cd_st.stack
-      | Dr_cfg.Cfg.At p ->
-        cd_st.stack <-
-          { branch_gseq = gseq; ipdom_pc = p; cd_depth = cd_st.depth }
-          :: cd_st.stack
-    end
+    | _ -> ())
   in
   let replayer = Dr_pinplay.Replayer.create prog pinball in
   let t0 = Dr_util.Timer.now () in

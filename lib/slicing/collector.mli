@@ -20,6 +20,31 @@ type result = {
   collect_time : float;  (** wall-clock seconds for trace collection *)
 }
 
+(** The record-derivation state machine shared between collection and
+    on-demand re-execution ({!Reexec}): Xin–Zhang control-dependence
+    stacks, per-(tid, pc) instance counters, per-thread local indices,
+    and the line table.  The state is prefix-dependent, so a checkpoint
+    that wants to resume derivation mid-trace carries a {!Derive.copy}
+    taken at the same event boundary as the machine snapshot.  Both
+    users call {!Derive.next} exactly once per retired instruction, in
+    execution order — byte-identical records follow from replay
+    determinism plus this shared core. *)
+module Derive : sig
+  type t
+
+  (** Fresh state for a replay from the region start.  [cfg] must be
+      the (refined) CFG the records' control dependences should be
+      computed against. *)
+  val create : cfg:Dr_cfg.Cfg.t -> Dr_isa.Program.t -> t
+
+  (** Deep copy, safe to advance independently of the original. *)
+  val copy : t -> t
+
+  (** Derive the trace record for the [gseq]-th retired instruction and
+      advance the state. *)
+  val next : t -> gseq:int -> Dr_machine.Event.t -> Trace.record
+end
+
 (** Pass-1 helper: the dynamically observed targets of every indirect
     jump/call in the region. *)
 val collect_indirect_targets :

@@ -163,6 +163,10 @@ let record_at_gseq t gseq =
 (** Position of the record with the given gseq. *)
 let position t ~gseq = t.pos_of_gseq.(gseq)
 
+(** [gseq_at t pos] is the collection-order sequence number of the record
+    at merged position [pos] — the inverse of {!position}. *)
+let gseq_at t pos = t.order.(pos)
+
 (** [is_topological t c] checks the order against program order and the
     collector's cross-thread edges — used by tests. *)
 let is_topological (t : t) (c : Collector.result) : bool =

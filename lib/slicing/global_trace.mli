@@ -57,6 +57,10 @@ val record_at_gseq : t -> int -> Trace.record
 (** Merge position of the record with the given gseq. *)
 val position : t -> gseq:int -> int
 
+(** Global sequence number of the record at merge position [pos] — the
+    inverse of {!position}. *)
+val gseq_at : t -> int -> int
+
 (** Check the order against program order and the collector's
     cross-thread edges (used by tests). *)
 val is_topological : t -> Collector.result -> bool

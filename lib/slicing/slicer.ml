@@ -45,6 +45,7 @@ let m_stale_pops = Dr_obs.Metrics.counter "slicer.heap_stale_pops"
 let m_adj_builds = Dr_obs.Metrics.counter "slicer.adjacency_builds"
 let m_truncated = Dr_obs.Metrics.counter "slicer.truncated_slices"
 let m_degraded = Dr_obs.Metrics.counter "slicer.degraded_to_scan"
+let m_degraded_reexec = Dr_obs.Metrics.counter "slicer.degraded_to_reexec"
 let t_compute = Dr_obs.Metrics.timer "slicer.compute"
 
 type dep_kind =
@@ -138,21 +139,54 @@ type cand_kind =
     effect (ablation).  The slice is identical on every path.
     [watchdog]: a polled wall-clock deadline; when it fires mid-walk the
     traversal stops and the result is marked [stats.truncated] — the
-    positions found so far are a sound subset of the full slice. *)
+    positions found so far are a sound subset of the full slice.
+    [driver] names the traversal backend explicitly and supersedes the
+    [indexed]/[block_skipping] ablation flags: [`Indexed], [`Scan_skip]
+    and [`Scan] are the stored-trace drivers; [`Reexec rx] answers
+    record lookups by on-demand re-execution from checkpoints (see
+    {!Reexec}) and walks the scan path with skipping off — record
+    contents come from [rx], only [gt]'s merge order is consulted. *)
 let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     ?(block_skipping = true) ?(indexed = true)
     ?(static_filter : Lp.static_filter option)
-    ?(watchdog : Dr_util.Budget.watchdog option) (gt : Global_trace.t)
-    (criterion : criterion) : t =
+    ?(watchdog : Dr_util.Budget.watchdog option)
+    ?(driver : [ `Indexed | `Scan_skip | `Scan | `Reexec of Reexec.t ] option)
+    (gt : Global_trace.t) (criterion : criterion) : t =
   Dr_obs.Metrics.bump m_computes;
   let t0 = Dr_util.Timer.now () in
   let n = Global_trace.length gt in
   if criterion.crit_pos < 0 || criterion.crit_pos >= n then
     invalid_arg "Slicer.compute: criterion out of range";
+  let drv =
+    match driver with
+    | Some d -> d
+    | None ->
+      if indexed then `Indexed
+      else if block_skipping then `Scan_skip
+      else `Scan
+  in
+  let indexed = drv = `Indexed in
+  let block_skipping = drv = `Scan_skip in
   Dr_obs.Obs.with_span ~cat:"slice" "slicer.compute" @@ fun sp ->
   Dr_obs.Obs.add_attr sp "crit_pos" (Dr_obs.Obs.Int criterion.crit_pos);
   Dr_obs.Obs.add_attr sp "indexed" (Dr_obs.Obs.Bool indexed);
-  let lp = match lp with Some l -> l | None -> Lp.prepare gt in
+  let lp =
+    match lp with
+    | Some l -> l
+    | None -> (
+      match drv with
+      (* the re-execution driver must not walk the stored records to
+         build summaries — that would defeat its purpose *)
+      | `Reexec _ -> Lp.prepare_lite gt
+      | _ -> Lp.prepare gt)
+  in
+  (* record lookups: from the stored trace, or re-derived on demand *)
+  let fetch =
+    match drv with
+    | `Reexec rx ->
+      fun pos -> Reexec.record rx ~gseq:(Global_trace.gseq_at gt pos)
+    | _ -> Global_trace.record gt
+  in
   let index = Lp.def_index lp in
   let wanted : (int, want_entry) Hashtbl.t = Hashtbl.create 256 in
   (* incremental want-set summary for the static pre-filter: per-register-
@@ -252,13 +286,13 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
     if not (Dr_util.Bitset.mem in_slice pos) then begin
       Dr_util.Bitset.add in_slice pos;
       Dr_util.Vec.Int_vec.push slice_positions pos;
-      let r = Global_trace.record gt pos in
+      let r = fetch pos in
       Array.iter (fun u -> add_want ~cap:(pos - 1) u pos) r.Trace.uses;
       if r.Trace.cd >= 0 then mark_cd ~branch_gseq:r.Trace.cd ~requester:pos
     end
   in
   (* seed from the criterion *)
-  let crit_rec = Global_trace.record gt criterion.crit_pos in
+  let crit_rec = fetch criterion.crit_pos in
   Dr_util.Bitset.add in_slice criterion.crit_pos;
   Dr_util.Vec.Int_vec.push slice_positions criterion.crit_pos;
   let crit_cap = criterion.crit_pos - 1 in
@@ -286,7 +320,7 @@ let compute ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
             d.d_requesters)
         active
     end;
-    let r = Global_trace.record gt pos in
+    let r = fetch pos in
     let included = ref (Dr_util.Bitset.mem to_include pos) in
     if !included then begin
       Dr_util.Bitset.remove to_include pos;
@@ -462,9 +496,12 @@ let compute_many ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
 
 (* ---- resource-governed slicing: the degradation ladder ---- *)
 
-type rung = Rung_indexed | Rung_scan
+type rung = Rung_indexed | Rung_reexec | Rung_scan
 
-let rung_name = function Rung_indexed -> "indexed" | Rung_scan -> "scan"
+let rung_name = function
+  | Rung_indexed -> "indexed"
+  | Rung_reexec -> "reexec"
+  | Rung_scan -> "scan"
 
 type governed = {
   g_slice : t;
@@ -487,11 +524,16 @@ let index_estimate_bytes gt = 40 * Global_trace.length gt
       [stats.truncated] when the budget's wall-clock watchdog fires.
 
     Every step down is recorded in the budget's degradation list and the
-    [slicer.degraded_to_scan] / [slicer.truncated_slices] metrics.
-    Pass [lp] to reuse an index already paid for — that skips the
-    memory check (the memory is already spent). *)
-let compute_governed ?lp ?pairs ?static_filter ~(budget : Dr_util.Budget.t)
-    (gt : Global_trace.t) (criterion : criterion) : governed =
+    [slicer.degraded_to_scan] / [slicer.degraded_to_reexec] /
+    [slicer.truncated_slices] metrics.  Pass [lp] to reuse an index
+    already paid for — that skips the memory check (the memory is
+    already spent).  Pass [reexec] to make re-execution the middle rung
+    of the ladder: when the definition index does not fit, record
+    lookups come from checkpointed re-execution (O(ckpt interval)
+    resident records) instead of a stored-trace scan. *)
+let compute_governed ?lp ?pairs ?static_filter ?(reexec : Reexec.t option)
+    ~(budget : Dr_util.Budget.t) (gt : Global_trace.t)
+    (criterion : criterion) : governed =
   let watchdog = Dr_util.Budget.watchdog_of budget ~what:"slicer.compute" in
   let rung, lp =
     match lp with
@@ -499,13 +541,18 @@ let compute_governed ?lp ?pairs ?static_filter ~(budget : Dr_util.Budget.t)
     | None ->
       if Dr_util.Budget.mem_would_exceed budget ~bytes:(index_estimate_bytes gt)
       then begin
-        Dr_obs.Metrics.bump m_degraded;
+        let to_ =
+          match reexec with Some _ -> "reexec" | None -> "scan"
+        in
+        Dr_obs.Metrics.bump
+          (match reexec with Some _ -> m_degraded_reexec | None -> m_degraded);
         Dr_util.Budget.note_degradation budget ~what:"slicer"
-          ~from_:"indexed" ~to_:"scan"
+          ~from_:"indexed" ~to_
           ~reason:
             (Printf.sprintf "definition index (~%d bytes) over memory budget"
                (index_estimate_bytes gt));
-        (Rung_scan, Lp.prepare_lite gt)
+        ( (match reexec with Some _ -> Rung_reexec | None -> Rung_scan),
+          Lp.prepare_lite gt )
       end
       else (Rung_indexed, Lp.prepare gt)
   in
@@ -513,6 +560,10 @@ let compute_governed ?lp ?pairs ?static_filter ~(budget : Dr_util.Budget.t)
     match rung with
     | Rung_indexed ->
       compute ~lp ?pairs ?static_filter ?watchdog ~indexed:true gt criterion
+    | Rung_reexec ->
+      compute ~lp ?pairs ?watchdog
+        ~driver:(`Reexec (Option.get reexec))
+        gt criterion
     | Rung_scan ->
       compute ~lp ?pairs ?watchdog ~indexed:false ~block_skipping:false gt
         criterion

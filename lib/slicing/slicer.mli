@@ -72,7 +72,12 @@ val mem : t -> int -> bool
     the exact summary check, skipping blocks that statically cannot
     define any pending use.  The slice is identical on every path.
     [watchdog]: polled wall-clock deadline; on expiry the traversal
-    stops and the result is marked [stats.truncated]. *)
+    stops and the result is marked [stats.truncated].  [driver] names
+    the traversal backend explicitly (superseding the
+    [indexed]/[block_skipping] ablation flags); [`Reexec rx] answers
+    every record lookup by on-demand re-execution from checkpoints
+    ({!Reexec}) — only [gt]'s merge order is consulted, never its
+    stored records. *)
 val compute :
   ?lp:Lp.t ->
   ?pairs:Prune.pairs ->
@@ -80,6 +85,7 @@ val compute :
   ?indexed:bool ->
   ?static_filter:Lp.static_filter ->
   ?watchdog:Dr_util.Budget.watchdog ->
+  ?driver:[ `Indexed | `Scan_skip | `Scan | `Reexec of Reexec.t ] ->
   Global_trace.t ->
   criterion ->
   t
@@ -103,7 +109,7 @@ val compute_many :
 (** {2 Resource-governed slicing} *)
 
 (** The rung of the degradation ladder a governed slice ran on. *)
-type rung = Rung_indexed | Rung_scan
+type rung = Rung_indexed | Rung_reexec | Rung_scan
 
 val rung_name : rung -> string
 
@@ -122,11 +128,15 @@ val index_estimate_bytes : Global_trace.t -> int
     not, and on either rung a partial slice marked [stats.truncated]
     when the budget's wall-clock watchdog fires.  Degradations are
     recorded in the budget and mirrored to metrics.  [lp] skips the
-    memory check (an existing index is already-spent memory). *)
+    memory check (an existing index is already-spent memory).  With
+    [reexec], on-demand re-execution replaces the scan as the
+    over-budget rung: record lookups replay from checkpoints, bounding
+    resident records by the checkpoint interval. *)
 val compute_governed :
   ?lp:Lp.t ->
   ?pairs:Prune.pairs ->
   ?static_filter:Lp.static_filter ->
+  ?reexec:Reexec.t ->
   budget:Dr_util.Budget.t ->
   Global_trace.t ->
   criterion ->

@@ -350,6 +350,104 @@ let test_snapshot_divergence_after_restore () =
       ignore
         (Dr_machine.Driver.run m3 (Dr_machine.Driver.Scripted [| (7, 1) |])))
 
+(* a multi-thread workload long enough that a mid-run snapshot lands
+   while several threads are live and holding state *)
+let snapshot_mt_src =
+  {|
+global int x;
+global int m;
+fn worker(int n) {
+  for (int i = 0; i < 20; i = i + 1) {
+    lock(&m);
+    x = x + n;
+    unlock(&m);
+  }
+}
+fn main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  worker(3);
+  join(a);
+  join(b);
+  print(x);
+}
+|}
+
+let log_pinball ?(seed = 5) prog =
+  match
+    Dr_pinplay.Logger.log
+      ~policy:(Dr_machine.Driver.Seeded { seed; max_quantum = 3 })
+      ~max_steps:200_000 prog Dr_pinplay.Logger.Whole
+  with
+  | Ok (pb, _) -> pb
+  | Error e ->
+    Alcotest.failf "log failed: %a" Dr_pinplay.Logger.pp_error e
+
+(* replay [r] to the end, collecting the (step, tid, digest) of every
+   retired instruction — the same per-step hash the pinball's recorded
+   digests are spot checks of *)
+let digests_from r =
+  let acc = ref [] in
+  let step = ref (Dr_pinplay.Replayer.steps r) in
+  let hooks =
+    { Dr_machine.Driver.on_event =
+        (fun ev ->
+          incr step;
+          acc :=
+            ( !step,
+              ev.Dr_machine.Event.tid,
+              Dr_pinplay.Exec_digest.hash
+                (Dr_pinplay.Replayer.machine r)
+                ev ~step:!step )
+            :: !acc) }
+  in
+  ignore (Dr_pinplay.Replayer.resume ~hooks r);
+  List.rev !acc
+
+let test_snapshot_at_step_k_matches_straight_line () =
+  (* replay K steps, checkpoint, resume from the checkpoint: every
+     remaining step's digest must equal the straight-line replay's *)
+  let prog = compile snapshot_mt_src in
+  let pb = log_pinball prog in
+  let full = digests_from (Dr_pinplay.Replayer.create prog pb) in
+  let total = List.length full in
+  Alcotest.(check bool) "run long enough to cut" true (total > 50);
+  List.iter
+    (fun k ->
+      let r = Dr_pinplay.Replayer.create prog pb in
+      ignore (Dr_pinplay.Replayer.resume ~max_steps:k r);
+      let ck = Dr_pinplay.Replayer.checkpoint r in
+      let r2 = Dr_pinplay.Replayer.create ~from:ck prog pb in
+      let suffix = digests_from r2 in
+      let expect = List.filteri (fun i _ -> i >= k) full in
+      Alcotest.(check bool)
+        (Printf.sprintf "digest suffix from step %d" k)
+        true (suffix = expect))
+    [ 1; 17; total / 2; total - 1 ]
+
+let test_snapshot_multithread_schedule () =
+  let prog = compile snapshot_mt_src in
+  let pb = log_pinball ~seed:9 prog in
+  let m_full, _ = Dr_pinplay.Replayer.replay prog pb in
+  let full = digests_from (Dr_pinplay.Replayer.create prog pb) in
+  let k = 40 in
+  let r = Dr_pinplay.Replayer.create prog pb in
+  ignore (Dr_pinplay.Replayer.resume ~max_steps:k r);
+  Alcotest.(check bool) "several threads live at the cut" true
+    (Dr_machine.Machine.num_threads (Dr_pinplay.Replayer.machine r) > 1);
+  let ck = Dr_pinplay.Replayer.checkpoint r in
+  Alcotest.(check bool) "snapshot carries every thread" true
+    (List.length ck.Dr_pinplay.Replayer.c_snapshot.Dr_machine.Snapshot.threads
+    > 1);
+  let r2 = Dr_pinplay.Replayer.create ~from:ck prog pb in
+  let suffix = digests_from r2 in
+  Alcotest.(check bool) "mid-schedule resume matches straight-line" true
+    (suffix = List.filteri (fun i _ -> i >= k) full);
+  Alcotest.(check (list int))
+    "resumed run reproduces the output"
+    (Dr_machine.Machine.output_list m_full)
+    (Dr_machine.Machine.output_list (Dr_pinplay.Replayer.machine r2))
+
 let test_snapshot_under_budget_pressure () =
   let prog = compile racy_src in
   let m = Dr_machine.Machine.create prog in
@@ -789,7 +887,11 @@ let () =
           Alcotest.test_case "budget pressure" `Quick
             test_snapshot_under_budget_pressure;
           Alcotest.test_case "locks preserved" `Quick
-            test_snapshot_preserves_locks ] );
+            test_snapshot_preserves_locks;
+          Alcotest.test_case "snapshot at step K = straight line" `Quick
+            test_snapshot_at_step_k_matches_straight_line;
+          Alcotest.test_case "snapshot under multi-thread schedule" `Quick
+            test_snapshot_multithread_schedule ] );
       ( "def/use",
         [ Alcotest.test_case "load" `Quick test_def_use_load;
           Alcotest.test_case "push" `Quick test_def_use_push;
