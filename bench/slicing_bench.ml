@@ -180,6 +180,8 @@ type measured = {
   reexec_slice_s : float;  (* one re-execution pass over all criteria *)
   reexec_peak_mem : int;  (* peak resident record bytes during it *)
   reexec_identical : bool;  (* re-exec slices byte-identical to indexed *)
+  segstore_hit_rate : float;  (* segment-cache hits/(hits+misses), spilled run *)
+  reexec_window_hit_rate : float;  (* window-cache hits/(hits+rederives) *)
 }
 
 (* Out-of-core rerun: rebuild the trace through a segment store whose
@@ -279,8 +281,14 @@ let measure_spill (p : prepared) =
   let _, reexec_slice_s =
     time (fun () -> List.iter (fun crit -> ignore (reexec crit)) p.criteria)
   in
-  let reexec_peak_mem =
-    (Dr_slicing.Reexec.stats rx).Dr_slicing.Reexec.peak_resident_bytes
+  let rx_stats = Dr_slicing.Reexec.stats rx in
+  let reexec_peak_mem = rx_stats.Dr_slicing.Reexec.peak_resident_bytes in
+  let reexec_window_hit_rate =
+    let hits = rx_stats.Dr_slicing.Reexec.window_hits in
+    let misses = rx_stats.Dr_slicing.Reexec.windows_rederived in
+    if hits + misses > 0 then
+      float_of_int hits /. float_of_int (hits + misses)
+    else 0.0
   in
   ( spilled_segments,
     spill_read_s,
@@ -289,7 +297,9 @@ let measure_spill (p : prepared) =
     !total_bytes,
     reexec_slice_s,
     reexec_peak_mem,
-    reexec_identical )
+    reexec_identical,
+    Dr_slicing.Segment_store.cache_hit_rate store,
+    reexec_window_hit_rate )
 
 let measure ~reps ~pool (p : prepared) : measured =
   let gt = p.gt and lp = p.lp in
@@ -400,7 +410,9 @@ let measure ~reps ~pool (p : prepared) : measured =
         record_bytes_total,
         reexec_slice_s,
         reexec_peak_mem,
-        reexec_identical ) =
+        reexec_identical,
+        segstore_hit_rate,
+        reexec_window_hit_rate ) =
     measure_spill p
   in
   { records; n_criteria = List.length p.criteria; reps; indexed_s;
@@ -410,7 +422,8 @@ let measure ~reps ~pool (p : prepared) : measured =
     visited_scan; slice_size_total; identical; spilled_segments;
     spill_read_s; degradations; spill_identical; par_slice_s;
     par_slice_size_total; par_identical; record_bytes_total;
-    reexec_slice_s; reexec_peak_mem; reexec_identical }
+    reexec_slice_s; reexec_peak_mem; reexec_identical;
+    segstore_hit_rate; reexec_window_hit_rate }
 
 let ratio a b = if b > 0.0 then a /. b else 0.0
 
@@ -462,7 +475,9 @@ let workload_json (p : prepared) (m : measured) : J.t =
       ("record_bytes_total", J.int m.record_bytes_total);
       ("reexec_slice_s", J.Num m.reexec_slice_s);
       ("reexec_peak_mem", J.int m.reexec_peak_mem);
-      ("reexec_identical", J.Bool m.reexec_identical) ]
+      ("reexec_identical", J.Bool m.reexec_identical);
+      ("segstore_hit_rate", J.Num m.segstore_hit_rate);
+      ("reexec_window_hit_rate", J.Num m.reexec_window_hit_rate) ]
 
 let metrics_json () : J.t =
   J.Obj
@@ -473,6 +488,33 @@ let metrics_json () : J.t =
          | `Timer (s, e) ->
            (name, J.Obj [ ("seconds", J.Num s); ("events", J.int e) ]))
        (Dr_obs.Metrics.report ()))
+
+(* Per-slot pool utilization from the always-on scalar metrics: how many
+   tasks each pool slot (0 = caller, 1.. = workers) claimed across the
+   whole run and how long it spent executing them.  Slot balance close
+   to uniform means the claim loop is not starving workers. *)
+let pool_utilization_json ~domains () : J.t =
+  let report = Dr_obs.Metrics.report () in
+  let slot i =
+    let claimed =
+      match
+        List.assoc_opt (Printf.sprintf "pool.slot%d.tasks_claimed" i) report
+      with
+      | Some (`Counter n) -> n
+      | _ -> 0
+    in
+    let busy_s, busy_events =
+      match List.assoc_opt (Printf.sprintf "pool.slot%d.busy" i) report with
+      | Some (`Timer (s, e)) -> (s, e)
+      | _ -> (0.0, 0)
+    in
+    J.Obj
+      [ ("slot", J.int i);
+        ("tasks_claimed", J.int claimed);
+        ("busy_s", J.Num busy_s);
+        ("busy_events", J.int busy_events) ]
+  in
+  J.List (List.init domains slot)
 
 (** Run the slicing benchmark and write [out] (BENCH_slicing.json).
     [domains] sizes the pool the parallel fan-out measurements use. *)
@@ -533,6 +575,7 @@ let run ~quick ?(domains = 2) ~out () =
         ("domains", J.int domains);
         ("workloads", J.List (List.map (fun (p, m) -> workload_json p m) rows));
         ("largest_generated", largest_generated);
+        ("pool_utilization", pool_utilization_json ~domains ());
         ("metrics", metrics_json ());
         ("report", Dr_obs.Report.document ~label:"slicing-bench" ()) ]
   in

@@ -61,7 +61,13 @@ let check_workload i w =
       "visited_ratio_scan"; "slice_size_avg"; "spilled_segments";
       "spill_read_s"; "degradations"; "slice_size_total"; "par_slice_s";
       "par_speedup"; "par_slice_size_total"; "record_bytes_total";
-      "reexec_slice_s"; "reexec_peak_mem" ];
+      "reexec_slice_s"; "reexec_peak_mem"; "segstore_hit_rate";
+      "reexec_window_hit_rate" ];
+  (* hit rates are ratios *)
+  List.iter
+    (fun k ->
+      if num k > 1.0 then fail "%s: hit rate above 1.0" (ctx k))
+    [ "segstore_hit_rate"; "reexec_window_hit_rate" ];
   if num "records" < 1.0 then fail "%s: empty trace" (ctx "records");
   if num "spilled_segments" < 1.0 then
     fail "%s: out-of-core rerun never spilled" (ctx "spilled_segments");
@@ -112,6 +118,22 @@ let check_slicing doc =
         (want_bool "largest_generated.results_identical"
            (get lg "results_identical"))
     then fail "largest_generated: drivers disagree");
+  (* per-slot pool utilization: slot 0 is the caller, 1.. the workers;
+     across the whole bench at least one task must have been claimed *)
+  let slots = want_list "pool_utilization" (get doc "pool_utilization") in
+  if slots = [] then fail "pool_utilization: empty";
+  let total_claimed =
+    List.fold_left
+      (fun acc s ->
+        let ctx k = Printf.sprintf "pool_utilization[].%s" k in
+        let num k = want_num (ctx k) (get s k) in
+        List.iter
+          (fun k -> if num k < 0.0 then fail "%s: negative" (ctx k))
+          [ "slot"; "tasks_claimed"; "busy_s"; "busy_events" ];
+        acc +. num "tasks_claimed")
+      0.0 slots
+  in
+  if total_claimed < 1.0 then fail "pool_utilization: no tasks claimed";
   (match get doc "metrics" with
   | J.Obj _ -> ()
   | _ -> fail "metrics: expected object");

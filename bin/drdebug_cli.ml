@@ -46,12 +46,20 @@ let guarded f =
 (* ---- observability plumbing shared by the subcommands ---- *)
 
 (* Tracing is enabled iff some sink will consume it: a trace file, a
-   report file, or the --stats span summary. *)
-let setup_obs ~trace_out ~report_out ~stats =
-  if trace_out <> None || report_out <> None || stats then
-    Dr_obs.Obs.set_enabled true
+   report file, a metrics file, or the --stats span summary. *)
+let setup_obs ~trace_out ~report_out ~metrics_out ~stats =
+  if trace_out <> None || report_out <> None || metrics_out <> None || stats
+  then Dr_obs.Obs.set_enabled true
 
-let finish_obs ~trace_out ~report_out ~stats ~label =
+(* The scalar tier is always on, so --metrics-out works even on
+   subcommands with no tracing plumbing of their own. *)
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Dr_obs.Openmetrics.write path;
+    Printf.printf "metrics written to %s\n" path
+
+let finish_obs ~trace_out ~report_out ~metrics_out ~stats ~label =
   Dr_obs.Obs.set_enabled false;
   (match trace_out with
   | Some path ->
@@ -64,6 +72,7 @@ let finish_obs ~trace_out ~report_out ~stats ~label =
     Dr_obs.Report.write ~label path;
     Printf.printf "run report written to %s\n" path
   | None -> ());
+  write_metrics metrics_out;
   if stats then begin
     Printf.printf "--- internal metrics ---\n%s" (Dr_obs.Metrics.to_string ());
     print_string (Format.asprintf "%a" Dr_obs.Report.pp_summary ())
@@ -90,14 +99,15 @@ let load_program workload source =
     | Error e -> Error e)
   | _ -> Error "specify exactly one of --workload or --source"
 
-let run workload source seed input script stats trace_out report_out =
+let run workload source seed input script stats trace_out report_out
+    metrics_out =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
     1
   | Ok prog ->
-    setup_obs ~trace_out ~report_out ~stats;
+    setup_obs ~trace_out ~report_out ~metrics_out ~stats;
     let input =
       match input with
       | None -> [||]
@@ -130,7 +140,7 @@ let run workload source seed input script stats trace_out report_out =
         | Some line -> if exec_one line then loop ()
       in
       loop ());
-    finish_obs ~trace_out ~report_out ~stats
+    finish_obs ~trace_out ~report_out ~metrics_out ~stats
       ~label:("debug:" ^ prog.Dr_isa.Program.name);
     0
 
@@ -143,15 +153,16 @@ let run workload source seed input script stats trace_out report_out =
    records spill to disk in segments past the memory budget and slicing
    runs through the governed degradation ladder.  This is the canonical
    producer of --trace-out / --report-out documents. *)
-let run_slice workload source seed input stats trace_out report_out slice_out
-    pinball_in mem_budget time_budget spill_dir domains driver ckpt_interval =
+let run_slice workload source seed input stats trace_out report_out
+    metrics_out slice_out pinball_in mem_budget time_budget spill_dir domains
+    driver ckpt_interval =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
     1
   | Ok prog ->
-    setup_obs ~trace_out ~report_out ~stats;
+    setup_obs ~trace_out ~report_out ~metrics_out ~stats;
     let input =
       match input with
       | None -> [||]
@@ -169,7 +180,7 @@ let run_slice workload source seed input stats trace_out report_out slice_out
       else None
     in
     let finish () =
-      finish_obs ~trace_out ~report_out ~stats
+      finish_obs ~trace_out ~report_out ~metrics_out ~stats
         ~label:("slice:" ^ prog.Dr_isa.Program.name)
     in
     let pinball =
@@ -246,11 +257,11 @@ let run_slice workload source seed input stats trace_out report_out slice_out
               let rst = Dr_slicing.Reexec.stats rx in
               Printf.printf
                 "reexec driver: interval %d, %d checkpoints, %d windows \
-                 re-derived (%d cache hits), peak %d resident record bytes\n"
+                 re-derived (%d window hits), peak %d resident record bytes\n"
                 ckpt_interval
                 (Dr_slicing.Reexec.num_checkpoints rx)
                 rst.Dr_slicing.Reexec.windows_rederived
-                rst.Dr_slicing.Reexec.cache_hits
+                rst.Dr_slicing.Reexec.window_hits
                 rst.Dr_slicing.Reexec.peak_resident_bytes;
               s
             | (`Scan_skip | `Scan) as d ->
@@ -319,7 +330,7 @@ let run_slice workload source seed input stats trace_out report_out slice_out
 (* Purely static: no execution, no pinball.  Runs the four lint passes
    over the program image, prints a per-pass summary and optionally
    writes the validated drdebug-analyze-v1 JSON document. *)
-let run_analyze workload source out =
+let run_analyze workload source out metrics_out =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
@@ -381,6 +392,7 @@ let run_analyze workload source out =
           s.Dr_static.Lint.sr_pc
           (Dr_isa.Reg.name s.Dr_static.Lint.sr_reg))
       lint.Dr_static.Lint.save_restore;
+    write_metrics metrics_out;
     (match out with
     | None -> 0
     | Some path -> (
@@ -400,9 +412,9 @@ let run_analyze workload source out =
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
 let run_fuzz seed runs out budget disk_faults domains stats trace_out
-    report_out =
+    report_out metrics_out =
   guarded @@ fun () ->
-  setup_obs ~trace_out ~report_out ~stats;
+  setup_obs ~trace_out ~report_out ~metrics_out ~stats;
   let budget_s = if budget <= 0.0 then None else Some budget in
   let log msg = Printf.printf "%s\n%!" msg in
   let s =
@@ -424,14 +436,14 @@ let run_fuzz seed runs out budget disk_faults domains stats trace_out
         (Array.length f.Dr_conformance.Fuzz.fr_lines)
         f.Dr_conformance.Fuzz.fr_shrink_steps)
     s.Dr_conformance.Fuzz.s_failures;
-  finish_obs ~trace_out ~report_out ~stats ~label:"fuzz";
+  finish_obs ~trace_out ~report_out ~metrics_out ~stats ~label:"fuzz";
   if Dr_conformance.Fuzz.all_green s then 0 else 1
 
 (* ---- report subcommand: validate + pretty-print a run report ---- *)
 
 (* ---- slice-file subcommand: validate + summarize a saved slice ---- *)
 
-let run_slice_file path =
+let run_slice_file path metrics_out =
   guarded @@ fun () ->
   (* raises Slice_file_error (exit 4) on a corrupt file *)
   let stmts = Dr_slicing.Slicer.load_file_statements path in
@@ -440,28 +452,98 @@ let run_slice_file path =
     (fun (tid, pc, inst, line) ->
       Printf.printf "  tid %d pc %d instance %d line %d\n" tid pc inst line)
     stmts;
+  write_metrics metrics_out;
   0
 
-let run_report path =
-  guarded @@ fun () ->
+(* Load and validate a drdebug-report-v1 document; a bench file with an
+   embedded report (BENCH_slicing.json's "report" member) is unwrapped,
+   so the @obs CI gate can diff bench trajectories directly. *)
+let load_report path : (Dr_util.Json.t, int) result =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error e ->
     Printf.eprintf "cannot read %s: %s\n" path e;
-    1
+    Error 1
   | contents -> (
     match Dr_util.Json.parse contents with
     | Error e ->
       Printf.eprintf "%s: not valid JSON: %s\n" path e;
-      1
+      Error 1
     | Ok doc -> (
+      let doc =
+        match
+          Option.bind (Dr_util.Json.member "schema" doc) Dr_util.Json.to_str
+        with
+        | Some s when s <> Dr_obs.Report.schema_version -> (
+          match Dr_util.Json.member "report" doc with
+          | Some embedded -> embedded
+          | None -> doc)
+        | _ -> doc
+      in
       match Dr_obs.Report.validate doc with
       | Error e ->
         Printf.eprintf "%s: invalid %s document: %s\n" path
           Dr_obs.Report.schema_version e;
+        Error 1
+      | Ok () -> Ok doc))
+
+(* `report FILE` validates and pretty-prints; `report diff BASE CUR`
+   compares the timing trajectories and exits 1 on a regression beyond
+   --threshold-pct — the CI gate for BENCH report trajectories. *)
+let run_report args threshold_pct =
+  guarded @@ fun () ->
+  match args with
+  | [ path ] -> (
+    match load_report path with
+    | Error code -> code
+    | Ok doc ->
+      print_string (Format.asprintf "%a" Dr_obs.Report.pp_document doc);
+      0)
+  | [ "diff"; base_path; cur_path ] -> (
+    match (load_report base_path, load_report cur_path) with
+    | Error code, _ | _, Error code -> code
+    | Ok base, Ok cur -> (
+      match Dr_obs.Report.diff ~threshold_pct base cur with
+      | Error e ->
+        Printf.eprintf "diff failed: %s\n" e;
         1
-      | Ok () ->
-        print_string (Format.asprintf "%a" Dr_obs.Report.pp_document doc);
-        0))
+      | Ok r ->
+        Printf.printf "report diff (threshold %g%%): %s -> %s\n" threshold_pct
+          base_path cur_path;
+        let buf = Buffer.create 256 in
+        let fmt = Format.formatter_of_buffer buf in
+        let regressed = Dr_obs.Report.pp_diff fmt r in
+        Format.pp_print_flush fmt ();
+        print_string (Buffer.contents buf);
+        if regressed then 1 else 0))
+  | _ ->
+    prerr_endline "usage: drdebug report FILE | drdebug report diff BASE CUR";
+    1
+
+(* ---- metrics subcommand: OpenMetrics-style text export ---- *)
+
+let run_metrics file out =
+  guarded @@ fun () ->
+  let emit text =
+    match out with
+    | None ->
+      print_string text;
+      0
+    | Some path ->
+      Dr_util.Atomic_file.with_out path (fun oc -> output_string oc text);
+      Printf.printf "metrics written to %s\n" path;
+      0
+  in
+  match file with
+  | None -> emit (Dr_obs.Openmetrics.render ())
+  | Some path -> (
+    match load_report path with
+    | Error code -> code
+    | Ok doc -> (
+      match Dr_obs.Openmetrics.of_report doc with
+      | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        1
+      | Ok text -> emit text))
 
 open Cmdliner
 
@@ -491,10 +573,14 @@ let report_out =
   Arg.(value & opt (some string) None & info [ "report-out" ]
          ~doc:"Write a drdebug-report-v1 JSON run report; enables tracing.")
 
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ]
+         ~doc:"Write the metrics registry as OpenMetrics-style text; enables tracing.")
+
 let debug_term =
   Term.(
     const run $ workload $ source $ seed $ input $ script $ stats $ trace_out
-    $ report_out)
+    $ report_out $ metrics_out)
 
 let slice_cmd =
   let doc =
@@ -543,8 +629,8 @@ let slice_cmd =
   Cmd.v (Cmd.info "slice" ~doc)
     Term.(
       const run_slice $ workload $ source $ seed $ input $ stats $ trace_out
-      $ report_out $ slice_out $ pinball_in $ mem_budget $ time_budget
-      $ spill_dir $ domains $ driver $ ckpt_interval)
+      $ report_out $ metrics_out $ slice_out $ pinball_in $ mem_budget
+      $ time_budget $ spill_dir $ domains $ driver $ ckpt_interval)
 
 let analyze_cmd =
   let doc =
@@ -558,7 +644,7 @@ let analyze_cmd =
            ~doc:"Write the drdebug-analyze-v1 JSON report.")
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run_analyze $ workload $ source $ out)
+    Term.(const run_analyze $ workload $ source $ out $ metrics_out)
 
 let fuzz_cmd =
   let doc =
@@ -589,14 +675,39 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ fseed $ runs $ out $ budget $ disk_faults $ domains
-      $ stats $ trace_out $ report_out)
+      $ stats $ trace_out $ report_out $ metrics_out)
 
 let report_cmd =
-  let doc = "validate and pretty-print a drdebug-report-v1 run report" in
-  let file =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Report file to print.")
+  let doc =
+    "validate and pretty-print a drdebug-report-v1 run report \
+     ($(b,report FILE)), or compare two reports' timing trajectories \
+     ($(b,report diff BASE CUR)), exiting 1 when any timer or phase \
+     total regressed beyond --threshold-pct"
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ file)
+  let args =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ARGS"
+           ~doc:"Either a report file, or $(b,diff) followed by the base and current report files (bench files with an embedded report are unwrapped).")
+  in
+  let threshold =
+    Arg.(value & opt float 10.0 & info [ "threshold-pct" ]
+           ~doc:"Relative timing change (percent) that counts as a regression/improvement for $(b,report diff).")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ args $ threshold)
+
+let metrics_cmd =
+  let doc =
+    "emit the metrics registry — or the counters/timers/histograms of a \
+     stored drdebug-report-v1 (or bench) file — as OpenMetrics-style text"
+  in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Report (or bench) file to re-export; the live registry when omitted.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ]
+           ~doc:"Write to this file instead of stdout.")
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run_metrics $ file $ out)
 
 let slice_file_cmd =
   let doc =
@@ -605,11 +716,13 @@ let slice_file_cmd =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Slice file to load.")
   in
-  Cmd.v (Cmd.info "slice-file" ~doc) Term.(const run_slice_file $ file)
+  Cmd.v (Cmd.info "slice-file" ~doc)
+    Term.(const run_slice_file $ file $ metrics_out)
 
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
   Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc)
-    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd; slice_file_cmd ]
+    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd; metrics_cmd;
+      slice_file_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -3,10 +3,15 @@
     Perfetto}.
 
     Spans are emitted as complete events ([ph = "X"]) with microsecond
-    [ts]/[dur], the span's thread attribution as [tid] and its
-    attributes under [args] — the object-of-arrays format both viewers
-    accept.  A metadata event names the process so the timeline is
-    labelled. *)
+    [ts]/[dur] and their attributes under [args] — the object-of-arrays
+    format both viewers accept.  The viewer's [tid] dimension is the
+    {e track}: spans recorded on the main domain keep their simulated
+    thread id as the track, while spans recorded inside a pool task on
+    worker slot [d] are lifted onto track [d * 1000 + tid], so Perfetto
+    shows one utilization timeline per worker domain without colliding
+    with the simulated-thread tracks.  [thread_name] metadata events
+    ([ph = "M"]) label every track; a [process_name] event labels the
+    process. *)
 
 module J = Dr_util.Json
 
@@ -16,19 +21,25 @@ let attr_json = function
   | Obs.Str s -> J.Str s
   | Obs.Bool b -> J.Bool b
 
+(* viewer track of a span: (domain slot, simulated tid) flattened *)
+let track_id (s : Obs.span) =
+  if s.Obs.sp_dom = 0 then s.Obs.sp_tid
+  else (s.Obs.sp_dom * 1000) + s.Obs.sp_tid
+
 let span_json (s : Obs.span) : J.t =
   J.Obj
     [ ("name", J.Str s.Obs.sp_name);
       ("cat", J.Str s.Obs.sp_cat);
       ("ph", J.Str "X");
       ("pid", J.int 1);
-      ("tid", J.int s.Obs.sp_tid);
+      ("tid", J.int (track_id s));
       ("ts", J.Num (s.Obs.sp_start_s *. 1e6));
       ("dur", J.Num (s.Obs.sp_dur_s *. 1e6));
       ("args",
        J.Obj
          (("depth", J.int s.Obs.sp_depth)
-         :: List.map (fun (k, v) -> (k, attr_json v)) s.Obs.sp_attrs)) ]
+          :: ("dom", J.int s.Obs.sp_dom)
+          :: List.map (fun (k, v) -> (k, attr_json v)) s.Obs.sp_attrs)) ]
 
 let process_name_json : J.t =
   J.Obj
@@ -38,11 +49,46 @@ let process_name_json : J.t =
       ("tid", J.int 0);
       ("args", J.Obj [ ("name", J.Str "drdebug") ]) ]
 
+let thread_name_json ~track ~label : J.t =
+  J.Obj
+    [ ("name", J.Str "thread_name");
+      ("ph", J.Str "M");
+      ("pid", J.int 1);
+      ("tid", J.int track);
+      ("args", J.Obj [ ("name", J.Str label) ]) ]
+
+(* one thread_name metadata event per distinct (domain, tid) track, in
+   ascending track order *)
+let track_metadata spans =
+  let module IS = Set.Make (Int) in
+  let tracks =
+    Array.fold_left
+      (fun acc (s : Obs.span) ->
+        (track_id s, s.Obs.sp_dom, s.Obs.sp_tid) :: acc)
+      [] spans
+    |> List.fold_left
+         (fun (seen, out) ((track, _, _) as t) ->
+           if IS.mem track seen then (seen, out)
+           else (IS.add track seen, t :: out))
+         (IS.empty, [])
+    |> snd
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  List.map
+    (fun (track, dom, tid) ->
+      let label =
+        if dom = 0 then Printf.sprintf "tid %d (main)" tid
+        else Printf.sprintf "d%d worker / tid %d" dom tid
+      in
+      thread_name_json ~track ~label)
+    tracks
+
 (** The whole recorded trace as a Chrome trace-event document. *)
 let to_json () : J.t =
+  let spans = Obs.spans () in
   let events =
-    process_name_json
-    :: (Array.to_list (Obs.spans ()) |> List.map span_json)
+    (process_name_json :: track_metadata spans)
+    @ (Array.to_list spans |> List.map span_json)
   in
   J.Obj
     [ ("traceEvents", J.List events); ("displayTimeUnit", J.Str "ms") ]

@@ -8,21 +8,28 @@
     is deliberately {e not} gated — it is atomic, domain-safe and cheap
     enough to leave enabled everywhere.
 
-    The {e event} tier (spans, histogram observations) is additionally
-    pinned to the {e recorder domain} — the domain that loaded this
-    module, i.e. the main domain.  Worker domains in a {!Dr_util.Pool}
-    see their span and histogram calls as no-ops: the recorder keeps a
-    single open-span stack and plain (unsynchronized) buffers, which
-    stay correct because only one domain ever touches them.  Parallel
-    sections remain observable through the scalar tier and through spans
-    opened by the coordinating domain around the fan-out; DESIGN §12
-    explains why per-domain event recording is deliberately out of
-    scope. *)
+    The {e event} tier (spans, histogram observations) is {e sharded
+    per domain}: every domain owns a recorder shard in [Domain.DLS]
+    (its own open-span stack, completed-span buffer, token counter and
+    mismatch list), so worker domains in a {!Dr_util.Pool} record spans
+    without any cross-domain synchronization on the hot path — the only
+    shared state a recording call touches is this [enabled] field.
+    Export merges the shards deterministically by (logical stream,
+    local record order), never by timestamp; see {!Obs} and DESIGN §12
+    for the sharded-recorder contract.  Histogram observations take a
+    per-histogram mutex instead (their merges are commutative sums, so
+    no ordering contract is needed).
+
+    [recorder_domain] identifies the domain that loaded the library —
+    the main domain.  It no longer gates recording; the sharded
+    recorder uses it only to pin the main domain's shard to logical
+    stream 0 so coordinator spans sort ahead of pool-task streams in
+    the merged export. *)
 
 let enabled = ref false
 
 (* the domain that loaded the observability library = the main domain *)
 let recorder_domain : int = (Domain.self () :> int)
 
-(** Is the calling domain the one allowed to record events? *)
+(** Is the calling domain the main (stream-0) domain? *)
 let on_recorder_domain () = (Domain.self () :> int) = recorder_domain

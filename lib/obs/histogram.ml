@@ -10,9 +10,12 @@
 
     [observe] is gated on {!Gate.enabled} and allocation-free: with
     tracing off it is a single field check, with tracing on it is a few
-    field updates on preallocated arrays.  [record] is the ungated
-    variant used for ad-hoc aggregation (e.g. {!Report} summarising span
-    durations).
+    field updates on preallocated arrays under a per-histogram mutex —
+    unlike spans, histogram merges are commutative sums, so worker
+    domains record into the shared buckets directly rather than into
+    per-domain shards (see {!Gate}).  [record] is the ungated,
+    unlocked variant used for single-domain ad-hoc aggregation
+    (e.g. {!Report} summarising span durations).
 
     Quantiles are bucket-resolution upper bounds: [quantile h q] returns
     the upper bound of the bucket containing the rank-[ceil(q*count)]
@@ -24,6 +27,7 @@ let bias = 32
 
 type t = {
   h_name : string;
+  h_lock : Mutex.t;  (** guards the mutable fields for {!observe} *)
   buckets : int array;
   mutable count : int;
   mutable sum : float;
@@ -54,7 +58,8 @@ let bucket_bounds i =
 
 (** An unregistered histogram (for ad-hoc aggregation). *)
 let create name =
-  { h_name = name; buckets = Array.make num_buckets 0; count = 0; sum = 0.0;
+  { h_name = name; h_lock = Mutex.create ();
+    buckets = Array.make num_buckets 0; count = 0; sum = 0.0;
     vmin = Float.infinity; vmax = Float.neg_infinity }
 
 (* registry: O(1) idempotent registration under a lock (two domains
@@ -87,12 +92,16 @@ let record h v =
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
-(** Record a sample if tracing is enabled and the caller is the recorder
-    domain; a field check otherwise.  Like spans, histogram samples are
-    plain unsynchronized field updates, so worker-domain observations
-    are dropped rather than raced (see {!Gate}). *)
+(** Record a sample if tracing is enabled (a single field check
+    otherwise), taking the per-histogram mutex so any domain may
+    observe.  Bucket sums are commutative, so no ordering contract is
+    needed for determinism — only the counts. *)
 let observe h v =
-  if !Gate.enabled && Gate.on_recorder_domain () then record h v
+  if !Gate.enabled then begin
+    Mutex.lock h.h_lock;
+    record h v;
+    Mutex.unlock h.h_lock
+  end
 
 let name h = h.h_name
 let count h = h.count

@@ -1,10 +1,11 @@
-(** Nested tracing spans — the event tier of the observability registry.
+(** Nested tracing spans — the event tier of the observability registry,
+    sharded per domain.
 
     A span is a named, monotonic-clock [start]/[stop] interval with a
     thread attribution, a phase category and key:value attributes.
     Spans nest: [start] pushes onto an open-span stack, [stop] pops and
-    appends a completed {!span} to the global buffer, from which the
-    sinks ({!Chrome_trace}, {!Report}) read.
+    appends a completed {!span} to the completed-span buffer, from which
+    the sinks ({!Chrome_trace}, {!Report}) read.
 
     Overhead discipline: every entry point checks {!Gate.enabled} first.
     With tracing off, [start] returns the preallocated {!none} token and
@@ -19,13 +20,31 @@
     also surfaces as the [obs.span_mismatches] counter so a run report
     can never hide a broken instrumentation site.
 
-    Domain discipline: the recorder is single-domain.  Every entry point
-    additionally checks {!Gate.on_recorder_domain}, so spans opened from
-    pool worker domains are silently dropped ([start] returns {!none})
-    instead of racing on the shared stack and buffer.  The coordinating
-    domain's spans around a parallel fan-out, plus the atomic
-    {!Metrics}, are the supported observability of parallel sections
-    (DESIGN §12). *)
+    {2 Domain discipline: sharded recorders}
+
+    Every domain owns a {e shard} in [Domain.DLS]: its own open-span
+    stack, completed-span buffer, token counter and mismatch list.  A
+    recording call touches only its own shard — the enabled hot path has
+    no cross-domain synchronization at all, and the disabled path is the
+    one {!Gate.enabled} load.  A span must be stopped on the domain that
+    started it (tokens are shard-local).
+
+    Export merges shards {e deterministically by (logical stream, local
+    record order)} — never by timestamp.  Streams are assigned in
+    program order on the coordinating domain: the main domain records on
+    stream 0, and every {!Dr_util.Pool} batch claims a contiguous stream
+    range so task [i] of a batch records on the same stream whatever
+    domain happens to claim it.  Two traced runs of the same workload
+    therefore export identical merged span sequences whatever the
+    schedule.  Spans recorded on a worker domain {e outside} any pool
+    task land on the {!orphan} stream and sort last (their cross-shard
+    order is the one schedule-dependent corner; no instrumented site
+    does this).
+
+    Readers ([spans], [reset], the sinks) require {e quiescence}: call
+    them from the main domain while no pool batch is in flight.  Every
+    pool barrier ({!Dr_util.Pool.run} returning) publishes the workers'
+    shard writes to the caller. *)
 
 type attr =
   | Int of int
@@ -37,25 +56,32 @@ type span = {
   sp_name : string;
   sp_cat : string;  (** phase category: "log", "replay", "slice", ... *)
   sp_tid : int;  (** attributed thread (simulated tid; 0 = tool) *)
+  sp_dom : int;
+      (** recording domain slot: 0 = main domain, the pool worker slot
+          inside a pool task — the Perfetto track dimension.  Unlike
+          [sp_stream] it reflects the actual claim schedule. *)
+  sp_stream : int;
+      (** logical stream — the deterministic merge key: 0 = main
+          domain, [base + i] inside pool task [i], {!orphan} for
+          worker-domain spans outside any task *)
   sp_start_s : float;  (** seconds since the trace epoch *)
   sp_dur_s : float;
-  sp_depth : int;  (** nesting depth at the time the span was open *)
+  sp_depth : int;  (** nesting depth within its stream *)
   sp_attrs : (string * attr) list;
 }
 
 let m_spans = Metrics.counter "obs.spans"
 let m_mismatches = Metrics.counter "obs.span_mismatches"
 
-(* ---- global recorder state ---- *)
+(** Stream id of worker-domain spans recorded outside any pool task;
+    they sort after every deterministic stream. *)
+let orphan = max_int
 
-let epoch = ref 0.0
-let epoch_set = ref false
+(* ---- per-domain shards ---- *)
 
 let dummy_span =
-  { sp_name = ""; sp_cat = ""; sp_tid = 0; sp_start_s = 0.0; sp_dur_s = 0.0;
-    sp_depth = 0; sp_attrs = [] }
-
-let spans_buf : span Dr_util.Vec.t = Dr_util.Vec.create ~dummy:dummy_span
+  { sp_name = ""; sp_cat = ""; sp_tid = 0; sp_dom = 0; sp_stream = 0;
+    sp_start_s = 0.0; sp_dur_s = 0.0; sp_depth = 0; sp_attrs = [] }
 
 type open_span = {
   o_id : int;
@@ -69,22 +95,110 @@ type open_span = {
 let dummy_open =
   { o_id = 0; o_name = ""; o_cat = ""; o_tid = 0; o_t0 = 0.0; o_attrs = [] }
 
-let stack : open_span Dr_util.Vec.t = Dr_util.Vec.create ~dummy:dummy_open
-let next_id = ref 1
-let mismatches : string list ref = ref []
+(* Gc stats sampled when a top-level span of this name closes (a phase
+   boundary): words are the values at the *last* boundary, heap the max
+   seen. *)
+type gc_phase = {
+  gp_name : string;
+  mutable gp_samples : int;
+  mutable gp_minor_words : float;
+  mutable gp_major_words : float;
+  mutable gp_heap_words : int;
+}
+
+type shard = {
+  sh_main : bool;  (** created on the main (stream-0) domain? *)
+  sh_domain : int;  (** runtime domain id, for diagnostics only *)
+  spans : span Dr_util.Vec.t;
+  stack : open_span Dr_util.Vec.t;
+  mutable next_id : int;
+  mutable stream : int;  (** current logical stream for closed spans *)
+  mutable dom : int;  (** current domain slot for track attribution *)
+  mutable depth_base : int;
+      (** stack depth where the current stream began; depths are
+          reported relative to it so a task span nests identically
+          whether the caller or a worker claimed it *)
+  mutable mismatches : string list;  (** newest first *)
+  gc : (string, gc_phase) Hashtbl.t;
+}
+
+(* Registry of every shard ever created (newest first), guarded by
+   [reg_lock].  Shards of joined pool domains stay registered: their
+   buffers must survive the domain so a post-shutdown export still sees
+   every span.  The leak is bounded by the number of domains the
+   process ever spawns, and [reset] clears the buffers. *)
+let reg_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+(* stream 0 is the main domain; pool batches allocate from 1 up *)
+let next_stream = Atomic.make 1
+
+(** Claim [n] consecutive logical stream ids; returns the base.  Called
+    by the pool hook on the coordinating domain, in program order. *)
+let alloc_streams n = Atomic.fetch_and_add next_stream n
+
+(* trace epoch: set once by the first span on any domain; [epoch] is
+   written under the lock before the atomic flag is raised, so a racing
+   reader that sees the flag also sees the value *)
+let epoch = ref 0.0
+let epoch_set = Atomic.make false
+
+let now () = Dr_util.Timer.now ()
+
+let ensure_epoch () =
+  if not (Atomic.get epoch_set) then begin
+    Mutex.lock reg_lock;
+    if not (Atomic.get epoch_set) then begin
+      epoch := now ();
+      Atomic.set epoch_set true
+    end;
+    Mutex.unlock reg_lock
+  end
+
+let new_shard () =
+  let main = Gate.on_recorder_domain () in
+  let sh =
+    { sh_main = main; sh_domain = (Domain.self () :> int);
+      spans = Dr_util.Vec.create ~dummy:dummy_span;
+      stack = Dr_util.Vec.create ~dummy:dummy_open; next_id = 1;
+      stream = (if main then 0 else orphan);
+      dom = (if main then 0 else (Domain.self () :> int)); depth_base = 0;
+      mismatches = []; gc = Hashtbl.create 8 }
+  in
+  Mutex.lock reg_lock;
+  shards := sh :: !shards;
+  Mutex.unlock reg_lock;
+  sh
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key new_shard
+let shard () = Domain.DLS.get shard_key
 
 (* ---- switch ---- *)
 
 let set_enabled b = Gate.enabled := b
 let enabled () = !Gate.enabled
 
-(** Drop all recorded spans, open spans and mismatch diagnostics (the
-    registrations in {!Metrics} and {!Histogram} are untouched). *)
+(** Drop all recorded spans, open spans, Gc samples and mismatch
+    diagnostics in every shard, reset the token and stream counters and
+    clear the epoch (the registrations in {!Metrics} and {!Histogram}
+    are untouched).  Requires quiescence: no pool batch in flight. *)
 let reset () =
-  Dr_util.Vec.clear spans_buf;
-  Dr_util.Vec.clear stack;
-  mismatches := [];
-  epoch_set := false
+  Mutex.lock reg_lock;
+  List.iter
+    (fun sh ->
+      Dr_util.Vec.clear sh.spans;
+      Dr_util.Vec.clear sh.stack;
+      sh.next_id <- 1;
+      sh.stream <- (if sh.sh_main then 0 else orphan);
+      sh.dom <- (if sh.sh_main then 0 else sh.sh_domain);
+      sh.depth_base <- 0;
+      sh.mismatches <- [];
+      Hashtbl.reset sh.gc)
+    !shards;
+  Atomic.set next_stream 1;
+  epoch := 0.0;
+  Atomic.set epoch_set false;
+  Mutex.unlock reg_lock
 
 (* ---- recording ---- *)
 
@@ -92,82 +206,102 @@ let reset () =
     a no-op. *)
 let none = 0
 
-let now () = Dr_util.Timer.now ()
-
-let mismatch fmt =
+let mismatch sh fmt =
   Printf.ksprintf
     (fun msg ->
       Metrics.bump m_mismatches;
-      mismatches := msg :: !mismatches)
+      sh.mismatches <- msg :: sh.mismatches)
     fmt
 
-(** Open a span.  [cat] groups spans into a phase for the trace viewer
-    and the report; [tid] attributes the span to a simulated thread. *)
+(** Open a span on the calling domain's shard.  [cat] groups spans into
+    a phase for the trace viewer and the report; [tid] attributes the
+    span to a simulated thread. *)
 let start ?(tid = 0) ?(cat = "drdebug") name =
-  if (not !Gate.enabled) || not (Gate.on_recorder_domain ()) then none
+  if not !Gate.enabled then none
   else begin
-    if not !epoch_set then begin
-      epoch := now ();
-      epoch_set := true
-    end;
-    let id = !next_id in
-    incr next_id;
-    Dr_util.Vec.push stack
+    let sh = shard () in
+    ensure_epoch ();
+    let id = sh.next_id in
+    sh.next_id <- id + 1;
+    Dr_util.Vec.push sh.stack
       { o_id = id; o_name = name; o_cat = cat; o_tid = tid; o_t0 = now ();
         o_attrs = [] };
     id
   end
 
-(* index of [tok] in the open stack, or -1 *)
-let find_open tok =
-  let n = Dr_util.Vec.length stack in
+(* index of [tok] in the shard's open stack, or -1 *)
+let find_open sh tok =
+  let n = Dr_util.Vec.length sh.stack in
   let idx = ref (-1) in
   for i = n - 1 downto 0 do
-    if !idx < 0 && (Dr_util.Vec.get stack i).o_id = tok then idx := i
+    if !idx < 0 && (Dr_util.Vec.get sh.stack i).o_id = tok then idx := i
   done;
   !idx
 
-(** Attach an attribute to a still-open span. *)
+(** Attach an attribute to a still-open span (same domain as [start]). *)
 let add_attr tok key v =
-  if !Gate.enabled && tok <> none && Gate.on_recorder_domain () then begin
-    let i = find_open tok in
+  if !Gate.enabled && tok <> none then begin
+    let sh = shard () in
+    let i = find_open sh tok in
     if i >= 0 then begin
-      let o = Dr_util.Vec.get stack i in
+      let o = Dr_util.Vec.get sh.stack i in
       o.o_attrs <- (key, v) :: o.o_attrs
     end
-    else mismatch "add_attr %S on a closed or unknown span token" key
+    else mismatch sh "add_attr %S on a closed or unknown span token" key
   end
 
+(* a phase boundary: a top-level span (of its stream) just closed *)
+let gc_boundary sh name =
+  let st = Gc.quick_stat () in
+  let gp =
+    match Hashtbl.find_opt sh.gc name with
+    | Some gp -> gp
+    | None ->
+      let gp =
+        { gp_name = name; gp_samples = 0; gp_minor_words = 0.0;
+          gp_major_words = 0.0; gp_heap_words = 0 }
+      in
+      Hashtbl.replace sh.gc name gp;
+      gp
+  in
+  gp.gp_samples <- gp.gp_samples + 1;
+  gp.gp_minor_words <- st.Gc.minor_words;
+  gp.gp_major_words <- st.Gc.major_words;
+  gp.gp_heap_words <- max gp.gp_heap_words st.Gc.heap_words
+
 (* pop the top open span and append the completed record *)
-let close_top t1 =
-  let o = Dr_util.Vec.pop stack in
+let close_top sh t1 =
+  let o = Dr_util.Vec.pop sh.stack in
   Metrics.bump m_spans;
-  Dr_util.Vec.push spans_buf
+  let depth = max 0 (Dr_util.Vec.length sh.stack - sh.depth_base) in
+  Dr_util.Vec.push sh.spans
     { sp_name = o.o_name; sp_cat = o.o_cat; sp_tid = o.o_tid;
-      sp_start_s = o.o_t0 -. !epoch; sp_dur_s = t1 -. o.o_t0;
-      sp_depth = Dr_util.Vec.length stack; sp_attrs = List.rev o.o_attrs }
+      sp_dom = sh.dom; sp_stream = sh.stream; sp_start_s = o.o_t0 -. !epoch;
+      sp_dur_s = t1 -. o.o_t0; sp_depth = depth;
+      sp_attrs = List.rev o.o_attrs };
+  if Dr_util.Vec.length sh.stack <= sh.depth_base then gc_boundary sh o.o_name
 
 (** Close a span, optionally attaching final [attrs].  Stopping out of
     order closes the spans opened above it first (recording a mismatch
     diagnostic); stopping an unknown token only records the mismatch. *)
 let stop ?(attrs = []) tok =
-  if !Gate.enabled && tok <> none && Gate.on_recorder_domain () then begin
-    let i = find_open tok in
-    if i < 0 then
-      mismatch "stop of a closed or unknown span token %d" tok
+  if !Gate.enabled && tok <> none then begin
+    let sh = shard () in
+    let i = find_open sh tok in
+    if i < 0 then mismatch sh "stop of a closed or unknown span token %d" tok
     else begin
       let t1 = now () in
-      let n = Dr_util.Vec.length stack in
+      let n = Dr_util.Vec.length sh.stack in
       if i < n - 1 then
-        mismatch "stop of %S closed %d unfinished child span(s)"
-          (Dr_util.Vec.get stack i).o_name
+        mismatch sh "stop of %S closed %d unfinished child span(s)"
+          (Dr_util.Vec.get sh.stack i).o_name
           (n - 1 - i);
-      while Dr_util.Vec.length stack > i + 1 do
-        close_top t1
+      while Dr_util.Vec.length sh.stack > i + 1 do
+        close_top sh t1
       done;
-      let o = Dr_util.Vec.get stack i in
+      let o = Dr_util.Vec.get sh.stack i in
       o.o_attrs <- List.rev_append attrs o.o_attrs;
-      close_top t1
+      close_top sh t1
     end
   end
 
@@ -175,26 +309,121 @@ let stop ?(attrs = []) tok =
     (and recorded) even when [f] raises.  [f] receives the token so it
     can {!add_attr} results as they become known. *)
 let with_span ?tid ?cat ?attrs name f =
-  if (not !Gate.enabled) || not (Gate.on_recorder_domain ()) then f none
+  if not !Gate.enabled then f none
   else begin
     let tok = start ?tid ?cat name in
     Fun.protect ~finally:(fun () -> stop ?attrs tok) (fun () -> f tok)
   end
 
-(* ---- reading ---- *)
+(* ---- reading (quiescent, main domain) ---- *)
 
-(** Completed spans, in completion order. *)
-let spans () = Dr_util.Vec.to_array spans_buf
+(* snapshot the registry in shard-creation order *)
+let all_shards () =
+  Mutex.lock reg_lock;
+  let l = List.rev !shards in
+  Mutex.unlock reg_lock;
+  l
 
-let span_count () = Dr_util.Vec.length spans_buf
+(** Completed spans of every shard, merged deterministically: stable
+    sort by logical stream, record order within a stream.  A stream's
+    spans all come from the single shard that ran it, so the merged
+    sequence is independent of the claim schedule. *)
+let spans () =
+  let arr =
+    Array.concat (List.map (fun sh -> Dr_util.Vec.to_array sh.spans) (all_shards ()))
+  in
+  Array.stable_sort (fun a b -> Int.compare a.sp_stream b.sp_stream) arr;
+  arr
 
-(** Mismatch diagnostics, oldest first. *)
-let mismatch_messages () = List.rev !mismatches
+let span_count () =
+  List.fold_left
+    (fun acc sh -> acc + Dr_util.Vec.length sh.spans)
+    0 (all_shards ())
 
-let mismatch_count () = List.length !mismatches
+(** Mismatch diagnostics, oldest first per shard, shards in creation
+    order. *)
+let mismatch_messages () =
+  List.concat_map (fun sh -> List.rev sh.mismatches) (all_shards ())
+
+let mismatch_count () =
+  List.fold_left
+    (fun acc sh -> acc + List.length sh.mismatches)
+    0 (all_shards ())
+
+(** Gc phase-boundary samples merged across shards, sorted by phase
+    name: (name, samples, minor_words, major_words, heap_words) — words
+    from the shard with the largest heap figure, heap the max. *)
+let gc_samples () =
+  let tbl : (string, gc_phase) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun name gp ->
+          match Hashtbl.find_opt tbl name with
+          | None ->
+            Hashtbl.replace tbl name
+              { gp with gp_name = name }
+          | Some acc ->
+            acc.gp_samples <- acc.gp_samples + gp.gp_samples;
+            if gp.gp_heap_words > acc.gp_heap_words then begin
+              acc.gp_heap_words <- gp.gp_heap_words;
+              acc.gp_minor_words <- gp.gp_minor_words;
+              acc.gp_major_words <- gp.gp_major_words
+            end)
+        sh.gc)
+    (all_shards ());
+  Hashtbl.fold
+    (fun name gp acc ->
+      (name, gp.gp_samples, gp.gp_minor_words, gp.gp_major_words,
+       gp.gp_heap_words)
+      :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> String.compare a b)
 
 let attr_to_string = function
   | Int n -> string_of_int n
   | Float f -> Printf.sprintf "%g" f
   | Str s -> s
   | Bool b -> string_of_bool b
+
+(* ---- pool instrumentation ----
+
+   Installed into Dr_util.Pool at module initialisation (dr_obs depends
+   on dr_util, so the pool cannot call us directly).  Scalar tier: a
+   per-slot claim counter and busy timer, always on.  Event tier (gated):
+   the task runs under its batch-assigned stream with a fresh depth
+   base, wrapped in claim/exec spans, so Perfetto shows a per-domain
+   utilization timeline and the merged export stays schedule-
+   independent. *)
+
+let pool_task ~stream ~slot ~task f =
+  Metrics.bump
+    (Metrics.counter (Printf.sprintf "pool.slot%d.tasks_claimed" slot));
+  Metrics.time (Metrics.timer (Printf.sprintf "pool.slot%d.busy" slot))
+  @@ fun () ->
+  if not !Gate.enabled then f ()
+  else begin
+    let sh = shard () in
+    let prev_stream = sh.stream
+    and prev_dom = sh.dom
+    and prev_base = sh.depth_base in
+    sh.stream <- stream;
+    sh.dom <- slot;
+    sh.depth_base <- Dr_util.Vec.length sh.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        sh.stream <- prev_stream;
+        sh.dom <- prev_dom;
+        sh.depth_base <- prev_base)
+      (fun () ->
+        with_span ~cat:"pool" "pool.claim" (fun sp ->
+            add_attr sp "task" (Int task);
+            add_attr sp "slot" (Int slot);
+            with_span ~cat:"pool" "pool.exec" (fun _ -> f ())))
+  end
+
+let () =
+  Dr_util.Pool.set_instrument
+    { Dr_util.Pool.i_run_begin =
+        (fun ~tasks -> if !Gate.enabled then alloc_streams tasks else 0);
+      i_task = pool_task }

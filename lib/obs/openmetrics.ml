@@ -1,0 +1,160 @@
+(** OpenMetrics-{e style} text exporter.
+
+    Renders the observability registry — or a parsed
+    [drdebug-report-v1] document — as the line-oriented text format
+    Prometheus-family scrapers ingest: [# TYPE] comments, one
+    [name value] sample per line, summary quantiles as
+    [name{quantile="0.5"}] and a terminating [# EOF].
+
+    It is "-style" rather than strictly conformant on one point: metric
+    names keep their registry spelling verbatim ([segstore.hits],
+    [pool.slot0.busy.seconds]) instead of being mangled into
+    [[a-zA-Z_:]] — the dots are the registry's namespace structure and
+    the intended consumer is the repo's own tooling ([report diff], the
+    bench validator, grep).  A strict scraper only needs a
+    [s/\./_/g].
+
+    Rendering is deterministic: counters and timers in name order (the
+    {!Metrics.report} contract), histograms in registration order,
+    derived gauges last. *)
+
+module J = Dr_util.Json
+
+(* %.17g round-trips every float; trailing-zero noise is trimmed by %g
+   when the value is exactly representable short *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let counter_lines b name v =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+  Buffer.add_string b (Printf.sprintf "%s %s\n" name (num v))
+
+let gauge_lines b name v =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+  Buffer.add_string b (Printf.sprintf "%s %s\n" name (num v))
+
+(* a timer is a summary with only count and sum *)
+let timer_lines b name ~seconds ~events =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" name);
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" name events);
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (num seconds))
+
+let summary_lines b name ~count ~sum ~quantiles =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" name);
+  List.iter
+    (fun (q, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name q (num v)))
+    quantiles;
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" name count);
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (num sum))
+
+(* cache hit rates derived from hit/miss counter pairs; 0 when the
+   cache saw no traffic *)
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let derived_gauges b find =
+  let c name = match find name with Some v -> v | None -> 0 in
+  gauge_lines b "segstore.hit_rate"
+    (hit_rate (c "segstore.hits") (c "segstore.misses"));
+  gauge_lines b "reexec.window_hit_rate"
+    (hit_rate (c "reexec.window_hits") (c "reexec.window_misses"))
+
+(** The live registry as OpenMetrics-style text. *)
+let render () : string =
+  let b = Buffer.create 4096 in
+  let entries = Metrics.report () in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Counter n -> counter_lines b name (float_of_int n)
+      | `Timer (seconds, events) -> timer_lines b name ~seconds ~events)
+    entries;
+  List.iter
+    (fun h ->
+      if Histogram.count h > 0 then
+        summary_lines b (Histogram.name h) ~count:(Histogram.count h)
+          ~sum:(Histogram.sum h)
+          ~quantiles:
+            [ ("0.5", Histogram.quantile h 0.50);
+              ("0.9", Histogram.quantile h 0.90);
+              ("0.99", Histogram.quantile h 0.99) ])
+    (Histogram.all ());
+  derived_gauges b (fun name ->
+      match List.assoc_opt name entries with
+      | Some (`Counter n) -> Some n
+      | _ -> None);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(** A parsed [drdebug-report-v1] document as OpenMetrics-style text —
+    lets [drdebug_cli metrics FILE] re-export a stored report. *)
+let of_report (doc : J.t) : (string, string) result =
+  let b = Buffer.create 4096 in
+  let obj name =
+    match J.member name doc with
+    | Some (J.Obj entries) -> Ok entries
+    | _ -> Error (Printf.sprintf "missing or malformed %S section" name)
+  in
+  let ( let* ) = Result.bind in
+  let* counters = obj "counters" in
+  let* timers = obj "timers" in
+  let* histograms = obj "histograms" in
+  let fnum ctx v =
+    match J.to_float v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s: expected number" ctx)
+  in
+  let field ctx o k =
+    match J.member k o with
+    | Some v -> fnum (ctx ^ "." ^ k) v
+    | None -> Error (Printf.sprintf "%s: missing field %S" ctx k)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        let* f = fnum ("counters." ^ name) v in
+        counter_lines b name f;
+        Ok ())
+      (Ok ()) counters
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        let* seconds = field ("timers." ^ name) v "seconds" in
+        let* events = field ("timers." ^ name) v "events" in
+        timer_lines b name ~seconds ~events:(int_of_float events);
+        Ok ())
+      (Ok ()) timers
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, h) ->
+        let* () = acc in
+        let ctx = "histograms." ^ name in
+        let* count = field ctx h "count" in
+        let* sum = field ctx h "sum" in
+        let* p50 = field ctx h "p50" in
+        let* p90 = field ctx h "p90" in
+        let* p99 = field ctx h "p99" in
+        summary_lines b name ~count:(int_of_float count) ~sum
+          ~quantiles:[ ("0.5", p50); ("0.9", p90); ("0.99", p99) ];
+        Ok ())
+      (Ok ()) histograms
+  in
+  derived_gauges b (fun name ->
+      match List.assoc_opt name counters with
+      | Some v -> Option.map int_of_float (J.to_float v)
+      | None -> None);
+  Buffer.add_string b "# EOF\n";
+  Ok (Buffer.contents b)
+
+(** Write the live registry's metrics to [path] (atomic). *)
+let write path =
+  Dr_util.Atomic_file.with_out path (fun oc -> output_string oc (render ()))

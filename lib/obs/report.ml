@@ -112,6 +112,17 @@ let document ?(label = "drdebug") () : J.t =
   let phases =
     List.map (fun p -> (p.ph_name, phase_json p)) (phases_of_spans (Obs.spans ()))
   in
+  let gc =
+    List.map
+      (fun (name, samples, minor_w, major_w, heap_w) ->
+        ( name,
+          J.Obj
+            [ ("samples", J.int samples);
+              ("minor_words", J.Num (finite minor_w));
+              ("major_words", J.Num (finite major_w));
+              ("heap_words", J.int heap_w) ] ))
+      (Obs.gc_samples ())
+  in
   J.Obj
     [ ("schema", J.Str schema_version);
       ("label", J.Str label);
@@ -119,6 +130,7 @@ let document ?(label = "drdebug") () : J.t =
       ("timers", J.Obj timers);
       ("histograms", J.Obj histograms);
       ("phases", J.Obj phases);
+      ("gc", J.Obj gc);
       ("span_total", J.int (Obs.span_count ()));
       ("span_mismatches", J.int (Obs.mismatch_count ())) ]
 
@@ -204,6 +216,20 @@ let validate (doc : J.t) : (unit, string) result =
     List.iter
       (fun (name, p) -> check_phase name p)
       (want_obj "phases" (get "phases" doc "phases"));
+    (* [gc] arrived with the sharded recorder; reports written before it
+       are still valid, so the section is optional *)
+    (match J.member "gc" doc with
+    | None -> ()
+    | Some gc ->
+      List.iter
+        (fun (name, g) ->
+          let ctx k = Printf.sprintf "gc.%s.%s" name k in
+          if want_nonneg (ctx "samples") (get (ctx "samples") g "samples") < 1.0
+          then invalid "%s: phase with no samples" (ctx "samples");
+          List.iter
+            (fun k -> ignore (want_nonneg (ctx k) (get (ctx k) g k)))
+            [ "minor_words"; "major_words"; "heap_words" ])
+        (want_obj "gc" gc));
     ignore (want_nonneg "span_total" (get "span_total" doc "span_total"));
     ignore
       (want_nonneg "span_mismatches"
@@ -269,3 +295,89 @@ let pp_document fmt (doc : J.t) =
 
 (** The live registry's per-phase summary (used by [--stats]). *)
 let pp_summary fmt () = pp_document fmt (document ())
+
+(* ---- report diffing (drdebug_cli report diff) ---- *)
+
+(** One compared timing: a timer's [seconds] or a phase's [total_s],
+    present in both documents.  [d_pct] is the relative change from
+    [d_base] ([+] = slower). *)
+type delta = {
+  d_name : string;  (** "timers.<n>.seconds" or "phases.<n>.total_s" *)
+  d_base : float;
+  d_cur : float;
+  d_pct : float;
+}
+
+type diff_result = {
+  regressions : delta list;  (** deltas past the threshold, worst first *)
+  improvements : delta list;  (** deltas past the threshold the other way *)
+  compared : int;  (** timings present in both documents *)
+}
+
+(* timings too small for a stable relative comparison are skipped:
+   sub-10ns totals are clock-resolution noise *)
+let diff_floor_s = 1e-8
+
+let timings ctx (doc : J.t) : (string * float) list =
+  let section name field =
+    match J.member name doc with
+    | Some (J.Obj entries) ->
+      List.filter_map
+        (fun (n, v) ->
+          Option.bind (J.member field v) J.to_float
+          |> Option.map (fun f ->
+                 (Printf.sprintf "%s.%s.%s" name n field, f)))
+        entries
+    | _ -> invalid "%s: missing or malformed %S section" ctx name
+  in
+  section "timers" "seconds" @ section "phases" "total_s"
+
+(** Compare the wall-time trajectories of two parsed report documents:
+    every timer and phase total present in both is compared, and a
+    relative change beyond [threshold_pct] percent is a regression
+    (slower) or an improvement (faster).  Timings absent from either
+    document, or below the noise floor in the base, are skipped. *)
+let diff ~threshold_pct (base : J.t) (cur : J.t) : (diff_result, string) result
+    =
+  try
+    let b = timings "base" base and c = timings "current" cur in
+    let regressions = ref [] and improvements = ref [] and compared = ref 0 in
+    List.iter
+      (fun (name, bv) ->
+        match List.assoc_opt name c with
+        | None -> ()
+        | Some cv ->
+          if bv > diff_floor_s then begin
+            incr compared;
+            let pct = (cv -. bv) /. bv *. 100.0 in
+            let d = { d_name = name; d_base = bv; d_cur = cv; d_pct = pct } in
+            if pct > threshold_pct then regressions := d :: !regressions
+            else if pct < -.threshold_pct then improvements := d :: !improvements
+          end)
+      b;
+    let by_severity a b = Float.compare (Float.abs b.d_pct) (Float.abs a.d_pct) in
+    Ok
+      { regressions = List.sort by_severity !regressions;
+        improvements = List.sort by_severity !improvements;
+        compared = !compared }
+  with Invalid m -> Error m
+
+let pp_delta fmt d =
+  Format.fprintf fmt "  %-44s %11.6f -> %11.6f  %+7.1f%%@." d.d_name d.d_base
+    d.d_cur d.d_pct
+
+(** Human-readable diff table; returns [true] when there is at least
+    one regression (the CLI's exit-code signal). *)
+let pp_diff fmt (r : diff_result) : bool =
+  Format.fprintf fmt "compared %d timing(s)@." r.compared;
+  if r.regressions <> [] then begin
+    Format.fprintf fmt "regressions:@.";
+    List.iter (pp_delta fmt) r.regressions
+  end;
+  if r.improvements <> [] then begin
+    Format.fprintf fmt "improvements:@.";
+    List.iter (pp_delta fmt) r.improvements
+  end;
+  if r.regressions = [] && r.improvements = [] then
+    Format.fprintf fmt "no change beyond threshold@.";
+  r.regressions <> []

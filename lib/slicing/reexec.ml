@@ -26,8 +26,15 @@
 open Dr_machine
 
 let m_windows = Dr_obs.Metrics.counter "reexec.windows_rederived"
-let m_cache_hits = Dr_obs.Metrics.counter "reexec.cache_hits"
+let m_cache_hits = Dr_obs.Metrics.counter "reexec.window_hits"
+let m_cache_misses = Dr_obs.Metrics.counter "reexec.window_misses"
+let m_evictions = Dr_obs.Metrics.counter "reexec.window_evictions"
 let m_records = Dr_obs.Metrics.counter "reexec.records_rederived"
+
+(* forward replay distance (records) from the checkpoint to the
+   requested gseq on each window miss — the cost the checkpoint-ladder
+   spacing trades against snapshot memory *)
+let h_seek = Dr_obs.Histogram.get "reexec.seek_distance"
 
 type ckpt = {
   k_replay : Dr_pinplay.Replayer.checkpoint;
@@ -35,8 +42,9 @@ type ckpt = {
 }
 
 type stats = {
-  windows_rederived : int;
-  cache_hits : int;
+  windows_rederived : int;  (** = window-cache misses *)
+  window_hits : int;
+  window_evictions : int;
   records_rederived : int;
   peak_resident_bytes : int;
 }
@@ -56,6 +64,7 @@ type t = {
   mutable tick : int;
   mutable s_windows : int;
   mutable s_hits : int;
+  mutable s_evictions : int;
   mutable s_records : int;
   mutable resident_bytes : int;
   mutable peak_bytes : int;
@@ -114,7 +123,7 @@ let create ?(ckpt_interval = 4096) ?(cache_windows = 4) ?cfg ?clobber
     lock = Mutex.create ();
     cache = Hashtbl.create (2 * cache_windows);
     cache_windows = max 1 cache_windows;
-    tick = 0; s_windows = 0; s_hits = 0; s_records = 0;
+    tick = 0; s_windows = 0; s_hits = 0; s_evictions = 0; s_records = 0;
     resident_bytes = 0; peak_bytes = 0 }
 
 let length t = t.nrec
@@ -172,7 +181,9 @@ let evict (t : t) =
     match Hashtbl.find_opt t.cache !victim with
     | Some (frag, _) ->
       t.resident_bytes <- t.resident_bytes - frag_bytes frag;
-      Hashtbl.remove t.cache !victim
+      Hashtbl.remove t.cache !victim;
+      t.s_evictions <- t.s_evictions + 1;
+      Dr_obs.Metrics.add m_evictions 1
     | None -> ()
   done
 
@@ -193,6 +204,9 @@ let record (t : t) ~(gseq : int) : Trace.record =
       Dr_obs.Metrics.add m_cache_hits 1;
       frag
     | None ->
+      Dr_obs.Metrics.add m_cache_misses 1;
+      Dr_obs.Histogram.observe h_seek
+        (float_of_int (gseq - (w * t.ckpt_interval)));
       let frag = rederive t w in
       t.tick <- t.tick + 1;
       Hashtbl.replace t.cache w (frag, ref t.tick);
@@ -207,5 +221,6 @@ let record (t : t) ~(gseq : int) : Trace.record =
 let stats (t : t) : stats =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  { windows_rederived = t.s_windows; cache_hits = t.s_hits;
-    records_rederived = t.s_records; peak_resident_bytes = t.peak_bytes }
+  { windows_rederived = t.s_windows; window_hits = t.s_hits;
+    window_evictions = t.s_evictions; records_rederived = t.s_records;
+    peak_resident_bytes = t.peak_bytes }

@@ -19,7 +19,13 @@
 let m_spilled = Dr_obs.Metrics.counter "segment_store.spilled_segments"
 let m_spill_bytes = Dr_obs.Metrics.counter "segment_store.spilled_bytes"
 let m_reads = Dr_obs.Metrics.counter "segment_store.segment_reads"
-let m_cache_hits = Dr_obs.Metrics.counter "segment_store.cache_hits"
+
+(* the cache tier reports under the segstore.* prefix; a miss re-reads
+   and decodes a spilled segment, so the miss count tracks
+   [segment_store.segment_reads] *)
+let m_cache_hits = Dr_obs.Metrics.counter "segstore.hits"
+let m_cache_misses = Dr_obs.Metrics.counter "segstore.misses"
+let m_cache_evictions = Dr_obs.Metrics.counter "segstore.evictions"
 let m_corrupt = Dr_obs.Metrics.counter "segment_store.corrupt_segments"
 let t_spill_write = Dr_obs.Metrics.timer "segment_store.spill_write"
 let t_spill_read = Dr_obs.Metrics.timer "segment_store.spill_read"
@@ -168,11 +174,34 @@ type t = {
   cache : (int, Trace.record array) Hashtbl.t;
   mutable lru : int list;  (** cached segment indices, most recent first *)
   cache_cap : int;
+  mutable s_hits : int;  (** per-store cache traffic, under [lock] *)
+  mutable s_misses : int;
+  mutable s_evictions : int;
   lock : Mutex.t;
-      (** guards [cache] and [lru] so concurrent readers on several
-          domains share the spilled-segment cache safely; the flat path
-          never takes it *)
+      (** guards [cache], [lru] and the [s_*] stats so concurrent
+          readers on several domains share the spilled-segment cache
+          safely; the flat path never takes it *)
 }
+
+(** Cache traffic of one store (the process-wide aggregate lives in the
+    [segstore.*] metrics).  [cs_hits + cs_misses] is the number of
+    spilled-segment accesses; a never-spilled store reports zeros. *)
+type cache_stats = { cs_hits : int; cs_misses : int; cs_evictions : int }
+
+let cache_stats t =
+  Mutex.lock t.lock;
+  let st =
+    { cs_hits = t.s_hits; cs_misses = t.s_misses;
+      cs_evictions = t.s_evictions }
+  in
+  Mutex.unlock t.lock;
+  st
+
+(** Hits over total cache accesses; 0 when the store never spilled. *)
+let cache_hit_rate t =
+  let st = cache_stats t in
+  let total = st.cs_hits + st.cs_misses in
+  if total = 0 then 0.0 else float_of_int st.cs_hits /. float_of_int total
 
 (** Resident bytes a record roughly occupies (boxed record + two int
     arrays), the unit all budget accounting uses. *)
@@ -209,7 +238,7 @@ let spilled_paths t =
 let of_array (a : Trace.record array) : t =
   { seg_records = default_seg_records; total = Array.length a; segs = [||];
     flat = Some a; cache = Hashtbl.create 1; lru = []; cache_cap = 0;
-    lock = Mutex.create () }
+    s_hits = 0; s_misses = 0; s_evictions = 0; lock = Mutex.create () }
 
 (* LRU: move [s] to the front, evicting past capacity. *)
 let cache_insert t s records =
@@ -220,6 +249,8 @@ let cache_insert t s records =
     | keep :: rest when n > 1 -> keep :: drop (n - 1) rest
     | evict :: rest ->
       Hashtbl.remove t.cache evict;
+      Dr_obs.Metrics.bump m_cache_evictions;
+      t.s_evictions <- t.s_evictions + 1;
       drop n rest
   in
   if List.length t.lru > t.cache_cap then t.lru <- drop t.cache_cap t.lru
@@ -257,10 +288,14 @@ let seg_array t s =
         match Hashtbl.find_opt t.cache s with
         | Some a ->
           Dr_obs.Metrics.bump m_cache_hits;
+          t.s_hits <- t.s_hits + 1;
           if (match t.lru with hd :: _ -> hd <> s | [] -> true) then
             t.lru <- s :: List.filter (fun x -> x <> s) t.lru;
           a
-        | None -> load_segment t s ~path:sp_path ~count:sp_count)
+        | None ->
+          Dr_obs.Metrics.bump m_cache_misses;
+          t.s_misses <- t.s_misses + 1;
+          load_segment t s ~path:sp_path ~count:sp_count)
 
 (** Record with gseq [i].
     @raise Dr_util.Budget.Resource_error when a spilled segment is
@@ -407,12 +442,13 @@ let seal (b : builder) : t =
       segs;
     { seg_records = b.b_seg_records; total = b.b_total; segs;
       flat = Some flat; cache = Hashtbl.create 1; lru = [];
-      cache_cap = b.b_cache_cap; lock = Mutex.create () }
+      cache_cap = b.b_cache_cap; s_hits = 0; s_misses = 0; s_evictions = 0;
+      lock = Mutex.create () }
   end
   else
     { seg_records = b.b_seg_records; total = b.b_total; segs; flat = None;
       cache = Hashtbl.create 8; lru = []; cache_cap = b.b_cache_cap;
-      lock = Mutex.create () }
+      s_hits = 0; s_misses = 0; s_evictions = 0; lock = Mutex.create () }
 
 (** Copy an existing store through a fresh (typically budgeted) builder
     — the conformance fault oracle uses this to produce a spilled twin

@@ -487,10 +487,13 @@ let compute_many ?(lp : Lp.t option) ?(pairs : Prune.pairs option)
   let crits = Array.of_list criteria in
   let one c = compute ~lp ?pairs ?static_filter gt c in
   let results =
+    (* always route a provided pool through Pool.map, even at size 1:
+       the inline path runs the same instrumented task wrapper, so a
+       traced 1-domain batch records the same merged span sequence as a
+       4-domain one *)
     match pool with
-    | Some p when Dr_util.Pool.size p > 1 && Array.length crits > 1 ->
-      Dr_util.Pool.map p one crits
-    | _ -> Array.map one crits
+    | Some p -> Dr_util.Pool.map p one crits
+    | None -> Array.map one crits
   in
   Array.to_list results
 

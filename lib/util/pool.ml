@@ -18,6 +18,12 @@
     not torn down half-way, which keeps shared structures (metric
     registries, segment caches) in a sane state.
 
+    Every worker has a stable {e slot}: the caller is slot 0 and the
+    spawned domains are slots 1 .. size-1.  Slots identify workers to
+    the {!instrument} hooks (per-slot utilization metrics, per-domain
+    span tracks) independently of the runtime's domain ids, which are
+    not stable across pools or runs.
+
     The caller's wait at the barrier is a [Domain.cpu_relax] spin: it
     only covers the in-flight tail of tasks on other domains, and every
     intended workload (a slice, a fuzz case, an index shard) is far
@@ -28,11 +34,36 @@
 
 type task = unit -> unit
 
+(** Instrumentation hooks around the task fan-out, installed once by the
+    observability layer ([Dr_obs.Obs] installs them at module
+    initialisation).  [dr_util] cannot depend on [dr_obs], so the
+    dependency is inverted through this hook: the pool stays
+    observability-agnostic and pays one ref load + option match per
+    batch/task when no hook is installed.
+
+    [i_run_begin ~tasks] runs on the coordinating domain before the
+    fan-out and returns a {e stream base}: task [i] of the batch is
+    handed the logical stream id [base + i], allocated in program order
+    so traced runs merge deterministically whatever the claim schedule.
+    [i_task ~stream ~slot ~task f] wraps the execution of task [task]
+    (claimed by worker [slot]) and must run [f] exactly once,
+    propagating its exception. *)
+type instrument = {
+  i_run_begin : tasks:int -> int;
+  i_task : stream:int -> slot:int -> task:int -> (unit -> unit) -> unit;
+}
+
+let instrument : instrument option ref = ref None
+
+(** Install the instrumentation hooks (last install wins). *)
+let set_instrument i = instrument := Some i
+
 type t = {
   size : int;  (** total parallelism: worker domains + the caller *)
   mutex : Mutex.t;
   has_work : Condition.t;
-  mutable queue : task list;
+  mutable queue : (int -> unit) list;
+      (** pending drain loops; a worker applies one to its own slot *)
   mutable closing : bool;
   mutable workers : unit Domain.t list;
 }
@@ -42,7 +73,7 @@ let size t = t.size
 (** What the runtime recommends for this machine (never below 1). *)
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-let worker t () =
+let worker t slot () =
   let rec loop () =
     Mutex.lock t.mutex;
     let rec next () =
@@ -61,7 +92,7 @@ let worker t () =
     match task with
     | None -> ()
     | Some task ->
-      task ();
+      task slot;
       loop ()
   in
   loop ()
@@ -77,7 +108,7 @@ let create ?domains () : t =
     { size; mutex = Mutex.create (); has_work = Condition.create ();
       queue = []; closing = false; workers = [] }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t.workers <- List.init (size - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
 
 (** Join all worker domains.  Idempotent; the pool must be idle. *)
@@ -97,47 +128,62 @@ let with_pool ?domains f =
 
 (** Run every task to completion, fanning out over the pool; returns
     when all have finished.  The first task exception (if any) is
-    re-raised after the barrier. *)
+    re-raised after the barrier.  Every task runs through the installed
+    {!instrument} hook (even on the inline single-domain path, so a
+    traced 1-domain batch records the same span sequence as a 4-domain
+    one). *)
 let run t (tasks : task array) =
   let n = Array.length tasks in
   if n = 0 then ()
-  else if t.size = 1 || n = 1 then Array.iter (fun task -> task ()) tasks
   else begin
-    let next = Atomic.make 0 in
-    let completed = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let drain () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else begin
-          (try tasks.(i) ()
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-          (* the atomic increment publishes the task's writes to the
-             caller, which reads [completed] before touching results *)
-          Atomic.incr completed
-        end
-      done
+    let ins = !instrument in
+    let base = match ins with Some i -> i.i_run_begin ~tasks:n | None -> 0 in
+    let exec slot i =
+      match ins with
+      | Some ins -> ins.i_task ~stream:(base + i) ~slot ~task:i tasks.(i)
+      | None -> tasks.(i) ()
     in
-    (* a stale drain surviving past its batch exits immediately (the
-       cursor is spent), so leftovers in the queue are harmless *)
-    let helpers = min (t.size - 1) (n - 1) in
-    Mutex.lock t.mutex;
-    for _ = 1 to helpers do
-      t.queue <- drain :: t.queue
-    done;
-    Condition.broadcast t.has_work;
-    Mutex.unlock t.mutex;
-    drain ();
-    while Atomic.get completed < n do
-      Domain.cpu_relax ()
-    done;
-    match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    if t.size = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        exec 0 i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let drain slot =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            (try exec slot i
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            (* the atomic increment publishes the task's writes to the
+               caller, which reads [completed] before touching results *)
+            Atomic.incr completed
+          end
+        done
+      in
+      (* a stale drain surviving past its batch exits immediately (the
+         cursor is spent), so leftovers in the queue are harmless *)
+      let helpers = min (t.size - 1) (n - 1) in
+      Mutex.lock t.mutex;
+      for _ = 1 to helpers do
+        t.queue <- drain :: t.queue
+      done;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.mutex;
+      drain 0;
+      while Atomic.get completed < n do
+        Domain.cpu_relax ()
+      done;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
   end
 
 (** [map t f xs] applies [f] to every element in parallel.  Output slot

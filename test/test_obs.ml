@@ -86,6 +86,21 @@ let test_mismatched_stop () =
   Alcotest.(check int) "messages match count" 2
     (List.length (Obs.mismatch_messages ()))
 
+(* Regression: reset used to leave next_id where it was, so token
+   values depended on how many spans every earlier test recorded. *)
+let test_reset_token_ids () =
+  fresh ();
+  let a = Obs.start "a" in
+  let b = Obs.start "b" in
+  Obs.stop b;
+  Obs.stop a;
+  Alcotest.(check bool) "tokens distinct" true (a <> b);
+  fresh ();
+  let a' = Obs.start "a-again" in
+  Obs.stop a';
+  Alcotest.(check int) "token ids restart after reset" a a';
+  Alcotest.(check int) "old spans dropped" 1 (Obs.span_count ())
+
 let test_disabled_mode () =
   fresh ~enabled:false ();
   let tok = Obs.start "ghost" in
@@ -183,12 +198,27 @@ let test_chrome_trace_roundtrip () =
     | Some (J.List l) -> l
     | _ -> Alcotest.fail "traceEvents missing"
   in
-  (* one metadata event + two spans *)
-  Alcotest.(check int) "event count" 3 (List.length events);
+  (* process_name + thread_name for tracks 0 and 2 + two spans *)
+  Alcotest.(check int) "event count" 5 (List.length events);
   let str k e = Option.bind (J.member k e) J.to_str in
   let num k e = Option.bind (J.member k e) J.to_float in
   let metas, xs = List.partition (fun e -> str "ph" e = Some "M") events in
-  Alcotest.(check int) "one metadata event" 1 (List.length metas);
+  Alcotest.(check int) "three metadata events" 3 (List.length metas);
+  (* every distinct track is labelled *)
+  let thread_names =
+    List.filter (fun e -> str "name" e = Some "thread_name") metas
+  in
+  Alcotest.(check int) "two thread_name events" 2 (List.length thread_names);
+  let label_of_track t =
+    List.find_opt (fun e -> num "tid" e = Some t) thread_names
+    |> Fun.flip Option.bind (fun e ->
+           Option.bind (J.member "args" e) (fun a ->
+               Option.bind (J.member "name" a) J.to_str))
+  in
+  Alcotest.(check (option string)) "main track labelled" (Some "tid 0 (main)")
+    (label_of_track 0.0);
+  Alcotest.(check (option string)) "tid-2 track labelled"
+    (Some "tid 2 (main)") (label_of_track 2.0);
   List.iter
     (fun e ->
       Alcotest.(check (option string)) "ph" (Some "X") (str "ph" e);
@@ -257,6 +287,104 @@ let test_report_validate () =
   in
   Alcotest.(check bool) "span aggregated into a phase" true
     (List.mem_assoc "report-span" phases)
+
+(* ---- OpenMetrics-style export ---- *)
+
+let test_openmetrics_render () =
+  fresh ();
+  (* touch the cache counters the export derives hit rates from *)
+  Metrics.add (Metrics.counter "segstore.hits") 3;
+  Metrics.bump (Metrics.counter "segstore.misses");
+  Metrics.add (Metrics.counter "reexec.window_hits") 2;
+  Metrics.bump (Metrics.counter "reexec.window_misses");
+  Metrics.time (Metrics.timer "test.om.timer") (fun () -> ());
+  Histogram.observe (Histogram.get "test.om.hist") 5.0;
+  Obs.set_enabled false;
+  let text = Dr_obs.Openmetrics.render () in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i =
+      i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "render has %S" needle) true
+        (contains needle))
+    [ "# TYPE segstore.hits counter"; "segstore.hits 3";
+      "segstore.misses 1"; "reexec.window_hits 2"; "reexec.window_misses 1";
+      "segstore.hit_rate 0.75"; "reexec.window_hit_rate";
+      "test.om.timer_count 1"; "test.om.hist_count 1"; "# EOF\n" ];
+  (* the same renderer applied to a stored report document *)
+  let doc = Report.document ~label:"om-test" () in
+  match Dr_obs.Openmetrics.of_report doc with
+  | Error e -> Alcotest.failf "of_report failed: %s" e
+  | Ok text' ->
+    Alcotest.(check bool) "of_report carries the counters" true
+      (let tl = String.length text' in
+       let needle = "segstore.hits 3" in
+       let nl = String.length needle in
+       let rec go i =
+         i + nl <= tl && (String.sub text' i nl = needle || go (i + 1))
+       in
+       go 0)
+
+(* ---- report diffing ---- *)
+
+let diff_doc ~slice_s ~prep_s =
+  J.Obj
+    [ ("schema", J.Str "drdebug-report-v1");
+      ("label", J.Str "diff-test");
+      ("counters", J.Obj []);
+      ( "timers",
+        J.Obj
+          [ ( "slicer.slice",
+              J.Obj [ ("seconds", J.Num slice_s); ("events", J.int 4) ] );
+            ( "lp.prepare",
+              J.Obj [ ("seconds", J.Num prep_s); ("events", J.int 1) ] ) ] );
+      ("histograms", J.Obj []);
+      ("phases", J.Obj []);
+      ("span_total", J.int 0);
+      ("span_mismatches", J.int 0) ]
+
+let test_report_diff () =
+  let base = diff_doc ~slice_s:0.1 ~prep_s:0.02 in
+  (* identical documents: nothing past any threshold *)
+  (match Report.diff ~threshold_pct:10.0 base base with
+  | Error e -> Alcotest.failf "identical diff failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "identical: no regressions" 0
+      (List.length r.Report.regressions);
+    Alcotest.(check int) "identical: no improvements" 0
+      (List.length r.Report.improvements);
+    Alcotest.(check int) "identical: both timers compared" 2
+      r.Report.compared);
+  (* +50% on one timer, -50% on the other *)
+  let cur = diff_doc ~slice_s:0.15 ~prep_s:0.01 in
+  (match Report.diff ~threshold_pct:10.0 base cur with
+  | Error e -> Alcotest.failf "regressed diff failed: %s" e
+  | Ok r -> (
+    Alcotest.(check int) "one regression" 1 (List.length r.Report.regressions);
+    Alcotest.(check int) "one improvement" 1
+      (List.length r.Report.improvements);
+    match r.Report.regressions with
+    | [ d ] ->
+      Alcotest.(check string) "regression names the timer"
+        "timers.slicer.slice.seconds" d.Report.d_name;
+      Alcotest.(check bool) "pct is ~+50" true
+        (Float.abs (d.Report.d_pct -. 50.0) < 1e-6)
+    | _ -> assert false));
+  (* the same +50% under a 60% threshold is quiet *)
+  (match Report.diff ~threshold_pct:60.0 base cur with
+  | Error e -> Alcotest.failf "lenient diff failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "under threshold: no regressions" 0
+      (List.length r.Report.regressions));
+  (* a document that is not a report is rejected *)
+  match Report.diff ~threshold_pct:10.0 base (J.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-report accepted by diff"
 
 let test_metrics_registry () =
   (* registration is idempotent: same name -> same handle *)
@@ -352,6 +480,8 @@ let () =
             [ Alcotest.test_case "nesting" `Quick test_span_nesting;
               Alcotest.test_case "with_span" `Quick test_with_span;
               Alcotest.test_case "mismatched stop" `Quick test_mismatched_stop;
+              Alcotest.test_case "reset restarts token ids" `Quick
+                test_reset_token_ids;
               Alcotest.test_case "disabled mode" `Quick test_disabled_mode ] );
           ( "histogram",
             [ Alcotest.test_case "buckets" `Quick test_histogram_buckets;
@@ -360,8 +490,10 @@ let () =
           ( "sinks",
             [ Alcotest.test_case "chrome trace round-trip" `Quick
                 test_chrome_trace_roundtrip;
-              Alcotest.test_case "report validate" `Quick test_report_validate
-            ] );
+              Alcotest.test_case "report validate" `Quick test_report_validate;
+              Alcotest.test_case "openmetrics render" `Quick
+                test_openmetrics_render;
+              Alcotest.test_case "report diff" `Quick test_report_diff ] );
           ( "metrics",
             [ Alcotest.test_case "registry" `Quick test_metrics_registry;
               Alcotest.test_case "parallel registration determinism" `Quick
