@@ -10,6 +10,7 @@
      fig14     Fig. 14   execution-slice replay times + slice %
      sec7text  section 7 prose: tracing time, slice size, slicing time
      micro     Bechamel micro-benchmarks, one per table/figure
+     races     static race candidates vs seeded Maple campaigns
 
    Usage: dune exec bench/main.exe -- [experiment ...] [--quick]
    With no arguments, all experiments run.  --quick caps the fig11/12
@@ -790,16 +791,21 @@ let micro () =
 
 let bench_out = ref "BENCH_slicing.json"
 let bench_domains = ref 2
+let races_out = ref "BENCH_races.json"
 
 let slicing () =
   section "Slicing fast path: indexed traversal vs backwards scan";
   Slicing_bench.run ~quick:!quick ~domains:!bench_domains ~out:!bench_out ()
 
+let races () =
+  section "Race detection: static candidates vs Maple campaign";
+  Races_bench.run ~quick:!quick ~out:!races_out ()
+
 let experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("sec7text", sec7text); ("ablation", ablation); ("micro", micro);
-    ("slicing", slicing) ]
+    ("slicing", slicing); ("races", races) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -810,6 +816,9 @@ let () =
       parse acc rest
     | "--bench-out" :: path :: rest ->
       bench_out := path;
+      parse acc rest
+    | "--races-out" :: path :: rest ->
+      races_out := path;
       parse acc rest
     | "--domains" :: n :: rest ->
       (match int_of_string_opt n with

@@ -3,6 +3,8 @@
 
    - drdebug-bench-slicing-v1: the slicing bench output, including its
      embedded drdebug-report-v1 run report;
+   - drdebug-bench-races-v1: the race-detection bench output (static
+     candidates vs seeded Maple campaigns);
    - drdebug-report-v1: a standalone run report (drdebug_cli
      --report-out), checked via Dr_obs.Report.validate;
    - drdebug-analyze-v1: a static-lint report (drdebug_cli analyze
@@ -102,6 +104,48 @@ let check_report ctx r =
   | Ok () -> ()
   | Error e -> fail "%s: %s" ctx e
 
+(* drdebug-bench-races-v1: every registry bug must be statically ranked
+   (non-empty candidate set, fully resolved, root cause in a pair),
+   exposed by the statically seeded campaign, and dynamically
+   cross-checked (every observed racy pair a static candidate) — the
+   acceptance gates of the race-detection tier, enforced on the
+   checked-in artifact. *)
+let check_races doc =
+  ignore (want_bool "quick" (get doc "quick"));
+  let bugs = want_list "bugs" (get doc "bugs") in
+  if bugs = [] then fail "bugs: empty";
+  List.iteri
+    (fun i b ->
+      let ctx k = Printf.sprintf "bugs[%d].%s" i k in
+      let num k = want_num (ctx k) (get b k) in
+      let boolean k = want_bool (ctx k) (get b k) in
+      ignore (want_str (ctx "name") (get b "name"));
+      List.iter
+        (fun k -> if num k < 0.0 then fail "%s: negative" (ctx k))
+        [ "static_candidates"; "static_s"; "iroot_predicted"; "iroot_seeded";
+          "plain_attempts"; "seeded_attempts"; "maple_steps_saved";
+          "campaign_s"; "dynamic_races" ];
+      if num "static_candidates" < 1.0 then
+        fail "%s: bug not statically ranked" (ctx "static_candidates");
+      if not (boolean "static_resolved") then
+        fail "%s: static detector degraded" (ctx "static_resolved");
+      if not (boolean "root_cause_ranked") then
+        fail "%s: root cause missing from candidates" (ctx "root_cause_ranked");
+      if num "seeded_attempts" < 1.0 then
+        fail "%s: seeded campaign recorded no attempts" (ctx "seeded_attempts");
+      if num "iroot_seeded" < num "iroot_predicted" then
+        fail "%s: seeding shrank the queue" (ctx "iroot_seeded");
+      if num "dynamic_races" < 1.0 then
+        fail "%s: race never observed dynamically" (ctx "dynamic_races");
+      if not (boolean "dynamic_in_static") then
+        fail "%s: dynamic race outside the static candidate set"
+          (ctx "dynamic_in_static");
+      ignore (boolean "plain_exposed"))
+    bugs;
+  if want_num "total_steps_saved" (get doc "total_steps_saved") < 0.0 then
+    fail "total_steps_saved: negative";
+  List.length bugs
+
 let check_slicing doc =
   ignore (want_bool "quick" (get doc "quick"));
   if want_num "domains" (get doc "domains") < 1.0 then
@@ -164,6 +208,9 @@ let () =
   | "drdebug-bench-slicing-v1" as schema ->
     let n = check_slicing doc in
     Printf.printf "ok: %s matches %s (%d workloads)\n" path schema n
+  | "drdebug-bench-races-v1" as schema ->
+    let n = check_races doc in
+    Printf.printf "ok: %s matches %s (%d bugs)\n" path schema n
   | "drdebug-report-v1" as schema ->
     check_report "report" doc;
     Printf.printf "ok: %s matches %s\n" path schema

@@ -327,16 +327,39 @@ let run_slice workload source seed input stats trace_out report_out
 
 (* ---- analyze subcommand: static binary lint ---- *)
 
-(* Purely static: no execution, no pinball.  Runs the four lint passes
-   over the program image, prints a per-pass summary and optionally
-   writes the validated drdebug-analyze-v1 JSON document. *)
-let run_analyze workload source out metrics_out =
+(* Purely static: no execution, no pinball.  Runs the five lint passes
+   (or the --passes subset) over the program image, prints a per-pass
+   summary and optionally writes the validated drdebug-analyze-v1 JSON
+   document. *)
+let run_analyze workload source passes out metrics_out =
   guarded @@ fun () ->
   match load_program workload source with
   | Error e ->
     prerr_endline e;
     1
   | Ok prog ->
+    let passes =
+      match passes with
+      | None -> None
+      | Some s ->
+        Some
+          (List.filter
+             (fun p -> p <> "")
+             (String.split_on_char ',' (String.trim s)))
+    in
+    let bad =
+      match passes with
+      | None -> []
+      | Some l ->
+        List.filter (fun p -> not (List.mem p Dr_static.Lint.pass_names)) l
+    in
+    if bad <> [] then begin
+      Printf.eprintf "unknown pass(es): %s (valid: %s)\n"
+        (String.concat ", " bad)
+        (String.concat ", " Dr_static.Lint.pass_names);
+      1
+    end
+    else begin
     let cfg = Dr_cfg.Cfg.build prog in
     let cands =
       Dr_slicing.Prune.static_candidates prog
@@ -347,16 +370,20 @@ let run_analyze workload source out metrics_out =
       ( to_assoc cands.Dr_slicing.Prune.saves,
         to_assoc cands.Dr_slicing.Prune.restores )
     in
-    let lint, doc = Dr_static.Report.analyze ~candidates prog in
+    let lint, doc = Dr_static.Report.analyze ~candidates ?passes prog in
     Printf.printf "analyze %s: %d instructions, %d functions\n"
       prog.Dr_isa.Program.name
       (Array.length prog.Dr_isa.Program.code)
       (List.length (Dr_cfg.Cfg.functions cfg));
-    let pass name count = Printf.printf "  %-20s %d\n" name count in
+    let ran = lint.Dr_static.Lint.passes_run in
+    let pass name count =
+      if List.mem name ran then Printf.printf "  %-20s %d\n" name count
+    in
     pass "unreachable-blocks" (List.length lint.Dr_static.Lint.unreachable);
     pass "maybe-uninit" (List.length lint.Dr_static.Lint.uninit);
     pass "indirect-audit" (List.length lint.Dr_static.Lint.indirect);
     pass "save-restore" (List.length lint.Dr_static.Lint.save_restore);
+    pass "races" (List.length lint.Dr_static.Lint.races);
     Printf.printf "  %-20s %d\n" "findings total"
       (Dr_static.Lint.findings_total lint);
     List.iter
@@ -392,8 +419,25 @@ let run_analyze workload source out metrics_out =
           s.Dr_static.Lint.sr_pc
           (Dr_isa.Reg.name s.Dr_static.Lint.sr_reg))
       lint.Dr_static.Lint.save_restore;
+    List.iter
+      (fun (p : Dr_static.Race.pair) ->
+        let acc (a : Dr_static.Race.access) roots lockset =
+          Printf.sprintf "pc %d%s%s roots:%s locks:%s" a.Dr_static.Race.acc_pc
+            (if a.Dr_static.Race.acc_write then " write" else " read")
+            (match a.Dr_static.Race.acc_addr with
+            | Some ad -> Printf.sprintf " @%d" ad
+            | None -> "")
+            (String.concat "," (List.map string_of_int roots))
+            (String.concat "," (List.map string_of_int lockset))
+        in
+        Printf.printf "  [races] score %d: %s <-> %s\n" p.Dr_static.Race.p_score
+          (acc p.Dr_static.Race.p_a p.Dr_static.Race.p_roots_a
+             p.Dr_static.Race.p_lockset_a)
+          (acc p.Dr_static.Race.p_b p.Dr_static.Race.p_roots_b
+             p.Dr_static.Race.p_lockset_b))
+      lint.Dr_static.Lint.races;
     write_metrics metrics_out;
-    (match out with
+    match out with
     | None -> 0
     | Some path -> (
       match Dr_static.Report.validate doc with
@@ -407,7 +451,60 @@ let run_analyze workload source out metrics_out =
               (Dr_util.Json.to_string ~indent:true doc);
             Out_channel.output_char oc '\n');
         Printf.printf "report written to %s\n" path;
-        0))
+        0)
+    end
+
+(* ---- maple subcommand: active iRoot testing campaign ---- *)
+
+(* Profile, predict, and actively schedule candidate iRoots until a bug
+   is exposed.  With --static-races the candidate queue is reordered so
+   iRoots matching a static race candidate pair run first — the
+   campaign-seeding integration of the static race detector. *)
+let run_maple workload source static_races max_candidates max_steps out
+    metrics_out =
+  guarded @@ fun () ->
+  match load_program workload source with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok prog ->
+    let static_pairs =
+      if static_races then begin
+        let r = Dr_static.Race.analyze prog in
+        let pairs = Dr_static.Race.candidate_pairs r in
+        Printf.printf "static race candidates: %d%s\n" (List.length pairs)
+          (if Dr_static.Race.fully_resolved r then "" else " (degraded: unresolved targets)");
+        Some pairs
+      end
+      else None
+    in
+    let exposed =
+      Dr_maple.Active.expose ?static_pairs ~max_candidates ~max_steps prog
+    in
+    write_metrics metrics_out;
+    (match exposed with
+    | None ->
+      Printf.printf "maple: no bug exposed (%s)\n"
+        (match static_pairs with
+        | Some _ -> "with static seeding"
+        | None -> "no static seeding");
+      0
+    | Some e ->
+      let n = List.length e.Dr_maple.Active.attempts in
+      Printf.printf "maple: exposed %s after %d attempt(s) via %s\n"
+        (match e.Dr_maple.Active.outcome with
+        | Dr_machine.Machine.Assert_failed { msg; _ } ->
+          Printf.sprintf "assertion %S" msg
+        | Dr_machine.Machine.Fault { msg; _ } -> Printf.sprintf "fault %S" msg
+        | _ -> "deadlock")
+        n
+        (Dr_maple.Iroot.to_string e.Dr_maple.Active.failing_iroot);
+      (match out with
+      | Some path ->
+        Dr_pinplay.Pinball.save_file path e.Dr_maple.Active.pinball;
+        Printf.printf "failing run recorded to %s\n" path
+      | None -> ());
+      0)
 
 (* ---- fuzz subcommand: differential pipeline fuzzing ---- *)
 
@@ -635,16 +732,51 @@ let slice_cmd =
 let analyze_cmd =
   let doc =
     "static binary lint: unreachable blocks, maybe-uninitialized registers, \
-     unresolved-indirect audit with refinement suggestions, and \
-     save/restore discipline (cross-checked against the slicer's candidate \
-     scan)"
+     unresolved-indirect audit with refinement suggestions, save/restore \
+     discipline (cross-checked against the slicer's candidate scan), and \
+     static data-race candidates (lockset + happens-before)"
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out"; "o" ]
            ~doc:"Write the drdebug-analyze-v1 JSON report.")
   in
+  let passes =
+    Arg.(value & opt (some string) None & info [ "passes" ]
+           ~doc:"Comma-separated subset of lint passes to run \
+                 (unreachable-blocks, maybe-uninit, indirect-audit, \
+                 save-restore, races). Default: all.")
+  in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run_analyze $ workload $ source $ out $ metrics_out)
+    Term.(const run_analyze $ workload $ source $ passes $ out $ metrics_out)
+
+let maple_cmd =
+  let doc =
+    "Maple active-scheduling campaign: profile observed iRoots, predict \
+     untested interleavings, and force each candidate under the PinPlay \
+     logger until a bug is exposed; --static-races seeds the queue with \
+     the static race detector's candidate pairs"
+  in
+  let static_races =
+    Arg.(value & flag & info [ "static-races" ]
+           ~doc:"Prioritize candidate iRoots whose pc pair is a static race \
+                 candidate (lockset + happens-before analysis).")
+  in
+  let max_candidates =
+    Arg.(value & opt int 64 & info [ "max-candidates" ]
+           ~doc:"Test at most this many candidate iRoots.")
+  in
+  let max_steps =
+    Arg.(value & opt int 2_000_000 & info [ "max-steps" ]
+           ~doc:"Per-attempt step bound.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ]
+           ~doc:"Save the failing run's pinball.")
+  in
+  Cmd.v (Cmd.info "maple" ~doc)
+    Term.(
+      const run_maple $ workload $ source $ static_races $ max_candidates
+      $ max_steps $ out $ metrics_out)
 
 let fuzz_cmd =
   let doc =
@@ -722,7 +854,7 @@ let slice_file_cmd =
 let cmd =
   let doc = "deterministic replay based cyclic debugging with dynamic slicing" in
   Cmd.group ~default:debug_term (Cmd.info "drdebug" ~doc)
-    [ slice_cmd; analyze_cmd; fuzz_cmd; report_cmd; metrics_cmd;
+    [ slice_cmd; analyze_cmd; maple_cmd; fuzz_cmd; report_cmd; metrics_cmd;
       slice_file_cmd ]
 
 let () = exit (Cmd.eval' cmd)

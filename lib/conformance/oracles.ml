@@ -55,10 +55,11 @@ type kind =
   | Exclusion_sanity
   | Static_slice_bound
   | Resource_robustness
+  | Race_soundness
 
 let all_kinds =
   [ Replay_determinism; Pinball_roundtrip; Driver_agreement; Slice_soundness;
-    Exclusion_sanity; Static_slice_bound; Resource_robustness ]
+    Exclusion_sanity; Static_slice_bound; Resource_robustness; Race_soundness ]
 
 let kind_name = function
   | Replay_determinism -> "replay-determinism"
@@ -68,6 +69,7 @@ let kind_name = function
   | Exclusion_sanity -> "exclusion-sanity"
   | Static_slice_bound -> "static-slice-bound"
   | Resource_robustness -> "resource-robustness"
+  | Race_soundness -> "race-soundness"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -225,6 +227,58 @@ let check_static_bound prog (c : Collector.result) gt
                 pos crit_pc pc)
           slice.Slicer.positions)
       slices
+
+(* ---- oracle 8: race soundness ---- *)
+
+(* Every dynamically-observed unsynchronized conflicting access pair must
+   appear in the static race candidate set.  Gated like oracle 6: the
+   static detector is only a sound over-approximation when the refined
+   CFG is fully resolved (including every spawn target) and every dynamic
+   thread starts at a statically known entry.  The dynamic side
+   ({!Racecheck}) under-reports by construction — per-thread must-held
+   locksets are supersets of the static must-locksets, and its vector
+   clocks encode exactly the spawn/join/signal orderings the static HB
+   skeleton under-approximates — so a dynamic pair escaping the static
+   set is a genuine soundness bug in {!Dr_static.Race}. *)
+let check_race_soundness prog (c : Collector.result) pb =
+  let race =
+    Dr_static.Race.analyze ~indirect_targets:c.Collector.indirect_targets prog
+  in
+  let known_entries =
+    prog.Dr_isa.Program.entry
+    :: List.map
+         (fun i -> race.Dr_static.Race.cg.Dr_static.Callgraph.entries.(i))
+         race.Dr_static.Race.cg.Dr_static.Callgraph.address_taken
+  in
+  let entries_known =
+    Array.for_all
+      (fun gseqs ->
+        Array.length gseqs = 0
+        || List.mem
+             (Segment_store.get c.Collector.records gseqs.(0)).Trace.pc
+             known_entries)
+      c.Collector.per_thread
+  in
+  if Dr_static.Race.fully_resolved race && entries_known then begin
+    let dyn =
+      try Racecheck.observe_pinball prog pb
+      with Replayer.Divergence d ->
+        fail Race_soundness "race-check replay diverged: %s"
+          (Replayer.divergence_message d)
+    in
+    List.iter
+      (fun (r : Racecheck.race) ->
+        if not (Dr_static.Race.is_candidate race r.Racecheck.r_pc_a r.Racecheck.r_pc_b)
+        then
+          fail Race_soundness
+            "dynamic race on addr %d (tid %d pc %d %s / tid %d pc %d %s) is \
+             not a static race candidate"
+            r.Racecheck.r_addr r.Racecheck.r_tid_a r.Racecheck.r_pc_a
+            (if r.Racecheck.r_write_a then "write" else "read")
+            r.Racecheck.r_tid_b r.Racecheck.r_pc_b
+            (if r.Racecheck.r_write_b then "write" else "read"))
+      dyn.Racecheck.races
+  end
 
 (* ---- oracle 5: exclusion-region sanity ---- *)
 
@@ -793,6 +847,7 @@ let check ?mutate_slice ?resource ?reexec_clobber (prog : Dr_isa.Program.t)
       in
       oracle_span Static_slice_bound (fun () ->
           check_static_bound prog c gt ~slices);
+      oracle_span Race_soundness (fun () -> check_race_soundness prog c pb);
       let slice0 = List.assoc crit_pos slices in
       (match resource with
       | Some rc ->

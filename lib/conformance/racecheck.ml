@@ -1,0 +1,200 @@
+(** Dynamic lockset + vector-clock race checker over replayed (or live)
+    executions — the dynamic half of conformance oracle 8.
+
+    The checker walks retired events maintaining, per thread:
+
+    - a {e lockset}: mutex addresses currently held ([Sys_lock
+      acquired=true] adds, [Sys_unlock] removes, phase 1 of [Sys_wait]
+      removes the mutex — its reacquire comes back later as an ordinary
+      [Sys_lock] event);
+    - a {e vector clock}, advanced on every retired event and merged at
+      the synchronizations the machine makes deterministic: spawn copies
+      the parent's clock into the child, a retired join merges the
+      target's clock, and a signal/broadcast merges the signaler's clock
+      into each woken waiter (the checker mirrors the machine's
+      wake-in-ascending-tid-order over its own record of who is blocked
+      on each condvar, since the event only carries the {e count} woken).
+
+    Shared accesses are [Load]/[Store] traffic outside the stack: pcs in
+    {!Dr_static.Race.stack_class} and addresses at or above
+    {!Dr_static.Race.shared_limit} are skipped, the same filter the
+    static detector applies.  For each access the checker compares
+    against the last write (and, for writes, last read) of every other
+    thread at that address — a FastTrack-style last-epoch table, which
+    may miss some racy pairs in long runs but never fabricates one: a
+    reported pair really did execute unordered with disjoint locksets.
+    That one-sided precision is exactly what the soundness oracle needs
+    (dynamic ⊆ static). *)
+
+open Dr_machine
+open Dr_pinplay
+
+type race = {
+  r_addr : int;
+  r_pc_a : int;  (** the earlier access *)
+  r_tid_a : int;
+  r_write_a : bool;
+  r_pc_b : int;  (** the later access *)
+  r_tid_b : int;
+  r_write_b : bool;
+}
+
+type result = {
+  races : race list;  (** in detection order *)
+  pairs : (int * int) list;  (** deduped unordered pc pairs, sorted *)
+  accesses : int;  (** shared accesses examined *)
+}
+
+type slot = { mutable s_clock : int; mutable s_pc : int; mutable s_locks : int list }
+(* last access epoch of one (addr, tid): clock component of the accessing
+   thread, access pc, lockset held *)
+
+type state = {
+  prog : Dr_isa.Program.t;
+  limit : int;
+  nt : int;  (** max threads = vector-clock width *)
+  vc : int array array;  (** tid -> vector clock *)
+  locks : int list array;  (** tid -> held mutex addresses *)
+  waiters : (int, int list) Hashtbl.t;  (** cond addr -> blocked tids *)
+  writes : (int, slot array) Hashtbl.t;  (** addr -> per-tid last write *)
+  reads : (int, slot array) Hashtbl.t;  (** addr -> per-tid last read *)
+  seen : (int * int, unit) Hashtbl.t;  (** dedup of unordered pc pairs *)
+  mutable races : race list;
+  mutable accesses : int;
+}
+
+let create (prog : Dr_isa.Program.t) : state =
+  let nt = prog.Dr_isa.Program.max_threads in
+  let vc = Array.init nt (fun _ -> Array.make nt 0) in
+  vc.(0).(0) <- 1;
+  { prog; limit = Dr_static.Race.shared_limit prog; nt; vc;
+    locks = Array.make nt []; waiters = Hashtbl.create 4;
+    writes = Hashtbl.create 64; reads = Hashtbl.create 64;
+    seen = Hashtbl.create 32; races = []; accesses = 0 }
+
+let merge_into ~(src : int array) ~(dst : int array) =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let slots st tbl addr =
+  match Hashtbl.find_opt tbl addr with
+  | Some a -> a
+  | None ->
+    let a = Array.init st.nt (fun _ -> { s_clock = -1; s_pc = -1; s_locks = [] }) in
+    Hashtbl.replace tbl addr a;
+    a
+
+let disjoint l1 l2 = not (List.exists (fun x -> List.mem x l2) l1)
+
+let note_access st ~tid ~pc ~addr ~write =
+  if addr >= 0 && addr < st.limit then begin
+    st.accesses <- st.accesses + 1;
+    let my_vc = st.vc.(tid) and my_locks = st.locks.(tid) in
+    let check ~(prior : slot array) ~prior_write =
+      Array.iteri
+        (fun u (s : slot) ->
+          if
+            u <> tid && s.s_clock >= 0
+            && s.s_clock > my_vc.(u)  (* not ordered before us *)
+            && disjoint s.s_locks my_locks
+          then begin
+            let key = (min s.s_pc pc, max s.s_pc pc) in
+            if not (Hashtbl.mem st.seen key) then begin
+              Hashtbl.replace st.seen key ();
+              st.races <-
+                { r_addr = addr; r_pc_a = s.s_pc; r_tid_a = u;
+                  r_write_a = prior_write; r_pc_b = pc; r_tid_b = tid;
+                  r_write_b = write }
+                :: st.races
+            end
+          end)
+        prior
+    in
+    (* conflicting = at least one write *)
+    check ~prior:(slots st st.writes addr) ~prior_write:true;
+    if write then check ~prior:(slots st st.reads addr) ~prior_write:false;
+    let mine = (slots st (if write then st.writes else st.reads) addr).(tid) in
+    mine.s_clock <- my_vc.(tid);
+    mine.s_pc <- pc;
+    mine.s_locks <- my_locks
+  end
+
+(** Feed one machine event.  Only retired events change any state. *)
+let on_event (st : state) (ev : Event.t) =
+  if ev.Event.retired then begin
+    let tid = ev.Event.tid in
+    if tid < st.nt then begin
+      let pc = ev.Event.pc in
+      (match ev.Event.sys with
+      | Event.Sys_spawn { child; _ } ->
+        if child < st.nt then begin
+          Array.blit st.vc.(tid) 0 st.vc.(child) 0 st.nt;
+          st.vc.(child).(child) <- st.vc.(child).(child) + 1
+        end
+      | Event.Sys_join { target; blocked = false } ->
+        if target < st.nt then merge_into ~src:st.vc.(target) ~dst:st.vc.(tid)
+      | Event.Sys_lock { addr; acquired = true } ->
+        if not (List.mem addr st.locks.(tid)) then
+          st.locks.(tid) <- addr :: st.locks.(tid)
+      | Event.Sys_unlock { addr } ->
+        st.locks.(tid) <- List.filter (fun a -> a <> addr) st.locks.(tid)
+      | Event.Sys_wait { cond; mutex } ->
+        (* phase 1: the mutex is released and the thread blocks on the
+           condvar; the reacquire will arrive as a Sys_lock event *)
+        st.locks.(tid) <- List.filter (fun a -> a <> mutex) st.locks.(tid);
+        let w = Option.value ~default:[] (Hashtbl.find_opt st.waiters cond) in
+        Hashtbl.replace st.waiters cond (List.sort_uniq compare (tid :: w))
+      | Event.Sys_signal { cond; woken; _ } ->
+        if woken > 0 then begin
+          (* the machine wakes Blocked_cond threads in ascending tid
+             order; mirror that over our waiter record *)
+          let w = Option.value ~default:[] (Hashtbl.find_opt st.waiters cond) in
+          let rec split k = function
+            | x :: rest when k > 0 ->
+              let woke, stay = split (k - 1) rest in
+              (x :: woke, stay)
+            | rest -> ([], rest)
+          in
+          let woke, stay = split woken w in
+          Hashtbl.replace st.waiters cond stay;
+          List.iter
+            (fun u ->
+              if u < st.nt then begin
+                merge_into ~src:st.vc.(tid) ~dst:st.vc.(u);
+                st.vc.(u).(u) <- st.vc.(u).(u) + 1
+              end)
+            woke
+        end
+      | _ -> ());
+      if not (Dr_static.Race.stack_class ev.Event.instr) then begin
+        if ev.Event.mem_read >= 0 then
+          note_access st ~tid ~pc ~addr:ev.Event.mem_read ~write:false;
+        if ev.Event.mem_write >= 0 then
+          note_access st ~tid ~pc ~addr:ev.Event.mem_write ~write:true
+      end;
+      st.vc.(tid).(tid) <- st.vc.(tid).(tid) + 1
+    end
+  end
+
+let finish (st : state) : result =
+  { races = List.rev st.races;
+    pairs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) st.seen []);
+    accesses = st.accesses }
+
+(** Replay [pb] and race-check every retired event.  Raises
+    {!Dr_pinplay.Replayer.Divergence} if the pinball does not replay. *)
+let observe_pinball (prog : Dr_isa.Program.t) (pb : Pinball.t) : result =
+  let st = create prog in
+  let r = Replayer.create prog pb in
+  let hooks = { Driver.on_event = (fun ev -> on_event st ev) } in
+  ignore (Replayer.resume ~hooks r);
+  finish st
+
+(** Run [prog] live under [policy] and race-check it. *)
+let observe_run ?(input = [||]) ?(max_steps = 2_000_000) ?nondet
+    (prog : Dr_isa.Program.t) ~(policy : Driver.policy) :
+    result * Driver.stop_reason =
+  let st = create prog in
+  let m = Machine.create ~input prog in
+  let hooks = { Driver.on_event = (fun ev -> on_event st ev) } in
+  let stop = Driver.run ?nondet ~hooks ~max_steps m policy in
+  (finish st, stop)

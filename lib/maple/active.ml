@@ -93,11 +93,72 @@ let try_iroot ?(input = [||]) ?(max_steps = 2_000_000)
     | Driver.Deadlock -> (Some (pinball, Machine.Running), attempt)
     | _ -> (None, attempt))
 
+(** Stable partition of candidate iRoots: those whose unordered
+    [{pre, post}] pc pair is a static race candidate come first, each
+    half keeping its original (prediction) order.  Campaigns seeded with
+    static race pairs reach the racy interleaving in fewer attempts; a
+    bug whose iRoot the static pass missed is still tested, just later. *)
+let prioritize ~(static_pairs : (int * int) list) (candidates : Iroot.t list)
+    : Iroot.t list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) -> Hashtbl.replace tbl (min a b, max a b) ())
+    static_pairs;
+  let hit (ir : Iroot.t) =
+    let a = ir.Iroot.pre and b = ir.Iroot.post in
+    Hashtbl.mem tbl (min a b, max a b)
+  in
+  let yes, no = List.partition hit candidates in
+  yes @ no
+
+(** Synthesize candidate iRoots directly from static race pairs: both
+    orderings of every pair, with the idiom read off the access kinds at
+    the two pcs.  Profiling only predicts flips of {e observed}
+    dependencies, so a race whose buggy ordering never shows up under the
+    profile seeds is invisible to prediction — the static detector can
+    still name the pcs, and forcing either ordering of the pair tests it.
+    Orderings already in [candidates] (same pre/post pcs) are dropped. *)
+let seed_candidates ~(prog : Dr_isa.Program.t)
+    ~(static_pairs : (int * int) list) (candidates : Iroot.t list) :
+    Iroot.t list =
+  let covered = Hashtbl.create 32 in
+  List.iter
+    (fun (ir : Iroot.t) ->
+      Hashtbl.replace covered (ir.Iroot.pre, ir.Iroot.post) ())
+    candidates;
+  let is_write pc =
+    pc >= 0
+    && pc < Array.length prog.Dr_isa.Program.code
+    &&
+    match prog.Dr_isa.Program.code.(pc) with
+    | Dr_isa.Instr.Store _ -> true
+    | _ -> false
+  in
+  let idiom a b =
+    match (is_write a, is_write b) with
+    | true, true -> Iroot.WW
+    | true, false -> Iroot.WR
+    | _, _ -> Iroot.RW
+  in
+  let mk a b =
+    if Hashtbl.mem covered (a, b) then []
+    else begin
+      Hashtbl.replace covered (a, b) ();
+      [ { Iroot.pre = a; post = b; idiom = idiom a b } ]
+    end
+  in
+  List.concat_map
+    (fun (a, b) -> if a = b then mk a b else mk a b @ mk b a)
+    static_pairs
+
 (** Full Maple loop: profile, predict, and actively test candidates until
     a bug is exposed (assertion failure, fault, or deadlock).  Returns the
-    recorded pinball of the first failing run. *)
+    recorded pinball of the first failing run.  [static_pairs] seeds the
+    campaign: predicted candidates matching a static pair run first, then
+    orderings synthesized from the static pairs ({!seed_candidates}), then
+    the remaining predictions. *)
 let expose ?seeds ?(input = [||]) ?(max_candidates = 64) ?max_steps
-    (prog : Dr_isa.Program.t) : exposed option =
+    ?static_pairs (prog : Dr_isa.Program.t) : exposed option =
   let obs = Profiler.profile ?seeds ~input prog in
   let attempts = ref [] in
   let rec go = function
@@ -113,7 +174,24 @@ let expose ?seeds ?(input = [||]) ?(max_candidates = 64) ?max_steps
         attempts := attempt :: !attempts;
         go rest)
   in
-  let candidates =
-    List.filteri (fun i _ -> i < max_candidates) obs.Profiler.candidates
+  let ordered =
+    match static_pairs with
+    | Some pairs ->
+      let reordered = prioritize ~static_pairs:pairs obs.Profiler.candidates in
+      let synth =
+        seed_candidates ~prog ~static_pairs:pairs obs.Profiler.candidates
+      in
+      let hit_tbl = Hashtbl.create 32 in
+      List.iter
+        (fun (a, b) -> Hashtbl.replace hit_tbl (min a b, max a b) ())
+        pairs;
+      let hit (ir : Iroot.t) =
+        let a = ir.Iroot.pre and b = ir.Iroot.post in
+        Hashtbl.mem hit_tbl (min a b, max a b)
+      in
+      let yes, no = List.partition hit reordered in
+      yes @ synth @ no
+    | None -> obs.Profiler.candidates
   in
+  let candidates = List.filteri (fun i _ -> i < max_candidates) ordered in
   go candidates

@@ -32,12 +32,31 @@ val try_iroot :
   Iroot.t ->
   (Dr_pinplay.Pinball.t * Dr_machine.Machine.outcome) option * attempt
 
+(** Stable partition of candidate iRoots: those whose unordered
+    [{pre, post}] pc pair appears in [static_pairs] first, both halves
+    keeping their original order. *)
+val prioritize : static_pairs:(int * int) list -> Iroot.t list -> Iroot.t list
+
+(** Synthesize candidate iRoots from static race pairs: both orderings of
+    every pair (idiom read off the access kinds at the pcs), minus
+    orderings already present in the given candidate list.  This is what
+    lets a campaign test a racy ordering that profiling never observed
+    and so never predicted. *)
+val seed_candidates :
+  prog:Dr_isa.Program.t ->
+  static_pairs:(int * int) list ->
+  Iroot.t list ->
+  Iroot.t list
+
 (** The full Maple loop: profile, predict, actively test candidates until
-    a bug is exposed. *)
+    a bug is exposed.  [static_pairs] (e.g. from the static race
+    detector) seeds the campaign: matching predictions first, then
+    {!seed_candidates} orderings, then the rest. *)
 val expose :
   ?seeds:int list ->
   ?input:int array ->
   ?max_candidates:int ->
   ?max_steps:int ->
+  ?static_pairs:(int * int) list ->
   Dr_isa.Program.t ->
   exposed option

@@ -8,8 +8,12 @@
       targets when provided, otherwise conservatively to every
       {e address-taken} function;
     - the spawn idiom: [Sys Spawn] starts a thread at a code address that
-      was materialized into a register by a [Mov _, Imm entry] — any
-      address-taken function is a potential spawn target.
+      was materialized into a register by a [Mov _, Imm entry].  The
+      spawn-target register ([r1]) is chased backwards through a
+      straight-line [Mov] chain (register copies included) within the
+      enclosing block; when the chain bottoms out at an immediate that is
+      a function entry, the site's callees narrow to that one function.
+      Otherwise any address-taken function is a potential spawn target.
 
     A function is {e address-taken} when some instruction materializes its
     entry pc as an immediate ([Mov _, Imm entry]), the same heuristic
@@ -74,6 +78,53 @@ let build ?(indirect_targets : (int * int list) list = [])
   in
   let tbl = Hashtbl.create 16 in
   List.iter (fun (pc, ts) -> Hashtbl.replace tbl pc ts) indirect_targets;
+  (* Pcs where control can enter from elsewhere: backward value chases
+     must not scan past one, since the instructions below it are then not
+     the only predecessors. *)
+  let is_join_point =
+    let t = Array.make (n + 1) false in
+    let mark d = if d >= 0 && d <= n then t.(d) <- true in
+    Array.iteri
+      (fun pc i ->
+        match i with
+        | Instr.Jmp d | Instr.Jcc (_, d) | Instr.Call d -> mark d
+        | Instr.Jind _ | Instr.Callind _ -> (
+          match Hashtbl.find_opt tbl pc with
+          | Some ds -> List.iter mark ds
+          | None -> ())
+        | _ -> ())
+      code;
+    Array.iter mark entries;
+    t
+  in
+  let transfers = function
+    | Instr.Jmp _ | Instr.Jcc _ | Instr.Jind _ | Instr.Call _
+    | Instr.Callind _ | Instr.Ret | Instr.Halt ->
+      true
+    | _ -> false
+  in
+  (* Value of [reg] on entry to [pc], found by scanning backwards through
+     the straight-line run ending at [pc]: follows Mov-to-Mov register
+     copies, gives up at any control transfer, join point, or non-Mov
+     clobber of the chased register. *)
+  let chase_immediate pc reg =
+    let rec go i reg =
+      if i < 0 || reg = Reg.sp || reg = Reg.fp then None
+      else
+        match code.(i) with
+        | Instr.Mov (rd, Instr.Imm v) when rd = reg -> Some v
+        | Instr.Mov (rd, Instr.Reg rs) when rd = reg ->
+          if is_join_point.(i) then None else go (i - 1) rs
+        | instr ->
+          if
+            transfers instr
+            || Defuse.def_mask instr land (1 lsl reg) <> 0
+            || is_join_point.(i)
+          then None
+          else go (i - 1) reg
+    in
+    go (pc - 1) reg
+  in
   let sites = ref [] and unresolved = ref [] in
   for pc = 0 to n - 1 do
     let caller = fn_of_pc.(pc) in
@@ -91,7 +142,11 @@ let build ?(indirect_targets : (int * int list) list = [])
       | None ->
         unresolved := pc :: !unresolved;
         site Indirect address_taken)
-    | Instr.Sys Instr.Spawn -> site Spawn address_taken
+    | Instr.Sys Instr.Spawn -> (
+      match chase_immediate pc Reg.r1 with
+      | Some v when Hashtbl.mem entry_idx v ->
+        site Spawn [ Hashtbl.find entry_idx v ]
+      | Some _ | None -> site Spawn address_taken)
     | _ -> ()
   done;
   let callees = Array.make nf [] and callers = Array.make nf [] in

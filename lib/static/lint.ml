@@ -1,6 +1,6 @@
 (** Binary lint pass suite over a program image.
 
-    Four passes, all purely static (run on the unrefined CFG, as a
+    Five passes, all purely static (run on the unrefined CFG, as a
     front-line audit before any dynamic information exists):
 
     - {b unreachable-blocks}: basic blocks unreachable from their function
@@ -19,7 +19,13 @@
       the pops before it must restore exactly the prologue's pushes in
       reverse order.  The candidate scan uses the same idiom rules as
       {!Dr_slicing.Prune.static_candidates} and is cross-checked against
-      that module's output when the caller provides it. *)
+      that module's output when the caller provides it.
+    - {b races}: ranked static data-race candidate pairs from {!Race} —
+      conflicting shared accesses reachable in distinct threads with
+      disjoint must-locksets and no static happens-before order.
+
+    [run ?passes] selects a subset by name (see {!pass_names}); passes
+    left out contribute no findings and are absent from [passes_run]. *)
 
 open Dr_isa
 module Cfg = Dr_cfg.Cfg
@@ -61,11 +67,18 @@ type t = {
   save_restore : sr_issue list;
   candidate_saves : int;
   candidate_restores : int;
+  races : Race.pair list;  (** ranked, best first *)
+  race_mutexes : int;  (** resolved mutex addresses seen by the race pass *)
+  passes_run : string list;  (** subset of {!pass_names}, in canonical order *)
 }
+
+let pass_names =
+  [ "unreachable-blocks"; "maybe-uninit"; "indirect-audit"; "save-restore";
+    "races" ]
 
 let findings_total t =
   List.length t.unreachable + List.length t.uninit + List.length t.indirect
-  + List.length t.save_restore
+  + List.length t.save_restore + List.length t.races
 
 (* ---- pass: unreachable blocks ---- *)
 
@@ -247,21 +260,40 @@ let save_restore ?(max_save = 10)
     diff Candidate_mismatch !my_restores cand_restores);
   (!issues, List.length !my_saves, List.length !my_restores)
 
-(** Run all four passes.  [candidates] is the
+(** Run the pass suite.  [candidates] is the
     [Prune.static_candidates] output as assoc lists (saves, restores) for
     the cross-check — the caller converts, keeping this library
-    independent of [dr_slicing]. *)
-let run ?max_save ?candidates (prog : Program.t) : t =
+    independent of [dr_slicing].  [passes] restricts to a subset of
+    {!pass_names} (default: all); unknown names raise
+    [Invalid_argument]. *)
+let run ?max_save ?candidates ?(passes = pass_names) (prog : Program.t) : t =
+  List.iter
+    (fun p ->
+      if not (List.mem p pass_names) then
+        invalid_arg (Printf.sprintf "Lint.run: unknown pass %S" p))
+    passes;
+  let on p = List.mem p passes in
   let cfg = Cfg.build prog in
   let cg = Callgraph.build prog ~cfg in
   let save_restore, candidate_saves, candidate_restores =
-    save_restore ?max_save ?candidates prog cfg
+    if on "save-restore" then save_restore ?max_save ?candidates prog cfg
+    else ([], 0, 0)
+  in
+  let races, race_mutexes =
+    if on "races" then begin
+      let r = Race.analyze prog in
+      (r.Race.candidates, List.length r.Race.mutexes)
+    end
+    else ([], 0)
   in
   {
-    unreachable = unreachable_blocks cfg;
-    uninit = maybe_uninit prog cfg;
-    indirect = indirect_audit prog cfg cg;
+    unreachable = (if on "unreachable-blocks" then unreachable_blocks cfg else []);
+    uninit = (if on "maybe-uninit" then maybe_uninit prog cfg else []);
+    indirect = (if on "indirect-audit" then indirect_audit prog cfg cg else []);
     save_restore;
     candidate_saves;
     candidate_restores;
+    races;
+    race_mutexes;
+    passes_run = List.filter on pass_names;
   }

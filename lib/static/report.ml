@@ -37,6 +37,23 @@ let sr_json (s : Lint.sr_issue) =
       ("kind", Json.Str (Lint.sr_kind_name s.Lint.sr_kind));
       ("pc", Json.int s.Lint.sr_pc); ("reg", reg_json s.Lint.sr_reg) ]
 
+let race_json (prog : Program.t) (p : Race.pair) =
+  let opt_int = function Some v -> Json.int v | None -> Json.Null in
+  let access side (a : Race.access) roots lockset =
+    ( side,
+      Json.Obj
+        [ ("pc", Json.int a.Race.acc_pc);
+          ("line", opt_int (Debug_info.line_of_pc prog.Program.debug a.Race.acc_pc));
+          ("write", Json.Bool a.Race.acc_write);
+          ("addr", opt_int a.Race.acc_addr);
+          ("roots", Json.List (List.map Json.int roots));
+          ("lockset", Json.List (List.map Json.int lockset)) ] )
+  in
+  Json.Obj
+    [ access "a" p.Race.p_a p.Race.p_roots_a p.Race.p_lockset_a;
+      access "b" p.Race.p_b p.Race.p_roots_b p.Race.p_lockset_b;
+      ("score", Json.int p.Race.p_score) ]
+
 let pass_json ?(extra = []) findings =
   Json.Obj
     ([ ("count", Json.int (List.length findings)) ]
@@ -60,32 +77,42 @@ let callgraph_json (cg : Callgraph.t) ~entry_pc =
       ("unreachable_functions", Json.List unreachable_fns) ]
 
 let make (prog : Program.t) (lint : Lint.t) (cg : Callgraph.t) : Json.t =
+  let all_passes =
+    [ ("unreachable-blocks",
+       pass_json (List.map unreachable_json lint.Lint.unreachable));
+      ("maybe-uninit", pass_json (List.map uninit_json lint.Lint.uninit));
+      ("indirect-audit",
+       pass_json (List.map indirect_json lint.Lint.indirect));
+      ( "save-restore",
+        pass_json
+          ~extra:
+            [ ("candidate_saves", Json.int lint.Lint.candidate_saves);
+              ("candidate_restores", Json.int lint.Lint.candidate_restores)
+            ]
+          (List.map sr_json lint.Lint.save_restore) );
+      ( "races",
+        pass_json
+          ~extra:[ ("mutexes", Json.int lint.Lint.race_mutexes) ]
+          (List.map (race_json prog) lint.Lint.races) ) ]
+  in
   Json.Obj
     [ ("schema", Json.Str schema);
       ("program", Json.Str prog.Program.name);
       ("code_size", Json.int (Array.length prog.Program.code));
       ("functions", Json.int (Callgraph.num_functions cg));
       ("callgraph", callgraph_json cg ~entry_pc:prog.Program.entry);
+      ( "passes_run",
+        Json.List (List.map (fun p -> Json.Str p) lint.Lint.passes_run) );
       ( "passes",
         Json.Obj
-          [ ("unreachable-blocks",
-             pass_json (List.map unreachable_json lint.Lint.unreachable));
-            ("maybe-uninit", pass_json (List.map uninit_json lint.Lint.uninit));
-            ("indirect-audit",
-             pass_json (List.map indirect_json lint.Lint.indirect));
-            ( "save-restore",
-              pass_json
-                ~extra:
-                  [ ("candidate_saves", Json.int lint.Lint.candidate_saves);
-                    ("candidate_restores", Json.int lint.Lint.candidate_restores)
-                  ]
-                (List.map sr_json lint.Lint.save_restore) ) ] );
+          (List.filter
+             (fun (name, _) -> List.mem name lint.Lint.passes_run)
+             all_passes) );
       ("findings_total", Json.int (Lint.findings_total lint)) ]
 
 (* ---- validation ---- *)
 
-let pass_names =
-  [ "unreachable-blocks"; "maybe-uninit"; "indirect-audit"; "save-restore" ]
+let pass_names = Lint.pass_names
 
 let validate (doc : Json.t) : (unit, string) result =
   let ( let* ) = Result.bind in
@@ -100,6 +127,17 @@ let validate (doc : Json.t) : (unit, string) result =
   let* _ = need "callgraph.edges" (Option.bind (Json.member "edges" cgj) Json.to_float) in
   let* _ = need "callgraph.address_taken" (Option.bind (Json.member "address_taken" cgj) Json.to_list) in
   let* _ = need "callgraph.unreachable_functions" (Option.bind (Json.member "unreachable_functions" cgj) Json.to_list) in
+  let* run_json = need "passes_run" (Option.bind (Json.member "passes_run" doc) Json.to_list) in
+  let* run =
+    List.fold_left
+      (fun acc j ->
+        let* l = acc in
+        match Json.to_str j with
+        | Some s when List.mem s pass_names -> Ok (s :: l)
+        | Some s -> Error ("passes_run: unknown pass " ^ s)
+        | None -> Error "passes_run: non-string entry")
+      (Ok []) run_json
+  in
   let* passes = need "passes" (Json.member "passes" doc) in
   let* () =
     List.fold_left
@@ -112,15 +150,15 @@ let validate (doc : Json.t) : (unit, string) result =
           Error (Printf.sprintf "passes.%s: count %d <> %d findings" name
                    (int_of_float count) (List.length findings))
         else Ok ())
-      (Ok ()) pass_names
+      (Ok ()) run
   in
   let* _ = need "findings_total" (Option.bind (Json.member "findings_total" doc) Json.to_float) in
   Ok ()
 
 (** Analyze [prog] end to end: run the lint suite and package the
-    report.  [candidates] as in {!Lint.run}. *)
-let analyze ?max_save ?candidates (prog : Program.t) : Lint.t * Json.t =
+    report.  [candidates] and [passes] as in {!Lint.run}. *)
+let analyze ?max_save ?candidates ?passes (prog : Program.t) : Lint.t * Json.t =
   let cfg = Dr_cfg.Cfg.build prog in
   let cg = Callgraph.build prog ~cfg in
-  let lint = Lint.run ?max_save ?candidates prog in
+  let lint = Lint.run ?max_save ?candidates ?passes prog in
   (lint, make prog lint cg)

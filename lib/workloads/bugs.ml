@@ -222,7 +222,139 @@ let mozilla =
     root_cause_line = line_of_substring mozilla_source "script_table = 0 - 1000000;";
     failure_line = line_of_substring mozilla_source "int entry = peek(script_table + i);" }
 
-let all = [ pbzip2; aget; mozilla ]
+(* ---- dcl: double-checked initialization without a fence ---- *)
+
+let dcl_source =
+  {|// Double-checked lazy init without synchronization: the guard flag is
+// published before the payload is written, so a second thread can see
+// flag set and read the uninitialized payload.
+global int flag;
+global int data;
+
+fn worker(int id) {
+  if (flag == 0) {
+    // BUG: publish the guard before the payload is initialized
+    flag = 1;
+    int w = 0;
+    for (int i = 0; i < 40; i = i + 1) {
+      w = w + i;
+    }
+    data = 42;
+  }
+  int v = data;
+  assert(v == 42, "dcl: read uninitialized singleton");
+}
+
+fn main() {
+  int t1 = spawn(worker, 1);
+  int t2 = spawn(worker, 2);
+  join(t1);
+  join(t2);
+  print(data);
+}|}
+
+let dcl =
+  { name = "dcl";
+    program_description = "Lazy-initialized shared singleton";
+    description =
+      "A data race on the singleton payload: the initializing thread \
+       publishes the guard flag before writing the payload, so a racing \
+       thread observes the guard and reads uninitialized data.";
+    source = dcl_source;
+    root_cause_line = line_of_substring dcl_source "int v = data;";
+    failure_line = line_of_substring dcl_source "assert(v == 42" }
+
+(* ---- counter: unlocked read-modify-write next to a locked one ---- *)
+
+let counter_source =
+  {|// Shared counter incremented by two threads: one holds the lock, the
+// other does an unlocked read-modify-write and loses updates.
+global int counter;
+global int m;
+
+fn locked_adder(int n) {
+  for (int i = 0; i < 6; i = i + 1) {
+    lock(&m);
+    counter = counter + 1;
+    unlock(&m);
+  }
+}
+
+fn racy_adder(int n) {
+  for (int i = 0; i < 6; i = i + 1) {
+    // BUG: read-modify-write without holding the lock
+    int c = counter;
+    yield();
+    counter = c + 1;
+  }
+}
+
+fn main() {
+  int t1 = spawn(locked_adder, 0);
+  int t2 = spawn(racy_adder, 0);
+  join(t1);
+  join(t2);
+  print(counter);
+  assert(counter == 12, "counter: lost update");
+}|}
+
+let counter =
+  { name = "counter";
+    program_description = "Shared counter with mixed locking discipline";
+    description =
+      "A data race on a shared counter: one thread increments under the \
+       mutex, another does an unlocked read-modify-write, losing updates.";
+    source = counter_source;
+    root_cause_line = line_of_substring counter_source "int c = counter;";
+    failure_line = line_of_substring counter_source "assert(counter == 12" }
+
+(* ---- condvar: missed signal through a non-atomic check/wait ---- *)
+
+let condvar_source =
+  {|// Missed condvar signal: the producer sets the predicate and signals
+// without the mutex, so the wakeup can fire in the waiter's window
+// between checking the predicate and blocking -- the signal is lost and
+// the waiter never sets done.
+global int ready;
+global int done;
+global int m;
+global int cv;
+
+fn waiter(int n) {
+  lock(&m);
+  if (ready == 0) {
+    wait(&cv, &m);
+  }
+  unlock(&m);
+  done = 1;
+}
+
+fn main() {
+  int t = spawn(waiter, 0);
+  // BUG: predicate write and signal race with the waiter's check
+  ready = 1;
+  signal(&cv);
+  int w = 0;
+  for (int i = 0; i < 400; i = i + 1) {
+    w = w + i;
+  }
+  int d = done;
+  print(w);
+  assert(d == 1, "condvar: missed signal");
+}|}
+
+let condvar =
+  { name = "condvar";
+    program_description = "Producer/waiter handshake on a condition variable";
+    description =
+      "A missed-signal bug: the producer writes the predicate and signals \
+       without holding the mutex, racing the waiter's check-then-wait \
+       window; the lost wakeup leaves the handshake incomplete.";
+    source = condvar_source;
+    root_cause_line = line_of_substring condvar_source "int d = done;";
+    failure_line = line_of_substring condvar_source "assert(d == 1" }
+
+let all = [ pbzip2; aget; mozilla; dcl; counter; condvar ]
 
 let find name = List.find_opt (fun b -> b.name = name) all
 

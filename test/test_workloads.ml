@@ -4,13 +4,13 @@
 
 let test_registry_complete () =
   let names = Dr_workloads.Registry.names () in
-  Alcotest.(check int) "3 bugs + 8 parsec + 5 specomp" 16 (List.length names);
+  Alcotest.(check int) "6 bugs + 8 parsec + 5 specomp" 19 (List.length names);
   List.iter
     (fun expected ->
       Alcotest.(check bool) (expected ^ " present") true (List.mem expected names))
-    [ "pbzip2"; "Aget"; "mozilla"; "blackscholes"; "swaptions"; "fluidanimate";
-      "ferret"; "x264"; "canneal"; "dedup"; "streamcluster"; "ammp"; "apsi";
-      "galgel"; "mgrid"; "wupwise" ]
+    [ "pbzip2"; "Aget"; "mozilla"; "dcl"; "counter"; "condvar"; "blackscholes";
+      "swaptions"; "fluidanimate"; "ferret"; "x264"; "canneal"; "dedup";
+      "streamcluster"; "ammp"; "apsi"; "galgel"; "mgrid"; "wupwise" ]
 
 let test_all_compile_and_run () =
   List.iter
